@@ -1,0 +1,21 @@
+//! Criterion bench for E4: semaphore loops + Figure 5 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_bitband(c: &mut Criterion) {
+    c.bench_function("bitband_vs_rmw_10k_ops", |b| {
+        b.iter(|| alia_core::experiments::bitband_experiment(10_000).unwrap())
+    });
+    let e = alia_core::experiments::bitband_experiment(10_000).expect("experiment");
+    println!("\n{e}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bitband
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for E5: constant-strategy sweep + §2.2 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_flash(c: &mut Criterion) {
+    c.bench_function("flash_literal_sweep", |b| {
+        b.iter(|| alia_core::experiments::flash_experiment(4, 100).unwrap())
+    });
+    let e = alia_core::experiments::flash_experiment(6, 400).expect("experiment");
+    println!("\n{e}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_flash
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for E3: interrupt-scheme measurement + Figure 4 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_interrupt(c: &mut Criterion) {
+    c.bench_function("interrupt_scheme_comparison", |b| {
+        b.iter(|| alia_core::experiments::interrupt_experiment().unwrap())
+    });
+    let e = alia_core::experiments::interrupt_experiment().expect("experiment");
+    println!("\n{e}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_interrupt
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for E6: LDM latency sampling + §3.1.2 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ldm(c: &mut Criterion) {
+    c.bench_function("ldm_latency_64_samples", |b| {
+        b.iter(|| alia_core::experiments::ldm_experiment(64).unwrap())
+    });
+    let e = alia_core::experiments::ldm_experiment(256).expect("experiment");
+    println!("\n{e}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ldm
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for E2: isolation planning throughput + Figure 2 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_mpu(c: &mut Criterion) {
+    c.bench_function("mpu_isolation_planning_24_modules", |b| {
+        b.iter(|| alia_core::experiments::mpu_experiment(24).unwrap())
+    });
+    let e = alia_core::experiments::mpu_experiment(24).expect("experiment");
+    println!("\n{e}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mpu
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for E8: allocation study + §1/§4 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("virtual_multicore_8x4", |b| {
+        b.iter(|| alia_core::experiments::network_experiment(8, 4).unwrap())
+    });
+    let e = alia_core::experiments::network_experiment(8, 4).expect("experiment");
+    println!("\n{e}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_network
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for E7: fault-injection campaign + §3.1.3 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_soft_error(c: &mut Criterion) {
+    c.bench_function("soft_error_campaign_6_injections", |b| {
+        b.iter(|| alia_core::experiments::soft_error_experiment(6).unwrap())
+    });
+    let e = alia_core::experiments::soft_error_experiment(8).expect("experiment");
+    println!("\n{e}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_soft_error
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! E2: regenerates the Figure 2 MPU-granularity argument.
+
+fn main() {
+    alia_bench::header("E2", "Figure 2 / §3.1.1 (fine-grain MPU)");
+    let e = alia_core::experiments::mpu_experiment(24).expect("experiment");
+    println!("{e}");
+    println!("paper claim: 4 KB code boundaries are 'typically too large'; the re-engineered MPU gives finer granularity per task");
+}

@@ -1,0 +1,8 @@
+//! E3: regenerates the Figure 4 fast-interrupt-response comparison.
+
+fn main() {
+    alia_bench::header("E3", "Figure 4 / §3.2.1 (fast interrupt response)");
+    let e = alia_core::experiments::interrupt_experiment().expect("experiment");
+    println!("{e}");
+    println!("paper claim: pre/postamble in hardware + parallel vector fetch reduce entry cycles; 'the main benefit [...] back-to-back handling of interrupts'");
+}

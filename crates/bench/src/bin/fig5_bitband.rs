@@ -1,0 +1,8 @@
+//! E4: regenerates the Figure 5 bit-banding comparison.
+
+fn main() {
+    alia_bench::header("E4", "Figure 5 / §3.2.3 (bit banding)");
+    let e = alia_core::experiments::bitband_experiment(10_000).expect("experiment");
+    println!("{e}");
+    println!("paper claim: 'what was a multiple operation task becomes a simple, single write saving many cycles', with no interrupt disabling");
+}

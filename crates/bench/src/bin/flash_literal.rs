@@ -1,0 +1,8 @@
+//! E5: regenerates the §2.2 literal-pool flash-streaming experiment.
+
+fn main() {
+    alia_bench::header("E5", "§2.2 (literal pools vs MOVW/MOVT)");
+    let e = alia_core::experiments::flash_experiment(6, 400).expect("experiment");
+    println!("{e}");
+    println!("paper claim: 'a performance degradation of 15 percent is possible because of this effect'; MOVW/MOVT 'restores the sequential nature of instruction accesses'");
+}

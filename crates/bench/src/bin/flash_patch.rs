@@ -1,0 +1,8 @@
+//! E9: regenerates the §3.2.2 flash-patch calibration workflow.
+
+fn main() {
+    alia_bench::header("E9", "§3.2.2 (flash patch & breakpoint unit)");
+    let e = alia_core::experiments::flash_patch_experiment().expect("experiment");
+    println!("{e}");
+    println!("paper claim: 'up to eight words can be configured as RAM', enabling dynamic download during calibration and eight breakpoints");
+}

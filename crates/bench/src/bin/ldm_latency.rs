@@ -1,0 +1,8 @@
+//! E6: regenerates the §3.1.2 interruptible-LDM latency experiment.
+
+fn main() {
+    alia_bench::header("E6", "§3.1.2 (interruptible, re-startable LDM)");
+    let e = alia_core::experiments::ldm_experiment(256).expect("experiment");
+    println!("{e}");
+    println!("paper claim: an interrupt can be serviced 'even if the processor is busy dealing with cache line misses' (worst case: three misses)");
+}

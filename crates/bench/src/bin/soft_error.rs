@@ -1,0 +1,8 @@
+//! E7: regenerates the §3.1.3 soft-error campaign.
+
+fn main() {
+    alia_bench::header("E7", "§3.1.3 (managing soft errors)");
+    let e = alia_core::experiments::soft_error_experiment(8).expect("experiment");
+    println!("{e}");
+    println!("paper claim: I-cache errors invalidate + reload; TAG errors become misses; data errors abort precisely and recover; TCM uses hold-and-repair without an interrupt");
+}

@@ -1,0 +1,23 @@
+//! E1: regenerates Table 1 (and the Figure 1 scatter series).
+
+fn main() {
+    alia_bench::header("E1", "Table 1 / Figure 1 (Lyons, DATE 2005)");
+    let t = alia_core::experiments::table1(7, 128).expect("experiment");
+    println!("{t}");
+    println!("paper reports (preliminary AutoIndy GM): ARM7/ARM 100%, ARM7/Thumb 79%, Cortex-M3/Thumb-2 137%");
+    println!("paper reports (code size):               ARM7/ARM 100%, ARM7/Thumb 57%, Cortex-M3/Thumb-2 57%");
+    println!("\nFigure 1 series (perf% , size%) per configuration:");
+    for r in &t.rows {
+        println!("  {:<22} ({:>5.1}%, {:>5.1}%)", r.config, r.perf_pct, r.size_pct);
+    }
+    let ab = alia_core::experiments::bus_width_ablation(7, 48).expect("ablation");
+    println!("\n{ab}");
+    let pred = alia_core::experiments::predication_ablation(7, 48).expect("ablation");
+    println!("{pred}");
+    println!("per-kernel cycle detail:");
+    for r in &t.rows {
+        for k in &r.kernels {
+            println!("  {:<6} {:<8} {:>9} cycles {:>6} bytes", r.mode, k.kernel, k.cycles, k.code_size);
+        }
+    }
+}

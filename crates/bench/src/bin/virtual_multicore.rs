@@ -1,0 +1,8 @@
+//! E8: regenerates the §1/§4 virtual multi-core vision study.
+
+fn main() {
+    alia_bench::header("E8", "§1/§4 (virtual multi-core vision)");
+    let e = alia_core::experiments::network_experiment(8, 4).expect("experiment");
+    println!("{e}");
+    println!("paper claim: ISA harmonization lets the distributed processor network be 'harnessed as a single compute resource' with code reuse across nodes");
+}

@@ -1,0 +1,23 @@
+//! # alia-bench — the table/figure regeneration harness
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! DESIGN.md's experiment index) and prints the measured rows next to the
+//! paper's reported values. The Criterion benches in `benches/` measure
+//! the same experiments for host-side performance tracking.
+//!
+//! ```text
+//! cargo run -p alia-bench --bin table1
+//! cargo run -p alia-bench --bin fig2_mpu
+//! cargo run -p alia-bench --bin fig4_interrupt
+//! cargo run -p alia-bench --bin fig5_bitband
+//! cargo run -p alia-bench --bin flash_literal
+//! cargo run -p alia-bench --bin ldm_latency
+//! cargo run -p alia-bench --bin soft_error
+//! cargo run -p alia-bench --bin virtual_multicore
+//! cargo run -p alia-bench --bin flash_patch
+//! ```
+
+/// Prints a standard harness header.
+pub fn header(experiment: &str, paper_ref: &str) {
+    println!("=== {experiment} — reproducing {paper_ref} ===");
+}

@@ -1,0 +1,46 @@
+//! # alia-can — CAN bus model and the "virtual multi-core" vision
+//!
+//! The paper's introduction and conclusion describe the automotive
+//! platform as "a physically distributed network of 8/16-bit and 32-bit
+//! processors" that ISA harmonization would let manufacturers harness "as
+//! a single compute resource". This crate provides the network substrate
+//! and the experiment:
+//!
+//! * bit-accurate **CAN 2.0 frames** — stuffing, CRC-15, arbitration
+//!   ordering ([`CanFrame`]);
+//! * an event-driven **bus simulator** with non-preemptive priority
+//!   arbitration ([`CanBus`]);
+//! * Tindell/Davis-style **CAN response-time analysis**
+//!   ([`can_response_times`]), cross-validated against the simulator;
+//! * the **virtual multi-core allocation study** ([`allocate`]):
+//!   dedicated-per-ECU vs. ISA-harmonized distributed placement, with
+//!   induced bus traffic checked for schedulability.
+//!
+//! # Examples
+//!
+//! ```
+//! use alia_can::{CanBus, CanFrame, CanId};
+//! let mut bus = CanBus::new();
+//! bus.enqueue(0, 0, CanFrame::new(CanId::Standard(0x300), &[1, 2]));
+//! bus.enqueue(0, 1, CanFrame::new(CanId::Standard(0x100), &[3]));
+//! bus.run(10_000);
+//! // The lower identifier wins arbitration.
+//! assert_eq!(bus.deliveries()[0].frame.id.raw(), 0x100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bus;
+mod frame;
+mod rta;
+mod vision;
+
+pub use bus::{CanBus, Delivery};
+pub use frame::{
+    count_stuff_bits, crc15, worst_case_wire_bits, CanFrame, CanId, TRAILER_BITS,
+};
+pub use rta::{can_response_times, can_utilization, CanMessage, CanResponse};
+pub use vision::{
+    allocate, body_task_set, fleet, AllocationReport, DistTask, Node, NodeIsa, Placement,
+};

@@ -1,0 +1,271 @@
+//! The paper's "virtual multi-core" vision (§1/§4): a distributed network
+//! of ECU nodes harnessed as a single compute resource.
+//!
+//! The enabling precondition the paper names is **ISA harmonization**:
+//! with a common instruction set, any task can be placed on (or migrate
+//! to) any node with spare capacity, and one binary serves the fleet.
+//! This module quantifies that: it allocates an automotive task set onto a
+//! set of nodes twice — once with heterogeneous per-node ISAs (tasks are
+//! pinned to nodes that speak their ISA) and once harmonized — and
+//! reports schedulable load, placement success and code duplication.
+
+use crate::rta::{can_response_times, can_utilization, CanMessage};
+
+/// The instruction-set family a node runs (pre-harmonization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeIsa {
+    /// Legacy 8-bit controller family.
+    Legacy8,
+    /// Legacy 16-bit controller family.
+    Legacy16,
+    /// The common 32-bit family (post-harmonization: everything).
+    Common32,
+}
+
+/// One ECU node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node name.
+    pub name: String,
+    /// Compute capacity in abstract load units.
+    pub capacity: u32,
+    /// The ISA family this node executes.
+    pub isa: NodeIsa,
+}
+
+/// One distributable task (body-control function).
+#[derive(Debug, Clone)]
+pub struct DistTask {
+    /// Task name.
+    pub name: String,
+    /// The function kind: tasks with the same kind share one
+    /// implementation (e.g. the window-lift module instanced per door).
+    pub kind: u32,
+    /// Load units consumed.
+    pub load: u32,
+    /// The node index the function traditionally lives on (its sensor /
+    /// actuator attachment).
+    pub home: usize,
+    /// Bytes of code for one implementation (per ISA family it must be
+    /// ported to).
+    pub code_bytes: u32,
+    /// Signals per second exchanged with its home node's peripherals.
+    pub signal_rate: u32,
+}
+
+/// The outcome of one allocation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationReport {
+    /// Tasks successfully placed.
+    pub placed: usize,
+    /// Tasks that could not be placed anywhere.
+    pub unplaced: usize,
+    /// Highest node utilization (placed load / capacity).
+    pub peak_utilization: f64,
+    /// Total code bytes flashed across the fleet (duplicated per ISA
+    /// family in the heterogeneous case).
+    pub code_bytes: u64,
+    /// CAN bus utilization induced by tasks placed away from home.
+    pub bus_utilization: f64,
+    /// Whether the induced CAN traffic is schedulable at 500 kbit/s.
+    pub bus_schedulable: bool,
+}
+
+/// Placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Tasks may only run on their home node (pre-harmonization: each
+    /// function is welded to its ECU).
+    Dedicated,
+    /// Tasks may run anywhere their ISA allows; worst-fit balancing.
+    Distributed,
+}
+
+/// Allocates `tasks` onto `nodes` under `placement`, treating a task as
+/// compatible with a node when the node's ISA matches the task's home
+/// node ISA — unless every node runs [`NodeIsa::Common32`], in which case
+/// everything is compatible (the harmonized fleet).
+#[must_use]
+pub fn allocate(nodes: &[Node], tasks: &[DistTask], placement: Placement) -> AllocationReport {
+    let mut used = vec![0u32; nodes.len()];
+    let mut placed_on: Vec<Option<usize>> = vec![None; tasks.len()];
+
+    // Pass 1: every task that fits its home node stays home (minimal
+    // migration, identical to the pre-harmonization layout).
+    for (ti, t) in tasks.iter().enumerate() {
+        if used[t.home] + t.load <= nodes[t.home].capacity {
+            used[t.home] += t.load;
+            placed_on[ti] = Some(t.home);
+        }
+    }
+    // Pass 2 (distributed only): spill remaining tasks to the
+    // least-loaded compatible node (worst-fit).
+    if placement == Placement::Distributed {
+        for (ti, t) in tasks.iter().enumerate() {
+            if placed_on[ti].is_some() {
+                continue;
+            }
+            let compatible = |ni: usize| -> bool {
+                nodes[ni].isa == nodes[t.home].isa
+                    || nodes[ni].isa == NodeIsa::Common32
+                        && nodes[t.home].isa == NodeIsa::Common32
+            };
+            let best = (0..nodes.len())
+                .filter(|ni| compatible(*ni))
+                .filter(|ni| used[*ni] + t.load <= nodes[*ni].capacity)
+                .max_by_key(|ni| nodes[*ni].capacity - used[*ni]);
+            if let Some(ni) = best {
+                used[ni] += t.load;
+                placed_on[ti] = Some(ni);
+            }
+        }
+    }
+
+    let placed = placed_on.iter().flatten().count();
+    let peak = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| f64::from(used[i]) / f64::from(n.capacity.max(1)))
+        .fold(0.0f64, f64::max);
+
+    // Code duplication: a function kind needs one *port* per ISA family
+    // it is deployed on. The harmonized fleet collapses every kind to a
+    // single binary; the heterogeneous fleet maintains one per family.
+    let mut ports: std::collections::HashMap<(u32, NodeIsa), u32> =
+        std::collections::HashMap::new();
+    for (ti, t) in tasks.iter().enumerate() {
+        let family = match placed_on[ti] {
+            Some(ni) => nodes[ni].isa,
+            None => nodes[t.home].isa, // still shipped, even if shedding failed
+        };
+        ports.entry((t.kind, family)).or_insert(t.code_bytes);
+    }
+    let code: u64 = ports.values().map(|b| u64::from(*b)).sum();
+
+    // Remote placements push their peripheral signals over CAN.
+    let bitrate = 500_000u64; // 500 kbit/s class C body bus
+    let msgs: Vec<CanMessage> = tasks
+        .iter()
+        .enumerate()
+        .filter_map(|(ti, t)| {
+            let ni = placed_on[ti]?;
+            if ni == t.home || t.signal_rate == 0 {
+                return None;
+            }
+            Some(CanMessage {
+                id: 0x100 + ti as u32,
+                dlc: 4,
+                extended: false,
+                period: bitrate / u64::from(t.signal_rate),
+                jitter: 0,
+                deadline: bitrate / u64::from(t.signal_rate),
+            })
+        })
+        .collect();
+    let bus_util = can_utilization(&msgs);
+    let bus_ok = can_response_times(&msgs).iter().all(|r| r.schedulable);
+
+    AllocationReport {
+        placed,
+        unplaced: tasks.len() - placed,
+        peak_utilization: peak,
+        code_bytes: code,
+        bus_utilization: bus_util,
+        bus_schedulable: bus_ok,
+    }
+}
+
+/// Builds the benchmark fleet: `n_nodes` ECUs. In the heterogeneous
+/// variant nodes alternate legacy 8/16-bit families; in the harmonized
+/// variant every node runs [`NodeIsa::Common32`].
+#[must_use]
+pub fn fleet(n_nodes: usize, harmonized: bool) -> Vec<Node> {
+    (0..n_nodes)
+        .map(|i| Node {
+            name: format!("ecu{i}"),
+            capacity: 100,
+            isa: if harmonized {
+                NodeIsa::Common32
+            } else if i % 2 == 0 {
+                NodeIsa::Legacy8
+            } else {
+                NodeIsa::Legacy16
+            },
+        })
+        .collect()
+}
+
+/// Builds a body-control task set with uneven per-node load (door modules
+/// briefly saturate while others idle — the situation the paper's vision
+/// exploits).
+#[must_use]
+pub fn body_task_set(n_nodes: usize, tasks_per_node: usize) -> Vec<DistTask> {
+    let mut tasks = Vec::new();
+    for home in 0..n_nodes {
+        for k in 0..tasks_per_node {
+            // Deterministic skew: early nodes are overloaded.
+            let load = match (home + k) % 4 {
+                0 => 24,
+                1 => 18,
+                2 => 12,
+                _ => 6,
+            } + if home < n_nodes / 3 { 12 } else { 0 };
+            tasks.push(DistTask {
+                name: format!("task{home}_{k}"),
+                kind: k as u32,
+                load: load as u32,
+                home,
+                code_bytes: 2048 + 512 * (k as u32 % 3),
+                signal_rate: 10 + 5 * (k as u32 % 4),
+            });
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonized_fleet_places_more_tasks() {
+        let tasks = body_task_set(8, 4);
+        let hetero = allocate(&fleet(8, false), &tasks, Placement::Dedicated);
+        let harmonized = allocate(&fleet(8, true), &tasks, Placement::Distributed);
+        assert!(
+            harmonized.placed > hetero.placed,
+            "harmonized {} vs dedicated {}",
+            harmonized.placed,
+            hetero.placed
+        );
+        assert_eq!(harmonized.unplaced, 0, "harmonized fleet absorbs the load");
+    }
+
+    #[test]
+    fn distribution_absorbs_overload_within_capacity() {
+        let tasks = body_task_set(8, 4);
+        let dedicated = allocate(&fleet(8, true), &tasks, Placement::Dedicated);
+        let distributed = allocate(&fleet(8, true), &tasks, Placement::Distributed);
+        // Dedicated placement drops the overload; distribution absorbs it
+        // while every node stays within capacity.
+        assert!(dedicated.unplaced > 0);
+        assert_eq!(distributed.unplaced, 0);
+        assert!(distributed.placed > dedicated.placed);
+        assert!(distributed.peak_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn induced_bus_traffic_stays_schedulable() {
+        let tasks = body_task_set(8, 4);
+        let distributed = allocate(&fleet(8, true), &tasks, Placement::Distributed);
+        assert!(distributed.bus_utilization < 0.5);
+        assert!(distributed.bus_schedulable);
+    }
+
+    #[test]
+    fn dedicated_placement_never_migrates() {
+        let tasks = body_task_set(4, 2);
+        let report = allocate(&fleet(4, true), &tasks, Placement::Dedicated);
+        assert!(report.bus_utilization.abs() < f64::EPSILON);
+    }
+}

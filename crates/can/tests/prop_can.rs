@@ -1,0 +1,99 @@
+//! Property tests for the CAN substrate: frame encoding invariants and
+//! analysis-vs-simulation bounds over random message sets.
+
+use alia_can::{
+    can_response_times, can_utilization, count_stuff_bits, worst_case_wire_bits, CanBus,
+    CanFrame, CanId, CanMessage,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wire_bits_bounded_for_any_frame(
+        id in 0u16..0x800,
+        data in prop::collection::vec(any::<u8>(), 0..=8),
+    ) {
+        let f = CanFrame::new(CanId::Standard(id), &data);
+        let dlc = data.len() as u8;
+        let min = 34 + 8 * u32::from(dlc) + alia_can::TRAILER_BITS;
+        let max = worst_case_wire_bits(dlc, false);
+        let bits = f.wire_bits();
+        prop_assert!(bits >= min && bits <= max, "{} outside [{}, {}]", bits, min, max);
+    }
+
+    #[test]
+    fn extended_frames_bounded_too(
+        id in 0u32..1 << 29,
+        data in prop::collection::vec(any::<u8>(), 0..=8),
+    ) {
+        let f = CanFrame::new(CanId::Extended(id), &data);
+        let dlc = data.len() as u8;
+        let max = worst_case_wire_bits(dlc, true);
+        prop_assert!(f.wire_bits() <= max);
+    }
+
+    #[test]
+    fn stuffing_never_exceeds_one_in_four(bits in prop::collection::vec(any::<bool>(), 1..256)) {
+        let stuffed = count_stuff_bits(&bits);
+        prop_assert!(stuffed <= (bits.len() as u32 - 1) / 4 + 1);
+    }
+
+    #[test]
+    fn arbitration_is_a_strict_total_order(a in 0u16..0x800, b in 0u16..0x800) {
+        let ia = CanId::Standard(a);
+        let ib = CanId::Standard(b);
+        if a == b {
+            prop_assert!(!ia.wins_over(ib) && !ib.wins_over(ia));
+        } else {
+            prop_assert!(ia.wins_over(ib) ^ ib.wins_over(ia));
+        }
+    }
+
+    #[test]
+    fn simulation_respects_rta_bounds(
+        seeds in prop::collection::vec((0u32..0x400, 1u8..9, 1u64..6), 2..5)
+    ) {
+        // Distinct ids, scaled periods.
+        let mut msgs: Vec<CanMessage> = Vec::new();
+        for (i, (id, dlc, scale)) in seeds.iter().enumerate() {
+            let id = id * 8 + i as u32; // 8-spacing makes (id, i) pairs injective
+            let period = 1500 * scale + 500 * i as u64;
+            msgs.push(CanMessage {
+                id,
+                dlc: *dlc,
+                extended: false,
+                period,
+                jitter: 0,
+                deadline: period,
+            });
+        }
+        prop_assume!(can_utilization(&msgs) < 0.9);
+        let rta = can_response_times(&msgs);
+        prop_assume!(rta.iter().all(|r| r.schedulable));
+
+        let mut bus = CanBus::new();
+        let horizon = 120_000u64;
+        for (node, m) in msgs.iter().enumerate() {
+            // Worst-case stuffing payload.
+            let frame = CanFrame::new(CanId::Standard(m.id as u16), &vec![0u8; m.dlc as usize]);
+            let mut t = 0;
+            while t < horizon {
+                bus.enqueue(t, node, frame);
+                t += m.period;
+            }
+        }
+        bus.run(horizon);
+        for (i, m) in msgs.iter().enumerate() {
+            if let Some(worst) = bus.worst_latency(CanId::Standard(m.id as u16)) {
+                let bound = rta[i].response.expect("schedulable");
+                prop_assert!(
+                    worst <= bound,
+                    "msg {} (id {:#x}): simulated {} > bound {}",
+                    i, m.id, worst, bound
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! Liveness analysis and linear-scan register allocation over TIR.
+//!
+//! Allocation runs *before* instruction selection: every virtual register
+//! is mapped to either a physical register or a stack slot, and the
+//! lowering pass inserts reloads/spills around individual instructions
+//! using two reserved scratch registers. The allocatable pool differs per
+//! encoding — `T16` can only address `r0..r7`, which is precisely the
+//! register-pressure handicap the paper's Table 1 numbers reflect.
+
+use std::collections::{HashMap, HashSet};
+
+use alia_isa::{IsaMode, Reg};
+use alia_tir::{Function, Inst, Operand, Terminator, VReg};
+
+/// Where a virtual register lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register.
+    Reg(Reg),
+    /// A stack slot (word index from the spill area base).
+    Spill(u32),
+}
+
+/// The register conventions for a target encoding.
+#[derive(Debug, Clone)]
+pub struct RegPlan {
+    /// Registers handed to the allocator, in preference order
+    /// (callee-saved first).
+    pub allocatable: Vec<Reg>,
+    /// Caller-saved subset (unusable across calls).
+    pub caller_saved: HashSet<Reg>,
+    /// First scratch register (always reserved).
+    pub scratch0: Reg,
+    /// Second scratch register (always reserved).
+    pub scratch1: Reg,
+}
+
+impl RegPlan {
+    /// The plan for `mode`.
+    #[must_use]
+    pub fn for_mode(mode: IsaMode) -> RegPlan {
+        // `r3` serves as the second lowering scratch everywhere: its value
+        // never needs to survive a TIR instruction, and keeping it out of
+        // the pool costs a caller-saved register instead of a callee-saved
+        // one — which matters for call-heavy loops (soft-divide kernels).
+        match mode {
+            IsaMode::T16 => RegPlan {
+                allocatable: vec![Reg::R4, Reg::R5, Reg::R6, Reg::R0, Reg::R1, Reg::R2],
+                caller_saved: [Reg::R0, Reg::R1, Reg::R2].into_iter().collect(),
+                scratch0: Reg::R7,
+                scratch1: Reg::R3,
+            },
+            IsaMode::A32 | IsaMode::T2 => RegPlan {
+                allocatable: vec![
+                    Reg::R4,
+                    Reg::R5,
+                    Reg::R6,
+                    Reg::R7,
+                    Reg::R8,
+                    Reg::R9,
+                    Reg::R10,
+                    Reg::R11,
+                    Reg::R0,
+                    Reg::R1,
+                    Reg::R2,
+                ],
+                caller_saved: [Reg::R0, Reg::R1, Reg::R2].into_iter().collect(),
+                scratch0: Reg::R12,
+                scratch1: Reg::R3,
+            },
+        }
+    }
+}
+
+/// The result of allocation for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Virtual register locations.
+    pub locs: HashMap<VReg, Loc>,
+    /// Number of spill slots used.
+    pub spill_slots: u32,
+    /// Callee-saved registers that must be preserved in the prologue.
+    pub used_callee_saved: Vec<Reg>,
+    /// Whether the function makes calls (needs `lr` saved).
+    pub has_calls: bool,
+}
+
+impl Allocation {
+    /// Location of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a register never seen by the allocator.
+    #[must_use]
+    pub fn loc(&self, v: VReg) -> Loc {
+        *self.locs.get(&v).unwrap_or_else(|| panic!("unallocated vreg {v}"))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    vreg: VReg,
+    start: u32,
+    end: u32,
+    crosses_call: bool,
+    /// Number of instruction-level touches — the spill heuristic protects
+    /// frequently-used (loop-carried) values.
+    uses: u32,
+}
+
+/// Instruction indices are assigned in block order; each block occupies
+/// `[block_start[i], block_start[i+1])` with its terminator last.
+fn number_function(f: &Function) -> (Vec<u32>, u32) {
+    let mut starts = Vec::with_capacity(f.blocks.len());
+    let mut idx = 0u32;
+    for b in &f.blocks {
+        starts.push(idx);
+        idx += b.insts.len() as u32 + 1; // + terminator
+    }
+    (starts, idx)
+}
+
+fn operand_uses(o: Operand, out: &mut Vec<VReg>) {
+    if let Operand::Reg(v) = o {
+        out.push(v);
+    }
+}
+
+/// `(uses, defs)` of one instruction.
+fn inst_uses_defs(inst: &Inst) -> (Vec<VReg>, Option<VReg>) {
+    let mut uses = Vec::new();
+    let def = match inst {
+        Inst::Const { dst, .. } => Some(*dst),
+        Inst::Copy { dst, src } => {
+            operand_uses(*src, &mut uses);
+            Some(*dst)
+        }
+        Inst::Bin { dst, a, b, .. } => {
+            operand_uses(*a, &mut uses);
+            operand_uses(*b, &mut uses);
+            Some(*dst)
+        }
+        Inst::Un { dst, a, .. } => {
+            operand_uses(*a, &mut uses);
+            Some(*dst)
+        }
+        Inst::ExtractBits { dst, src, .. } => {
+            operand_uses(*src, &mut uses);
+            Some(*dst)
+        }
+        Inst::InsertBits { dst, src, .. } => {
+            // read-modify-write: dst is also a use
+            uses.push(*dst);
+            operand_uses(*src, &mut uses);
+            Some(*dst)
+        }
+        Inst::Select { dst, a, b, t, f, .. } => {
+            for o in [a, b, t, f] {
+                operand_uses(*o, &mut uses);
+            }
+            Some(*dst)
+        }
+        Inst::Load { dst, base, offset, .. } => {
+            uses.push(*base);
+            operand_uses(*offset, &mut uses);
+            Some(*dst)
+        }
+        Inst::Store { src, base, offset, .. } => {
+            operand_uses(*src, &mut uses);
+            uses.push(*base);
+            operand_uses(*offset, &mut uses);
+            None
+        }
+        Inst::Call { dst, args, .. } => {
+            for a in args {
+                operand_uses(*a, &mut uses);
+            }
+            *dst
+        }
+    };
+    (uses, def)
+}
+
+fn term_uses(term: &Terminator) -> Vec<VReg> {
+    let mut uses = Vec::new();
+    match term {
+        Terminator::Br { .. } => {}
+        Terminator::CondBr { a, b, .. } => {
+            operand_uses(*a, &mut uses);
+            operand_uses(*b, &mut uses);
+        }
+        Terminator::Switch { value, .. } => uses.push(*value),
+        Terminator::Ret { value } => {
+            if let Some(v) = value {
+                operand_uses(*v, &mut uses);
+            }
+        }
+    }
+    uses
+}
+
+fn successors(term: &Terminator) -> Vec<alia_tir::BlockId> {
+    match term {
+        Terminator::Br { target } => vec![*target],
+        Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+        Terminator::Switch { targets, default, .. } => {
+            let mut v = targets.clone();
+            v.push(*default);
+            v
+        }
+        Terminator::Ret { .. } => vec![],
+    }
+}
+
+/// Computes conservative live intervals for every vreg.
+fn live_intervals(f: &Function) -> Vec<Interval> {
+    let n_blocks = f.blocks.len();
+    let (starts, total) = number_function(f);
+
+    // Per-block use/def sets for dataflow.
+    let mut gen_sets: Vec<HashSet<VReg>> = vec![HashSet::new(); n_blocks];
+    let mut kill_sets: Vec<HashSet<VReg>> = vec![HashSet::new(); n_blocks];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            let (uses, def) = inst_uses_defs(inst);
+            for u in uses {
+                if !kill_sets[bi].contains(&u) {
+                    gen_sets[bi].insert(u);
+                }
+            }
+            if let Some(d) = def {
+                kill_sets[bi].insert(d);
+            }
+        }
+        for u in term_uses(&b.term) {
+            if !kill_sets[bi].contains(&u) {
+                gen_sets[bi].insert(u);
+            }
+        }
+    }
+
+    // Backward dataflow to fixpoint.
+    let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); n_blocks];
+    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); n_blocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n_blocks).rev() {
+            let mut out = HashSet::new();
+            for s in successors(&f.blocks[bi].term) {
+                out.extend(live_in[s.0 as usize].iter().copied());
+            }
+            let mut inn: HashSet<VReg> = gen_sets[bi].clone();
+            for v in &out {
+                if !kill_sets[bi].contains(v) {
+                    inn.insert(*v);
+                }
+            }
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Conservative single interval per vreg.
+    let mut range: HashMap<VReg, (u32, u32)> = HashMap::new();
+    let mut use_count: HashMap<VReg, u32> = HashMap::new();
+    let mut call_sites: Vec<u32> = Vec::new();
+    let touch = |v: VReg, at: u32, range: &mut HashMap<VReg, (u32, u32)>| {
+        let e = range.entry(v).or_insert((at, at));
+        e.0 = e.0.min(at);
+        e.1 = e.1.max(at);
+    };
+    // Parameters are live from index 0.
+    for p in &f.params {
+        touch(*p, 0, &mut range);
+    }
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let b_start = starts[bi];
+        let b_end = b_start + b.insts.len() as u32; // terminator index
+        for v in &live_in[bi] {
+            touch(*v, b_start, &mut range);
+        }
+        for v in &live_out[bi] {
+            touch(*v, b_end, &mut range);
+        }
+        for (ii, inst) in b.insts.iter().enumerate() {
+            let at = b_start + ii as u32;
+            let (uses, def) = inst_uses_defs(inst);
+            for u in uses {
+                touch(u, at, &mut range);
+                *use_count.entry(u).or_insert(0) += 1;
+            }
+            if let Some(d) = def {
+                touch(d, at, &mut range);
+                *use_count.entry(d).or_insert(0) += 1;
+            }
+            if matches!(inst, Inst::Call { .. }) {
+                call_sites.push(at);
+            }
+        }
+        for u in term_uses(&b.term) {
+            touch(u, b_end, &mut range);
+            *use_count.entry(u).or_insert(0) += 1;
+        }
+    }
+    let _ = total;
+
+    range
+        .into_iter()
+        .map(|(vreg, (start, end))| Interval {
+            vreg,
+            start,
+            end,
+            crosses_call: call_sites.iter().any(|&c| start <= c && c < end),
+            uses: use_count.get(&vreg).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Runs linear-scan allocation for `f` under `plan`.
+#[must_use]
+pub fn allocate(f: &Function, plan: &RegPlan) -> Allocation {
+    let mut intervals = live_intervals(f);
+    intervals.sort_by_key(|i| (i.start, i.vreg.0));
+    let has_calls =
+        f.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::Call { .. }));
+
+    let mut locs: HashMap<VReg, Loc> = HashMap::new();
+    let mut active: Vec<(Interval, Reg)> = Vec::new();
+    let mut free: Vec<Reg> = plan.allocatable.clone();
+    let mut spill_slots = 0u32;
+    let mut used: HashSet<Reg> = HashSet::new();
+
+    // Parameter preference: if a parameter's incoming register is
+    // allocatable and the interval permits, try it first.
+    let param_pref: HashMap<VReg, Reg> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, Reg::new(i as u8)))
+        .collect();
+
+    for interval in intervals {
+        // Expire old intervals.
+        active.retain(|(act, reg)| {
+            if act.end < interval.start {
+                free.push(*reg);
+                false
+            } else {
+                true
+            }
+        });
+        // Pick a register: honour caller-saved restrictions.
+        let eligible = |r: &Reg| !(interval.crosses_call && plan.caller_saved.contains(r));
+        let pref = param_pref.get(&interval.vreg).copied();
+        let choice = match pref {
+            Some(p) if free.contains(&p) && eligible(&p) => {
+                free.retain(|r| *r != p);
+                Some(p)
+            }
+            _ => {
+                let pos = free.iter().position(eligible);
+                pos.map(|i| free.remove(i))
+            }
+        };
+        match choice {
+            Some(reg) => {
+                locs.insert(interval.vreg, Loc::Reg(reg));
+                used.insert(reg);
+                active.push((interval, reg));
+            }
+            None => {
+                // Spill the least-used eligible interval (loop-carried
+                // values have many touches and are kept in registers; a
+                // spilled hot value costs a reload on every use).
+                let candidate = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, r))| eligible(r))
+                    .min_by_key(|(_, (act, _))| (act.uses, u32::MAX - act.end))
+                    .map(|(i, _)| i);
+                match candidate {
+                    Some(i) if active[i].0.uses < interval.uses => {
+                        let (victim, reg) = active.remove(i);
+                        locs.insert(victim.vreg, Loc::Spill(spill_slots));
+                        spill_slots += 1;
+                        locs.insert(interval.vreg, Loc::Reg(reg));
+                        active.push((interval, reg));
+                    }
+                    _ => {
+                        locs.insert(interval.vreg, Loc::Spill(spill_slots));
+                        spill_slots += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Any vreg never touched (dead) gets a throwaway slot-free location.
+    for v in 0..f.vreg_count {
+        locs.entry(VReg(v)).or_insert(Loc::Reg(plan.scratch0));
+    }
+
+    let mut used_callee_saved: Vec<Reg> = used
+        .into_iter()
+        .filter(|r| !plan.caller_saved.contains(r))
+        .collect();
+    used_callee_saved.sort_by_key(|r| r.index());
+
+    Allocation { locs, spill_slots, used_callee_saved, has_calls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alia_tir::{BinOp, CmpKind, FunctionBuilder};
+
+    fn simple_loop() -> Function {
+        let mut b = FunctionBuilder::new("f", 2);
+        let n = b.param(0);
+        let m = b.param(1);
+        let s = b.imm(0);
+        let i = b.imm(0);
+        let hdr = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(hdr);
+        b.switch_to(hdr);
+        b.cond_br(CmpKind::Ult, i, n, body, exit);
+        b.switch_to(body);
+        let t = b.bin(BinOp::Mul, i, m);
+        b.bin_into(s, BinOp::Add, s, t);
+        b.bin_into(i, BinOp::Add, i, 1u32);
+        b.br(hdr);
+        b.switch_to(exit);
+        b.ret(Some(s.into()));
+        b.build()
+    }
+
+    #[test]
+    fn small_function_gets_registers_only() {
+        let f = simple_loop();
+        for mode in IsaMode::ALL {
+            let plan = RegPlan::for_mode(mode);
+            let a = allocate(&f, &plan);
+            assert_eq!(a.spill_slots, 0, "{mode}");
+            // Loop-carried vregs must be in registers.
+            for v in 0..f.vreg_count {
+                match a.loc(VReg(v)) {
+                    Loc::Reg(r) => {
+                        assert!(
+                            plan.allocatable.contains(&r) || r == plan.scratch0,
+                            "{mode}: vreg {v} in non-allocatable {r}"
+                        );
+                    }
+                    Loc::Spill(_) => panic!("unexpected spill"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_registers_for_overlapping_intervals() {
+        let f = simple_loop();
+        let a = allocate(&f, &RegPlan::for_mode(IsaMode::T2));
+        // s, i, n all live simultaneously in the loop: distinct registers.
+        let locs: Vec<Loc> =
+            [0u32, 2, 3].iter().map(|v| a.loc(VReg(*v))).collect();
+        for (i, x) in locs.iter().enumerate() {
+            for y in &locs[i + 1..] {
+                assert_ne!(x, y, "overlapping vregs share a location");
+            }
+        }
+    }
+
+    #[test]
+    fn high_pressure_spills_on_t16_but_not_t2() {
+        // 12 simultaneously-live values.
+        let mut b = FunctionBuilder::new("wide", 1);
+        let x = b.param(0);
+        let vals: Vec<_> = (0..12).map(|i| b.bin(BinOp::Add, x, i as u32)).collect();
+        let mut acc = b.imm(0);
+        for v in vals {
+            acc = b.bin(BinOp::Xor, acc, v);
+        }
+        b.ret(Some(acc.into()));
+        let f = b.build();
+        let t16 = allocate(&f, &RegPlan::for_mode(IsaMode::T16));
+        let t2 = allocate(&f, &RegPlan::for_mode(IsaMode::T2));
+        assert!(t16.spill_slots > 0, "T16 must spill under pressure");
+        assert!(
+            t2.spill_slots < t16.spill_slots,
+            "T2's larger file must spill less"
+        );
+    }
+
+    #[test]
+    fn call_crossing_vregs_avoid_caller_saved() {
+        let mut m = alia_tir::Module::new();
+        let mut callee = FunctionBuilder::new("callee", 0);
+        callee.ret(Some(1u32.into()));
+        let callee_id = m.add_function(callee.build());
+
+        let mut b = FunctionBuilder::new("caller", 1);
+        let x = b.param(0);
+        let kept = b.bin(BinOp::Add, x, 5u32); // live across the call
+        let r = b.call(callee_id, &[]);
+        let out = b.bin(BinOp::Add, kept, r);
+        b.ret(Some(out.into()));
+        let f = b.build();
+        let plan = RegPlan::for_mode(IsaMode::T2);
+        let a = allocate(&f, &plan);
+        match a.loc(kept) {
+            Loc::Reg(r) => assert!(!plan.caller_saved.contains(&r), "{r} is caller-saved"),
+            Loc::Spill(_) => {}
+        }
+        assert!(a.has_calls);
+    }
+
+    #[test]
+    fn params_prefer_incoming_registers_in_leaves() {
+        let mut b = FunctionBuilder::new("leaf", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let r = b.bin(BinOp::Add, x, y);
+        b.ret(Some(r.into()));
+        let f = b.build();
+        let a = allocate(&f, &RegPlan::for_mode(IsaMode::T2));
+        assert_eq!(a.loc(VReg(0)), Loc::Reg(Reg::R0));
+        assert_eq!(a.loc(VReg(1)), Loc::Reg(Reg::R1));
+    }
+}

@@ -1,0 +1,397 @@
+//! TIR-to-TIR lowering of operations that need runtime-library support on
+//! targets without the `T2` wide repertoire.
+//!
+//! On an ARM7-class target there is no hardware divide (§2.1 of the paper
+//! notes the `T2` hardware divide as an automotive win) and no single-cycle
+//! bit-reverse. This pass rewrites such operations into calls to runtime
+//! functions that are themselves written in TIR and compiled alongside the
+//! program — exactly how `__aeabi_uidiv` and friends ship in a real
+//! toolchain.
+//!
+//! Remainders are always expanded to `q = a / b; r = a - q*b` (this is what
+//! a Cortex-M3 compiler does too, since the core has no hardware rem).
+
+use alia_tir::{BinOp, CmpKind, FuncId, Function, FunctionBuilder, Inst, Module, UnOp};
+
+/// Which operations the target supports natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetFeatures {
+    /// Hardware `SDIV`/`UDIV`.
+    pub hw_divide: bool,
+    /// Hardware `RBIT`.
+    pub hw_bitrev: bool,
+}
+
+impl TargetFeatures {
+    /// Features of the `T2` repertoire.
+    #[must_use]
+    pub fn t2() -> TargetFeatures {
+        TargetFeatures { hw_divide: true, hw_bitrev: true }
+    }
+
+    /// Features of the `A32`/`T16` (ARM7-class) repertoire.
+    #[must_use]
+    pub fn classic() -> TargetFeatures {
+        TargetFeatures { hw_divide: false, hw_bitrev: false }
+    }
+}
+
+/// Builds `__udiv(n, d) -> n / d` (0 for d == 0) with a
+/// normalize-then-subtract long division whose iteration count tracks the
+/// quotient width — the shape of a real soft-divide routine.
+fn build_udiv() -> Function {
+    let mut b = FunctionBuilder::new("__udiv", 2);
+    let n = b.param(0);
+    let d = b.param(1);
+    let zero_bb = b.new_block();
+    let norm_hdr = b.new_block();
+    let norm_top = b.new_block();
+    let norm_inc = b.new_block();
+    let fix_entry = b.new_block();
+    let loop_hdr = b.new_block();
+    let sub_bb = b.new_block();
+    let next = b.new_block();
+    let done = b.new_block();
+
+    // entry: q = 0, r = n, t = d, bit = 1
+    let q = b.imm(0);
+    let r = b.copy(n);
+    let t = b.copy(d);
+    let bit = b.imm(1);
+    b.cond_br(CmpKind::Eq, d, 0u32, zero_bb, norm_hdr);
+
+    b.switch_to(zero_bb);
+    b.ret(Some(0u32.into()));
+
+    // normalize two bits at a time (overshoot is harmless for the
+    // restoring loop below), like an unrolled runtime-library divide
+    b.switch_to(norm_hdr);
+    b.cond_br(CmpKind::Uge, t, n, loop_hdr, norm_top);
+    b.switch_to(norm_top);
+    b.cond_br(CmpKind::Uge, t, 0x2000_0000u32, fix_entry, norm_inc);
+    b.switch_to(norm_inc);
+    b.bin_into(t, BinOp::Shl, t, 2u32);
+    b.bin_into(bit, BinOp::Shl, bit, 2u32);
+    b.br(norm_hdr);
+
+    // single-shift cleanup: re-establish `t >= n or t's top bit set`
+    let fix_top = b.new_block();
+    let fix_inc = b.new_block();
+    b.switch_to(fix_entry);
+    b.cond_br(CmpKind::Uge, t, n, loop_hdr, fix_top);
+    b.switch_to(fix_top);
+    b.cond_br(CmpKind::Uge, t, 0x8000_0000u32, loop_hdr, fix_inc);
+    b.switch_to(fix_inc);
+    b.bin_into(t, BinOp::Shl, t, 1u32);
+    b.bin_into(bit, BinOp::Shl, bit, 1u32);
+    b.br(fix_entry);
+
+    // restoring division, two quotient bits per iteration
+    let sub2 = b.new_block();
+    let next2 = b.new_block();
+    b.switch_to(loop_hdr);
+    b.cond_br(CmpKind::Ugt, t, r, next, sub_bb);
+    b.switch_to(sub_bb);
+    b.bin_into(r, BinOp::Sub, r, t);
+    b.bin_into(q, BinOp::Or, q, bit);
+    b.br(next);
+    b.switch_to(next);
+    b.bin_into(t, BinOp::Lshr, t, 1u32);
+    b.bin_into(bit, BinOp::Lshr, bit, 1u32);
+    b.cond_br(CmpKind::Ugt, t, r, next2, sub2);
+    b.switch_to(sub2);
+    b.bin_into(r, BinOp::Sub, r, t);
+    b.bin_into(q, BinOp::Or, q, bit);
+    b.br(next2);
+    b.switch_to(next2);
+    b.bin_into(t, BinOp::Lshr, t, 1u32);
+    b.bin_into(bit, BinOp::Lshr, bit, 1u32);
+    b.cond_br(CmpKind::Ne, bit, 0u32, loop_hdr, done);
+
+    b.switch_to(done);
+    b.ret(Some(q.into()));
+    b.build()
+}
+
+/// Builds `__sdiv(a, b)` in terms of `__udiv`, with ARM-style wrapping
+/// semantics (`i32::MIN / -1 == i32::MIN`, `x / 0 == 0`).
+fn build_sdiv(udiv: FuncId) -> Function {
+    let mut b = FunctionBuilder::new("__sdiv", 2);
+    let a = b.param(0);
+    let d = b.param(1);
+    let na = b.un(UnOp::Neg, a);
+    let abs_a = b.select(CmpKind::Slt, a, 0u32, na, a);
+    let nd = b.un(UnOp::Neg, d);
+    let abs_d = b.select(CmpKind::Slt, d, 0u32, nd, d);
+    let q = b.call(udiv, &[abs_a.into(), abs_d.into()]);
+    let sign = b.bin(BinOp::Xor, a, d);
+    let nq = b.un(UnOp::Neg, q);
+    let result = b.select(CmpKind::Slt, sign, 0u32, nq, q);
+    b.ret(Some(result.into()));
+    b.build()
+}
+
+/// Builds `__bitrev(x)` with the classic five-pass swap network.
+fn build_bitrev() -> Function {
+    let mut b = FunctionBuilder::new("__bitrev", 1);
+    let x = b.param(0);
+    let v = b.copy(x);
+    for (shift, mask) in [
+        (1u32, 0x5555_5555u32),
+        (2, 0x3333_3333),
+        (4, 0x0F0F_0F0F),
+        (8, 0x00FF_00FF),
+        (16, 0x0000_FFFF),
+    ] {
+        let hi = b.bin(BinOp::Lshr, v, shift);
+        let hi = b.bin(BinOp::And, hi, mask);
+        let lo = b.bin(BinOp::And, v, mask);
+        let lo = b.bin(BinOp::Shl, lo, shift);
+        b.bin_into(v, BinOp::Or, hi, lo);
+    }
+    b.ret(Some(v.into()));
+    b.build()
+}
+
+/// Handles to the injected runtime functions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeFuncs {
+    /// `__udiv`, when injected.
+    pub udiv: Option<FuncId>,
+    /// `__sdiv`, when injected.
+    pub sdiv: Option<FuncId>,
+    /// `__bitrev`, when injected.
+    pub bitrev: Option<FuncId>,
+}
+
+/// Rewrites `module` so that every operation unsupported by `features`
+/// becomes a call to an injected runtime function, and every remainder
+/// becomes `a - (a/b)*b`.
+///
+/// Returns the rewritten module plus the ids of any injected functions.
+#[must_use]
+pub fn lower_soft_ops(module: &Module, features: TargetFeatures) -> (Module, RuntimeFuncs) {
+    let mut out = module.clone();
+    let mut rt = RuntimeFuncs::default();
+
+    let needs_udiv = module_uses(&out, |op| matches!(op, BinOp::Udiv | BinOp::Urem))
+        || module_uses(&out, |op| matches!(op, BinOp::Sdiv | BinOp::Srem));
+    if !features.hw_divide && needs_udiv {
+        let udiv = out.add_function(build_udiv());
+        rt.udiv = Some(udiv);
+        if module_uses(&out, |op| matches!(op, BinOp::Sdiv | BinOp::Srem)) {
+            rt.sdiv = Some(out.add_function(build_sdiv(udiv)));
+        }
+    }
+    if !features.hw_bitrev && module_uses_unop(&out, UnOp::BitRev) {
+        rt.bitrev = Some(out.add_function(build_bitrev()));
+    }
+
+    let nfuncs = out.funcs.len();
+    for fi in 0..nfuncs {
+        // Skip rewriting the runtime functions themselves.
+        let name = out.funcs[fi].name.clone();
+        if name.starts_with("__") {
+            continue;
+        }
+        rewrite_function(&mut out, fi, features, rt);
+    }
+    (out, rt)
+}
+
+fn module_uses(m: &Module, pred: impl Fn(BinOp) -> bool) -> bool {
+    m.funcs.iter().flat_map(|f| &f.blocks).flat_map(|b| &b.insts).any(|i| match i {
+        Inst::Bin { op, .. } => pred(*op),
+        _ => false,
+    })
+}
+
+fn module_uses_unop(m: &Module, want: UnOp) -> bool {
+    m.funcs.iter().flat_map(|f| &f.blocks).flat_map(|b| &b.insts).any(
+        |i| matches!(i, Inst::Un { op, .. } if *op == want),
+    )
+}
+
+fn rewrite_function(
+    out: &mut Module,
+    fi: usize,
+    features: TargetFeatures,
+    rt: RuntimeFuncs,
+) {
+    let f = &mut out.funcs[fi];
+    let mut next_vreg = f.vreg_count;
+    for block in &mut f.blocks {
+        let mut new_insts = Vec::with_capacity(block.insts.len());
+        for inst in block.insts.drain(..) {
+            match inst {
+                Inst::Bin { op, dst, a, b }
+                    if matches!(op, BinOp::Srem | BinOp::Urem) =>
+                {
+                    // q = a / b (native or call), then dst = a - q*b.
+                    let signed = op == BinOp::Srem;
+                    let q = alia_tir::VReg(next_vreg);
+                    next_vreg += 1;
+                    if features.hw_divide {
+                        let div = if signed { BinOp::Sdiv } else { BinOp::Udiv };
+                        new_insts.push(Inst::Bin { op: div, dst: q, a, b });
+                    } else {
+                        let func = if signed {
+                            rt.sdiv.expect("sdiv runtime injected")
+                        } else {
+                            rt.udiv.expect("udiv runtime injected")
+                        };
+                        new_insts.push(Inst::Call { dst: Some(q), func, args: vec![a, b] });
+                    }
+                    let t = alia_tir::VReg(next_vreg);
+                    next_vreg += 1;
+                    new_insts.push(Inst::Bin { op: BinOp::Mul, dst: t, a: q.into(), b });
+                    new_insts.push(Inst::Bin { op: BinOp::Sub, dst, a, b: t.into() });
+                }
+                Inst::Bin { op, dst, a, b }
+                    if !features.hw_divide && matches!(op, BinOp::Sdiv | BinOp::Udiv) =>
+                {
+                    let func = if op == BinOp::Sdiv {
+                        rt.sdiv.expect("sdiv runtime injected")
+                    } else {
+                        rt.udiv.expect("udiv runtime injected")
+                    };
+                    new_insts.push(Inst::Call { dst: Some(dst), func, args: vec![a, b] });
+                }
+                Inst::Un { op: UnOp::BitRev, dst, a } if !features.hw_bitrev => {
+                    let func = rt.bitrev.expect("bitrev runtime injected");
+                    new_insts.push(Inst::Call { dst: Some(dst), func, args: vec![a] });
+                }
+                other => new_insts.push(other),
+            }
+        }
+        block.insts = new_insts;
+    }
+    f.vreg_count = next_vreg;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alia_tir::{FlatMemory, Interpreter};
+
+    fn check_equiv(build: impl Fn(&mut FunctionBuilder), args: &[u32]) {
+        let mut b = FunctionBuilder::new("f", args.len());
+        build(&mut b);
+        let mut m = Module::new();
+        let id = m.add_function(b.build());
+        let (lowered, _) = lower_soft_ops(&m, TargetFeatures::classic());
+        alia_tir::validate(&lowered).expect("lowered module is valid");
+        let want = Interpreter::new(&m, FlatMemory::new(0, 64)).run(id, args).unwrap();
+        let got = Interpreter::new(&lowered, FlatMemory::new(0, 64)).run(id, args).unwrap();
+        assert_eq!(want, got, "args {args:?}");
+    }
+
+    #[test]
+    fn soft_divide_matches_native_semantics() {
+        let cases: &[(u32, u32)] = &[
+            (100, 7),
+            (7, 100),
+            (0, 5),
+            (5, 0),
+            (u32::MAX, 3),
+            ((-100i32) as u32, 7),
+            (100, (-7i32) as u32),
+            ((-100i32) as u32, (-7i32) as u32),
+            (i32::MIN as u32, (-1i32) as u32),
+            (1 << 31, 1),
+        ];
+        for &(a, b2) in cases {
+            check_equiv(
+                |b| {
+                    let x = b.param(0);
+                    let y = b.param(1);
+                    let q = b.bin(BinOp::Sdiv, x, y);
+                    b.ret(Some(q.into()));
+                },
+                &[a, b2],
+            );
+            check_equiv(
+                |b| {
+                    let x = b.param(0);
+                    let y = b.param(1);
+                    let q = b.bin(BinOp::Udiv, x, y);
+                    b.ret(Some(q.into()));
+                },
+                &[a, b2],
+            );
+        }
+    }
+
+    #[test]
+    fn remainders_match() {
+        for &(a, b2) in
+            &[(100u32, 7u32), (5, 0), ((-100i32) as u32, 7), (13, (-5i32) as u32), (0, 3)]
+        {
+            check_equiv(
+                |b| {
+                    let x = b.param(0);
+                    let y = b.param(1);
+                    let r = b.bin(BinOp::Srem, x, y);
+                    b.ret(Some(r.into()));
+                },
+                &[a, b2],
+            );
+            check_equiv(
+                |b| {
+                    let x = b.param(0);
+                    let y = b.param(1);
+                    let r = b.bin(BinOp::Urem, x, y);
+                    b.ret(Some(r.into()));
+                },
+                &[a, b2],
+            );
+        }
+    }
+
+    #[test]
+    fn bitrev_matches() {
+        for &x in &[0u32, 1, 0x8000_0000, 0xDEAD_BEEF, u32::MAX, 0x0000_FFFF] {
+            check_equiv(
+                |b| {
+                    let v = b.param(0);
+                    let r = b.un(UnOp::BitRev, v);
+                    b.ret(Some(r.into()));
+                },
+                &[x],
+            );
+        }
+    }
+
+    #[test]
+    fn t2_features_keep_native_divide() {
+        let mut b = FunctionBuilder::new("f", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let q = b.bin(BinOp::Sdiv, x, y);
+        b.ret(Some(q.into()));
+        let mut m = Module::new();
+        m.add_function(b.build());
+        let (lowered, rt) = lower_soft_ops(&m, TargetFeatures::t2());
+        assert!(rt.udiv.is_none());
+        assert_eq!(lowered.funcs.len(), 1);
+        // Remainders still expand on T2 (no hardware rem).
+        let mut b = FunctionBuilder::new("g", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let r = b.bin(BinOp::Urem, x, y);
+        b.ret(Some(r.into()));
+        let mut m = Module::new();
+        let id = m.add_function(b.build());
+        let (lowered, _) = lower_soft_ops(&m, TargetFeatures::t2());
+        let has_urem = lowered.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|bb| &bb.insts)
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Urem, .. }));
+        assert!(!has_urem, "urem must be expanded");
+        let want = Interpreter::new(&m, FlatMemory::new(0, 16)).run(id, &[100, 30]).unwrap();
+        let got =
+            Interpreter::new(&lowered, FlatMemory::new(0, 16)).run(id, &[100, 30]).unwrap();
+        assert_eq!(want, got);
+    }
+}

@@ -1,0 +1,438 @@
+//! End-to-end differential tests: for every sample program and every ISA
+//! mode, `simulate(compile(tir)) == interpret(tir)` — including memory
+//! side effects.
+
+use alia_codegen::{compile, CodegenOptions, ConstStrategy};
+use alia_isa::IsaMode;
+use alia_sim::{Machine, StopReason, SRAM_BASE};
+use alia_tir::{
+    AccessSize, BinOp, CmpKind, FlatMemory, FuncId, FunctionBuilder, Interpreter, Module, UnOp,
+};
+
+const DATA_BASE: u32 = SRAM_BASE + 0x1000;
+const STACK_TOP: u32 = SRAM_BASE + 0x4_0000;
+const DATA_LEN: usize = 4096;
+
+/// Runs `func` both ways and asserts identical results and identical data
+/// memory afterwards.
+fn check(module: &Module, name: &str, args: &[u32], data: &[u8]) {
+    let (fid, _) = module.func_by_name(name).expect("function exists");
+
+    // Golden interpreter.
+    let mut mem = FlatMemory::new(DATA_BASE, DATA_LEN);
+    mem.bytes_mut()[..data.len()].copy_from_slice(data);
+    let mut interp = Interpreter::new(module, mem);
+    let want = interp.run(fid, args).expect("interpreter runs");
+    let want_mem = interp.into_memory();
+
+    for mode in IsaMode::ALL {
+        for strategy in [ConstStrategy::MovwMovt, ConstStrategy::LiteralPool] {
+            if strategy == ConstStrategy::MovwMovt && mode != IsaMode::T2 {
+                continue;
+            }
+            let opts = CodegenOptions { const_strategy: strategy, ..CodegenOptions::default() };
+            let prog = compile(module, mode, &opts)
+                .unwrap_or_else(|e| panic!("compile {name} for {mode}: {e}"));
+
+            let mut m = match mode {
+                IsaMode::T2 => Machine::m3_like(),
+                _ => Machine::arm7_like(mode),
+            };
+            m.load_flash(prog.base_addr, &prog.bytes);
+            m.load_sram(DATA_BASE, data);
+            m.set_pc(prog.entry_address(name));
+            m.cpu.set_sp(STACK_TOP);
+            for (i, a) in args.iter().enumerate() {
+                m.cpu.regs[i] = *a;
+            }
+            // Return to a bkpt trampoline: place `bkpt #0` in flash and
+            // point lr at it.
+            let tramp = 0x10u32;
+            let bk = alia_isa::encode(&alia_isa::Instr::Bkpt { imm: 0 }, mode).expect("bkpt");
+            m.load_flash(tramp, bk.as_bytes());
+            m.cpu.set_lr(tramp);
+
+            let result = m.run(100_000_000);
+            assert_eq!(
+                result.reason,
+                StopReason::Bkpt(0),
+                "{name} in {mode}/{strategy:?}: bad stop: {:?}",
+                result.reason
+            );
+            assert_eq!(
+                m.cpu.regs[0], want,
+                "{name} in {mode}/{strategy:?}: result mismatch (got {:#x}, want {want:#x})",
+                m.cpu.regs[0]
+            );
+            // Compare data memory.
+            for i in 0..DATA_LEN {
+                let got = m.sram.read(DATA_BASE - SRAM_BASE + i as u32, 1) as u8;
+                assert_eq!(
+                    got,
+                    want_mem.bytes()[i],
+                    "{name} in {mode}/{strategy:?}: memory differs at +{i:#x}"
+                );
+            }
+        }
+    }
+}
+
+fn single(f: alia_tir::Function) -> Module {
+    let mut m = Module::new();
+    m.add_function(f);
+    m
+}
+
+#[test]
+fn arithmetic_and_logic() {
+    let mut b = FunctionBuilder::new("alu", 2);
+    let x = b.param(0);
+    let y = b.param(1);
+    let a = b.bin(BinOp::Add, x, y);
+    let s = b.bin(BinOp::Sub, a, 7u32);
+    let m = b.bin(BinOp::Mul, s, x);
+    let band = b.bin(BinOp::And, m, 0xFF00FFu32);
+    let bor = b.bin(BinOp::Or, band, 0x10000u32);
+    let bxor = b.bin(BinOp::Xor, bor, y);
+    let n = b.un(UnOp::Not, bxor);
+    let ng = b.un(UnOp::Neg, n);
+    b.ret(Some(ng.into()));
+    let m = single(b.build());
+    check(&m, "alu", &[12345, 678], &[]);
+    check(&m, "alu", &[0, 0], &[]);
+    check(&m, "alu", &[u32::MAX, 1], &[]);
+}
+
+#[test]
+fn shifts_and_rotates() {
+    let mut b = FunctionBuilder::new("sh", 2);
+    let x = b.param(0);
+    let y = b.param(1);
+    let a = b.bin(BinOp::Shl, x, 3u32);
+    let c = b.bin(BinOp::Lshr, a, y);
+    let d = b.bin(BinOp::Ashr, c, 2u32);
+    let e = b.bin(BinOp::Rotr, d, 7u32);
+    let f = b.bin(BinOp::Shl, e, y);
+    b.ret(Some(f.into()));
+    let m = single(b.build());
+    check(&m, "sh", &[0xDEAD_BEEF, 4], &[]);
+    check(&m, "sh", &[1, 0], &[]);
+    check(&m, "sh", &[0x8000_0001, 31], &[]);
+}
+
+#[test]
+fn divides_and_remainders() {
+    let mut b = FunctionBuilder::new("divrem", 2);
+    let x = b.param(0);
+    let y = b.param(1);
+    let q = b.bin(BinOp::Sdiv, x, y);
+    let r = b.bin(BinOp::Srem, x, y);
+    let uq = b.bin(BinOp::Udiv, x, y);
+    let ur = b.bin(BinOp::Urem, x, y);
+    let t1 = b.bin(BinOp::Xor, q, r);
+    let t2 = b.bin(BinOp::Xor, uq, ur);
+    let out = b.bin(BinOp::Add, t1, t2);
+    b.ret(Some(out.into()));
+    let m = single(b.build());
+    check(&m, "divrem", &[1000, 7], &[]);
+    check(&m, "divrem", &[7, 1000], &[]);
+    check(&m, "divrem", &[(-1000i32) as u32, 7], &[]);
+    check(&m, "divrem", &[1000, (-7i32) as u32], &[]);
+    check(&m, "divrem", &[1000, 0], &[]);
+    check(&m, "divrem", &[u32::MAX, 3], &[]);
+}
+
+#[test]
+fn bitfields_and_reverses() {
+    let mut b = FunctionBuilder::new("bits", 1);
+    let x = b.param(0);
+    let e1 = b.extract_bits(x, 4, 8, false);
+    let e2 = b.extract_bits(x, 12, 6, true);
+    let mut acc = b.imm(0);
+    b.insert_bits(acc, e1, 0, 8);
+    b.insert_bits(acc, e2, 8, 6);
+    b.insert_bits(acc, x, 20, 12);
+    let br = b.un(UnOp::ByteRev, acc);
+    let rb = b.un(UnOp::BitRev, br);
+    let s8 = b.un(UnOp::SignExt8, rb);
+    let s16 = b.un(UnOp::SignExt16, x);
+    acc = b.bin(BinOp::Xor, s8, s16);
+    b.ret(Some(acc.into()));
+    let m = single(b.build());
+    check(&m, "bits", &[0xCAFE_F00D], &[]);
+    check(&m, "bits", &[0], &[]);
+    check(&m, "bits", &[u32::MAX], &[]);
+    check(&m, "bits", &[0x8421_1248], &[]);
+}
+
+#[test]
+fn loops_and_branches() {
+    // Checksum over descending loop with conditionals.
+    let mut b = FunctionBuilder::new("loopy", 1);
+    let n = b.param(0);
+    let acc = b.imm(0);
+    let i = b.copy(n);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let odd = b.new_block();
+    let even = b.new_block();
+    let cont = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ne, i, 0u32, body, exit);
+    b.switch_to(body);
+    let low = b.bin(BinOp::And, i, 1u32);
+    b.cond_br(CmpKind::Eq, low, 0u32, even, odd);
+    b.switch_to(odd);
+    b.bin_into(acc, BinOp::Add, acc, i);
+    b.br(cont);
+    b.switch_to(even);
+    b.bin_into(acc, BinOp::Xor, acc, i);
+    b.br(cont);
+    b.switch_to(cont);
+    b.bin_into(i, BinOp::Sub, i, 1u32);
+    b.br(hdr);
+    b.switch_to(exit);
+    b.ret(Some(acc.into()));
+    let m = single(b.build());
+    check(&m, "loopy", &[0], &[]);
+    check(&m, "loopy", &[1], &[]);
+    check(&m, "loopy", &[100], &[]);
+    check(&m, "loopy", &[1000], &[]);
+}
+
+#[test]
+fn selects() {
+    let mut b = FunctionBuilder::new("sel", 2);
+    let x = b.param(0);
+    let y = b.param(1);
+    let mx = b.select(CmpKind::Sgt, x, y, x, y);
+    let mn = b.select(CmpKind::Ult, x, y, x, y);
+    let clamp = b.select(CmpKind::Uge, mx, 1000u32, 1000u32, mx);
+    let t = b.bin(BinOp::Sub, clamp, mn);
+    b.ret(Some(t.into()));
+    let m = single(b.build());
+    check(&m, "sel", &[5, 9], &[]);
+    check(&m, "sel", &[9, 5], &[]);
+    check(&m, "sel", &[(-5i32) as u32, 5], &[]);
+    check(&m, "sel", &[50000, 2], &[]);
+}
+
+#[test]
+fn memory_operations() {
+    // Sum halfwords, write bytes, store words.
+    let mut b = FunctionBuilder::new("mem", 2);
+    let base = b.param(0);
+    let n = b.param(1);
+    let acc = b.imm(0);
+    let i = b.imm(0);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ult, i, n, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Shl, i, 1u32);
+    let h = b.load_sized(AccessSize::Half, true, base, off);
+    b.bin_into(acc, BinOp::Add, acc, h);
+    let trunc = b.bin(BinOp::And, h, 0xFFu32);
+    b.store_sized(AccessSize::Byte, base, i, trunc);
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    b.br(hdr);
+    b.switch_to(exit);
+    b.store(base, 256u32, acc);
+    b.ret(Some(acc.into()));
+    let m = single(b.build());
+    let data: Vec<u8> = (0..128u32).flat_map(|i| ((i * 517 + 3) as u16).to_le_bytes()).collect();
+    check(&m, "mem", &[DATA_BASE, 64], &data);
+    check(&m, "mem", &[DATA_BASE, 1], &data);
+    check(&m, "mem", &[DATA_BASE, 0], &data);
+}
+
+#[test]
+fn switch_dispatch() {
+    let mut b = FunctionBuilder::new("sw", 1);
+    let x = b.param(0);
+    let cases: Vec<_> = (0..6).map(|_| b.new_block()).collect();
+    let dfl = b.new_block();
+    b.switch(x, 3, cases.clone(), dfl);
+    for (i, c) in cases.iter().enumerate() {
+        b.switch_to(*c);
+        b.ret(Some((((i as u32) + 1) * 111).into()));
+    }
+    b.switch_to(dfl);
+    b.ret(Some(0xDEADu32.into()));
+    let m = single(b.build());
+    for arg in 0..12 {
+        check(&m, "sw", &[arg], &[]);
+    }
+}
+
+#[test]
+fn function_calls() {
+    let mut m = Module::new();
+    let mut gcd = FunctionBuilder::new("gcd", 2);
+    {
+        let a = gcd.param(0);
+        let b2 = gcd.param(1);
+        let hdr = gcd.new_block();
+        let body = gcd.new_block();
+        let exit = gcd.new_block();
+        gcd.br(hdr);
+        gcd.switch_to(hdr);
+        gcd.cond_br(CmpKind::Ne, b2, 0u32, body, exit);
+        gcd.switch_to(body);
+        let t = gcd.bin(BinOp::Urem, a, b2);
+        gcd.assign(a, b2);
+        gcd.assign(b2, t);
+        gcd.br(hdr);
+        gcd.switch_to(exit);
+        gcd.ret(Some(a.into()));
+    }
+    let gcd_id = m.add_function(gcd.build());
+
+    let mut main = FunctionBuilder::new("main", 2);
+    {
+        let x = main.param(0);
+        let y = main.param(1);
+        let g = main.call(gcd_id, &[x.into(), y.into()]);
+        let h = main.call(gcd_id, &[y.into(), 24u32.into()]);
+        let out = main.bin(BinOp::Add, g, h);
+        main.ret(Some(out.into()));
+    }
+    m.add_function(main.build());
+    check(&m, "main", &[54, 24], &[]);
+    check(&m, "main", &[17, 5], &[]);
+    check(&m, "main", &[1_000_000, 35_000], &[]);
+}
+
+#[test]
+fn deep_register_pressure_spills() {
+    // Force spills in every mode: 16 simultaneously-live values.
+    let mut b = FunctionBuilder::new("pressure", 2);
+    let x = b.param(0);
+    let y = b.param(1);
+    let vals: Vec<_> = (0..16u32)
+        .map(|i| {
+            let t = b.bin(BinOp::Mul, x, i * 3 + 1);
+            b.bin(BinOp::Add, t, y)
+        })
+        .collect();
+    let mut acc = b.imm(0);
+    for (i, v) in vals.iter().enumerate() {
+        if i % 2 == 0 {
+            acc = b.bin(BinOp::Add, acc, *v);
+        } else {
+            acc = b.bin(BinOp::Xor, acc, *v);
+        }
+    }
+    // Use them all again so their ranges overlap everything.
+    for v in &vals {
+        acc = b.bin(BinOp::Sub, acc, *v);
+    }
+    b.ret(Some(acc.into()));
+    let m = single(b.build());
+    check(&m, "pressure", &[3, 1], &[]);
+    check(&m, "pressure", &[0xABCD, 0xEF], &[]);
+}
+
+#[test]
+fn large_constants_all_strategies() {
+    let mut b = FunctionBuilder::new("consts", 1);
+    let x = b.param(0);
+    let c1 = b.imm(0x1234_5678);
+    let c2 = b.imm(0xDEAD_BEEF);
+    let c3 = b.imm(0x0000_FFFF);
+    let c4 = b.imm(0xFF00_0000);
+    let t1 = b.bin(BinOp::Add, x, c1);
+    let t2 = b.bin(BinOp::Xor, t1, c2);
+    let t3 = b.bin(BinOp::And, t2, c3);
+    let t4 = b.bin(BinOp::Or, t3, c4);
+    b.ret(Some(t4.into()));
+    let m = single(b.build());
+    check(&m, "consts", &[42], &[]);
+}
+
+#[test]
+fn code_density_ordering_matches_table_1() {
+    // The paper's Table 1: Thumb-class encodings reach roughly half the
+    // A32 size. Build a mid-sized function and check the ordering.
+    let mut b = FunctionBuilder::new("density", 2);
+    let x = b.param(0);
+    let y = b.param(1);
+    let mut acc = b.imm(0);
+    for i in 0..24u32 {
+        let t = b.bin(BinOp::Add, x, i);
+        let u = b.bin(BinOp::Xor, t, y);
+        let v = b.bin(BinOp::And, u, 0xFFu32);
+        acc = b.bin(BinOp::Add, acc, v);
+    }
+    b.ret(Some(acc.into()));
+    let m = single(b.build());
+    let opts = CodegenOptions::default();
+    let a32 = compile(&m, IsaMode::A32, &opts).unwrap().code_size();
+    let t16 = compile(&m, IsaMode::T16, &opts).unwrap().code_size();
+    let t2 = compile(&m, IsaMode::T2, &opts).unwrap().code_size();
+    assert!(t16 < a32, "T16 ({t16}) must beat A32 ({a32})");
+    assert!(t2 < a32, "T2 ({t2}) must beat A32 ({a32})");
+    // And they must still compute the same thing.
+    check(&m, "density", &[100, 999], &[]);
+}
+
+#[test]
+fn call_into_runtime_from_deep_callstack() {
+    // sdiv through three call levels on soft-divide targets.
+    let mut m = Module::new();
+    let mut leaf = FunctionBuilder::new("leaf", 2);
+    {
+        let a = leaf.param(0);
+        let b2 = leaf.param(1);
+        let q = leaf.bin(BinOp::Sdiv, a, b2);
+        leaf.ret(Some(q.into()));
+    }
+    let leaf_id = m.add_function(leaf.build());
+    let mut mid = FunctionBuilder::new("mid", 2);
+    {
+        let a = mid.param(0);
+        let b2 = mid.param(1);
+        let q = mid.call(leaf_id, &[a.into(), b2.into()]);
+        let r = mid.bin(BinOp::Add, q, 1u32);
+        mid.ret(Some(r.into()));
+    }
+    let mid_id = m.add_function(mid.build());
+    let mut top = FunctionBuilder::new("top", 2);
+    {
+        let a = top.param(0);
+        let b2 = top.param(1);
+        let q = top.call(mid_id, &[a.into(), b2.into()]);
+        let r = top.bin(BinOp::Mul, q, 2u32);
+        top.ret(Some(r.into()));
+    }
+    m.add_function(top.build());
+    check(&m, "top", &[5000, 13], &[]);
+    check(&m, "top", &[(-5000i32) as u32, 13], &[]);
+}
+
+#[test]
+fn t2_code_uses_fewer_instructions_for_bitfields() {
+    let mut b = FunctionBuilder::new("bf", 1);
+    let x = b.param(0);
+    let e = b.extract_bits(x, 5, 11, false);
+    let mut out = b.imm(0);
+    b.insert_bits(out, e, 3, 11);
+    out = b.bin(BinOp::Add, out, e);
+    b.ret(Some(out.into()));
+    let m = single(b.build());
+    let opts = CodegenOptions::default();
+    let t2 = compile(&m, IsaMode::T2, &opts).unwrap();
+    let t16 = compile(&m, IsaMode::T16, &opts).unwrap();
+    let t2_instrs: u32 = t2.funcs.iter().map(|f| f.instr_count).sum();
+    let t16_instrs: u32 = t16.funcs.iter().map(|f| f.instr_count).sum();
+    assert!(
+        t2_instrs < t16_instrs,
+        "bit-field ops should need fewer T2 instructions ({t2_instrs} vs {t16_instrs})"
+    );
+    check(&m, "bf", &[0xFFFF_FFFF], &[]);
+}

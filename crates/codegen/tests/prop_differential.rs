@@ -1,0 +1,219 @@
+//! Property-based differential testing: random straight-line-with-loops
+//! TIR programs, compiled for every encoding and executed on the matching
+//! core, must agree with the golden interpreter.
+
+use alia_codegen::{compile, CodegenOptions, ConstStrategy};
+use alia_isa::IsaMode;
+use alia_sim::{Machine, StopReason, SRAM_BASE};
+use alia_tir::{
+    AccessSize, BinOp, CmpKind, FlatMemory, FunctionBuilder, Interpreter, Module, UnOp, VReg,
+};
+use proptest::prelude::*;
+
+const DATA_BASE: u32 = SRAM_BASE + 0x1000;
+const DATA_LEN: usize = 256;
+
+/// A recipe for one random straight-line operation over a register pool.
+#[derive(Debug, Clone)]
+enum Op {
+    Bin(BinOp, u8, u8, u8),
+    BinImm(BinOp, u8, u8, u32),
+    Un(UnOp, u8, u8),
+    Extract(u8, u8, u8, u8, bool),
+    Insert(u8, u8, u8, u8),
+    Select(CmpKind, u8, u8, u8, u8, u8),
+    Load(u8, u8),
+    Store(u8, u8),
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Lshr,
+        BinOp::Ashr,
+        BinOp::Rotr,
+        BinOp::Sdiv,
+        BinOp::Udiv,
+        BinOp::Srem,
+        BinOp::Urem,
+    ])
+}
+
+fn un_op() -> impl Strategy<Value = UnOp> {
+    prop::sample::select(vec![
+        UnOp::Neg,
+        UnOp::Not,
+        UnOp::ByteRev,
+        UnOp::BitRev,
+        UnOp::SignExt8,
+        UnOp::SignExt16,
+    ])
+}
+
+fn cmp_kind() -> impl Strategy<Value = CmpKind> {
+    prop::sample::select(vec![
+        CmpKind::Eq,
+        CmpKind::Ne,
+        CmpKind::Slt,
+        CmpKind::Sle,
+        CmpKind::Ult,
+        CmpKind::Uge,
+        CmpKind::Ugt,
+    ])
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let r = 0u8..6;
+    prop_oneof![
+        (bin_op(), r.clone(), r.clone(), r.clone()).prop_map(|(o, a, b, c)| Op::Bin(o, a, b, c)),
+        (bin_op(), r.clone(), r.clone(), any::<u32>()).prop_map(|(o, a, b, c)| Op::BinImm(o, a, b, c)),
+        (un_op(), r.clone(), r.clone()).prop_map(|(o, a, b)| Op::Un(o, a, b)),
+        (r.clone(), r.clone(), 0u8..31, 1u8..8, any::<bool>()).prop_filter_map(
+            "bitfield in range",
+            |(d, s, lsb, w, sg)| (lsb + w <= 32).then_some(Op::Extract(d, s, lsb, w, sg)),
+        ),
+        (r.clone(), r.clone(), 0u8..31, 1u8..8).prop_filter_map(
+            "bitfield in range",
+            |(d, s, lsb, w)| (lsb + w <= 32).then_some(Op::Insert(d, s, lsb, w)),
+        ),
+        (cmp_kind(), r.clone(), r.clone(), r.clone(), r.clone(), r.clone())
+            .prop_map(|(k, d, a, b, t, f)| Op::Select(k, d, a, b, t, f)),
+        (r.clone(), r.clone()).prop_map(|(d, a)| Op::Load(d, a)),
+        (r.clone(), r).prop_map(|(d, a)| Op::Store(d, a)),
+    ]
+}
+
+/// Builds `fn f(x, y) -> u32` with a bounded loop whose body is `ops`.
+fn build_program(ops: &[Op], trip: u32) -> Module {
+    let mut b = FunctionBuilder::new("f", 2);
+    let x = b.param(0);
+    let y = b.param(1);
+    // Register pool: 6 mutable slots seeded from params.
+    let pool: Vec<VReg> = (0..6)
+        .map(|i| match i {
+            0 => b.copy(x),
+            1 => b.copy(y),
+            i => b.imm(0x1111_1111u32.wrapping_mul(i as u32)),
+        })
+        .collect();
+    let base = b.imm(DATA_BASE);
+    let i = b.imm(0);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ult, i, trip, body, exit);
+    b.switch_to(body);
+    for o in ops {
+        match *o {
+            Op::Bin(op, d, a2, b2) => b.bin_into(pool[d as usize], op, pool[a2 as usize], pool[b2 as usize]),
+            Op::BinImm(op, d, a2, c) => b.bin_into(pool[d as usize], op, pool[a2 as usize], c),
+            Op::Un(op, d, a2) => {
+                let v = b.un(op, pool[a2 as usize]);
+                b.assign(pool[d as usize], v);
+            }
+            Op::Extract(d, s, lsb, w, sg) => {
+                let v = b.extract_bits(pool[s as usize], lsb, w, sg);
+                b.assign(pool[d as usize], v);
+            }
+            Op::Insert(d, s, lsb, w) => b.insert_bits(pool[d as usize], pool[s as usize], lsb, w),
+            Op::Select(k, d, a2, b2, t, f) => {
+                let v = b.select(
+                    k,
+                    pool[a2 as usize],
+                    pool[b2 as usize],
+                    pool[t as usize],
+                    pool[f as usize],
+                );
+                b.assign(pool[d as usize], v);
+            }
+            Op::Load(d, a2) => {
+                // Constrain the address into the data window.
+                let masked = b.bin(BinOp::And, pool[a2 as usize], (DATA_LEN as u32 - 4) & !3);
+                let v = b.load_sized(AccessSize::Word, false, base, masked);
+                b.assign(pool[d as usize], v);
+            }
+            Op::Store(d, a2) => {
+                let masked = b.bin(BinOp::And, pool[a2 as usize], (DATA_LEN as u32 - 4) & !3);
+                b.store_sized(AccessSize::Word, base, masked, pool[d as usize]);
+            }
+        }
+    }
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    b.br(hdr);
+    b.switch_to(exit);
+    // Fold the pool into one result.
+    let mut acc = b.imm(0);
+    for p in &pool {
+        acc = b.bin(BinOp::Xor, acc, *p);
+        acc = b.bin(BinOp::Rotr, acc, 7u32);
+    }
+    b.ret(Some(acc.into()));
+    let mut m = Module::new();
+    m.add_function(b.build());
+    m
+}
+
+fn run_all_ways(module: &Module, args: [u32; 2]) {
+    alia_tir::validate(module).expect("generated module valid");
+    let (fid, _) = module.func_by_name("f").expect("f exists");
+    let mut interp = Interpreter::new(module, FlatMemory::new(DATA_BASE, DATA_LEN));
+    let want = interp.run(fid, &args).expect("interpreter runs");
+    let want_mem = interp.into_memory();
+
+    for mode in IsaMode::ALL {
+        for strategy in [ConstStrategy::MovwMovt, ConstStrategy::LiteralPool] {
+            if strategy == ConstStrategy::MovwMovt && mode != IsaMode::T2 {
+                continue;
+            }
+            let opts = CodegenOptions { const_strategy: strategy, ..CodegenOptions::default() };
+            let prog = compile(module, mode, &opts)
+                .unwrap_or_else(|e| panic!("compile for {mode}: {e}"));
+            let mut m = match mode {
+                IsaMode::T2 => Machine::m3_like(),
+                _ => Machine::arm7_like(mode),
+            };
+            m.load_flash(prog.base_addr, &prog.bytes);
+            let bk = alia_isa::encode(&alia_isa::Instr::Bkpt { imm: 0 }, mode).expect("bkpt");
+            m.load_flash(0x10, bk.as_bytes());
+            m.cpu.set_lr(0x10);
+            m.cpu.regs[0] = args[0];
+            m.cpu.regs[1] = args[1];
+            m.cpu.set_sp(SRAM_BASE + 0x4_0000);
+            m.set_pc(prog.entry_address("f"));
+            let r = m.run(50_000_000);
+            assert_eq!(r.reason, StopReason::Bkpt(0), "{mode}/{strategy:?}");
+            assert_eq!(
+                m.cpu.regs[0], want,
+                "{mode}/{strategy:?}: result {:#x} != {want:#x}",
+                m.cpu.regs[0]
+            );
+            for i in 0..DATA_LEN {
+                let got = m.sram.read(DATA_BASE - SRAM_BASE + i as u32, 1) as u8;
+                assert_eq!(got, want_mem.bytes()[i], "{mode}/{strategy:?}: mem +{i:#x}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_agree_everywhere(
+        ops in prop::collection::vec(op(), 1..14),
+        trip in 1u32..9,
+        x in any::<u32>(),
+        y in any::<u32>(),
+    ) {
+        let module = build_program(&ops, trip);
+        run_all_ways(&module, [x, y]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Ablations of the design choices the paper's §2 motivates, beyond the
+//! bus-width ablation in [`super::table1`]:
+//!
+//! * **IT blocks / conditional execution** (§2.3: "this instruction
+//!   encourages sequencing of opcodes rather than branching") — compile
+//!   the suite with predication disabled and measure the cost.
+
+use std::fmt;
+
+use alia_codegen::CodegenOptions;
+use alia_isa::IsaMode;
+use alia_sim::MachineConfig;
+use alia_workloads::autoindy;
+
+use crate::runner::{geometric_mean, run_kernel};
+use crate::CoreError;
+
+/// The predication ablation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredicationAblation {
+    /// Cycle inflation (geometric mean) from disabling IT blocks in `T2`.
+    pub t2_cycle_inflation: f64,
+    /// Code-size inflation from disabling IT blocks in `T2`.
+    pub t2_size_inflation: f64,
+    /// Cycle inflation from disabling conditional execution in `A32`.
+    pub a32_cycle_inflation: f64,
+}
+
+impl fmt::Display for PredicationAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ablation — predication disabled (branch diamonds everywhere):")?;
+        writeln!(
+            f,
+            "  T2 without IT blocks:      {:>5.1}% more cycles, {:>5.1}% more code",
+            (self.t2_cycle_inflation - 1.0) * 100.0,
+            (self.t2_size_inflation - 1.0) * 100.0
+        )?;
+        writeln!(
+            f,
+            "  A32 without cond. exec.:   {:>5.1}% more cycles",
+            (self.a32_cycle_inflation - 1.0) * 100.0
+        )
+    }
+}
+
+/// Runs the predication ablation over the AutoIndy-6 suite.
+///
+/// # Errors
+///
+/// Propagates compile/run failures.
+pub fn predication_ablation(seed: u64, elems: u32) -> Result<PredicationAblation, CoreError> {
+    let on = CodegenOptions::default();
+    let off = CodegenOptions { predication: false, ..CodegenOptions::default() };
+    let suite = autoindy();
+
+    let measure = |mode: IsaMode,
+                   opts: &CodegenOptions|
+     -> Result<(Vec<f64>, Vec<f64>), CoreError> {
+        let mut cycles = Vec::new();
+        let mut sizes = Vec::new();
+        for k in &suite {
+            let config = match mode {
+                IsaMode::T2 => MachineConfig::m3_like(),
+                _ => MachineConfig::arm7_like(mode),
+            };
+            let run = run_kernel(k, config, opts, seed, elems)?;
+            cycles.push(run.cycles as f64);
+            sizes.push(f64::from(run.code_size));
+        }
+        Ok((cycles, sizes))
+    };
+
+    let (t2_on_c, t2_on_s) = measure(IsaMode::T2, &on)?;
+    let (t2_off_c, t2_off_s) = measure(IsaMode::T2, &off)?;
+    let (a32_on_c, _) = measure(IsaMode::A32, &on)?;
+    let (a32_off_c, _) = measure(IsaMode::A32, &off)?;
+
+    let ratio = |num: &[f64], den: &[f64]| -> f64 {
+        let r: Vec<f64> = num.iter().zip(den).map(|(a, b)| a / b).collect();
+        geometric_mean(&r)
+    };
+    Ok(PredicationAblation {
+        t2_cycle_inflation: ratio(&t2_off_c, &t2_on_c),
+        t2_size_inflation: ratio(&t2_off_s, &t2_on_s),
+        a32_cycle_inflation: ratio(&a32_off_c, &a32_on_c),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predication_pays_for_itself() {
+        let a = predication_ablation(3, 32).expect("ablation runs");
+        // Disabling predication must never help, and must hurt at least a
+        // little somewhere (the suite has selects in every divide kernel
+        // via the runtime's __sdiv plus puwmod/ttsprk clamps).
+        assert!(a.t2_cycle_inflation >= 1.0);
+        assert!(a.a32_cycle_inflation >= 1.0);
+        assert!(
+            a.t2_cycle_inflation > 1.005 || a.a32_cycle_inflation > 1.005,
+            "expected measurable inflation: t2 {:.4} a32 {:.4}",
+            a.t2_cycle_inflation,
+            a.a32_cycle_inflation
+        );
+        assert!(a.t2_size_inflation >= 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! E9 — §3.2.2: the flash patch unit during a calibration session.
+//!
+//! A control routine reads a calibration constant from flash and computes
+//! an output. The calibration engineer patches the constant on the fly
+//! (no reflash), re-runs, and finally plants a patch breakpoint to halt
+//! at the routine — the three workflows the paper describes for the
+//! 8-slot unit.
+
+use std::fmt;
+
+use alia_isa::{Assembler, IsaMode};
+use alia_sim::{Machine, PatchKind, StopReason, SRAM_BASE};
+
+use crate::CoreError;
+
+/// The E9 result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashPatchExperiment {
+    /// Output with the flashed calibration value.
+    pub baseline_output: u32,
+    /// Output after patching the calibration word.
+    pub patched_output: u32,
+    /// Cycles of the baseline run.
+    pub baseline_cycles: u64,
+    /// Cycles of the patched run (patching is free at run time).
+    pub patched_cycles: u64,
+    /// Whether the breakpoint patch halted execution at the routine.
+    pub breakpoint_hit: bool,
+}
+
+impl fmt::Display for FlashPatchExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§3.2.2 — flash patch unit")?;
+        writeln!(
+            f,
+            "baseline output {:#010x} in {} cycles",
+            self.baseline_output, self.baseline_cycles
+        )?;
+        writeln!(
+            f,
+            "patched  output {:#010x} in {} cycles (no reflash)",
+            self.patched_output, self.patched_cycles
+        )?;
+        writeln!(f, "breakpoint patch: {}", if self.breakpoint_hit { "hit" } else { "missed" })
+    }
+}
+
+// ldr@0x100 (literal base align4(0x104) = 0x104), mov@0x102, mul@0x104,
+// bkpt@0x106 -> cal lands at 0x108 = base + 4.
+const PROGRAM: &str = "entry:
+    ldr r1, [pc, #4]     ; calibration constant
+    mov r0, #100
+    mul r0, r0, r1
+    bkpt #0
+    .align 4
+    cal: .word 37";
+
+fn build() -> Result<(Machine, u32), CoreError> {
+    let out = Assembler::new(IsaMode::T2)
+        .assemble(PROGRAM)
+        .map_err(|e| CoreError::Run { what: format!("asm: {e}") })?;
+    let cal_addr = 0x100 + out.symbols["cal"];
+    let mut m = Machine::m3_like();
+    m.load_flash(0x100, &out.bytes);
+    m.set_pc(0x100);
+    m.cpu.set_sp(SRAM_BASE + 0x8000);
+    Ok((m, cal_addr))
+}
+
+/// Runs the E9 experiment.
+///
+/// # Errors
+///
+/// Propagates assembly/run/patch failures.
+pub fn flash_patch_experiment() -> Result<FlashPatchExperiment, CoreError> {
+    // Baseline.
+    let (mut m, cal) = build()?;
+    let r = m.run(100_000);
+    if r.reason != StopReason::Bkpt(0) {
+        return Err(CoreError::Run { what: format!("baseline stopped: {:?}", r.reason) });
+    }
+    let baseline_output = m.cpu.regs[0];
+    let baseline_cycles = r.cycles;
+
+    // Patch the calibration word to 42 without touching the flash array.
+    let (mut m, cal2) = build()?;
+    debug_assert_eq!(cal, cal2);
+    m.patch
+        .set(0, cal2, PatchKind::Remap(42))
+        .map_err(|e| CoreError::Run { what: format!("patch: {e}") })?;
+    let r = m.run(100_000);
+    if r.reason != StopReason::Bkpt(0) {
+        return Err(CoreError::Run { what: format!("patched run stopped: {:?}", r.reason) });
+    }
+    let patched_output = m.cpu.regs[0];
+    let patched_cycles = r.cycles;
+
+    // Breakpoint patch on the routine's first word.
+    let (mut m, _) = build()?;
+    m.patch
+        .set(1, 0x100, PatchKind::Breakpoint)
+        .map_err(|e| CoreError::Run { what: format!("patch: {e}") })?;
+    let r = m.run(100_000);
+    let breakpoint_hit = matches!(r.reason, StopReason::PatchBreakpoint { .. });
+
+    Ok(FlashPatchExperiment {
+        baseline_output,
+        patched_output,
+        baseline_cycles,
+        patched_cycles,
+        breakpoint_hit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_workflow() {
+        let e = flash_patch_experiment().expect("experiment runs");
+        assert_eq!(e.baseline_output, 3700);
+        assert_eq!(e.patched_output, 4200);
+        assert_eq!(e.baseline_cycles, e.patched_cycles, "patching is free at run time");
+        assert!(e.breakpoint_hit);
+        let s = e.to_string();
+        assert!(s.contains("no reflash"));
+    }
+}

@@ -1,0 +1,37 @@
+//! The per-table/figure experiments (see DESIGN.md's experiment index).
+//!
+//! | id | paper reference | function |
+//! |----|-----------------|----------|
+//! | E1 | Table 1 / Fig. 1 | [`table1()`](table1::table1) |
+//! | E2 | Fig. 2 / §3.1.1 | [`mpu_experiment`] |
+//! | E3 | Fig. 4 / §3.2.1 | [`interrupt_experiment`] |
+//! | E4 | Fig. 5 / §3.2.3 | [`bitband_experiment`] |
+//! | E5 | §2.2 | [`flash_experiment`] |
+//! | E6 | §3.1.2 | [`ldm_experiment`] |
+//! | E7 | §3.1.3 | [`soft_error_experiment`] |
+//! | E8 | §1/§4 | [`network_experiment`] |
+//! | E9 | §3.2.2 | [`flash_patch_experiment`] |
+
+pub mod ablations;
+pub mod bitband;
+pub mod flash;
+pub mod flash_patch;
+pub mod interrupt;
+pub mod ldm;
+pub mod mpu;
+pub mod network;
+pub mod soft_error;
+pub mod table1;
+
+pub use ablations::{predication_ablation, PredicationAblation};
+pub use bitband::{bitband_experiment, BitbandExperiment};
+pub use flash::{flash_experiment, FlashExperiment, FlashPoint};
+pub use flash_patch::{flash_patch_experiment, FlashPatchExperiment};
+pub use interrupt::{interrupt_experiment, InterruptExperiment, SchemeLatency};
+pub use ldm::{ldm_experiment, LdmExperiment};
+pub use mpu::{mpu_experiment, GranularityPoint, MpuExperiment};
+pub use network::{network_experiment, NetworkExperiment};
+pub use soft_error::{soft_error_experiment, CampaignArm, InjectTarget, SoftErrorExperiment};
+pub use table1::{
+    bus_width_ablation, table1, BusWidthAblation, KernelMeasurement, Table1, Table1Row,
+};

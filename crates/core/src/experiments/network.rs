@@ -1,0 +1,89 @@
+//! E8 — §1/§4: the "virtual multi-core" vision experiment.
+//!
+//! Compares the traditional fleet (heterogeneous legacy ISAs, every
+//! function welded to its ECU) against the ISA-harmonized fleet with
+//! distributed placement, reporting placement success, peak utilization,
+//! fleet-wide code bytes and the schedulability of the CAN traffic that
+//! migration induces.
+
+use std::fmt;
+
+use alia_can::{allocate, body_task_set, fleet, AllocationReport, Placement};
+
+use crate::CoreError;
+
+/// The E8 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkExperiment {
+    /// ECU count.
+    pub nodes: usize,
+    /// Tasks in the set.
+    pub tasks: usize,
+    /// Heterogeneous fleet, dedicated placement.
+    pub dedicated: AllocationReport,
+    /// Harmonized fleet, distributed placement.
+    pub harmonized: AllocationReport,
+}
+
+impl fmt::Display for NetworkExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§1/§4 — virtual multi-core ({} ECUs, {} tasks)",
+            self.nodes, self.tasks
+        )?;
+        writeln!(
+            f,
+            "{:<26} {:>8} {:>9} {:>10} {:>12} {:>10}",
+            "fleet", "placed", "unplaced", "peak util", "code bytes", "bus util"
+        )?;
+        for (name, r) in [
+            ("heterogeneous/dedicated", &self.dedicated),
+            ("harmonized/distributed", &self.harmonized),
+        ] {
+            writeln!(
+                f,
+                "{:<26} {:>8} {:>9} {:>9.0}% {:>12} {:>9.1}%",
+                name,
+                r.placed,
+                r.unplaced,
+                r.peak_utilization * 100.0,
+                r.code_bytes,
+                r.bus_utilization.max(0.0) * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the E8 experiment over `nodes` ECUs with `tasks_per_node`
+/// functions each.
+///
+/// # Errors
+///
+/// Never fails today; returns `Result` for interface consistency.
+pub fn network_experiment(
+    nodes: usize,
+    tasks_per_node: usize,
+) -> Result<NetworkExperiment, CoreError> {
+    let tasks = body_task_set(nodes, tasks_per_node);
+    let dedicated = allocate(&fleet(nodes, false), &tasks, Placement::Dedicated);
+    let harmonized = allocate(&fleet(nodes, true), &tasks, Placement::Distributed);
+    Ok(NetworkExperiment { nodes, tasks: tasks.len(), dedicated, harmonized })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonization_dominates() {
+        let e = network_experiment(8, 4).expect("experiment runs");
+        assert!(e.harmonized.placed > e.dedicated.placed);
+        assert_eq!(e.harmonized.unplaced, 0);
+        assert!(e.harmonized.bus_schedulable, "induced CAN traffic must stay schedulable");
+        assert!(e.harmonized.peak_utilization <= 1.0 + 1e-9);
+        let s = e.to_string();
+        assert!(s.contains("virtual multi-core"));
+    }
+}

@@ -1,0 +1,242 @@
+//! E7 — §3.1.3: soft-error detection and recovery campaign.
+//!
+//! Runs the `matrix` kernel on the high-end core while injecting
+//! single-bit soft errors into the I-cache, D-cache and TCM at a fixed
+//! instruction cadence. With the fault-tolerant RAM fitted, every
+//! injected error must be detected and repaired and the final checksum
+//! must still be correct; with TCM ECC disabled, corruption goes
+//! unnoticed — the control arm showing what the protection buys.
+
+use std::fmt;
+
+use alia_codegen::CodegenOptions;
+use alia_sim::{Machine, MachineConfig, StopReason, TCM_BASE};
+use alia_workloads::all_kernels;
+
+use crate::runner::machine_for;
+use crate::CoreError;
+
+/// Where errors were injected for one arm of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectTarget {
+    /// Instruction-cache data RAM.
+    ICache,
+    /// Data-cache data RAM.
+    DCache,
+    /// Cache TAG RAM (I-side).
+    TagRam,
+}
+
+/// One campaign arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignArm {
+    /// Target of injection.
+    pub target: InjectTarget,
+    /// Errors injected.
+    pub injected: u32,
+    /// Errors detected (parity hits / tag misses / repairs).
+    pub detected: u64,
+    /// Whether the final checksum was still correct.
+    pub checksum_ok: bool,
+    /// Cycle overhead vs. the clean run, percent.
+    pub overhead_pct: f64,
+}
+
+/// The E7 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftErrorExperiment {
+    /// Clean-run cycles (no injection).
+    pub clean_cycles: u64,
+    /// The protected arms.
+    pub arms: Vec<CampaignArm>,
+    /// TCM demonstration: repairs performed with ECC on, result correct.
+    pub tcm_repairs: u64,
+    /// TCM with ECC off: the corrupted sum differed from the truth.
+    pub tcm_unprotected_corrupts: bool,
+}
+
+impl fmt::Display for SoftErrorExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§3.1.3 — soft-error campaign (clean run {} cycles)", self.clean_cycles)?;
+        writeln!(
+            f,
+            "{:<12} {:>9} {:>9} {:>9} {:>10}",
+            "target", "injected", "detected", "result", "overhead"
+        )?;
+        for a in &self.arms {
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>9} {:>9} {:>9.2}%",
+                format!("{:?}", a.target),
+                a.injected,
+                a.detected,
+                if a.checksum_ok { "correct" } else { "WRONG" },
+                a.overhead_pct
+            )?;
+        }
+        writeln!(
+            f,
+            "TCM ECC: {} hold-and-repair stalls, result correct; without ECC: corruption {}",
+            self.tcm_repairs,
+            if self.tcm_unprotected_corrupts { "observed" } else { "not observed" }
+        )
+    }
+}
+
+fn campaign_arm(target: InjectTarget, injections: u32, clean: u64) -> Result<CampaignArm, CoreError> {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "matrix").expect("matrix exists");
+    let opts = CodegenOptions::default();
+    let prog = crate::runner::compile_kernel(kernel, alia_isa::IsaMode::T2, &opts)?;
+    let mut m = machine_for(MachineConfig::high_end_like(), &prog, kernel, 11, 24);
+    let mut injected = 0u32;
+    let mut next_inject = 2_000u64;
+    let mut stop = None;
+    while stop.is_none() {
+        stop = m.step();
+        if injected < injections && m.instructions() >= next_inject {
+            let ok = match target {
+                InjectTarget::ICache => m
+                    .icache
+                    .as_mut()
+                    .expect("icache fitted")
+                    .inject_error_in_nth_valid_line((injected % 4) as usize, false)
+                    .is_some(),
+                InjectTarget::DCache => m
+                    .dcache
+                    .as_mut()
+                    .expect("dcache fitted")
+                    .inject_error_in_nth_valid_line((injected % 4) as usize, false)
+                    .is_some(),
+                InjectTarget::TagRam => m
+                    .icache
+                    .as_mut()
+                    .expect("icache fitted")
+                    .inject_error_in_nth_valid_line((injected % 4) as usize, true)
+                    .is_some(),
+            };
+            if ok {
+                injected += 1;
+            }
+            next_inject += 2_000;
+        }
+    }
+    if stop != Some(StopReason::Bkpt(0)) {
+        return Err(CoreError::Run { what: format!("campaign stopped: {stop:?}") });
+    }
+    let expect = kernel.run_interp(11, 24);
+    let detected = match target {
+        InjectTarget::ICache | InjectTarget::TagRam => m.icache.as_ref().expect("icache").stats().parity_errors,
+        InjectTarget::DCache => m.dcache.as_ref().expect("dcache").stats().parity_errors,
+    };
+    Ok(CampaignArm {
+        target,
+        injected,
+        detected,
+        checksum_ok: m.cpu.regs[0] == expect,
+        overhead_pct: (m.cycles() as f64 / clean as f64 - 1.0) * 100.0,
+    })
+}
+
+/// Demonstrates TCM hold-and-repair vs. unprotected corruption with a
+/// small checksum loop over TCM-resident data.
+fn tcm_arm(ecc: bool) -> Result<(u32, u64), CoreError> {
+    use alia_isa::{Assembler, IsaMode};
+    let prog = Assembler::new(IsaMode::T2)
+        .assemble(
+            "movw r1, #0
+             movt r1, #0x1000      ; TCM base
+             mov r0, #0
+             mov r2, #0
+             loop:
+             ldr r3, [r1, r2]
+             add r0, r0, r3
+             add r2, r2, #4
+             cmp r2, #64
+             bne loop
+             bkpt #0",
+        )
+        .map_err(|e| CoreError::Run { what: format!("asm: {e}") })?;
+    let mut m = Machine::high_end_like();
+    m.load_flash(0x100, &prog.bytes);
+    m.set_pc(0x100);
+    m.cpu.set_sp(alia_sim::SRAM_BASE + 0x8000);
+    {
+        let tcm = m.tcm.as_mut().expect("tcm fitted");
+        tcm.ecc = ecc;
+        for i in 0..16u32 {
+            tcm.write(i * 4, 4, 0x0101_0101u32.wrapping_mul(i + 1));
+        }
+        // Flip bits in four words before the run.
+        for i in 0..4u32 {
+            tcm.inject_bit_flip(i * 16, 7 + i);
+        }
+    }
+    let r = m.run(1_000_000);
+    if r.reason != StopReason::Bkpt(0) {
+        return Err(CoreError::Run { what: format!("tcm arm stopped: {:?}", r.reason) });
+    }
+    let repairs = m.tcm.as_ref().expect("tcm").repairs();
+    let _ = TCM_BASE;
+    Ok((m.cpu.regs[0], repairs))
+}
+
+/// Runs the E7 campaign with `injections` errors per arm.
+///
+/// # Errors
+///
+/// Propagates run failures.
+pub fn soft_error_experiment(injections: u32) -> Result<SoftErrorExperiment, CoreError> {
+    // Clean reference run.
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "matrix").expect("matrix exists");
+    let opts = CodegenOptions::default();
+    let clean =
+        crate::runner::run_kernel(kernel, MachineConfig::high_end_like(), &opts, 11, 24)?;
+    let arms = vec![
+        campaign_arm(InjectTarget::ICache, injections, clean.cycles)?,
+        campaign_arm(InjectTarget::DCache, injections, clean.cycles)?,
+        campaign_arm(InjectTarget::TagRam, injections, clean.cycles)?,
+    ];
+    // TCM truth: sum of the sixteen seeded words.
+    let truth: u32 = (0..16u32)
+        .map(|i| 0x0101_0101u32.wrapping_mul(i + 1))
+        .fold(0u32, u32::wrapping_add);
+    let (ecc_sum, repairs) = tcm_arm(true)?;
+    let (raw_sum, _) = tcm_arm(false)?;
+    if ecc_sum != truth {
+        return Err(CoreError::Run { what: "TCM ECC failed to repair".into() });
+    }
+    Ok(SoftErrorExperiment {
+        clean_cycles: clean.cycles,
+        arms,
+        tcm_repairs: repairs,
+        tcm_unprotected_corrupts: raw_sum != truth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_injected_errors_detected_and_recovered() {
+        let e = soft_error_experiment(6).expect("experiment runs");
+        for arm in &e.arms {
+            assert!(arm.injected > 0, "{:?}: nothing injected", arm.target);
+            assert!(
+                arm.detected >= u64::from(arm.injected),
+                "{:?}: {} injected but {} detected",
+                arm.target,
+                arm.injected,
+                arm.detected
+            );
+            assert!(arm.checksum_ok, "{:?}: corrupted result", arm.target);
+            assert!(arm.overhead_pct < 10.0, "{:?}: overhead {:.2}%", arm.target, arm.overhead_pct);
+        }
+        assert!(e.tcm_repairs > 0);
+        assert!(e.tcm_unprotected_corrupts, "control arm must show corruption");
+        let s = e.to_string();
+        assert!(s.contains("hold-and-repair"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Running compiled workloads on simulated machines, with cross-checking
+//! against the golden interpreter.
+
+use alia_codegen::{compile, CodegenOptions, CompiledProgram};
+use alia_isa::IsaMode;
+use alia_sim::{Machine, MachineConfig, StopReason};
+use alia_workloads::Kernel;
+
+use crate::CoreError;
+
+/// Address of the `bkpt #0` trampoline used as the return address of the
+/// top-level call.
+pub const TRAMPOLINE: u32 = 0x10;
+/// Top of the stack given to workloads.
+pub const STACK_TOP: u32 = alia_sim::SRAM_BASE + 0x8_0000;
+
+/// The measured outcome of one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelRun {
+    /// The kernel's checksum (cross-checked against the interpreter).
+    pub checksum: u32,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Program image size in bytes (code + pools).
+    pub code_size: u32,
+}
+
+/// Compiles `kernel` for `mode` with `opts`.
+///
+/// # Errors
+///
+/// Propagates compiler failures.
+pub fn compile_kernel(
+    kernel: &Kernel,
+    mode: IsaMode,
+    opts: &CodegenOptions,
+) -> Result<CompiledProgram, CoreError> {
+    compile(&kernel.module, mode, opts).map_err(CoreError::from)
+}
+
+/// Prepares a machine with `prog` and the kernel's input loaded, ready to
+/// run (pc, sp, args and the return trampoline are set).
+#[must_use]
+pub fn machine_for(
+    config: MachineConfig,
+    prog: &CompiledProgram,
+    kernel: &Kernel,
+    seed: u64,
+    elems: u32,
+) -> Machine {
+    let mut m = Machine::new(config);
+    m.load_flash(prog.base_addr, &prog.bytes);
+    let bk = alia_isa::encode(&alia_isa::Instr::Bkpt { imm: 0 }, prog.mode)
+        .expect("bkpt encodes in every mode");
+    m.load_flash(TRAMPOLINE, bk.as_bytes());
+    m.load_sram(alia_workloads::DATA_BASE, &kernel.input_bytes(seed, elems));
+    let args = kernel.args(elems);
+    for (i, a) in args.iter().enumerate() {
+        m.cpu.regs[i] = *a;
+    }
+    m.cpu.set_sp(STACK_TOP);
+    m.cpu.set_lr(TRAMPOLINE);
+    m.set_pc(prog.entry_address(kernel.name));
+    m
+}
+
+/// Runs `kernel` on a machine built from `config`, verifying the result
+/// against the golden interpreter.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when compilation fails, the run does not halt at
+/// the trampoline, or the checksum disagrees with the interpreter.
+pub fn run_kernel(
+    kernel: &Kernel,
+    config: MachineConfig,
+    opts: &CodegenOptions,
+    seed: u64,
+    elems: u32,
+) -> Result<KernelRun, CoreError> {
+    let prog = compile_kernel(kernel, config.mode, opts)?;
+    let mut m = machine_for(config, &prog, kernel, seed, elems);
+    let result = m.run(2_000_000_000);
+    if result.reason != StopReason::Bkpt(0) {
+        return Err(CoreError::Run {
+            what: format!(
+                "{} on {}: stopped with {:?} after {} cycles",
+                kernel.name, prog.mode, result.reason, result.cycles
+            ),
+        });
+    }
+    let expect = kernel.run_interp(seed, elems);
+    if m.cpu.regs[0] != expect {
+        return Err(CoreError::Run {
+            what: format!(
+                "{} on {}: checksum {:#x} != interpreter {expect:#x}",
+                kernel.name, prog.mode, m.cpu.regs[0]
+            ),
+        });
+    }
+    Ok(KernelRun {
+        checksum: m.cpu.regs[0],
+        cycles: result.cycles,
+        instructions: result.instructions,
+        code_size: prog.code_size(),
+    })
+}
+
+/// Geometric mean of positive values.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alia_workloads::all_kernels;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0, 9.0]) - 6.0).abs() < 1e-9);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn kernels_run_on_all_three_cores() {
+        // One representative kernel on each core profile.
+        let kernels = all_kernels();
+        let k = kernels.iter().find(|k| k.name == "puwmod").unwrap();
+        let opts = CodegenOptions::default();
+        let a32 = run_kernel(k, MachineConfig::arm7_like(IsaMode::A32), &opts, 3, 16).unwrap();
+        let t16 = run_kernel(k, MachineConfig::arm7_like(IsaMode::T16), &opts, 3, 16).unwrap();
+        let t2 = run_kernel(k, MachineConfig::m3_like(), &opts, 3, 16).unwrap();
+        assert_eq!(a32.checksum, t16.checksum);
+        assert_eq!(a32.checksum, t2.checksum);
+        assert!(t16.code_size < a32.code_size);
+    }
+
+    #[test]
+    fn divide_heavy_kernel_shows_t2_advantage() {
+        // a2time does one divide per element; hardware divide plus better
+        // load timing should put T2/M3 clearly ahead of A32/ARM7.
+        let kernels = all_kernels();
+        let k = kernels.iter().find(|k| k.name == "a2time").unwrap();
+        let opts = CodegenOptions::default();
+        let a32 = run_kernel(k, MachineConfig::arm7_like(IsaMode::A32), &opts, 3, 64).unwrap();
+        let t2 = run_kernel(k, MachineConfig::m3_like(), &opts, 3, 64).unwrap();
+        assert!(
+            t2.cycles < a32.cycles,
+            "T2/M3 ({}) should beat A32/ARM7 ({})",
+            t2.cycles,
+            a32.cycles
+        );
+    }
+}

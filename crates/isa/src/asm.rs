@@ -1,0 +1,871 @@
+//! A small two-pass textual assembler for ALIA.
+//!
+//! Supported syntax (one item per line, `;` or `@` comments):
+//!
+//! ```text
+//! loop:                     ; label
+//!     movs r0, #0           ; instructions, ARM-flavoured syntax
+//!     add  r1, r2, r3
+//!     ldr  r4, [r5, #8]
+//!     push {r4, r5, lr}
+//!     bne  loop
+//!     .word 0xDEADBEEF      ; literal data
+//!     .align 4
+//! ```
+//!
+//! The assembler resolves label references for `b`, `bl`, `cbz`/`cbnz` and
+//! `ldr rX, =label`-style literal loads are not supported — use `.word` plus
+//! an explicit `ldr rX, [pc, #off]` or the compiler crate, which manages
+//! literal pools automatically.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{
+    encode, AddrMode, CmpOp, Cond, DpOp, Index, Instr, IsaMode, MemSize, Offset, Operand2, Reg,
+    RegList, ShiftOp,
+};
+
+/// An error raised while assembling source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn aerr(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+/// One assembled item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Item {
+    Instr { line: usize, instr: Instr, target: Option<String> },
+    Word(u32),
+    Align(u32),
+}
+
+/// The output of [`Assembler::assemble`]: machine code plus a symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assembled {
+    /// Encoded bytes.
+    pub bytes: Vec<u8>,
+    /// Label name to byte-offset map.
+    pub symbols: HashMap<String, u32>,
+    /// The mode the code was assembled for.
+    pub mode: IsaMode,
+}
+
+/// A two-pass assembler for a single ALIA mode.
+///
+/// # Examples
+///
+/// ```
+/// use alia_isa::{Assembler, IsaMode};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let out = Assembler::new(IsaMode::T2).assemble(
+///     "start:
+///         mov r0, #0
+///         add r0, r0, #1
+///         cmp r0, #10
+///         bne start
+///         bx lr",
+/// )?;
+/// assert_eq!(out.symbols["start"], 0);
+/// assert!(!out.bytes.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    mode: IsaMode,
+}
+
+impl Assembler {
+    /// Creates an assembler targeting `mode`.
+    #[must_use]
+    pub fn new(mode: IsaMode) -> Assembler {
+        Assembler { mode }
+    }
+
+    /// Assembles `source` into bytes with all labels resolved.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] on syntax errors, unknown mnemonics,
+    /// undefined labels or instructions not encodable in the target mode.
+    pub fn assemble(&self, source: &str) -> Result<Assembled, AsmError> {
+        let mut items = Vec::new();
+        let mut labels: Vec<(String, usize)> = Vec::new(); // label -> item index
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let mut text = raw;
+            if let Some(p) = text.find([';', '@']) {
+                text = &text[..p];
+            }
+            let mut text = text.trim();
+            while let Some(colon) = text.find(':') {
+                let (label, rest) = text.split_at(colon);
+                let label = label.trim();
+                if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    return Err(aerr(line, format!("bad label `{label}`")));
+                }
+                labels.push((label.to_string(), items.len()));
+                text = rest[1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+            if let Some(rest) = text.strip_prefix(".word") {
+                let v = parse_imm_value(rest.trim(), line)?;
+                items.push(Item::Word(v));
+                continue;
+            }
+            if let Some(rest) = text.strip_prefix(".align") {
+                let v = parse_imm_value(rest.trim(), line)?;
+                items.push(Item::Align(v));
+                continue;
+            }
+            let (instr, target) = parse_instr(text, line, self.mode)?;
+            items.push(Item::Instr { line, instr, target });
+        }
+
+        // Pass 1: layout.
+        let mut offsets = Vec::with_capacity(items.len());
+        let mut pc = 0u32;
+        for item in &items {
+            offsets.push(pc);
+            pc += match item {
+                Item::Instr { line, instr, target } => {
+                    // Size with a valid placeholder offset while the label
+                    // is unresolved (CBZ rejects offset 0; the size does
+                    // not depend on the offset for any branch form here).
+                    let mut sized = *instr;
+                    if target.is_some() {
+                        if let Instr::Cbz { offset, .. } = &mut sized {
+                            *offset = 4;
+                        }
+                    }
+                    sized.size(self.mode).map_err(|e| aerr(*line, e.to_string()))?
+                }
+                Item::Word(_) => 4,
+                Item::Align(a) => {
+                    if !a.is_power_of_two() {
+                        return Err(aerr(0, "alignment must be a power of two"));
+                    }
+                    (a - pc % a) % a
+                }
+            };
+        }
+        let mut symbols = HashMap::new();
+        for (name, idx) in labels {
+            let off = offsets.get(idx).copied().unwrap_or(pc);
+            symbols.insert(name, off);
+        }
+
+        // Pass 2: patch branch targets and emit.
+        let mut bytes = Vec::with_capacity(pc as usize);
+        for (idx, item) in items.iter().enumerate() {
+            match item {
+                Item::Word(v) => bytes.extend_from_slice(&v.to_le_bytes()),
+                Item::Align(a) => {
+                    while bytes.len() as u32 % a != 0 {
+                        bytes.push(0);
+                    }
+                }
+                Item::Instr { line, instr, target } => {
+                    let mut instr = *instr;
+                    if let Some(t) = target {
+                        let dest = *symbols
+                            .get(t)
+                            .ok_or_else(|| aerr(*line, format!("undefined label `{t}`")))?;
+                        let rel = dest as i64 - i64::from(offsets[idx]);
+                        let rel = i32::try_from(rel)
+                            .map_err(|_| aerr(*line, "branch distance overflow"))?;
+                        match &mut instr {
+                            Instr::B { offset, .. }
+                            | Instr::Bl { offset }
+                            | Instr::Cbz { offset, .. } => *offset = rel,
+                            _ => unreachable!("only branches carry targets"),
+                        }
+                    }
+                    let e = encode(&instr, self.mode).map_err(|e| aerr(*line, e.to_string()))?;
+                    bytes.extend_from_slice(e.as_bytes());
+                }
+            }
+        }
+        Ok(Assembled { bytes, symbols, mode: self.mode })
+    }
+}
+
+fn parse_imm_value(s: &str, line: usize) -> Result<u32, AsmError> {
+    let s = s.trim().trim_start_matches('#');
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else if let Some(bin) = s.strip_prefix("0b") {
+        u32::from_str_radix(bin, 2)
+    } else {
+        s.parse()
+    }
+    .map_err(|_| aerr(line, format!("bad immediate `{s}`")))?;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let s = s.trim().to_ascii_lowercase();
+    match s.as_str() {
+        "sp" => return Ok(Reg::SP),
+        "lr" => return Ok(Reg::LR),
+        "pc" => return Ok(Reg::PC),
+        "ip" => return Ok(Reg::R12),
+        "fp" => return Ok(Reg::R11),
+        _ => {}
+    }
+    s.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Reg::try_new)
+        .ok_or_else(|| aerr(line, format!("bad register `{s}`")))
+}
+
+fn parse_reglist(s: &str, line: usize) -> Result<RegList, AsmError> {
+    let inner = s
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| aerr(line, "expected {reg list}"))?;
+    let mut list = RegList::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((a, b)) = part.split_once('-') {
+            let lo = parse_reg(a, line)?;
+            let hi = parse_reg(b, line)?;
+            if lo.index() > hi.index() {
+                return Err(aerr(line, format!("bad range `{part}`")));
+            }
+            for i in lo.index()..=hi.index() {
+                list.insert(Reg::new(i));
+            }
+        } else {
+            list.insert(parse_reg(part, line)?);
+        }
+    }
+    Ok(list)
+}
+
+fn parse_operand2(parts: &[&str], line: usize) -> Result<Operand2, AsmError> {
+    match parts {
+        [imm] if imm.starts_with('#') => Ok(Operand2::Imm(parse_imm_value(imm, line)?)),
+        [r] => Ok(Operand2::Reg(parse_reg(r, line)?)),
+        [r, shift] => {
+            let rm = parse_reg(r, line)?;
+            let shift = shift.trim();
+            let (op, rest) = shift.split_at(3.min(shift.len()));
+            let op = match op.to_ascii_lowercase().as_str() {
+                "lsl" => ShiftOp::Lsl,
+                "lsr" => ShiftOp::Lsr,
+                "asr" => ShiftOp::Asr,
+                "ror" => ShiftOp::Ror,
+                _ => return Err(aerr(line, format!("bad shift `{shift}`"))),
+            };
+            let rest = rest.trim();
+            if rest.starts_with('#') {
+                Ok(Operand2::RegShiftImm(rm, op, parse_imm_value(rest, line)? as u8))
+            } else {
+                Ok(Operand2::RegShiftReg(rm, op, parse_reg(rest, line)?))
+            }
+        }
+        _ => Err(aerr(line, "bad operand")),
+    }
+}
+
+fn parse_addr(s: &str, line: usize) -> Result<AddrMode, AsmError> {
+    let s = s.trim();
+    // [rn], #imm  (post-index)
+    if let Some((bracketed, rest)) = s.split_once(']') {
+        let inner = bracketed
+            .strip_prefix('[')
+            .ok_or_else(|| aerr(line, "expected ["))?
+            .trim();
+        let rest = rest.trim();
+        if rest.starts_with(',') {
+            let base = parse_reg(inner, line)?;
+            let off = parse_imm_value(rest[1..].trim(), line)? as i32;
+            return Ok(AddrMode::post(base, off));
+        }
+        let pre = rest == "!";
+        let mut parts = inner.split(',').map(str::trim);
+        let base = parse_reg(parts.next().ok_or_else(|| aerr(line, "empty address"))?, line)?;
+        let offset = match parts.next() {
+            None => Offset::Imm(0),
+            Some(p) if p.starts_with('#') => Offset::Imm(parse_imm_value(p, line)? as i32),
+            Some(p) => {
+                let rm = parse_reg(p, line)?;
+                let sh = match parts.next() {
+                    None => 0,
+                    Some(sh) => {
+                        let sh = sh.trim().to_ascii_lowercase();
+                        let imm = sh
+                            .strip_prefix("lsl")
+                            .map(str::trim)
+                            .ok_or_else(|| aerr(line, "only lsl allowed in addresses"))?;
+                        parse_imm_value(imm, line)? as u8
+                    }
+                };
+                Offset::Reg(rm, sh)
+            }
+        };
+        let index = if pre { Index::PreIndex } else { Index::Offset };
+        return Ok(AddrMode { base, offset, index });
+    }
+    Err(aerr(line, "bad address"))
+}
+
+/// Splits a mnemonic into (base, set-flags, condition).
+fn split_mnemonic(m: &str) -> (String, bool, Cond) {
+    let m = m.to_ascii_lowercase();
+    // Longest-match base mnemonics to avoid eating cond suffixes wrongly.
+    const BASES: &[&str] = &[
+        "ldrsh", "ldrsb", "cpsid", "cpsie", "movw", "movt", "push", "ldrb", "ldrh", "strb",
+        "strh", "sdiv", "udiv", "rbit", "bkpt", "ubfx", "sbfx", "cbnz", "and", "eor", "sub",
+        "rsb", "add", "adc", "sbc", "orr", "bic", "mov", "mvn", "cmp", "cmn", "tst", "teq",
+        "mul", "mla", "lsl", "lsr", "asr", "ror", "ldr", "str", "ldm", "stm", "pop", "svc",
+        "nop", "rev", "bfi", "bfc", "tbb", "tbh", "cbz", "wfi", "bx", "bl", "it", "b",
+    ];
+    for base in BASES {
+        if let Some(rest) = m.strip_prefix(base) {
+            let (s, rest) = match rest.strip_prefix('s') {
+                // `s` suffix only meaningful for ALU ops; `bls` etc. handled
+                // by cond parse below failing and falling through.
+                Some(r)
+                    if matches!(
+                        *base,
+                        "and" | "eor"
+                            | "sub"
+                            | "rsb"
+                            | "add"
+                            | "adc"
+                            | "sbc"
+                            | "orr"
+                            | "bic"
+                            | "mov"
+                            | "mvn"
+                            | "mul"
+                            | "lsl"
+                            | "lsr"
+                            | "asr"
+                            | "ror"
+                    ) =>
+                {
+                    (true, r)
+                }
+                _ => (false, rest),
+            };
+            if let Some(cond) = Cond::from_mnemonic(rest) {
+                return ((*base).to_string(), s, cond);
+            }
+            // Retry without the flag interpretation (e.g. `bls`).
+            if s {
+                if let Some(cond) = Cond::from_mnemonic(&format!("s{rest}")) {
+                    return ((*base).to_string(), false, cond);
+                }
+            }
+        }
+    }
+    (m, false, Cond::Al)
+}
+
+/// Splits an operand string at top-level commas (not inside `[]`/`{}`).
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_instr(
+    text: &str,
+    line: usize,
+    _mode: IsaMode,
+) -> Result<(Instr, Option<String>), AsmError> {
+    let (mn, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let (base, s, cond) = split_mnemonic(mn);
+    let ops = split_operands(rest);
+    let op_err = || aerr(line, format!("bad operands for `{mn}`: `{rest}`"));
+
+    let dp = |op: DpOp| -> Result<(Instr, Option<String>), AsmError> {
+        match ops.as_slice() {
+            [rd, rn, tail @ ..] if !tail.is_empty() => {
+                let rd = parse_reg(rd, line)?;
+                let rn = parse_reg(rn, line)?;
+                let op2 = parse_operand2(tail, line)?;
+                Ok((Instr::Dp { op, s, cond, rd, rn, op2 }, None))
+            }
+            [rd, rn] => {
+                // two-address shorthand: add r0, r1  =>  add r0, r0, r1
+                let rd = parse_reg(rd, line)?;
+                let op2 = parse_operand2(&[rn], line)?;
+                Ok((Instr::Dp { op, s, cond, rd, rn: rd, op2 }, None))
+            }
+            _ => Err(op_err()),
+        }
+    };
+    let three_regs = || -> Result<(Reg, Reg, Reg), AsmError> {
+        match ops.as_slice() {
+            [a, b, c] => Ok((parse_reg(a, line)?, parse_reg(b, line)?, parse_reg(c, line)?)),
+            _ => Err(op_err()),
+        }
+    };
+    let mem = |sizesigned: (MemSize, bool), load: bool| -> Result<(Instr, Option<String>), AsmError> {
+        match ops.as_slice() {
+            [rt, addr @ ..] if !addr.is_empty() => {
+                let rt = parse_reg(rt, line)?;
+                let addr_text = addr.join(", ");
+                let (size, signed) = sizesigned;
+                // pc-relative literal?
+                if addr_text.trim_start().starts_with("[pc") {
+                    let a = parse_addr(&addr_text, line)?;
+                    if let Offset::Imm(off) = a.offset {
+                        return Ok((Instr::LdrLit { cond, rt, offset: off }, None));
+                    }
+                }
+                let a = parse_addr(&addr_text, line)?;
+                Ok(if load {
+                    (Instr::Ldr { cond, size, signed, rt, addr: a }, None)
+                } else {
+                    (Instr::Str { cond, size, rt, addr: a }, None)
+                })
+            }
+            _ => Err(op_err()),
+        }
+    };
+    let bitfield = |with_rn: bool| -> Result<(Reg, Reg, u8, u8), AsmError> {
+        match (with_rn, ops.as_slice()) {
+            (true, [rd, rn, lsb, width]) => Ok((
+                parse_reg(rd, line)?,
+                parse_reg(rn, line)?,
+                parse_imm_value(lsb, line)? as u8,
+                parse_imm_value(width, line)? as u8,
+            )),
+            (false, [rd, lsb, width]) => Ok((
+                parse_reg(rd, line)?,
+                Reg::R0,
+                parse_imm_value(lsb, line)? as u8,
+                parse_imm_value(width, line)? as u8,
+            )),
+            _ => Err(op_err()),
+        }
+    };
+
+    match base.as_str() {
+        "and" => dp(DpOp::And),
+        "eor" => dp(DpOp::Eor),
+        "sub" => dp(DpOp::Sub),
+        "rsb" => dp(DpOp::Rsb),
+        "add" => dp(DpOp::Add),
+        "adc" => dp(DpOp::Adc),
+        "sbc" => dp(DpOp::Sbc),
+        "orr" => dp(DpOp::Orr),
+        "bic" => dp(DpOp::Bic),
+        "mov" | "mvn" => match ops.as_slice() {
+            [rd, tail @ ..] if !tail.is_empty() => {
+                let rd = parse_reg(rd, line)?;
+                let op2 = parse_operand2(tail, line)?;
+                Ok((
+                    if base == "mov" {
+                        Instr::Mov { s, cond, rd, op2 }
+                    } else {
+                        Instr::Mvn { s, cond, rd, op2 }
+                    },
+                    None,
+                ))
+            }
+            _ => Err(op_err()),
+        },
+        "lsl" | "lsr" | "asr" | "ror" => {
+            let sh = match base.as_str() {
+                "lsl" => ShiftOp::Lsl,
+                "lsr" => ShiftOp::Lsr,
+                "asr" => ShiftOp::Asr,
+                _ => ShiftOp::Ror,
+            };
+            match ops.as_slice() {
+                [rd, rm, amt] => {
+                    let rd = parse_reg(rd, line)?;
+                    let rm = parse_reg(rm, line)?;
+                    let op2 = if amt.starts_with('#') {
+                        Operand2::RegShiftImm(rm, sh, parse_imm_value(amt, line)? as u8)
+                    } else {
+                        Operand2::RegShiftReg(rm, sh, parse_reg(amt, line)?)
+                    };
+                    Ok((Instr::Mov { s, cond, rd, op2 }, None))
+                }
+                _ => Err(op_err()),
+            }
+        }
+        "cmp" | "cmn" | "tst" | "teq" => {
+            let op = match base.as_str() {
+                "cmp" => CmpOp::Cmp,
+                "cmn" => CmpOp::Cmn,
+                "tst" => CmpOp::Tst,
+                _ => CmpOp::Teq,
+            };
+            match ops.as_slice() {
+                [rn, tail @ ..] if !tail.is_empty() => {
+                    let rn = parse_reg(rn, line)?;
+                    let op2 = parse_operand2(tail, line)?;
+                    Ok((Instr::Cmp { op, cond, rn, op2 }, None))
+                }
+                _ => Err(op_err()),
+            }
+        }
+        "movw" | "movt" => match ops.as_slice() {
+            [rd, imm] => {
+                let rd = parse_reg(rd, line)?;
+                let v = parse_imm_value(imm, line)?;
+                let imm16 = u16::try_from(v).map_err(|_| aerr(line, "imm16 overflow"))?;
+                Ok((
+                    if base == "movw" {
+                        Instr::MovW { cond, rd, imm16 }
+                    } else {
+                        Instr::MovT { cond, rd, imm16 }
+                    },
+                    None,
+                ))
+            }
+            _ => Err(op_err()),
+        },
+        "mul" => {
+            let (rd, rn, rm) = three_regs()?;
+            Ok((Instr::Mul { s, cond, rd, rn, rm }, None))
+        }
+        "mla" => match ops.as_slice() {
+            [rd, rn, rm, ra] => Ok((
+                Instr::Mla {
+                    cond,
+                    rd: parse_reg(rd, line)?,
+                    rn: parse_reg(rn, line)?,
+                    rm: parse_reg(rm, line)?,
+                    ra: parse_reg(ra, line)?,
+                },
+                None,
+            )),
+            _ => Err(op_err()),
+        },
+        "sdiv" => {
+            let (rd, rn, rm) = three_regs()?;
+            Ok((Instr::Sdiv { cond, rd, rn, rm }, None))
+        }
+        "udiv" => {
+            let (rd, rn, rm) = three_regs()?;
+            Ok((Instr::Udiv { cond, rd, rn, rm }, None))
+        }
+        "bfi" => {
+            let (rd, rn, lsb, width) = bitfield(true)?;
+            Ok((Instr::Bfi { cond, rd, rn, lsb, width }, None))
+        }
+        "bfc" => {
+            let (rd, _, lsb, width) = bitfield(false)?;
+            Ok((Instr::Bfc { cond, rd, lsb, width }, None))
+        }
+        "ubfx" => {
+            let (rd, rn, lsb, width) = bitfield(true)?;
+            Ok((Instr::Ubfx { cond, rd, rn, lsb, width }, None))
+        }
+        "sbfx" => {
+            let (rd, rn, lsb, width) = bitfield(true)?;
+            Ok((Instr::Sbfx { cond, rd, rn, lsb, width }, None))
+        }
+        "rbit" | "rev" => match ops.as_slice() {
+            [rd, rm] => {
+                let rd = parse_reg(rd, line)?;
+                let rm = parse_reg(rm, line)?;
+                Ok((
+                    if base == "rbit" {
+                        Instr::Rbit { cond, rd, rm }
+                    } else {
+                        Instr::Rev { cond, rd, rm }
+                    },
+                    None,
+                ))
+            }
+            _ => Err(op_err()),
+        },
+        "ldr" => mem((MemSize::Word, false), true),
+        "ldrb" => mem((MemSize::Byte, false), true),
+        "ldrh" => mem((MemSize::Half, false), true),
+        "ldrsb" => mem((MemSize::Byte, true), true),
+        "ldrsh" => mem((MemSize::Half, true), true),
+        "str" => mem((MemSize::Word, false), false),
+        "strb" => mem((MemSize::Byte, false), false),
+        "strh" => mem((MemSize::Half, false), false),
+        "ldm" | "stm" => match ops.as_slice() {
+            [rn, list] => {
+                let (rn, writeback) = match rn.strip_suffix('!') {
+                    Some(r) => (parse_reg(r, line)?, true),
+                    None => (parse_reg(rn, line)?, false),
+                };
+                let regs = parse_reglist(list, line)?;
+                Ok((
+                    if base == "ldm" {
+                        Instr::Ldm { cond, rn, writeback, regs }
+                    } else {
+                        Instr::Stm { cond, rn, writeback, regs }
+                    },
+                    None,
+                ))
+            }
+            _ => Err(op_err()),
+        },
+        "push" | "pop" => match ops.as_slice() {
+            [list] => {
+                let regs = parse_reglist(list, line)?;
+                Ok((
+                    if base == "push" {
+                        Instr::Push { cond, regs }
+                    } else {
+                        Instr::Pop { cond, regs }
+                    },
+                    None,
+                ))
+            }
+            _ => Err(op_err()),
+        },
+        "b" => match ops.as_slice() {
+            [label] => Ok((Instr::B { cond, offset: 0 }, Some((*label).to_string()))),
+            _ => Err(op_err()),
+        },
+        "bl" => match ops.as_slice() {
+            [label] => Ok((Instr::Bl { offset: 0 }, Some((*label).to_string()))),
+            _ => Err(op_err()),
+        },
+        "bx" => match ops.as_slice() {
+            [rm] => Ok((Instr::Bx { cond, rm: parse_reg(rm, line)? }, None)),
+            _ => Err(op_err()),
+        },
+        "cbz" | "cbnz" => match ops.as_slice() {
+            [rn, label] => Ok((
+                Instr::Cbz { nonzero: base == "cbnz", rn: parse_reg(rn, line)?, offset: 0 },
+                Some((*label).to_string()),
+            )),
+            _ => Err(op_err()),
+        },
+        "tbb" | "tbh" => match ops.as_slice() {
+            [addr] => {
+                let a = parse_addr(addr, line)?;
+                if let Offset::Reg(rm, _) = a.offset {
+                    Ok((
+                        if base == "tbb" {
+                            Instr::Tbb { rn: a.base, rm }
+                        } else {
+                            Instr::Tbh { rn: a.base, rm }
+                        },
+                        None,
+                    ))
+                } else {
+                    Err(op_err())
+                }
+            }
+            _ => Err(op_err()),
+        },
+        "svc" => match ops.as_slice() {
+            [imm] => Ok((Instr::Svc { imm: parse_imm_value(imm, line)? as u8 }, None)),
+            _ => Err(op_err()),
+        },
+        "bkpt" => match ops.as_slice() {
+            [imm] => Ok((Instr::Bkpt { imm: parse_imm_value(imm, line)? as u8 }, None)),
+            _ => Err(op_err()),
+        },
+        "nop" => Ok((Instr::Nop, None)),
+        "wfi" => Ok((Instr::Wfi, None)),
+        "cpsid" => Ok((Instr::Cpsid, None)),
+        "cpsie" => Ok((Instr::Cpsie, None)),
+        "it" => {
+            // `it eq` / `ite eq` / `itte ne` ...
+            let pattern = &mn.to_ascii_lowercase()[1..]; // after leading i
+            let conds = ops.first().copied().unwrap_or("");
+            let firstcond =
+                Cond::from_mnemonic(conds).ok_or_else(|| aerr(line, "bad IT condition"))?;
+            let mut mask = 0u8;
+            let mut count = 1u8;
+            for (i, c) in pattern.chars().skip(1).enumerate() {
+                match c {
+                    't' => mask |= 1 << i,
+                    'e' => {}
+                    _ => return Err(aerr(line, "bad IT pattern")),
+                }
+                count += 1;
+            }
+            Ok((Instr::It { firstcond, mask, count }, None))
+        }
+        other => {
+            // `it` variants like `ite`/`itt` arrive as unmatched bases.
+            if other.starts_with("it") && other.len() <= 4 {
+                let conds = ops.first().copied().unwrap_or("");
+                let firstcond =
+                    Cond::from_mnemonic(conds).ok_or_else(|| aerr(line, "bad IT condition"))?;
+                let mut mask = 0u8;
+                let mut count = 1u8;
+                for (i, c) in other.chars().skip(2).enumerate() {
+                    match c {
+                        't' => mask |= 1 << i,
+                        'e' => {}
+                        _ => return Err(aerr(line, format!("unknown mnemonic `{mn}`"))),
+                    }
+                    count += 1;
+                }
+                return Ok((Instr::It { firstcond, mask, count }, None));
+            }
+            Err(aerr(line, format!("unknown mnemonic `{mn}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn assemble_simple_loop() {
+        let out = Assembler::new(IsaMode::T2)
+            .assemble(
+                "start:
+                    mov r0, #0
+                 loop:
+                    add r0, r0, #1
+                    cmp r0, #10
+                    bne loop
+                    bx lr",
+            )
+            .unwrap();
+        assert_eq!(out.symbols["start"], 0);
+        assert_eq!(out.symbols["loop"], 2);
+        // Disassemble back and check the branch points at `loop`.
+        let mut pc = 0usize;
+        let mut found_branch = false;
+        while pc < out.bytes.len() {
+            let (i, len) = decode(&out.bytes[pc..], IsaMode::T2).unwrap();
+            if let Instr::B { cond: Cond::Ne, offset } = i {
+                assert_eq!(pc as i32 + offset, 2);
+                found_branch = true;
+            }
+            pc += len as usize;
+        }
+        assert!(found_branch);
+    }
+
+    #[test]
+    fn assemble_directives() {
+        let out = Assembler::new(IsaMode::A32)
+            .assemble(
+                "entry: nop
+                 .align 8
+                 data: .word 0xDEADBEEF",
+            )
+            .unwrap();
+        let data_off = out.symbols["data"] as usize;
+        assert_eq!(data_off % 8, 0);
+        assert_eq!(
+            u32::from_le_bytes(out.bytes[data_off..data_off + 4].try_into().unwrap()),
+            0xDEAD_BEEF
+        );
+    }
+
+    #[test]
+    fn error_on_unknown_mnemonic_and_label() {
+        let a = Assembler::new(IsaMode::T2);
+        assert!(a.assemble("frobnicate r0").is_err());
+        assert!(a.assemble("b nowhere").is_err());
+        let err = a.assemble("\n\nfrob r1").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn mode_constraints_reported() {
+        // sdiv does not exist in A32.
+        let a = Assembler::new(IsaMode::A32);
+        assert!(a.assemble("sdiv r0, r1, r2").is_err());
+        assert!(Assembler::new(IsaMode::T2).assemble("sdiv r0, r1, r2").is_ok());
+    }
+
+    #[test]
+    fn memory_and_lists() {
+        let out = Assembler::new(IsaMode::A32)
+            .assemble(
+                "ldr r0, [r1, #8]
+                 strh r2, [r3]
+                 push {r4-r6, lr}
+                 pop {r4-r6, pc}
+                 ldmia: ldm r0!, {r1, r2}",
+            )
+            .unwrap();
+        assert_eq!(out.bytes.len(), 20);
+    }
+
+    #[test]
+    fn conditional_and_flags_suffixes() {
+        let out = Assembler::new(IsaMode::A32)
+            .assemble(
+                "addeq r0, r0, #1
+                 subs r1, r1, #1
+                 movhi r2, #0
+                 bls done
+                 done: bx lr",
+            )
+            .unwrap();
+        let (i, _) = decode(&out.bytes[0..4], IsaMode::A32).unwrap();
+        assert_eq!(i.cond(), Cond::Eq);
+        let (i, _) = decode(&out.bytes[4..8], IsaMode::A32).unwrap();
+        assert!(matches!(i, Instr::Dp { op: DpOp::Sub, s: true, .. }));
+    }
+
+    #[test]
+    fn it_block_parsing() {
+        let out = Assembler::new(IsaMode::T2)
+            .assemble(
+                "cmp r0, #0
+                 ite eq
+                 mov r1, #1
+                 mov r1, #0",
+            )
+            .unwrap();
+        let (i, _) = decode(&out.bytes[2..], IsaMode::T2).unwrap();
+        assert_eq!(i, Instr::It { firstcond: Cond::Eq, mask: 0, count: 2 });
+    }
+}

@@ -1,0 +1,264 @@
+//! Condition codes and the processor flag state they test.
+
+use std::fmt;
+
+/// Arithmetic flags produced by compare and flag-setting instructions.
+///
+/// # Examples
+///
+/// ```
+/// use alia_isa::{Cond, Flags};
+/// let f = Flags { n: false, z: true, c: true, v: false };
+/// assert!(Cond::Eq.eval(f));
+/// assert!(!Cond::Ne.eval(f));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry / not-borrow.
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+/// A condition code attached to instructions (`A32`) or tested by branches
+/// and IT blocks (`T2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`Z`).
+    Eq = 0,
+    /// Not equal (`!Z`).
+    Ne = 1,
+    /// Carry set / unsigned higher-or-same.
+    Cs = 2,
+    /// Carry clear / unsigned lower.
+    Cc = 3,
+    /// Minus / negative.
+    Mi = 4,
+    /// Plus / positive-or-zero.
+    Pl = 5,
+    /// Overflow.
+    Vs = 6,
+    /// No overflow.
+    Vc = 7,
+    /// Unsigned higher.
+    Hi = 8,
+    /// Unsigned lower-or-same.
+    Ls = 9,
+    /// Signed greater-or-equal.
+    Ge = 10,
+    /// Signed less.
+    Lt = 11,
+    /// Signed greater.
+    Gt = 12,
+    /// Signed less-or-equal.
+    Le = 13,
+    /// Always.
+    #[default]
+    Al = 14,
+}
+
+impl Cond {
+    /// All sixteen condition encodings that are valid (15 is reserved).
+    pub const ALL: [Cond; 15] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+    ];
+
+    /// Decodes a 4-bit condition field.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<Cond> {
+        Cond::ALL.get(bits as usize).copied()
+    }
+
+    /// The 4-bit encoding of this condition.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Evaluates the condition against a flag state.
+    #[must_use]
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+            Cond::Al => true,
+        }
+    }
+
+    /// The logically inverted condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`Cond::Al`], which has no inverse.
+    #[must_use]
+    pub fn inverted(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Cs => Cond::Cc,
+            Cond::Cc => Cond::Cs,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+            Cond::Vs => Cond::Vc,
+            Cond::Vc => Cond::Vs,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+            Cond::Ge => Cond::Lt,
+            Cond::Lt => Cond::Ge,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+            Cond::Al => panic!("cannot invert the always condition"),
+        }
+    }
+
+    /// Parses a condition mnemonic suffix such as `"eq"`.
+    #[must_use]
+    pub fn from_mnemonic(s: &str) -> Option<Cond> {
+        Some(match s {
+            "eq" => Cond::Eq,
+            "ne" => Cond::Ne,
+            "cs" | "hs" => Cond::Cs,
+            "cc" | "lo" => Cond::Cc,
+            "mi" => Cond::Mi,
+            "pl" => Cond::Pl,
+            "vs" => Cond::Vs,
+            "vc" => Cond::Vc,
+            "hi" => Cond::Hi,
+            "ls" => Cond::Ls,
+            "ge" => Cond::Ge,
+            "lt" => Cond::Lt,
+            "gt" => Cond::Gt,
+            "le" => Cond::Le,
+            "al" | "" => Cond::Al,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(n: bool, z: bool, c: bool, v: bool) -> Flags {
+        Flags { n, z, c, v }
+    }
+
+    #[test]
+    fn eval_matches_arm_semantics() {
+        let f = flags(false, true, true, false);
+        assert!(Cond::Eq.eval(f));
+        assert!(Cond::Cs.eval(f));
+        assert!(!Cond::Hi.eval(f)); // z set
+        assert!(Cond::Ls.eval(f));
+        assert!(Cond::Ge.eval(f));
+        assert!(!Cond::Gt.eval(f));
+        assert!(Cond::Le.eval(f));
+        assert!(Cond::Al.eval(f));
+    }
+
+    #[test]
+    fn signed_comparisons_use_n_xor_v() {
+        // n=1, v=0 -> lt
+        let f = flags(true, false, false, false);
+        assert!(Cond::Lt.eval(f));
+        assert!(!Cond::Ge.eval(f));
+        // n=1, v=1 -> ge
+        let f = flags(true, false, false, true);
+        assert!(Cond::Ge.eval(f));
+        assert!(Cond::Gt.eval(f));
+    }
+
+    #[test]
+    fn inversion_is_involutive_and_complementary() {
+        for c in Cond::ALL {
+            if c == Cond::Al {
+                continue;
+            }
+            let inv = c.inverted();
+            assert_eq!(inv.inverted(), c);
+            // Exhaustively check complementarity over all flag states.
+            for bits in 0..16u8 {
+                let f = flags(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+                assert_ne!(c.eval(f), inv.eval(f), "{c:?} vs {inv:?} at {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert")]
+    fn al_has_no_inverse() {
+        let _ = Cond::Al.inverted();
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_bits(c.bits()), Some(c));
+        }
+        assert_eq!(Cond::from_bits(15), None);
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for c in Cond::ALL {
+            let s = c.to_string();
+            assert_eq!(Cond::from_mnemonic(&s), Some(c));
+        }
+        assert_eq!(Cond::from_mnemonic("hs"), Some(Cond::Cs));
+        assert_eq!(Cond::from_mnemonic("zz"), None);
+    }
+}

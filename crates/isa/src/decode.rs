@@ -1,0 +1,915 @@
+//! Binary decoders for the three ALIA encodings.
+//!
+//! Decoding canonicalizes: `mov rd, rm, lsl #0` decodes to `mov rd, rm`,
+//! `ldm sp!, {..}` with the pop direction decodes to `pop`, and so on.
+//! [`crate::encode`] composed with [`decode`] is the identity on canonical
+//! instructions — a property the test-suite checks exhaustively by fuzzing.
+
+use std::fmt;
+
+use crate::encode::{a32_dp_from_bits, it_field_decode, narrow_alu_from_bits, wop};
+use crate::{
+    a32_imm_decode, t2_imm_decode, AddrMode, CmpOp, Cond, DpOp, Index, Instr, IsaMode, MemSize,
+    Offset, Operand2, Reg, RegList, ShiftOp,
+};
+
+/// An error produced when bytes cannot be decoded as an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The raw instruction bits (zero-extended).
+    pub bits: u32,
+    /// The mode that was attempted.
+    pub mode: IsaMode,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x} as {}: {}", self.bits, self.mode, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn derr(bits: u32, mode: IsaMode, reason: impl Into<String>) -> DecodeError {
+    DecodeError { bits, mode, reason: reason.into() }
+}
+
+fn reg(bits: u32) -> Reg {
+    Reg::new((bits & 0xF) as u8)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes the instruction at the start of `bytes` in `mode`, returning the
+/// instruction and its encoded length.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when `bytes` is too short or holds an
+/// unrecognized encoding.
+pub fn decode(bytes: &[u8], mode: IsaMode) -> Result<(Instr, u32), DecodeError> {
+    match mode {
+        IsaMode::A32 => {
+            if bytes.len() < 4 {
+                return Err(derr(0, mode, "need 4 bytes"));
+            }
+            let w = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            decode_a32(w).map(|i| (i, 4))
+        }
+        IsaMode::T16 | IsaMode::T2 => {
+            if bytes.len() < 2 {
+                return Err(derr(0, mode, "need 2 bytes"));
+            }
+            let hw1 = u16::from_le_bytes([bytes[0], bytes[1]]);
+            if hw1 >> 11 >= 0b11101 {
+                if bytes.len() < 4 {
+                    return Err(derr(u32::from(hw1), mode, "truncated wide instruction"));
+                }
+                let hw2 = u16::from_le_bytes([bytes[2], bytes[3]]);
+                let instr = decode_wide(hw1, hw2, mode)?;
+                if mode == IsaMode::T16 && !matches!(instr, Instr::Bl { .. }) {
+                    return Err(derr(
+                        u32::from(hw1) << 16 | u32::from(hw2),
+                        mode,
+                        "wide instructions other than bl require T2",
+                    ));
+                }
+                Ok((instr, 4))
+            } else {
+                decode_narrow(hw1, mode).map(|i| (i, 2))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A32
+// ---------------------------------------------------------------------------
+
+fn decode_shifter(w: u32, imm_form: bool) -> Operand2 {
+    if imm_form {
+        Operand2::Imm(a32_imm_decode((w >> 8 & 0xF) as u8, (w & 0xFF) as u8))
+    } else if w & 1 << 4 != 0 {
+        Operand2::RegShiftReg(reg(w), ShiftOp::from_bits((w >> 5 & 3) as u8), reg(w >> 8))
+    } else {
+        let amt = (w >> 7 & 31) as u8;
+        let sh = ShiftOp::from_bits((w >> 5 & 3) as u8);
+        if amt == 0 && sh == ShiftOp::Lsl {
+            Operand2::Reg(reg(w))
+        } else {
+            Operand2::RegShiftImm(reg(w), sh, amt)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_a32(w: u32) -> Result<Instr, DecodeError> {
+    let mode = IsaMode::A32;
+    // Fixed words first.
+    if w == 0xF10C_0080 {
+        return Ok(Instr::Cpsid);
+    }
+    if w == 0xF108_0080 {
+        return Ok(Instr::Cpsie);
+    }
+    let cond = Cond::from_bits((w >> 28) as u8).ok_or_else(|| derr(w, mode, "condition 15"))?;
+    let body = w & 0x0FFF_FFFF;
+    // Hints.
+    if body & 0x0FFF_FF00 == 0x0320_F000 {
+        return match body & 0xFF {
+            0 => Ok(Instr::Nop),
+            3 => Ok(Instr::Wfi),
+            _ => Err(derr(w, mode, "unknown hint")),
+        };
+    }
+    // BX.
+    if body & 0x0FFF_FFF0 == 0x012F_FF10 {
+        return Ok(Instr::Bx { cond, rm: reg(w) });
+    }
+    // BKPT.
+    if body & 0x0FFF_F0F0 == 0x0120_0070 {
+        let imm = ((w >> 4 & 0xF0) | (w & 0xF)) as u8;
+        return Ok(Instr::Bkpt { imm });
+    }
+    // REV.
+    if body & 0x0FFF_0FF0 == 0x06BF_0F30 {
+        return Ok(Instr::Rev { cond, rd: reg(w >> 12), rm: reg(w) });
+    }
+    match body >> 25 & 7 {
+        0b000 | 0b001 => {
+            // Multiplies live in the 000 space with [7:4] = 1001.
+            if body >> 25 & 7 == 0 && w >> 4 & 0xF == 0b1001 && body >> 23 & 3 == 0 {
+                let s = w >> 20 & 1 != 0;
+                let acc = w >> 21 & 1 != 0;
+                let rd = reg(w >> 16);
+                let rm = reg(w >> 8);
+                let rn = reg(w);
+                return Ok(if acc {
+                    Instr::Mla { cond, rd, rn, rm, ra: reg(w >> 12) }
+                } else {
+                    Instr::Mul { s, cond, rd, rn, rm }
+                });
+            }
+            // Halfword / signed transfers: [7]=1 && [4]=1 (and not mul).
+            if body >> 25 & 7 == 0 && w & 0x90 == 0x90 && w >> 5 & 3 != 0 {
+                return decode_a32_halfword(w, cond);
+            }
+            let imm_form = body >> 25 & 1 != 0;
+            let op = (w >> 21 & 0xF) as u8;
+            let s = w >> 20 & 1 != 0;
+            let rn = reg(w >> 16);
+            let rd = reg(w >> 12);
+            let op2 = decode_shifter(w, imm_form);
+            match op {
+                8 => Ok(Instr::Cmp { op: CmpOp::Tst, cond, rn, op2 }),
+                9 => Ok(Instr::Cmp { op: CmpOp::Teq, cond, rn, op2 }),
+                10 => Ok(Instr::Cmp { op: CmpOp::Cmp, cond, rn, op2 }),
+                11 => Ok(Instr::Cmp { op: CmpOp::Cmn, cond, rn, op2 }),
+                13 => Ok(Instr::Mov { s, cond, rd, op2 }),
+                15 => Ok(Instr::Mvn { s, cond, rd, op2 }),
+                _ => {
+                    let dp = a32_dp_from_bits(u32::from(op))
+                        .ok_or_else(|| derr(w, mode, "data-processing opcode"))?;
+                    Ok(Instr::Dp { op: dp, s, cond, rd, rn, op2 })
+                }
+            }
+        }
+        0b010 | 0b011 => {
+            // Single data transfer.
+            let imm_form = body >> 25 & 1 == 0;
+            let p = w >> 24 & 1 != 0;
+            let u = w >> 23 & 1 != 0;
+            let byte = w >> 22 & 1 != 0;
+            let wbit = w >> 21 & 1 != 0;
+            let load = w >> 20 & 1 != 0;
+            let rn = reg(w >> 16);
+            let rt = reg(w >> 12);
+            let offset = if imm_form {
+                let v = (w & 0xFFF) as i32;
+                Offset::Imm(if u { v } else { -v })
+            } else {
+                if w & 1 << 4 != 0 {
+                    return Err(derr(w, mode, "register-shift memory offset"));
+                }
+                Offset::Reg(reg(w), (w >> 7 & 31) as u8)
+            };
+            if rn == Reg::PC && load && !byte && p && !wbit {
+                if let Offset::Imm(v) = offset {
+                    return Ok(Instr::LdrLit { cond, rt, offset: v });
+                }
+            }
+            let index = match (p, wbit) {
+                (true, false) => Index::Offset,
+                (true, true) => Index::PreIndex,
+                (false, false) => Index::PostIndex,
+                (false, true) => return Err(derr(w, mode, "unsupported T-form transfer")),
+            };
+            let size = if byte { MemSize::Byte } else { MemSize::Word };
+            let addr = AddrMode { base: rn, offset, index };
+            Ok(if load {
+                Instr::Ldr { cond, size, signed: false, rt, addr }
+            } else {
+                Instr::Str { cond, size, rt, addr }
+            })
+        }
+        0b100 => {
+            // Load/store multiple.
+            let p = w >> 24 & 1 != 0;
+            let u = w >> 23 & 1 != 0;
+            let wbit = w >> 21 & 1 != 0;
+            let load = w >> 20 & 1 != 0;
+            let rn = reg(w >> 16);
+            let regs = RegList::from_bits((w & 0xFFFF) as u16);
+            match (load, p, u) {
+                (true, false, true) if rn == Reg::SP && wbit => Ok(Instr::Pop { cond, regs }),
+                (false, true, false) if rn == Reg::SP && wbit => Ok(Instr::Push { cond, regs }),
+                (true, false, true) => Ok(Instr::Ldm { cond, rn, writeback: wbit, regs }),
+                (false, false, true) => Ok(Instr::Stm { cond, rn, writeback: wbit, regs }),
+                _ => Err(derr(w, mode, "unsupported multiple-transfer addressing mode")),
+            }
+        }
+        0b101 => {
+            let link = w >> 24 & 1 != 0;
+            let offset = sign_extend(w & 0x00FF_FFFF, 24) * 4 + 8;
+            Ok(if link { Instr::Bl { offset } } else { Instr::B { cond, offset } })
+        }
+        0b111 => {
+            if body >> 24 & 0xF == 0xF {
+                Ok(Instr::Svc { imm: (w & 0xFF) as u8 })
+            } else {
+                Err(derr(w, mode, "coprocessor space"))
+            }
+        }
+        _ => Err(derr(w, mode, "unallocated class")),
+    }
+}
+
+fn decode_a32_halfword(w: u32, cond: Cond) -> Result<Instr, DecodeError> {
+    let p = w >> 24 & 1 != 0;
+    let u = w >> 23 & 1 != 0;
+    let immform = w >> 22 & 1 != 0;
+    let wbit = w >> 21 & 1 != 0;
+    let load = w >> 20 & 1 != 0;
+    let rn = reg(w >> 16);
+    let rt = reg(w >> 12);
+    let sbit = w >> 6 & 1 != 0;
+    let hbit = w >> 5 & 1 != 0;
+    let offset = if immform {
+        let v = ((w >> 4 & 0xF0) | (w & 0xF)) as i32;
+        Offset::Imm(if u { v } else { -v })
+    } else {
+        Offset::Reg(reg(w), 0)
+    };
+    let index = match (p, wbit) {
+        (true, false) => Index::Offset,
+        (true, true) => Index::PreIndex,
+        (false, _) => return Err(derr(w, IsaMode::A32, "post-indexed halfword")),
+    };
+    let addr = AddrMode { base: rn, offset, index };
+    let (size, signed) = match (sbit, hbit) {
+        (false, true) => (MemSize::Half, false),
+        (true, true) => (MemSize::Half, true),
+        (true, false) => (MemSize::Byte, true),
+        (false, false) => return Err(derr(w, IsaMode::A32, "SWP space")),
+    };
+    Ok(if load {
+        Instr::Ldr { cond, size, signed, rt, addr }
+    } else {
+        if signed && size == MemSize::Byte {
+            return Err(derr(w, IsaMode::A32, "signed store"));
+        }
+        Instr::Str { cond, size: MemSize::Half, rt, addr }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Narrow
+// ---------------------------------------------------------------------------
+
+fn low(bits: u16) -> Reg {
+    Reg::new((bits & 7) as u8)
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_narrow(hw: u16, mode: IsaMode) -> Result<Instr, DecodeError> {
+    let w = u32::from(hw);
+    let al = Cond::Al;
+    match hw >> 11 {
+        // Shift by immediate (and the 00011 add/sub format).
+        0b00000 | 0b00001 | 0b00010 => {
+            let sh = ShiftOp::from_bits((hw >> 11) as u8 & 3);
+            let amt = (hw >> 6 & 31) as u8;
+            let rm = low(hw >> 3);
+            let rd = low(hw);
+            Ok(if amt == 0 && sh == ShiftOp::Lsl {
+                Instr::Mov { s: false, cond: al, rd, op2: Operand2::Reg(rm) }
+            } else {
+                Instr::Mov { s: false, cond: al, rd, op2: Operand2::RegShiftImm(rm, sh, amt) }
+            })
+        }
+        0b00011 => {
+            let imm_form = hw >> 10 & 1 != 0;
+            let sub = hw >> 9 & 1 != 0;
+            let op = if sub { DpOp::Sub } else { DpOp::Add };
+            let rn = low(hw >> 3);
+            let rd = low(hw);
+            let op2 = if imm_form {
+                Operand2::Imm(u32::from(hw >> 6 & 7))
+            } else {
+                Operand2::Reg(low(hw >> 6))
+            };
+            Ok(Instr::Dp { op, s: false, cond: al, rd, rn, op2 })
+        }
+        // MOV/CMP/ADD/SUB imm8.
+        0b00100 => Ok(Instr::Mov {
+            s: false,
+            cond: al,
+            rd: low(hw >> 8),
+            op2: Operand2::Imm(u32::from(hw & 0xFF)),
+        }),
+        0b00101 => Ok(Instr::Cmp {
+            op: CmpOp::Cmp,
+            cond: al,
+            rn: low(hw >> 8),
+            op2: Operand2::Imm(u32::from(hw & 0xFF)),
+        }),
+        0b00110 | 0b00111 => {
+            let op = if hw >> 11 & 1 != 0 { DpOp::Sub } else { DpOp::Add };
+            let rd = low(hw >> 8);
+            Ok(Instr::Dp {
+                op,
+                s: false,
+                cond: al,
+                rd,
+                rn: rd,
+                op2: Operand2::Imm(u32::from(hw & 0xFF)),
+            })
+        }
+        0b01000 => {
+            if hw >> 10 & 1 == 0 {
+                // ALU format: 010000 op4 rm3 rd3.
+                let op4 = hw >> 6 & 0xF;
+                let rm = low(hw >> 3);
+                let rd = low(hw);
+                if let Some(op) = narrow_alu_from_bits(op4) {
+                    return Ok(Instr::Dp {
+                        op,
+                        s: false,
+                        cond: al,
+                        rd,
+                        rn: rd,
+                        op2: Operand2::Reg(rm),
+                    });
+                }
+                match op4 {
+                    2 | 3 | 4 | 7 => {
+                        let sh = match op4 {
+                            2 => ShiftOp::Lsl,
+                            3 => ShiftOp::Lsr,
+                            4 => ShiftOp::Asr,
+                            _ => ShiftOp::Ror,
+                        };
+                        Ok(Instr::Mov {
+                            s: false,
+                            cond: al,
+                            rd,
+                            op2: Operand2::RegShiftReg(rd, sh, rm),
+                        })
+                    }
+                    8 => Ok(Instr::Cmp { op: CmpOp::Tst, cond: al, rn: rd, op2: Operand2::Reg(rm) }),
+                    10 => {
+                        Ok(Instr::Cmp { op: CmpOp::Cmp, cond: al, rn: rd, op2: Operand2::Reg(rm) })
+                    }
+                    11 => {
+                        Ok(Instr::Cmp { op: CmpOp::Cmn, cond: al, rn: rd, op2: Operand2::Reg(rm) })
+                    }
+                    13 => Ok(Instr::Mul { s: false, cond: al, rd, rn: rd, rm }),
+                    15 => Ok(Instr::Mvn { s: false, cond: al, rd, op2: Operand2::Reg(rm) }),
+                    _ => Err(derr(w, mode, "narrow ALU opcode")),
+                }
+            } else {
+                // Hi-register forms: 010001 op2 rm4 rd4.
+                let op2f = hw >> 8 & 3;
+                let rm = reg(u32::from(hw) >> 4);
+                let rd = reg(u32::from(hw));
+                match op2f {
+                    0b01 => {
+                        Ok(Instr::Cmp { op: CmpOp::Cmp, cond: al, rn: rd, op2: Operand2::Reg(rm) })
+                    }
+                    0b10 => Ok(Instr::Mov { s: false, cond: al, rd, op2: Operand2::Reg(rm) }),
+                    0b11 => Ok(Instr::Bx { cond: al, rm }),
+                    _ => Err(derr(w, mode, "hi-register opcode")),
+                }
+            }
+        }
+        0b01001 => Ok(Instr::LdrLit {
+            cond: al,
+            rt: low(hw >> 8),
+            offset: i32::from(hw & 0xFF) * 4,
+        }),
+        0b01010 | 0b01011 => {
+            // Load/store register offset.
+            let opc3 = hw >> 9 & 7;
+            let rm = low(hw >> 6);
+            let rn = low(hw >> 3);
+            let rt = low(hw);
+            let addr = AddrMode::reg(rn, rm, 0);
+            Ok(match opc3 {
+                0b000 => Instr::Str { cond: al, size: MemSize::Word, rt, addr },
+                0b001 => Instr::Str { cond: al, size: MemSize::Half, rt, addr },
+                0b010 => Instr::Str { cond: al, size: MemSize::Byte, rt, addr },
+                0b011 => Instr::Ldr { cond: al, size: MemSize::Byte, signed: true, rt, addr },
+                0b100 => Instr::Ldr { cond: al, size: MemSize::Word, signed: false, rt, addr },
+                0b101 => Instr::Ldr { cond: al, size: MemSize::Half, signed: false, rt, addr },
+                0b110 => Instr::Ldr { cond: al, size: MemSize::Byte, signed: false, rt, addr },
+                _ => Instr::Ldr { cond: al, size: MemSize::Half, signed: true, rt, addr },
+            })
+        }
+        0b01100 | 0b01101 | 0b01110 | 0b01111 => {
+            let byte = hw >> 12 & 1 != 0;
+            let load = hw >> 11 & 1 != 0;
+            let imm5 = i32::from(hw >> 6 & 31);
+            let rn = low(hw >> 3);
+            let rt = low(hw);
+            let (size, off) =
+                if byte { (MemSize::Byte, imm5) } else { (MemSize::Word, imm5 * 4) };
+            let addr = AddrMode::imm(rn, off);
+            Ok(if load {
+                Instr::Ldr { cond: al, size, signed: false, rt, addr }
+            } else {
+                Instr::Str { cond: al, size, rt, addr }
+            })
+        }
+        0b10000 | 0b10001 => {
+            let load = hw >> 11 & 1 != 0;
+            let addr = AddrMode::imm(low(hw >> 3), i32::from(hw >> 6 & 31) * 2);
+            let rt = low(hw);
+            Ok(if load {
+                Instr::Ldr { cond: al, size: MemSize::Half, signed: false, rt, addr }
+            } else {
+                Instr::Str { cond: al, size: MemSize::Half, rt, addr }
+            })
+        }
+        0b10010 | 0b10011 => {
+            let load = hw >> 11 & 1 != 0;
+            let rt = low(hw >> 8);
+            let addr = AddrMode::imm(Reg::SP, i32::from(hw & 0xFF) * 4);
+            Ok(if load {
+                Instr::Ldr { cond: al, size: MemSize::Word, signed: false, rt, addr }
+            } else {
+                Instr::Str { cond: al, size: MemSize::Word, rt, addr }
+            })
+        }
+        0b10110 | 0b10111 => decode_narrow_misc(hw, mode),
+        0b11000 | 0b11001 => {
+            let load = hw >> 11 & 1 != 0;
+            let rn = low(hw >> 8);
+            let regs = RegList::from_bits(hw & 0xFF);
+            Ok(if load {
+                Instr::Ldm { cond: al, rn, writeback: true, regs }
+            } else {
+                Instr::Stm { cond: al, rn, writeback: true, regs }
+            })
+        }
+        0b11010 | 0b11011 => {
+            let condbits = (hw >> 8 & 0xF) as u8;
+            if condbits == 0xF {
+                return Ok(Instr::Svc { imm: (hw & 0xFF) as u8 });
+            }
+            let cond = Cond::from_bits(condbits).ok_or_else(|| derr(w, mode, "branch cond"))?;
+            if cond == Cond::Al {
+                return Err(derr(w, mode, "AL conditional branch form is reserved"));
+            }
+            let offset = sign_extend(u32::from(hw & 0xFF), 8) * 2 + 4;
+            Ok(Instr::B { cond, offset })
+        }
+        0b11100 => {
+            let offset = sign_extend(u32::from(hw & 0x7FF), 11) * 2 + 4;
+            Ok(Instr::B { cond: al, offset })
+        }
+        _ => Err(derr(w, mode, "narrow opcode space")),
+    }
+}
+
+fn decode_narrow_misc(hw: u16, mode: IsaMode) -> Result<Instr, DecodeError> {
+    let w = u32::from(hw);
+    let al = Cond::Al;
+    // ADD/SUB sp, #imm7*4.
+    if hw >> 8 == 0b1011_0000 {
+        let sub = hw >> 7 & 1 != 0;
+        let v = u32::from(hw & 0x7F) * 4;
+        let op = if sub { DpOp::Sub } else { DpOp::Add };
+        return Ok(Instr::Dp {
+            op,
+            s: false,
+            cond: al,
+            rd: Reg::SP,
+            rn: Reg::SP,
+            op2: Operand2::Imm(v),
+        });
+    }
+    // CPS.
+    if hw == 0xB672 {
+        return Ok(Instr::Cpsid);
+    }
+    if hw == 0xB662 {
+        return Ok(Instr::Cpsie);
+    }
+    // PUSH / POP.
+    if hw >> 9 == 0b1011_010 {
+        let mut regs = RegList::from_bits(hw & 0xFF);
+        if hw >> 8 & 1 != 0 {
+            regs.insert(Reg::LR);
+        }
+        return Ok(Instr::Push { cond: al, regs });
+    }
+    if hw >> 9 == 0b1011_110 {
+        let mut regs = RegList::from_bits(hw & 0xFF);
+        if hw >> 8 & 1 != 0 {
+            regs.insert(Reg::PC);
+        }
+        return Ok(Instr::Pop { cond: al, regs });
+    }
+    // REV (custom slot 1011_1010_00).
+    if hw >> 6 == 0b1011_1010_00 {
+        return Ok(Instr::Rev { cond: al, rd: low(hw), rm: low(hw >> 3) });
+    }
+    // BKPT.
+    if hw >> 8 == 0b1011_1110 {
+        return Ok(Instr::Bkpt { imm: (hw & 0xFF) as u8 });
+    }
+    // Hints / IT (0xBFxx).
+    if hw >> 8 == 0b1011_1111 {
+        let field = hw & 0xF;
+        let condbits = (hw >> 4 & 0xF) as u8;
+        if field == 0 {
+            return match condbits {
+                0 => Ok(Instr::Nop),
+                3 => Ok(Instr::Wfi),
+                _ => Err(derr(w, mode, "narrow hint")),
+            };
+        }
+        if mode != IsaMode::T2 {
+            return Err(derr(w, mode, "IT requires T2"));
+        }
+        let firstcond = Cond::from_bits(condbits).ok_or_else(|| derr(w, mode, "IT cond"))?;
+        let (mask, count) =
+            it_field_decode(firstcond, field).ok_or_else(|| derr(w, mode, "IT mask"))?;
+        return Ok(Instr::It { firstcond, mask, count });
+    }
+    // CBZ / CBNZ: 1011 op 0 i 1 imm5 rn3.
+    if hw >> 12 == 0b1011 && hw >> 8 & 1 != 0 && hw >> 10 & 1 == 0 {
+        if mode != IsaMode::T2 {
+            return Err(derr(w, mode, "CBZ requires T2"));
+        }
+        let nonzero = hw >> 11 & 1 != 0;
+        let i6 = u32::from(hw >> 9 & 1) << 5 | u32::from(hw >> 3 & 31);
+        return Ok(Instr::Cbz { nonzero, rn: low(hw), offset: (i6 * 2) as i32 + 4 });
+    }
+    Err(derr(w, mode, "miscellaneous narrow opcode"))
+}
+
+// ---------------------------------------------------------------------------
+// Wide
+// ---------------------------------------------------------------------------
+
+fn decode_wide(hw1: u16, hw2: u16, mode: IsaMode) -> Result<Instr, DecodeError> {
+    let w = u32::from(hw1) << 16 | u32::from(hw2);
+    let al = Cond::Al;
+    match hw1 >> 11 {
+        0b11101 => {
+            // Wide data-processing.
+            let op4 = u32::from(hw1) >> 7 & 0xF;
+            let s = hw1 >> 6 & 1 != 0;
+            let rd = reg(u32::from(hw1) >> 2);
+            let rn = reg((u32::from(hw1) & 3) << 2 | u32::from(hw2) >> 14);
+            let form = hw2 >> 12 & 3;
+            let operand = u32::from(hw2) & 0xFFF;
+            let op2 = match form {
+                0 => Operand2::Imm(t2_imm_decode(operand as u16)),
+                1 => {
+                    let amt = (operand >> 7 & 31) as u8;
+                    let sh = ShiftOp::from_bits((operand >> 5 & 3) as u8);
+                    if amt == 0 && sh == ShiftOp::Lsl {
+                        Operand2::Reg(reg(operand))
+                    } else {
+                        Operand2::RegShiftImm(reg(operand), sh, amt)
+                    }
+                }
+                2 => Operand2::RegShiftReg(
+                    reg(operand),
+                    ShiftOp::from_bits((operand >> 8 & 3) as u8),
+                    reg(operand >> 4),
+                ),
+                _ => return Err(derr(w, mode, "wide dp form")),
+            };
+            match op4 {
+                8 => Ok(Instr::Cmp { op: CmpOp::Tst, cond: al, rn, op2 }),
+                10 => Ok(Instr::Cmp { op: CmpOp::Cmp, cond: al, rn, op2 }),
+                11 => Ok(Instr::Cmp { op: CmpOp::Cmn, cond: al, rn, op2 }),
+                13 => Ok(Instr::Mov { s, cond: al, rd, op2 }),
+                15 => Ok(Instr::Mvn { s, cond: al, rd, op2 }),
+                _ => {
+                    let dp = a32_dp_from_bits(op4)
+                        .ok_or_else(|| derr(w, mode, "wide dp opcode"))?;
+                    Ok(Instr::Dp { op: dp, s, cond: al, rd, rn, op2 })
+                }
+            }
+        }
+        0b11110 => {
+            let op = u32::from(hw1) >> 5 & 0x3F;
+            let p = (u32::from(hw1) & 0x1F) << 16 | u32::from(hw2);
+            decode_misc_wide(w, op, p, mode)
+        }
+        _ => Err(derr(w, mode, "reserved wide prefix")),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_misc_wide(w: u32, op: u32, p: u32, mode: IsaMode) -> Result<Instr, DecodeError> {
+    let al = Cond::Al;
+    Ok(match op {
+        wop::MOVW => Instr::MovW { cond: al, rd: reg(p >> 16), imm16: (p & 0xFFFF) as u16 },
+        wop::MOVT => Instr::MovT { cond: al, rd: reg(p >> 16), imm16: (p & 0xFFFF) as u16 },
+        wop::B => {
+            let cond = Cond::from_bits((p >> 17 & 0xF) as u8)
+                .ok_or_else(|| derr(w, mode, "wide branch cond"))?;
+            Instr::B { cond, offset: sign_extend(p & 0x1_FFFF, 17) * 2 + 4 }
+        }
+        wop::BL => Instr::Bl { offset: sign_extend(p & 0x1F_FFFF, 21) * 2 + 4 },
+        wop::BFI => Instr::Bfi {
+            cond: al,
+            rd: reg(p >> 14),
+            rn: reg(p >> 10),
+            lsb: (p >> 5 & 31) as u8,
+            width: (p & 31) as u8 + 1,
+        },
+        wop::BFC => Instr::Bfc {
+            cond: al,
+            rd: reg(p >> 10),
+            lsb: (p >> 5 & 31) as u8,
+            width: (p & 31) as u8 + 1,
+        },
+        wop::UBFX => Instr::Ubfx {
+            cond: al,
+            rd: reg(p >> 14),
+            rn: reg(p >> 10),
+            lsb: (p >> 5 & 31) as u8,
+            width: (p & 31) as u8 + 1,
+        },
+        wop::SBFX => Instr::Sbfx {
+            cond: al,
+            rd: reg(p >> 14),
+            rn: reg(p >> 10),
+            lsb: (p >> 5 & 31) as u8,
+            width: (p & 31) as u8 + 1,
+        },
+        wop::SDIV => Instr::Sdiv { cond: al, rd: reg(p >> 8), rn: reg(p >> 4), rm: reg(p) },
+        wop::UDIV => Instr::Udiv { cond: al, rd: reg(p >> 8), rn: reg(p >> 4), rm: reg(p) },
+        wop::MUL => Instr::Mul {
+            s: p >> 12 & 1 != 0,
+            cond: al,
+            rd: reg(p >> 8),
+            rn: reg(p >> 4),
+            rm: reg(p),
+        },
+        wop::MLA => Instr::Mla {
+            cond: al,
+            ra: reg(p >> 12),
+            rd: reg(p >> 8),
+            rn: reg(p >> 4),
+            rm: reg(p),
+        },
+        wop::RBIT => Instr::Rbit { cond: al, rd: reg(p >> 4), rm: reg(p) },
+        wop::REV => Instr::Rev { cond: al, rd: reg(p >> 4), rm: reg(p) },
+        wop::TBB => Instr::Tbb { rn: reg(p >> 4), rm: reg(p) },
+        wop::TBH => Instr::Tbh { rn: reg(p >> 4), rm: reg(p) },
+        k if (wop::LS_IMM_BASE..wop::LS_IMM_BASE + 8).contains(&k) => {
+            let k = k - wop::LS_IMM_BASE;
+            let rt = reg(p >> 17);
+            let base = reg(p >> 13);
+            let index = match p >> 11 & 3 {
+                0 => Index::Offset,
+                1 => Index::PreIndex,
+                2 => Index::PostIndex,
+                _ => return Err(derr(w, mode, "wide ls index")),
+            };
+            let imm = sign_extend(p & 0x7FF, 11);
+            let addr = AddrMode { base, offset: Offset::Imm(imm), index };
+            match k {
+                0 => Instr::Ldr { cond: al, size: MemSize::Word, signed: false, rt, addr },
+                1 => Instr::Ldr { cond: al, size: MemSize::Byte, signed: false, rt, addr },
+                2 => Instr::Ldr { cond: al, size: MemSize::Half, signed: false, rt, addr },
+                3 => Instr::Ldr { cond: al, size: MemSize::Byte, signed: true, rt, addr },
+                4 => Instr::Ldr { cond: al, size: MemSize::Half, signed: true, rt, addr },
+                5 => Instr::Str { cond: al, size: MemSize::Word, rt, addr },
+                6 => Instr::Str { cond: al, size: MemSize::Byte, rt, addr },
+                _ => Instr::Str { cond: al, size: MemSize::Half, rt, addr },
+            }
+        }
+        k if (wop::LS_REG_BASE..wop::LS_REG_BASE + 8).contains(&k) => {
+            let k = k - wop::LS_REG_BASE;
+            let rt = reg(p >> 10);
+            let base = reg(p >> 6);
+            let rm = reg(p >> 2);
+            let addr = AddrMode::reg(base, rm, (p & 3) as u8);
+            match k {
+                0 => Instr::Ldr { cond: al, size: MemSize::Word, signed: false, rt, addr },
+                1 => Instr::Ldr { cond: al, size: MemSize::Byte, signed: false, rt, addr },
+                2 => Instr::Ldr { cond: al, size: MemSize::Half, signed: false, rt, addr },
+                3 => Instr::Str { cond: al, size: MemSize::Word, rt, addr },
+                4 => Instr::Str { cond: al, size: MemSize::Byte, rt, addr },
+                5 => Instr::Str { cond: al, size: MemSize::Half, rt, addr },
+                6 => Instr::Ldr { cond: al, size: MemSize::Byte, signed: true, rt, addr },
+                _ => Instr::Ldr { cond: al, size: MemSize::Half, signed: true, rt, addr },
+            }
+        }
+        wop::LDR_LIT => Instr::LdrLit {
+            cond: al,
+            rt: reg(p >> 16),
+            offset: sign_extend(p & 0xFFFF, 16),
+        },
+        wop::LDM => Instr::Ldm {
+            cond: al,
+            rn: reg(p >> 16),
+            writeback: p >> 20 & 1 != 0,
+            regs: RegList::from_bits((p & 0xFFFF) as u16),
+        },
+        wop::STM => Instr::Stm {
+            cond: al,
+            rn: reg(p >> 16),
+            writeback: p >> 20 & 1 != 0,
+            regs: RegList::from_bits((p & 0xFFFF) as u16),
+        },
+        wop::PUSH => Instr::Push { cond: al, regs: RegList::from_bits((p & 0xFFFF) as u16) },
+        wop::POP => Instr::Pop { cond: al, regs: RegList::from_bits((p & 0xFFFF) as u16) },
+        _ => return Err(derr(w, mode, "wide misc opcode")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    fn roundtrip(i: Instr, mode: IsaMode) {
+        let e = encode(&i, mode).unwrap_or_else(|e| panic!("encode: {e}"));
+        let (d, len) = decode(e.as_bytes(), mode).unwrap_or_else(|e| panic!("decode: {e}"));
+        assert_eq!(len, e.len(), "{i}");
+        assert_eq!(d, i, "{i} in {mode}");
+    }
+
+    #[test]
+    fn a32_dp_roundtrip() {
+        for op in DpOp::ALL {
+            roundtrip(
+                Instr::Dp {
+                    op,
+                    s: true,
+                    cond: Cond::Ne,
+                    rd: Reg::R3,
+                    rn: Reg::R9,
+                    op2: Operand2::Imm(0xFF00),
+                },
+                IsaMode::A32,
+            );
+            roundtrip(
+                Instr::Dp {
+                    op,
+                    s: false,
+                    cond: Cond::Al,
+                    rd: Reg::R3,
+                    rn: Reg::R9,
+                    op2: Operand2::RegShiftImm(Reg::R1, ShiftOp::Asr, 7),
+                },
+                IsaMode::A32,
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_roundtrip_samples() {
+        let samples = [
+            Instr::Mov { s: false, cond: Cond::Al, rd: Reg::R5, op2: Operand2::Imm(200) },
+            Instr::Mov { s: false, cond: Cond::Al, rd: Reg::R12, op2: Operand2::Reg(Reg::R1) },
+            Instr::Cmp {
+                op: CmpOp::Cmp,
+                cond: Cond::Al,
+                rn: Reg::R2,
+                op2: Operand2::Imm(17),
+            },
+            Instr::B { cond: Cond::Lt, offset: -40 },
+            Instr::B { cond: Cond::Al, offset: 200 },
+            Instr::Bx { cond: Cond::Al, rm: Reg::LR },
+            Instr::LdrLit { cond: Cond::Al, rt: Reg::R3, offset: 64 },
+            Instr::Svc { imm: 7 },
+            Instr::Nop,
+            Instr::Wfi,
+            Instr::Cpsid,
+            Instr::Cpsie,
+        ];
+        for i in samples {
+            roundtrip(i, IsaMode::T16);
+            roundtrip(i, IsaMode::T2);
+        }
+    }
+
+    #[test]
+    fn wide_roundtrip_samples() {
+        let samples = [
+            Instr::MovW { cond: Cond::Al, rd: Reg::R10, imm16: 0xBEEF },
+            Instr::MovT { cond: Cond::Al, rd: Reg::R10, imm16: 0xDEAD },
+            Instr::Sdiv { cond: Cond::Al, rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 },
+            Instr::Udiv { cond: Cond::Al, rd: Reg::R8, rn: Reg::R9, rm: Reg::R10 },
+            Instr::Bfi { cond: Cond::Al, rd: Reg::R1, rn: Reg::R2, lsb: 4, width: 8 },
+            Instr::Ubfx { cond: Cond::Al, rd: Reg::R1, rn: Reg::R2, lsb: 31, width: 1 },
+            Instr::Rbit { cond: Cond::Al, rd: Reg::R4, rm: Reg::R5 },
+            Instr::Tbb { rn: Reg::R0, rm: Reg::R1 },
+            Instr::Bl { offset: -2048 },
+            Instr::B { cond: Cond::Gt, offset: 70000 },
+            Instr::Cbz { nonzero: true, rn: Reg::R3, offset: 50 },
+            Instr::It { firstcond: Cond::Eq, mask: 0b01, count: 2 },
+        ];
+        for i in samples {
+            roundtrip(i, IsaMode::T2);
+        }
+    }
+
+    #[test]
+    fn t16_rejects_wide_non_bl() {
+        let i = Instr::Sdiv { cond: Cond::Al, rd: Reg::R0, rn: Reg::R1, rm: Reg::R2 };
+        let e = encode(&i, IsaMode::T2).unwrap();
+        assert!(decode(e.as_bytes(), IsaMode::T16).is_err());
+        // BL decodes fine in T16.
+        let bl = encode(&Instr::Bl { offset: 400 }, IsaMode::T16).unwrap();
+        let (d, len) = decode(bl.as_bytes(), IsaMode::T16).unwrap();
+        assert_eq!(d, Instr::Bl { offset: 400 });
+        assert_eq!(len, 4);
+    }
+
+    #[test]
+    fn a32_memory_roundtrip() {
+        let samples = [
+            Instr::Ldr {
+                cond: Cond::Al,
+                size: MemSize::Word,
+                signed: false,
+                rt: Reg::R0,
+                addr: AddrMode::imm(Reg::R1, -200),
+            },
+            Instr::Ldr {
+                cond: Cond::Hi,
+                size: MemSize::Byte,
+                signed: false,
+                rt: Reg::R9,
+                addr: AddrMode::reg(Reg::R2, Reg::R3, 2),
+            },
+            Instr::Ldr {
+                cond: Cond::Al,
+                size: MemSize::Half,
+                signed: true,
+                rt: Reg::R4,
+                addr: AddrMode::imm(Reg::R5, 34),
+            },
+            Instr::Str {
+                cond: Cond::Al,
+                size: MemSize::Half,
+                rt: Reg::R4,
+                addr: AddrMode::imm(Reg::R5, -34),
+            },
+            Instr::Str {
+                cond: Cond::Al,
+                size: MemSize::Word,
+                rt: Reg::R4,
+                addr: AddrMode::post(Reg::R5, 4),
+            },
+            Instr::LdrLit { cond: Cond::Al, rt: Reg::R7, offset: -44 },
+        ];
+        for i in samples {
+            roundtrip(i, IsaMode::A32);
+        }
+    }
+
+    #[test]
+    fn multiple_transfer_roundtrip() {
+        let regs: RegList = [Reg::R0, Reg::R4, Reg::R7].into_iter().collect();
+        let hi: RegList = [Reg::R4, Reg::R8, Reg::LR].into_iter().collect();
+        roundtrip(Instr::Ldm { cond: Cond::Al, rn: Reg::R0, writeback: true, regs }, IsaMode::T16);
+        roundtrip(Instr::Stm { cond: Cond::Al, rn: Reg::R1, writeback: true, regs }, IsaMode::T2);
+        roundtrip(Instr::Push { cond: Cond::Al, regs: hi }, IsaMode::T2);
+        roundtrip(Instr::Push { cond: Cond::Al, regs: hi }, IsaMode::A32);
+        roundtrip(Instr::Pop { cond: Cond::Al, regs }, IsaMode::A32);
+    }
+
+    #[test]
+    fn decode_error_on_garbage() {
+        assert!(decode(&[0xFF, 0xFF, 0xFF, 0xFF], IsaMode::T2).is_err());
+        assert!(decode(&[0x00], IsaMode::T16).is_err());
+        assert!(decode(&[0, 0, 0], IsaMode::A32).is_err());
+    }
+}

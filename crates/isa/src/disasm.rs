@@ -1,0 +1,126 @@
+//! Linear-sweep disassembler for ALIA program images.
+
+use std::fmt;
+
+use crate::{decode, Instr, IsaMode};
+
+/// One disassembled line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Address of the instruction (or data word).
+    pub addr: u32,
+    /// Encoded size in bytes.
+    pub size: u32,
+    /// The decoded instruction, or `None` for undecodable data (literal
+    /// pools, jump tables).
+    pub instr: Option<Instr>,
+    /// Raw bits (zero-extended).
+    pub raw: u32,
+}
+
+impl fmt::Display for DisasmLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.instr, self.size) {
+            (Some(i), 2) => write!(f, "{:08x}:     {:04x}  {i}", self.addr, self.raw),
+            (Some(i), _) => write!(f, "{:08x}: {:08x}  {i}", self.addr, self.raw),
+            (None, _) => write!(f, "{:08x}: {:08x}  .word", self.addr, self.raw),
+        }
+    }
+}
+
+/// Disassembles `bytes` loaded at `base` as `mode` code, linearly.
+///
+/// Undecodable words (literal pools, tables) are emitted as `.word` lines
+/// and the sweep continues — a listing tool, not a control-flow-following
+/// decompiler.
+///
+/// # Examples
+///
+/// ```
+/// use alia_isa::{Assembler, IsaMode, disassemble};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let out = Assembler::new(IsaMode::T2).assemble("add r0, r0, #1\nbx lr")?;
+/// let listing = disassemble(&out.bytes, IsaMode::T2, 0x100);
+/// assert_eq!(listing.len(), 2);
+/// assert_eq!(listing[0].to_string(), "00000100:     1c40  add r0, r0, #1");
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn disassemble(bytes: &[u8], mode: IsaMode, base: u32) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut pc = 0usize;
+    let step = mode.min_instr_size() as usize;
+    while pc < bytes.len() {
+        match decode(&bytes[pc..], mode) {
+            Ok((instr, len)) => {
+                let mut raw = 0u32;
+                for i in (0..len as usize).rev() {
+                    raw = raw << 8 | u32::from(bytes[pc + i]);
+                }
+                out.push(DisasmLine { addr: base + pc as u32, size: len, instr: Some(instr), raw });
+                pc += len as usize;
+            }
+            Err(_) => {
+                let avail = (bytes.len() - pc).min(4.max(step));
+                let mut raw = 0u32;
+                for i in (0..avail.min(4)).rev() {
+                    raw = raw << 8 | u32::from(bytes[pc + i]);
+                }
+                let size = avail.min(4).max(step) as u32;
+                out.push(DisasmLine { addr: base + pc as u32, size, instr: None, raw });
+                pc += size as usize;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assembler;
+
+    #[test]
+    fn roundtrips_an_assembled_program() {
+        let src = "start:
+            mov r0, #5
+            movw r1, #0x1234
+            ldr r2, [r0, #4]
+            push {r4, lr}
+            pop {r4, pc}";
+        for mode in [IsaMode::T2] {
+            let out = Assembler::new(mode).assemble(src).unwrap();
+            let lines = disassemble(&out.bytes, mode, 0);
+            assert_eq!(lines.len(), 5);
+            assert!(lines.iter().all(|l| l.instr.is_some()));
+            let text: Vec<String> =
+                lines.iter().map(|l| l.instr.as_ref().unwrap().to_string()).collect();
+            assert_eq!(text[0], "mov r0, #5");
+            assert_eq!(text[1], "movw r1, #4660");
+        }
+    }
+
+    #[test]
+    fn data_words_become_word_lines() {
+        let out = Assembler::new(IsaMode::A32)
+            .assemble("nop\n.word 0xFEFFFFFF")
+            .unwrap();
+        let lines = disassemble(&out.bytes, IsaMode::A32, 0x100);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].instr.is_some());
+        // 0xFEFFFFFF lands in an unallocated A32 class.
+        assert!(lines[1].instr.is_none());
+        assert!(lines[1].to_string().contains(".word"));
+    }
+
+    #[test]
+    fn addresses_accumulate_correctly() {
+        let out = Assembler::new(IsaMode::T2)
+            .assemble("nop\nsdiv r0, r1, r2\nnop")
+            .unwrap();
+        let lines = disassemble(&out.bytes, IsaMode::T2, 0x40);
+        let addrs: Vec<u32> = lines.iter().map(|l| l.addr).collect();
+        assert_eq!(addrs, vec![0x40, 0x42, 0x46]);
+    }
+}

@@ -1,0 +1,65 @@
+//! # ALIA — an Automotive-Like Instruction Set Architecture
+//!
+//! This crate defines the instruction set used throughout the reproduction
+//! of Lyons, *"Meeting the Embedded Design Needs of Automotive
+//! Applications"* (DATE 2005). The paper's central claim is that one ISA
+//! family with three encodings — a fixed 32-bit encoding, a compressed
+//! 16-bit encoding, and a blended 16/32-bit encoding — can span the entire
+//! automotive performance spectrum. ALIA mirrors that structure:
+//!
+//! * [`IsaMode::A32`] — fixed 32-bit instructions with full conditional
+//!   execution and flexible shifter operands (the "ARM" analogue),
+//! * [`IsaMode::T16`] — fixed 16-bit instructions with eight allocatable
+//!   registers and two-address arithmetic (the "Thumb" analogue),
+//! * [`IsaMode::T2`] — everything narrow from `T16` plus wide operations:
+//!   `MOVW`/`MOVT`, bit-field insert/extract, hardware divide, IT blocks,
+//!   compare-and-branch and table branches (the "Thumb-2" analogue).
+//!
+//! The crate provides the semantic instruction type [`Instr`], binary
+//! [`encode`]/[`decode`] for all three modes, and a small two-pass
+//! [`Assembler`]. Bit layouts are ALIA's own (documented in
+//! `encode`'s module docs) but field widths — and therefore
+//! code density — match their ARM/Thumb/Thumb-2 counterparts.
+//!
+//! # Examples
+//!
+//! ```
+//! use alia_isa::{Assembler, IsaMode, decode};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t2 = Assembler::new(IsaMode::T2).assemble("add r0, r0, #1\nbx lr")?;
+//! let a32 = Assembler::new(IsaMode::A32).assemble("add r0, r0, #1\nbx lr")?;
+//! // The blended encoding is half the size here:
+//! assert_eq!(t2.bytes.len(), 4);
+//! assert_eq!(a32.bytes.len(), 8);
+//! let (instr, len) = decode(&t2.bytes, IsaMode::T2)?;
+//! assert_eq!(len, 2);
+//! assert_eq!(instr.to_string(), "add r0, r0, #1");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod asm;
+mod cond;
+mod decode;
+mod disasm;
+mod encode;
+mod instr;
+mod mode;
+mod operand;
+mod reg;
+
+pub use asm::{AsmError, Assembled, Assembler};
+pub use cond::{Cond, Flags};
+pub use decode::{decode, DecodeError};
+pub use disasm::{disassemble, DisasmLine};
+pub use encode::{encode, EncodedInstr};
+pub use instr::{CmpOp, DpOp, EncodeInstrError, Instr};
+pub use mode::IsaMode;
+pub use operand::{
+    a32_imm_decode, a32_imm_encodable, a32_imm_encode, t2_imm_decode, t2_imm_encodable,
+    t2_imm_encode, AddrMode, Index, MemSize, Offset, Operand2, ShiftOp,
+};
+pub use reg::{Iter, Reg, RegList};

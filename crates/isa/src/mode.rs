@@ -1,0 +1,111 @@
+//! The three ALIA instruction encodings.
+
+use std::fmt;
+
+/// Which of the three ALIA encodings a piece of code uses.
+///
+/// * [`IsaMode::A32`] — fixed 32-bit instructions, full conditional
+///   execution, 8-bit rotated immediates (the classic "ARM" analogue).
+/// * [`IsaMode::T16`] — fixed 16-bit instructions (plus a 32-bit `BL`),
+///   eight allocatable registers, two-address arithmetic (the "Thumb"
+///   analogue).
+/// * [`IsaMode::T2`] — blended 16/32-bit instructions with wide operations,
+///   IT blocks, `MOVW`/`MOVT`, bit-field instructions, hardware divide and
+///   compare-and-branch (the "Thumb-2" analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IsaMode {
+    /// Fixed 32-bit encoding.
+    A32,
+    /// Fixed 16-bit encoding.
+    T16,
+    /// Blended 16/32-bit encoding.
+    T2,
+}
+
+impl IsaMode {
+    /// All modes, in the order the paper's Table 1 lists them.
+    pub const ALL: [IsaMode; 3] = [IsaMode::A32, IsaMode::T16, IsaMode::T2];
+
+    /// The pipeline-visible PC bias in this mode: reading the program
+    /// counter yields the instruction address plus this many bytes
+    /// (8 for `A32`, 4 for the 16-bit encodings), mirroring ARM.
+    #[must_use]
+    pub fn pc_bias(self) -> u32 {
+        match self {
+            IsaMode::A32 => 8,
+            IsaMode::T16 | IsaMode::T2 => 4,
+        }
+    }
+
+    /// Minimum instruction size in bytes.
+    #[must_use]
+    pub fn min_instr_size(self) -> u32 {
+        match self {
+            IsaMode::A32 => 4,
+            IsaMode::T16 | IsaMode::T2 => 2,
+        }
+    }
+
+    /// Whether this mode supports per-instruction condition fields.
+    #[must_use]
+    pub fn has_conditional_execution(self) -> bool {
+        matches!(self, IsaMode::A32)
+    }
+
+    /// Whether this mode supports IT blocks.
+    #[must_use]
+    pub fn has_it_blocks(self) -> bool {
+        matches!(self, IsaMode::T2)
+    }
+
+    /// Whether this mode has the wide (32-bit) operation repertoire:
+    /// `MOVW`/`MOVT`, bit-field ops, hardware divide, table branches.
+    #[must_use]
+    pub fn has_wide_ops(self) -> bool {
+        matches!(self, IsaMode::T2)
+    }
+
+    /// Number of registers the compiler may freely allocate in this mode
+    /// (excluding `sp`, `lr`, `pc` and the assembler scratch `r12`).
+    #[must_use]
+    pub fn allocatable_regs(self) -> u8 {
+        match self {
+            IsaMode::A32 | IsaMode::T2 => 12,
+            IsaMode::T16 => 8,
+        }
+    }
+}
+
+impl fmt::Display for IsaMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IsaMode::A32 => "A32",
+            IsaMode::T16 => "T16",
+            IsaMode::T2 => "T2",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_bias_matches_arm_convention() {
+        assert_eq!(IsaMode::A32.pc_bias(), 8);
+        assert_eq!(IsaMode::T16.pc_bias(), 4);
+        assert_eq!(IsaMode::T2.pc_bias(), 4);
+    }
+
+    #[test]
+    fn feature_matrix() {
+        assert!(IsaMode::A32.has_conditional_execution());
+        assert!(!IsaMode::T16.has_conditional_execution());
+        assert!(IsaMode::T2.has_it_blocks());
+        assert!(!IsaMode::T16.has_wide_ops());
+        assert!(IsaMode::T2.has_wide_ops());
+        assert_eq!(IsaMode::T16.allocatable_regs(), 8);
+        assert_eq!(IsaMode::T2.allocatable_regs(), 12);
+    }
+}

@@ -1,0 +1,283 @@
+//! General-purpose registers and register lists.
+
+use std::fmt;
+
+/// A general-purpose register `r0`..`r15`.
+///
+/// `r13` is the stack pointer ([`Reg::SP`]), `r14` the link register
+/// ([`Reg::LR`]) and `r15` the program counter ([`Reg::PC`]), mirroring the
+/// ARM convention the paper's cores use.
+///
+/// # Examples
+///
+/// ```
+/// use alia_isa::Reg;
+/// let r = Reg::R4;
+/// assert_eq!(r.index(), 4);
+/// assert!(r.is_low());
+/// assert!(!Reg::R9.is_low());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)] // rN constants are self-describing
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    /// Stack pointer (`r13`).
+    pub const SP: Reg = Reg(13);
+    /// Link register (`r14`).
+    pub const LR: Reg = Reg(14);
+    /// Program counter (`r15`).
+    pub const PC: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Reg> {
+        (index < 16).then_some(Reg(index))
+    }
+
+    /// The register's index, `0..=15`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is a "low" register (`r0`..`r7`) addressable by the
+    /// narrow 16-bit encoding.
+    #[must_use]
+    pub fn is_low(self) -> bool {
+        self.0 < 8
+    }
+
+    /// Iterates over all sixteen registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::SP => write!(f, "sp"),
+            Reg::LR => write!(f, "lr"),
+            Reg::PC => write!(f, "pc"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// A set of registers used by load/store-multiple instructions.
+///
+/// Internally a 16-bit mask with bit *n* set when `r<n>` is a member.
+///
+/// # Examples
+///
+/// ```
+/// use alia_isa::{Reg, RegList};
+/// let list: RegList = [Reg::R4, Reg::R5, Reg::LR].into_iter().collect();
+/// assert_eq!(list.len(), 3);
+/// assert!(list.contains(Reg::LR));
+/// assert_eq!(list.to_string(), "{r4, r5, lr}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegList(u16);
+
+impl RegList {
+    /// The empty register list.
+    #[must_use]
+    pub fn new() -> RegList {
+        RegList(0)
+    }
+
+    /// Builds a list from a raw 16-bit mask (bit *n* ⇒ `r<n>`).
+    #[must_use]
+    pub fn from_bits(bits: u16) -> RegList {
+        RegList(bits)
+    }
+
+    /// The raw 16-bit mask.
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Adds a register to the list.
+    pub fn insert(&mut self, reg: Reg) {
+        self.0 |= 1 << reg.index();
+    }
+
+    /// Removes a register from the list.
+    pub fn remove(&mut self, reg: Reg) {
+        self.0 &= !(1 << reg.index());
+    }
+
+    /// Whether `reg` is a member.
+    #[must_use]
+    pub fn contains(self, reg: Reg) -> bool {
+        self.0 & (1 << reg.index()) != 0
+    }
+
+    /// Number of registers in the list.
+    #[must_use]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether every member is a low register (`r0`..`r7`).
+    #[must_use]
+    pub fn all_low(self) -> bool {
+        self.0 & 0xFF00 == 0
+    }
+
+    /// Iterates over members in ascending index order.
+    pub fn iter(self) -> Iter {
+        Iter { bits: self.0 }
+    }
+}
+
+impl FromIterator<Reg> for RegList {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegList {
+        let mut list = RegList::new();
+        for r in iter {
+            list.insert(r);
+        }
+        list
+    }
+}
+
+impl Extend<Reg> for RegList {
+    fn extend<I: IntoIterator<Item = Reg>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl IntoIterator for RegList {
+    type Item = Reg;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`RegList`], ascending.
+#[derive(Debug, Clone)]
+pub struct Iter {
+    bits: u16,
+}
+
+impl Iterator for Iter {
+    type Item = Reg;
+    fn next(&mut self) -> Option<Reg> {
+        if self.bits == 0 {
+            return None;
+        }
+        let idx = self.bits.trailing_zeros() as u8;
+        self.bits &= self.bits - 1;
+        Some(Reg::new(idx))
+    }
+}
+
+impl fmt::Display for RegList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_and_classes() {
+        for i in 0..16 {
+            let r = Reg::new(i);
+            assert_eq!(r.index(), i);
+            assert_eq!(r.is_low(), i < 8);
+        }
+        assert!(Reg::try_new(16).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_panics_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn reg_display_special_names() {
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::PC.to_string(), "pc");
+        assert_eq!(Reg::R3.to_string(), "r3");
+    }
+
+    #[test]
+    fn reglist_basic_ops() {
+        let mut l = RegList::new();
+        assert!(l.is_empty());
+        l.insert(Reg::R0);
+        l.insert(Reg::R7);
+        l.insert(Reg::LR);
+        assert_eq!(l.len(), 3);
+        assert!(l.contains(Reg::R7));
+        assert!(!l.all_low());
+        l.remove(Reg::LR);
+        assert!(l.all_low());
+        let v: Vec<Reg> = l.iter().collect();
+        assert_eq!(v, vec![Reg::R0, Reg::R7]);
+    }
+
+    #[test]
+    fn reglist_display() {
+        let l: RegList = [Reg::R0, Reg::R1, Reg::PC].into_iter().collect();
+        assert_eq!(l.to_string(), "{r0, r1, pc}");
+        assert_eq!(RegList::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn reglist_bits_roundtrip() {
+        let l = RegList::from_bits(0b1000_0000_1001_0110);
+        assert_eq!(l.bits(), 0b1000_0000_1001_0110);
+        assert_eq!(l.len(), 5);
+    }
+}

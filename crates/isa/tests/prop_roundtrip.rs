@@ -1,0 +1,322 @@
+//! Property tests: encode ∘ decode is the identity on canonical
+//! instructions, in every mode that accepts them.
+
+use alia_isa::{
+    decode, encode, AddrMode, CmpOp, Cond, DpOp, Instr, IsaMode, MemSize, Operand2, Reg, RegList,
+    ShiftOp,
+};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn low_reg() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(Reg::new)
+}
+
+fn gp_reg() -> impl Strategy<Value = Reg> {
+    // excludes sp/pc to avoid canonicalization special cases
+    (0u8..13).prop_map(Reg::new)
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn branch_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(
+        Cond::ALL.iter().copied().filter(|c| *c != Cond::Al).collect::<Vec<_>>(),
+    )
+}
+
+fn shift_op() -> impl Strategy<Value = ShiftOp> {
+    prop::sample::select(vec![ShiftOp::Lsl, ShiftOp::Lsr, ShiftOp::Asr, ShiftOp::Ror])
+}
+
+fn a32_imm() -> impl Strategy<Value = u32> {
+    (any::<u8>(), 0u8..16).prop_map(|(imm8, rot)| alia_isa::a32_imm_decode(rot, imm8))
+}
+
+fn t2_imm() -> impl Strategy<Value = u32> {
+    (0u16..0x1000).prop_map(alia_isa::t2_imm_decode)
+}
+
+/// Canonical operand2 (no lsl-#0 register shifts).
+fn operand2(imm: impl Strategy<Value = u32>) -> impl Strategy<Value = Operand2> {
+    prop_oneof![
+        imm.prop_map(Operand2::Imm),
+        gp_reg().prop_map(Operand2::Reg),
+        (gp_reg(), shift_op(), 1u8..32).prop_map(|(r, s, a)| Operand2::RegShiftImm(r, s, a)),
+    ]
+}
+
+fn dp_op() -> impl Strategy<Value = DpOp> {
+    prop::sample::select(DpOp::ALL.to_vec())
+}
+
+fn roundtrip(i: &Instr, mode: IsaMode) {
+    let e = encode(i, mode).unwrap_or_else(|e| panic!("encode {i} in {mode}: {e}"));
+    let (d, len) = decode(e.as_bytes(), mode).unwrap_or_else(|e| panic!("decode {i}: {e}"));
+    assert_eq!(len, e.len(), "length mismatch for {i}");
+    assert_eq!(&d, i, "roundtrip mismatch in {mode}");
+}
+
+proptest! {
+    #[test]
+    fn a32_dp_roundtrips(
+        op in dp_op(),
+        s in any::<bool>(),
+        cond in any_cond(),
+        rd in gp_reg(),
+        rn in gp_reg(),
+        op2 in operand2(a32_imm()),
+    ) {
+        let i = Instr::Dp { op, s, cond, rd, rn, op2 };
+        roundtrip(&i, IsaMode::A32);
+    }
+
+    #[test]
+    fn a32_regshiftreg_roundtrips(
+        op in dp_op(),
+        cond in any_cond(),
+        rd in gp_reg(),
+        rn in gp_reg(),
+        rm in gp_reg(),
+        sh in shift_op(),
+        rs in gp_reg(),
+    ) {
+        let i = Instr::Dp {
+            op, s: false, cond, rd, rn,
+            op2: Operand2::RegShiftReg(rm, sh, rs),
+        };
+        roundtrip(&i, IsaMode::A32);
+    }
+
+    #[test]
+    fn t2_dp_wide_roundtrips(
+        op in dp_op(),
+        s in any::<bool>(),
+        rd in 8u8..13,
+        rn in 8u8..13,
+        op2 in operand2(t2_imm()),
+    ) {
+        // hi registers force the wide encoding
+        let i = Instr::Dp { op, s, cond: Cond::Al, rd: Reg::new(rd), rn: Reg::new(rn), op2 };
+        roundtrip(&i, IsaMode::T2);
+    }
+
+    #[test]
+    fn narrow_dp_roundtrips_in_both_thumb_modes(
+        op in dp_op(),
+        rd in low_reg(),
+        rm in low_reg(),
+    ) {
+        // two-address register form fits narrow for every op except RSB,
+        // which (like Thumb) has no narrow register form
+        prop_assume!(op != DpOp::Rsb);
+        let i = Instr::Dp { op, s: false, cond: Cond::Al, rd, rn: rd, op2: Operand2::Reg(rm) };
+        roundtrip(&i, IsaMode::T16);
+        roundtrip(&i, IsaMode::T2);
+    }
+
+    #[test]
+    fn mov_imm8_narrow(rd in low_reg(), v in 0u32..256) {
+        let i = Instr::Mov { s: false, cond: Cond::Al, rd, op2: Operand2::Imm(v) };
+        roundtrip(&i, IsaMode::T16);
+        roundtrip(&i, IsaMode::T2);
+        roundtrip(&i, IsaMode::A32);
+    }
+
+    #[test]
+    fn cmp_roundtrips(
+        op in prop::sample::select(vec![CmpOp::Cmp, CmpOp::Cmn, CmpOp::Tst]),
+        rn in low_reg(),
+        rm in low_reg(),
+    ) {
+        let i = Instr::Cmp { op, cond: Cond::Al, rn, op2: Operand2::Reg(rm) };
+        roundtrip(&i, IsaMode::T16);
+        roundtrip(&i, IsaMode::T2);
+        roundtrip(&i, IsaMode::A32);
+    }
+
+    #[test]
+    fn branches_roundtrip_all_modes(cond in branch_cond(), halfwords in -120i32..120) {
+        let off2 = halfwords * 2 + 4; // even, in narrow range
+        roundtrip(&Instr::B { cond, offset: off2 }, IsaMode::T16);
+        roundtrip(&Instr::B { cond, offset: off2 }, IsaMode::T2);
+        let off4 = halfwords * 4 + 8;
+        roundtrip(&Instr::B { cond, offset: off4 }, IsaMode::A32);
+    }
+
+    #[test]
+    fn wide_branches_roundtrip(words in -60000i32..60000) {
+        let off = words * 2 + 4;
+        if off.abs() > 2050 {
+            roundtrip(&Instr::B { cond: Cond::Al, offset: off }, IsaMode::T2);
+        }
+        roundtrip(&Instr::Bl { offset: off }, IsaMode::T2);
+        roundtrip(&Instr::Bl { offset: off }, IsaMode::T16);
+    }
+
+    #[test]
+    fn a32_loads_roundtrip(
+        rt in gp_reg(),
+        base in gp_reg(),
+        off in -255i32..256,
+        size_sel in 0u8..3,
+        signed in any::<bool>(),
+    ) {
+        let (size, signed) = match size_sel {
+            0 => (MemSize::Word, false),
+            1 => (MemSize::Byte, signed),
+            _ => (MemSize::Half, signed),
+        };
+        let i = Instr::Ldr { cond: Cond::Al, size, signed, rt, addr: AddrMode::imm(base, off) };
+        roundtrip(&i, IsaMode::A32);
+    }
+
+    #[test]
+    fn t2_wide_loads_roundtrip(
+        rt in 8u8..13,
+        base in 8u8..13,
+        off in -1023i32..1024,
+        size_sel in 0u8..3,
+    ) {
+        let size = match size_sel {
+            0 => MemSize::Word,
+            1 => MemSize::Byte,
+            _ => MemSize::Half,
+        };
+        let i = Instr::Ldr {
+            cond: Cond::Al, size, signed: false,
+            rt: Reg::new(rt),
+            addr: AddrMode::imm(Reg::new(base), off),
+        };
+        roundtrip(&i, IsaMode::T2);
+        let st = Instr::Str {
+            cond: Cond::Al, size,
+            rt: Reg::new(rt),
+            addr: AddrMode::imm(Reg::new(base), off),
+        };
+        roundtrip(&st, IsaMode::T2);
+    }
+
+    #[test]
+    fn narrow_loads_roundtrip(
+        rt in low_reg(),
+        base in low_reg(),
+        imm5 in 0i32..32,
+        size_sel in 0u8..3,
+    ) {
+        let (size, off) = match size_sel {
+            0 => (MemSize::Word, imm5 * 4),
+            1 => (MemSize::Byte, imm5),
+            _ => (MemSize::Half, imm5 * 2),
+        };
+        let i = Instr::Ldr {
+            cond: Cond::Al, size, signed: false, rt,
+            addr: AddrMode::imm(base, off),
+        };
+        roundtrip(&i, IsaMode::T16);
+        roundtrip(&i, IsaMode::T2);
+    }
+
+    #[test]
+    fn push_pop_roundtrip(bits in 1u16..256, lr_pc in any::<bool>()) {
+        let mut push: RegList = RegList::from_bits(bits);
+        let mut pop: RegList = RegList::from_bits(bits);
+        if lr_pc {
+            push.insert(Reg::LR);
+            pop.insert(Reg::PC);
+        }
+        for mode in IsaMode::ALL {
+            roundtrip(&Instr::Push { cond: Cond::Al, regs: push }, mode);
+            roundtrip(&Instr::Pop { cond: Cond::Al, regs: pop }, mode);
+        }
+    }
+
+    #[test]
+    fn ldm_stm_roundtrip(bits in 1u16..256, rn in low_reg()) {
+        let regs = RegList::from_bits(bits);
+        let ldm = Instr::Ldm { cond: Cond::Al, rn, writeback: true, regs };
+        let stm = Instr::Stm { cond: Cond::Al, rn, writeback: true, regs };
+        for mode in IsaMode::ALL {
+            roundtrip(&ldm, mode);
+            roundtrip(&stm, mode);
+        }
+    }
+
+    #[test]
+    fn bitfield_ops_roundtrip(
+        rd in gp_reg(),
+        rn in gp_reg(),
+        lsb in 0u8..32,
+        w in 1u8..33,
+    ) {
+        prop_assume!(u32::from(lsb) + u32::from(w) <= 32);
+        roundtrip(&Instr::Bfi { cond: Cond::Al, rd, rn, lsb, width: w }, IsaMode::T2);
+        roundtrip(&Instr::Ubfx { cond: Cond::Al, rd, rn, lsb, width: w }, IsaMode::T2);
+        roundtrip(&Instr::Sbfx { cond: Cond::Al, rd, rn, lsb, width: w }, IsaMode::T2);
+        roundtrip(&Instr::Bfc { cond: Cond::Al, rd, lsb, width: w }, IsaMode::T2);
+    }
+
+    #[test]
+    fn movw_movt_roundtrip(rd in gp_reg(), v in any::<u16>()) {
+        roundtrip(&Instr::MovW { cond: Cond::Al, rd, imm16: v }, IsaMode::T2);
+        roundtrip(&Instr::MovT { cond: Cond::Al, rd, imm16: v }, IsaMode::T2);
+    }
+
+    #[test]
+    fn divide_and_multiply_roundtrip(rd in gp_reg(), rn in gp_reg(), rm in gp_reg()) {
+        roundtrip(&Instr::Sdiv { cond: Cond::Al, rd, rn, rm }, IsaMode::T2);
+        roundtrip(&Instr::Udiv { cond: Cond::Al, rd, rn, rm }, IsaMode::T2);
+        roundtrip(&Instr::Mul { s: false, cond: Cond::Al, rd, rn, rm }, IsaMode::A32);
+        // narrow mul requires the two-address form
+        if rd.is_low() && rm.is_low() && rd != rm {
+            roundtrip(
+                &Instr::Mul { s: false, cond: Cond::Al, rd, rn: rd, rm },
+                IsaMode::T16,
+            );
+        }
+    }
+
+    #[test]
+    fn cbz_roundtrip(nonzero in any::<bool>(), rn in low_reg(), hw in 0i32..64) {
+        let i = Instr::Cbz { nonzero, rn, offset: hw * 2 + 4 };
+        roundtrip(&i, IsaMode::T2);
+    }
+
+    #[test]
+    fn it_roundtrip(
+        cond in branch_cond(),
+        count in 1u8..5,
+        mask in 0u8..8,
+    ) {
+        let mask = mask & ((1 << (count - 1)) - 1);
+        let i = Instr::It { firstcond: cond, mask, count };
+        roundtrip(&i, IsaMode::T2);
+    }
+
+    #[test]
+    fn decoding_random_bytes_never_panics(bytes in prop::array::uniform4(any::<u8>())) {
+        for mode in IsaMode::ALL {
+            let _ = decode(&bytes, mode);
+        }
+    }
+
+    #[test]
+    fn every_t2_size_claim_matches_encoding(
+        op in dp_op(),
+        rd in any_reg(),
+        rn in any_reg(),
+        rm in any_reg(),
+    ) {
+        prop_assume!(rd != Reg::PC && rn != Reg::PC && rm != Reg::PC);
+        prop_assume!(rd != Reg::SP && rn != Reg::SP && rm != Reg::SP);
+        let i = Instr::Dp { op, s: false, cond: Cond::Al, rd, rn, op2: Operand2::Reg(rm) };
+        let size = i.size(IsaMode::T2).unwrap();
+        let enc = encode(&i, IsaMode::T2).unwrap();
+        prop_assert_eq!(size, enc.len());
+    }
+}

@@ -1,0 +1,158 @@
+//! MPU task-isolation planning — the Figure 2 / §3.1.1 experiment.
+//!
+//! OSEK's reuse vision needs each software module "locked down" in its own
+//! protection region. This module computes, for a task set and an MPU
+//! generation, how well that works: how much RAM the region granularity
+//! wastes, and how many tasks can be individually isolated within the
+//! region budget.
+
+use alia_sim::{Mpu, MpuKind};
+
+/// Memory footprint of one task/module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFootprint {
+    /// Module name.
+    pub name: String,
+    /// Data+stack bytes the task actually needs.
+    pub ram_bytes: u32,
+    /// Preferred placement (0 = packed by the planner).
+    pub wanted_base: u32,
+}
+
+impl TaskFootprint {
+    /// A footprint with planner-chosen placement.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ram_bytes: u32) -> TaskFootprint {
+        TaskFootprint { name: name.into(), ram_bytes, wanted_base: 0 }
+    }
+}
+
+/// The outcome of planning isolation for one task set on one MPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolationPlan {
+    /// MPU generation planned for.
+    pub kind: MpuKind,
+    /// Bytes of RAM the tasks actually need.
+    pub needed_bytes: u64,
+    /// Bytes of RAM the regions actually reserve.
+    pub reserved_bytes: u64,
+    /// Tasks that got their own region (within the per-context region
+    /// budget, keeping 2 regions for code + kernel).
+    pub isolated_tasks: usize,
+    /// Tasks that had to share a region with others (no slot, or rounding
+    /// made dedicated regions overlap).
+    pub grouped_tasks: usize,
+    /// Waste ratio: `reserved / needed`.
+    pub waste_ratio: f64,
+}
+
+/// Plans individual isolation regions for `tasks` on an MPU of `kind`,
+/// packing regions into RAM starting at `ram_base`.
+///
+/// Two region slots are reserved for the kernel and code, matching how an
+/// OSEK system actually programs the MPU per context switch.
+#[must_use]
+pub fn plan_isolation(kind: MpuKind, tasks: &[TaskFootprint], ram_base: u32) -> IsolationPlan {
+    let mpu = Mpu::new(kind);
+    let budget = kind.region_count().saturating_sub(2);
+    let mut cursor = ram_base;
+    let mut reserved = 0u64;
+    let mut needed = 0u64;
+    let mut isolated = 0usize;
+
+    for t in tasks.iter().take(budget) {
+        needed += u64::from(t.ram_bytes);
+        // Pack: next free spot that satisfies the MPU's alignment without
+        // overlapping what's already reserved.
+        let (mut base, mut size) = mpu.plan_region(cursor, t.ram_bytes);
+        if base < cursor {
+            // Alignment pulled the region backwards over the previous one;
+            // move forward to the next aligned boundary.
+            let align = size.max(kind.min_size());
+            let fwd = (cursor + align - 1) / align * align;
+            let planned = mpu.plan_region(fwd, t.ram_bytes);
+            base = planned.0;
+            size = planned.1;
+        }
+        reserved += u64::from(size);
+        cursor = base + size;
+        isolated += 1;
+    }
+    // Tasks beyond the region budget share one leftover region.
+    let grouped: Vec<&TaskFootprint> = tasks.iter().skip(budget).collect();
+    if !grouped.is_empty() {
+        let group_need: u32 = grouped.iter().map(|t| t.ram_bytes).sum();
+        needed += u64::from(group_need);
+        let (_, size) = mpu.plan_region(cursor, group_need);
+        reserved += u64::from(size);
+    }
+    IsolationPlan {
+        kind,
+        needed_bytes: needed,
+        reserved_bytes: reserved,
+        isolated_tasks: isolated,
+        grouped_tasks: grouped.len(),
+        waste_ratio: if needed == 0 { 1.0 } else { reserved as f64 / needed as f64 },
+    }
+}
+
+/// A representative OSEK body-control module set (stacks and state blocks
+/// of window lift, seat, mirror, lighting, ... modules) — small and
+/// numerous, as §3.1.1 describes.
+#[must_use]
+pub fn body_control_footprints(count: usize) -> Vec<TaskFootprint> {
+    // Deterministic mix of small module footprints.
+    let sizes = [96u32, 160, 224, 288, 352, 480, 640, 896];
+    (0..count)
+        .map(|i| TaskFootprint::new(format!("module{i}"), sizes[i % sizes.len()] + (i as u32 % 3) * 24))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_grain_wastes_far_less() {
+        let tasks = body_control_footprints(12);
+        let classic = plan_isolation(MpuKind::Classic, &tasks, 0x2000_0000);
+        let fine = plan_isolation(MpuKind::FineGrain, &tasks, 0x2000_0000);
+        assert!(fine.waste_ratio < 1.2, "fine-grain waste {}", fine.waste_ratio);
+        assert!(
+            classic.waste_ratio > 5.0,
+            "4 KB granularity must waste heavily on ~300 B modules: {}",
+            classic.waste_ratio
+        );
+    }
+
+    #[test]
+    fn fine_grain_isolates_more_tasks() {
+        let tasks = body_control_footprints(20);
+        let classic = plan_isolation(MpuKind::Classic, &tasks, 0x2000_0000);
+        let fine = plan_isolation(MpuKind::FineGrain, &tasks, 0x2000_0000);
+        assert!(fine.isolated_tasks > classic.isolated_tasks);
+        assert_eq!(classic.isolated_tasks, 6); // 8 regions - kernel - code
+        assert_eq!(fine.isolated_tasks, 14); // 16 regions - kernel - code
+        assert_eq!(classic.grouped_tasks, 14);
+        assert_eq!(fine.grouped_tasks, 6);
+    }
+
+    #[test]
+    fn reserved_never_below_needed() {
+        for kind in [MpuKind::Classic, MpuKind::FineGrain] {
+            for n in [1usize, 4, 9, 30] {
+                let tasks = body_control_footprints(n);
+                let plan = plan_isolation(kind, &tasks, 0x2000_0000);
+                assert!(plan.reserved_bytes >= plan.needed_bytes, "{kind:?} n={n}");
+                assert!(plan.waste_ratio >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set() {
+        let plan = plan_isolation(MpuKind::FineGrain, &[], 0x2000_0000);
+        assert_eq!(plan.needed_bytes, 0);
+        assert_eq!(plan.isolated_tasks, 0);
+    }
+}

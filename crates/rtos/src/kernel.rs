@@ -1,0 +1,572 @@
+//! A discrete-event model of an OSEK-flavoured fixed-priority kernel.
+//!
+//! Implements the scheduling semantics the paper's §3.1 assumes: static
+//! priorities, immediate-ceiling resource protocol, basic/extended tasks,
+//! cyclic alarms and full/non-preemptive scheduling. The model is a
+//! logical simulation (tasks are action lists, time is abstract units),
+//! which is what schedulability work needs; cycle-accurate execution of
+//! compiled code lives in `alia-sim`.
+
+
+use crate::task::{Action, AlarmSpec, ConformanceClass, EventMask, ResourceSpec, TaskId, TaskSpec};
+
+/// Per-task statistics gathered during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Completed activations.
+    pub completed: u64,
+    /// Activations dropped because the queue was full (`E_OS_LIMIT`).
+    pub dropped_activations: u64,
+    /// Worst observed response time (activation to termination).
+    pub worst_response: u64,
+    /// Sum of response times (for averaging).
+    pub total_response: u64,
+    /// Deadline misses (only when the task has a deadline).
+    pub deadline_misses: u64,
+}
+
+/// Kernel-wide statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Total busy time.
+    pub busy: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Suspended,
+    Ready,
+    Running,
+    Waiting,
+}
+
+#[derive(Debug, Clone)]
+struct TaskRun {
+    state: TaskState,
+    /// Position in the body; `body[pc]` is the next action.
+    pc: usize,
+    /// Remaining time of the current compute segment.
+    remaining: u64,
+    /// Dynamic priority (base + ceilings held).
+    dyn_prio: u8,
+    /// Pending activation requests beyond the current one.
+    queued: u8,
+    /// Set events.
+    events: EventMask,
+    /// Events being waited for (when `Waiting`).
+    wait_mask: EventMask,
+    /// Activation time of the current instance.
+    activated_at: u64,
+    /// Held resources (for ceiling restore), as a stack.
+    held: Vec<(usize, u8)>,
+}
+
+/// The kernel model.
+///
+/// # Examples
+///
+/// ```
+/// use alia_rtos::{Kernel, TaskSpec, AlarmSpec, TaskId};
+/// let mut k = Kernel::new();
+/// let hi = k.add_task(TaskSpec::simple("hi", 10, 2).with_deadline(10));
+/// let lo = k.add_task(TaskSpec::simple("lo", 1, 5).with_deadline(40));
+/// k.add_alarm(AlarmSpec { task: hi, offset: 0, period: 10 });
+/// k.add_alarm(AlarmSpec { task: lo, offset: 0, period: 40 });
+/// k.run(400);
+/// assert_eq!(k.task_stats(hi).deadline_misses, 0);
+/// assert_eq!(k.task_stats(lo).deadline_misses, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Kernel {
+    specs: Vec<TaskSpec>,
+    resources: Vec<ResourceSpec>,
+    alarms: Vec<AlarmSpec>,
+    runs: Vec<TaskRun>,
+    stats: Vec<TaskStats>,
+    kstats: KernelStats,
+    ceilings: Vec<u8>,
+    running: Option<usize>,
+    now: u64,
+    trace: Vec<(u64, TraceEvent)>,
+    trace_enabled: bool,
+}
+
+/// A scheduling trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Task became ready.
+    Activated(TaskId),
+    /// Task began/resumed running.
+    Dispatched(TaskId),
+    /// Task terminated.
+    Terminated(TaskId),
+    /// Task blocked on events.
+    Blocked(TaskId),
+}
+
+impl Kernel {
+    /// An empty kernel.
+    #[must_use]
+    pub fn new() -> Kernel {
+        Kernel::default()
+    }
+
+    /// Adds a task; returns its id.
+    pub fn add_task(&mut self, spec: TaskSpec) -> TaskId {
+        let prio = spec.priority;
+        self.specs.push(spec);
+        self.runs.push(TaskRun {
+            state: TaskState::Suspended,
+            pc: 0,
+            remaining: 0,
+            dyn_prio: prio,
+            queued: 0,
+            events: 0,
+            wait_mask: 0,
+            activated_at: 0,
+            held: Vec::new(),
+        });
+        self.stats.push(TaskStats::default());
+        TaskId(self.specs.len() - 1)
+    }
+
+    /// Adds a resource; returns its id. Ceilings are computed at
+    /// [`Kernel::run`].
+    pub fn add_resource(&mut self, name: impl Into<String>) -> crate::ResourceId {
+        self.resources.push(ResourceSpec { name: name.into() });
+        crate::ResourceId(self.resources.len() - 1)
+    }
+
+    /// Adds an alarm.
+    pub fn add_alarm(&mut self, alarm: AlarmSpec) {
+        self.alarms.push(alarm);
+    }
+
+    /// Enables trace recording.
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// The recorded trace.
+    #[must_use]
+    pub fn trace(&self) -> &[(u64, TraceEvent)] {
+        &self.trace
+    }
+
+    /// Statistics for a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    #[must_use]
+    pub fn task_stats(&self, id: TaskId) -> &TaskStats {
+        &self.stats[id.0]
+    }
+
+    /// Kernel statistics.
+    #[must_use]
+    pub fn kernel_stats(&self) -> &KernelStats {
+        &self.kstats
+    }
+
+    /// The minimal OSEK conformance class this configuration requires.
+    #[must_use]
+    pub fn required_conformance(&self) -> ConformanceClass {
+        let extended = self.specs.iter().any(|t| t.extended);
+        let multi = self.specs.iter().any(|t| t.max_activations > 1);
+        match (extended, multi) {
+            (false, false) => ConformanceClass::Bcc1,
+            (false, true) => ConformanceClass::Bcc2,
+            (true, false) => ConformanceClass::Ecc1,
+            (true, true) => ConformanceClass::Ecc2,
+        }
+    }
+
+    fn note(&mut self, ev: TraceEvent) {
+        if self.trace_enabled {
+            self.trace.push((self.now, ev));
+        }
+    }
+
+    fn compute_ceilings(&mut self) {
+        self.ceilings = vec![0; self.resources.len()];
+        for spec in &self.specs {
+            for a in &spec.body {
+                if let Action::GetResource(r) = a {
+                    let c = &mut self.ceilings[r.0];
+                    *c = (*c).max(spec.priority);
+                }
+            }
+        }
+    }
+
+    /// Activates a task (external or API activation).
+    pub fn activate(&mut self, id: TaskId) {
+        let idx = id.0;
+        match self.runs[idx].state {
+            TaskState::Suspended => {
+                let spec_prio = self.specs[idx].priority;
+                let run = &mut self.runs[idx];
+                run.state = TaskState::Ready;
+                run.pc = 0;
+                run.remaining = 0;
+                run.dyn_prio = spec_prio;
+                run.events = 0;
+                run.activated_at = self.now;
+                self.note(TraceEvent::Activated(id));
+            }
+            _ => {
+                if self.runs[idx].queued + 1 < self.specs[idx].max_activations {
+                    self.runs[idx].queued += 1;
+                } else {
+                    self.stats[idx].dropped_activations += 1;
+                }
+            }
+        }
+    }
+
+    fn highest_ready(&self) -> Option<usize> {
+        self.runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.state == TaskState::Ready)
+            .max_by_key(|(i, r)| (r.dyn_prio, usize::MAX - i))
+            .map(|(i, _)| i)
+    }
+
+    /// Whether the running task may be preempted right now.
+    fn preemptible_now(&self) -> bool {
+        self.running.is_none_or(|r| self.specs[r].preemptible)
+    }
+
+    fn reschedule(&mut self) {
+        let best = self.highest_ready();
+        match (self.running, best) {
+            (None, Some(b)) => {
+                self.dispatch(b);
+            }
+            (Some(r), Some(b)) => {
+                if self.preemptible_now() && self.runs[b].dyn_prio > self.runs[r].dyn_prio {
+                    self.runs[r].state = TaskState::Ready;
+                    self.dispatch(b);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn dispatch(&mut self, idx: usize) {
+        self.runs[idx].state = TaskState::Running;
+        self.running = Some(idx);
+        self.kstats.context_switches += 1;
+        self.note(TraceEvent::Dispatched(TaskId(idx)));
+    }
+
+    fn terminate_running(&mut self) {
+        let idx = self.running.take().expect("a task is running");
+        let resp = self.now - self.runs[idx].activated_at;
+        let st = &mut self.stats[idx];
+        st.completed += 1;
+        st.worst_response = st.worst_response.max(resp);
+        st.total_response += resp;
+        if let Some(d) = self.specs[idx].deadline {
+            if resp > d {
+                st.deadline_misses += 1;
+            }
+        }
+        self.note(TraceEvent::Terminated(TaskId(idx)));
+        let run = &mut self.runs[idx];
+        debug_assert!(run.held.is_empty(), "terminated while holding a resource");
+        if run.queued > 0 {
+            run.queued -= 1;
+            run.state = TaskState::Ready;
+            run.pc = 0;
+            run.remaining = 0;
+            run.activated_at = self.now;
+            self.note(TraceEvent::Activated(TaskId(idx)));
+        } else {
+            run.state = TaskState::Suspended;
+        }
+    }
+
+    /// Executes non-compute actions of the running task until it reaches a
+    /// compute segment, blocks or terminates.
+    fn settle_running(&mut self) {
+        while let Some(idx) = self.running {
+            let body_len = self.specs[idx].body.len();
+            let pc = self.runs[idx].pc;
+            if pc >= body_len {
+                self.terminate_running();
+                self.reschedule();
+                continue;
+            }
+            let action = self.specs[idx].body[pc];
+            match action {
+                Action::Compute(c) => {
+                    if self.runs[idx].remaining == 0 {
+                        self.runs[idx].remaining = c;
+                    }
+                    if self.runs[idx].remaining == 0 {
+                        self.runs[idx].pc += 1;
+                        continue;
+                    }
+                    return; // will burn time in `run`
+                }
+                Action::GetResource(r) => {
+                    let ceiling = self.ceilings[r.0];
+                    let run = &mut self.runs[idx];
+                    run.held.push((r.0, run.dyn_prio));
+                    run.dyn_prio = run.dyn_prio.max(ceiling);
+                    run.pc += 1;
+                }
+                Action::ReleaseResource(r) => {
+                    let run = &mut self.runs[idx];
+                    if let Some(pos) = run.held.iter().rposition(|(rid, _)| *rid == r.0) {
+                        let (_, prev) = run.held.remove(pos);
+                        run.dyn_prio = prev;
+                    }
+                    self.runs[idx].pc += 1;
+                    self.reschedule();
+                }
+                Action::Activate(t) => {
+                    self.runs[idx].pc += 1;
+                    self.activate(t);
+                    self.reschedule();
+                }
+                Action::SetEvent(t, mask) => {
+                    self.runs[idx].pc += 1;
+                    let target = &mut self.runs[t.0];
+                    target.events |= mask;
+                    if target.state == TaskState::Waiting && target.events & target.wait_mask != 0
+                    {
+                        target.state = TaskState::Ready;
+                        self.reschedule();
+                    }
+                }
+                Action::WaitEvent(mask) => {
+                    debug_assert!(self.specs[idx].extended, "basic task used WaitEvent");
+                    if self.runs[idx].events & mask != 0 {
+                        self.runs[idx].pc += 1;
+                    } else {
+                        let run = &mut self.runs[idx];
+                        run.wait_mask = mask;
+                        run.state = TaskState::Waiting;
+                        run.pc += 1; // resume after the wait
+                        self.note(TraceEvent::Blocked(TaskId(idx)));
+                        self.running = None;
+                        self.reschedule();
+                    }
+                }
+                Action::ClearEvent(mask) => {
+                    self.runs[idx].events &= !mask;
+                    self.runs[idx].pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs the system until `horizon` time units.
+    pub fn run(&mut self, horizon: u64) {
+        self.compute_ceilings();
+        let mut alarms: Vec<(u64, usize)> = self
+            .alarms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.offset, i))
+            .collect();
+        while self.now < horizon {
+            // Fire due alarms.
+            alarms.sort_unstable();
+            let mut fired = Vec::new();
+            for (t, ai) in &alarms {
+                if *t <= self.now {
+                    fired.push(*ai);
+                }
+            }
+            alarms.retain(|(t, _)| *t > self.now);
+            for ai in fired {
+                let a = self.alarms[ai];
+                self.activate(a.task);
+                if a.period > 0 {
+                    alarms.push((self.now + a.period, ai));
+                }
+            }
+            self.reschedule();
+            self.settle_running();
+
+            // Advance time to the next interesting instant.
+            let next_alarm = alarms.iter().map(|(t, _)| *t).min().unwrap_or(horizon);
+            match self.running {
+                Some(idx) => {
+                    let seg_end = self.now + self.runs[idx].remaining;
+                    let until = seg_end.min(next_alarm).min(horizon);
+                    let delta = until - self.now;
+                    self.runs[idx].remaining -= delta;
+                    self.kstats.busy += delta;
+                    self.now = until;
+                    if self.runs[idx].remaining == 0 {
+                        self.runs[idx].pc += 1;
+                        self.settle_running();
+                    }
+                }
+                None => {
+                    self.now = next_alarm.min(horizon);
+                    if next_alarm >= horizon {
+                        // idle until the end
+                        self.now = horizon;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// CPU utilization over the run so far.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.now == 0 {
+            0.0
+        } else {
+            self.kstats.busy as f64 / self.now as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResourceId;
+
+    #[test]
+    fn rate_monotonic_two_tasks() {
+        let mut k = Kernel::new();
+        let hi = k.add_task(TaskSpec::simple("hi", 10, 2).with_deadline(10));
+        let lo = k.add_task(TaskSpec::simple("lo", 1, 10).with_deadline(40));
+        k.add_alarm(AlarmSpec { task: hi, offset: 0, period: 10 });
+        k.add_alarm(AlarmSpec { task: lo, offset: 0, period: 40 });
+        k.run(4000);
+        assert_eq!(k.task_stats(hi).deadline_misses, 0);
+        assert_eq!(k.task_stats(lo).deadline_misses, 0);
+        assert_eq!(k.task_stats(hi).completed, 400);
+        assert_eq!(k.task_stats(lo).completed, 100);
+        // lo is preempted twice per period: response = 10 + 2*2 = 14.
+        assert_eq!(k.task_stats(lo).worst_response, 14);
+    }
+
+    #[test]
+    fn priority_ceiling_bounds_blocking() {
+        let mut k = Kernel::new();
+        let r = ResourceId(0);
+        // Low locks a resource shared with high; medium must not preempt
+        // low while it holds the ceiling.
+        let hi = k.add_task(
+            TaskSpec::simple("hi", 30, 0).with_body(vec![
+                Action::GetResource(r),
+                Action::Compute(2),
+                Action::ReleaseResource(r),
+            ]),
+        );
+        let mid = k.add_task(TaskSpec::simple("mid", 20, 5));
+        let lo = k.add_task(
+            TaskSpec::simple("lo", 10, 0).with_body(vec![
+                Action::GetResource(r),
+                Action::Compute(4),
+                Action::ReleaseResource(r),
+                Action::Compute(1),
+            ]),
+        );
+        k.add_resource("shared");
+        k.add_alarm(AlarmSpec { task: lo, offset: 0, period: 0 });
+        k.add_alarm(AlarmSpec { task: mid, offset: 1, period: 0 });
+        k.add_alarm(AlarmSpec { task: hi, offset: 1, period: 0 });
+        k.enable_trace();
+        k.run(100);
+        // With the ceiling protocol, lo runs its critical section at hi's
+        // priority, so mid cannot interleave before hi's section.
+        assert_eq!(k.task_stats(hi).completed, 1);
+        assert_eq!(k.task_stats(mid).completed, 1);
+        assert_eq!(k.task_stats(lo).completed, 1);
+        // hi's blocking is bounded by lo's critical section: response
+        // = remaining section (3) + own wcet (2) = 5.
+        assert!(k.task_stats(hi).worst_response <= 5, "{}", k.task_stats(hi).worst_response);
+        // mid must finish after hi.
+        let order: Vec<_> = k
+            .trace()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::Terminated(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        let hi_pos = order.iter().position(|t| *t == hi).unwrap();
+        let mid_pos = order.iter().position(|t| *t == mid).unwrap();
+        assert!(hi_pos < mid_pos);
+    }
+
+    #[test]
+    fn non_preemptible_task_delays_higher_priority() {
+        let mut k = Kernel::new();
+        let hi = k.add_task(TaskSpec::simple("hi", 10, 1));
+        let lo = k.add_task(TaskSpec::simple("lo", 1, 8).non_preemptible());
+        k.add_alarm(AlarmSpec { task: lo, offset: 0, period: 0 });
+        k.add_alarm(AlarmSpec { task: hi, offset: 2, period: 0 });
+        k.run(100);
+        // hi had to wait for lo to finish: response = (8 - 2) + 1 = 7.
+        assert_eq!(k.task_stats(hi).worst_response, 7);
+    }
+
+    #[test]
+    fn bcc2_queued_activations() {
+        let mut k = Kernel::new();
+        let mut spec = TaskSpec::simple("t", 5, 10);
+        spec.max_activations = 3;
+        let t = k.add_task(spec);
+        // Activate 3 times at once; two queue, all run back-to-back.
+        k.add_alarm(AlarmSpec { task: t, offset: 0, period: 0 });
+        k.add_alarm(AlarmSpec { task: t, offset: 1, period: 0 });
+        k.add_alarm(AlarmSpec { task: t, offset: 2, period: 0 });
+        k.add_alarm(AlarmSpec { task: t, offset: 3, period: 0 });
+        k.run(200);
+        let st = k.task_stats(t);
+        assert_eq!(st.completed, 3);
+        assert_eq!(st.dropped_activations, 1);
+        assert_eq!(k.required_conformance(), ConformanceClass::Bcc2);
+    }
+
+    #[test]
+    fn extended_task_event_wait() {
+        let mut k = Kernel::new();
+        let waiter = k.add_task(
+            TaskSpec::simple("waiter", 10, 0)
+                .extended_task()
+                .with_body(vec![Action::WaitEvent(1), Action::Compute(2)]),
+        );
+        let setter = k.add_task(
+            TaskSpec::simple("setter", 5, 0)
+                .with_body(vec![Action::Compute(20), Action::SetEvent(waiter, 1)]),
+        );
+        k.add_alarm(AlarmSpec { task: waiter, offset: 0, period: 0 });
+        k.add_alarm(AlarmSpec { task: setter, offset: 0, period: 0 });
+        k.run(100);
+        assert_eq!(k.task_stats(waiter).completed, 1);
+        // waiter blocked for setter's 20 units then ran 2.
+        assert_eq!(k.task_stats(waiter).worst_response, 22);
+        assert_eq!(k.required_conformance(), ConformanceClass::Ecc1);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut k = Kernel::new();
+        let t = k.add_task(TaskSpec::simple("t", 1, 25));
+        k.add_alarm(AlarmSpec { task: t, offset: 0, period: 100 });
+        k.run(1000);
+        assert!((k.utilization() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,171 @@
+//! Task, resource and alarm descriptions — the OSEK-flavoured static
+//! configuration (OSEK systems are statically configured at build time).
+
+/// OSEK conformance classes (OSEK OS 2.1.1 §?): basic vs. extended tasks,
+/// single vs. multiple activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConformanceClass {
+    /// Basic tasks, one activation, one task per priority.
+    Bcc1,
+    /// Basic tasks, queued activations.
+    Bcc2,
+    /// Extended tasks (events), one activation.
+    Ecc1,
+    /// Extended tasks, queued activations.
+    Ecc2,
+}
+
+/// Task identifier (index into the configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Resource identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub usize);
+
+/// Event mask (ECC tasks).
+pub type EventMask = u32;
+
+/// One step of a task body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Execute for the given time units (preemptible).
+    Compute(u64),
+    /// `GetResource` — raises to the resource ceiling (OSEK priority
+    /// ceiling protocol).
+    GetResource(ResourceId),
+    /// `ReleaseResource`.
+    ReleaseResource(ResourceId),
+    /// `ActivateTask`.
+    Activate(TaskId),
+    /// `SetEvent` on an extended task.
+    SetEvent(TaskId, EventMask),
+    /// `WaitEvent` — blocks until any bit of the mask is set
+    /// (extended tasks only).
+    WaitEvent(EventMask),
+    /// `ClearEvent` on the running task.
+    ClearEvent(EventMask),
+}
+
+/// Static description of one task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Static priority; **higher number = more urgent** (OSEK convention).
+    pub priority: u8,
+    /// Whether the task may use events (extended task).
+    pub extended: bool,
+    /// Whether the task is preemptible ("FULL" vs "NON" schedule policy).
+    pub preemptible: bool,
+    /// Maximum queued activations (1 for BCC1/ECC1).
+    pub max_activations: u8,
+    /// The task body.
+    pub body: Vec<Action>,
+    /// Relative deadline for reporting (defaults to period when aligned
+    /// with an alarm), if any.
+    pub deadline: Option<u64>,
+}
+
+impl TaskSpec {
+    /// A basic, fully-preemptive task computing for `wcet`.
+    #[must_use]
+    pub fn simple(name: impl Into<String>, priority: u8, wcet: u64) -> TaskSpec {
+        TaskSpec {
+            name: name.into(),
+            priority,
+            extended: false,
+            preemptible: true,
+            max_activations: 1,
+            body: vec![Action::Compute(wcet)],
+            deadline: None,
+        }
+    }
+
+    /// Builder-style: set the body.
+    #[must_use]
+    pub fn with_body(mut self, body: Vec<Action>) -> TaskSpec {
+        self.body = body;
+        self
+    }
+
+    /// Builder-style: mark as an extended task.
+    #[must_use]
+    pub fn extended_task(mut self) -> TaskSpec {
+        self.extended = true;
+        self
+    }
+
+    /// Builder-style: mark non-preemptible.
+    #[must_use]
+    pub fn non_preemptible(mut self) -> TaskSpec {
+        self.preemptible = false;
+        self
+    }
+
+    /// Builder-style: set a deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, d: u64) -> TaskSpec {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Total compute demand of one activation.
+    #[must_use]
+    pub fn wcet(&self) -> u64 {
+        self.body
+            .iter()
+            .map(|a| if let Action::Compute(c) = a { *c } else { 0 })
+            .sum()
+    }
+}
+
+/// Static description of a resource (its ceiling is computed by the
+/// kernel from its users).
+#[derive(Debug, Clone)]
+pub struct ResourceSpec {
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// A cyclic alarm activating a task (OSEK counters + alarms reduced to
+/// their common use).
+#[derive(Debug, Clone, Copy)]
+pub struct AlarmSpec {
+    /// Task to activate.
+    pub task: TaskId,
+    /// First expiry.
+    pub offset: u64,
+    /// Period (0 = one-shot).
+    pub period: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wcet_sums_compute_segments() {
+        let t = TaskSpec::simple("t", 1, 10).with_body(vec![
+            Action::Compute(4),
+            Action::GetResource(ResourceId(0)),
+            Action::Compute(6),
+            Action::ReleaseResource(ResourceId(0)),
+        ]);
+        assert_eq!(t.wcet(), 10);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let t = TaskSpec::simple("x", 3, 5).extended_task().non_preemptible().with_deadline(50);
+        assert!(t.extended);
+        assert!(!t.preemptible);
+        assert_eq!(t.deadline, Some(50));
+        assert_eq!(t.priority, 3);
+    }
+
+    #[test]
+    fn conformance_ordering() {
+        assert!(ConformanceClass::Bcc1 < ConformanceClass::Ecc2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property test: for random schedulable task sets, the simulated worst
+//! response under the discrete-event kernel never exceeds the analytic
+//! response-time bound.
+
+use alia_rtos::{
+    response_time_analysis, utilization, AlarmSpec, AnalysisTask, Kernel, TaskSpec,
+};
+use proptest::prelude::*;
+
+fn task_set() -> impl Strategy<Value = Vec<AnalysisTask>> {
+    prop::collection::vec((1u64..8, 10u64..60), 2..5).prop_map(|raw| {
+        raw.iter()
+            .enumerate()
+            .map(|(i, (c, t))| {
+                // Distinct priorities: earlier tasks more urgent, harmonic-ish
+                // periods scaled by index to vary the mix.
+                let period = t * (i as u64 + 1);
+                AnalysisTask::new(10 - i as u8, *c, period)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn simulation_never_exceeds_rta_bound(set in task_set()) {
+        prop_assume!(utilization(&set) < 0.95);
+        let rta = response_time_analysis(&set);
+        prop_assume!(rta.iter().all(|r| r.schedulable));
+
+        let mut k = Kernel::new();
+        let ids: Vec<_> = set
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                k.add_task(
+                    TaskSpec::simple(format!("t{i}"), t.priority, t.wcet)
+                        .with_deadline(t.deadline),
+                )
+            })
+            .collect();
+        for (id, t) in ids.iter().zip(&set) {
+            k.add_alarm(AlarmSpec { task: *id, offset: 0, period: t.period });
+        }
+        // Run long enough to cover several hyperperiod-ish windows.
+        k.run(50_000);
+        for (i, id) in ids.iter().enumerate() {
+            let sim = k.task_stats(*id).worst_response;
+            let bound = rta[i].response.expect("schedulable");
+            prop_assert!(
+                sim <= bound,
+                "task {i}: simulated {sim} exceeds analytic bound {bound} (set {set:?})"
+            );
+            prop_assert_eq!(k.task_stats(*id).deadline_misses, 0);
+        }
+    }
+
+    #[test]
+    fn unschedulable_sets_miss_deadlines_in_simulation(
+        periods in prop::collection::vec(10u64..40, 2..4)
+    ) {
+        // Construct deliberate overload: each task consumes its whole period.
+        let set: Vec<AnalysisTask> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, t)| AnalysisTask::new(10 - i as u8, *t, *t))
+            .collect();
+        prop_assume!(utilization(&set) > 1.2);
+        let rta = response_time_analysis(&set);
+        // The lowest-priority task must be flagged unschedulable.
+        prop_assert!(!rta.last().expect("non-empty").schedulable);
+    }
+}

@@ -1,0 +1,68 @@
+//! # alia-sim — cycle-approximate simulator for the ALIA cores
+//!
+//! This crate models the three core design points of Lyons, *"Meeting the
+//! Embedded Design Needs of Automotive Applications"* (DATE 2005), plus
+//! every memory-system mechanism the paper evaluates:
+//!
+//! * wait-stated **flash with a streaming prefetch buffer** whose stream is
+//!   broken by literal-pool data fetches (§2.2),
+//! * **caches with parity** and invalidate-refetch / precise-abort soft-
+//!   error recovery, and **TCM with ECC hold-and-repair** (§3.1.3),
+//! * classic 4 KB-granule and re-engineered **fine-grain MPUs** (§3.1.1),
+//! * **software-preamble and hardware-stacking interrupt schemes** with
+//!   tail-chaining and an optional NMI line (§3.2.1, §3.1.2),
+//! * the **bit-band alias region** for single-store atomic bit access
+//!   (§3.2.3),
+//! * an 8-slot **flash patch / breakpoint unit** (§3.2.2), and
+//! * an **interruptible, re-startable LDM/STM** option (§3.1.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use alia_isa::{Assembler, IsaMode};
+//! use alia_sim::{Machine, StopReason};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Assembler::new(IsaMode::T2).assemble(
+//!     "mov r0, #0
+//!      mov r1, #5
+//!      loop: add r0, r0, r1
+//!      sub r1, r1, #1
+//!      cmp r1, #0
+//!      bne loop
+//!      bkpt #0",
+//! )?;
+//! let mut m = Machine::m3_like();
+//! m.load_flash(0x100, &program.bytes);
+//! m.set_pc(0x100);
+//! let result = m.run(10_000);
+//! assert_eq!(result.reason, StopReason::Bkpt(0));
+//! assert_eq!(m.cpu.regs[0], 15);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod cpu;
+mod irq;
+mod machine;
+mod mem;
+mod mpu;
+mod patch;
+mod timing;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Lookup};
+pub use cpu::{add_with_carry, barrel_shift, expand_it, Cpu, EXC_RETURN_HW, EXC_RETURN_SW};
+pub use irq::{IrqController, IrqStyle, IrqTiming};
+pub use machine::{
+    IrqLatency, Machine, MachineConfig, RunResult, StopReason, MMIO_IRQ_ACTIVE,
+};
+pub use mem::{
+    Access, Flash, FlashConfig, FlashStats, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE,
+    MMIO_BASE, MMIO_CYCLES, MMIO_EXIT, MMIO_IRQ_SET, MMIO_TRACE, SRAM_BASE, TCM_BASE,
+};
+pub use mpu::{Mpu, MpuError, MpuKind, MpuRegion, Perms};
+pub use patch::{FlashPatch, PatchError, PatchKind};
+pub use timing::{CoreKind, CoreTiming};

@@ -1,0 +1,1463 @@
+//! The assembled machine: core + memory system + interrupt controller.
+//!
+//! [`Machine`] executes encoded ALIA programs cycle-approximately. Three
+//! presets mirror the paper's cores: [`Machine::arm7_like`] (von-Neumann,
+//! cacheless), [`Machine::m3_like`] (NVIC, bit-band, flash prefetch) and
+//! [`Machine::high_end_like`] (caches, MPU, fault-tolerant RAM,
+//! interruptible LDM).
+
+use alia_isa::{decode, Flags, Instr, IsaMode, MemSize, Offset, Operand2, Reg};
+
+use crate::cpu::{add_with_carry, expand_it, Cpu, EXC_RETURN_HW, EXC_RETURN_SW};
+use crate::mem::{
+    Access, Flash, FlashConfig, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE, MMIO_BASE,
+    SRAM_BASE, TCM_BASE,
+};
+use crate::{Cache, CacheConfig, CoreTiming, FlashPatch, IrqController, IrqStyle, Lookup, Mpu,
+    MpuKind};
+
+/// Read: the IRQ number currently being serviced (software-preamble
+/// handlers use this to dispatch).
+pub const MMIO_IRQ_ACTIVE: u32 = MMIO_BASE + 16;
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `bkpt #imm` was executed (normal program exit convention).
+    Bkpt(u8),
+    /// The program wrote the MMIO exit register.
+    MmioExit(u32),
+    /// `wfi` executed with no interrupt ever coming.
+    WfiIdle,
+    /// The cycle budget ran out.
+    CycleLimit,
+    /// A memory system fault.
+    Fault(MemFault),
+    /// Bytes at PC did not decode.
+    DecodeError {
+        /// The address that failed to decode.
+        addr: u32,
+    },
+    /// A flash-patch breakpoint was hit.
+    PatchBreakpoint {
+        /// The patched address.
+        addr: u32,
+    },
+}
+
+/// The outcome of [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Why execution stopped.
+    pub reason: StopReason,
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired (skipped conditional instructions count).
+    pub instructions: u64,
+}
+
+/// One interrupt service latency observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrqLatency {
+    /// Interrupt line.
+    pub irq: u32,
+    /// Cycle at which the line was pended.
+    pub pend_cycle: u64,
+    /// Cycle at which the first handler instruction began.
+    pub entry_cycle: u64,
+    /// Whether the entry was tail-chained.
+    pub tail_chained: bool,
+}
+
+/// Static machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Instruction encoding executed by the core.
+    pub mode: IsaMode,
+    /// Core timing parameters.
+    pub timing: CoreTiming,
+    /// Flash behaviour.
+    pub flash: FlashConfig,
+    /// SRAM size in bytes.
+    pub sram_size: u32,
+    /// TCM size in bytes, if fitted.
+    pub tcm_size: Option<u32>,
+    /// Instruction cache, if fitted.
+    pub icache: Option<CacheConfig>,
+    /// Data cache, if fitted.
+    pub dcache: Option<CacheConfig>,
+    /// MPU generation, if fitted.
+    pub mpu: Option<MpuKind>,
+    /// Interrupt scheme.
+    pub irq_style: IrqStyle,
+    /// Interrupt lines.
+    pub irq_lines: usize,
+    /// Whether the bit-band alias region is fitted.
+    pub bitband: bool,
+    /// Base address of the vector table (one word per line for the
+    /// hardware scheme; a single vector for the software scheme).
+    pub vector_base: u32,
+}
+
+impl MachineConfig {
+    /// ARM7TDMI-class: von-Neumann, cacheless, software interrupt scheme.
+    #[must_use]
+    pub fn arm7_like(mode: IsaMode) -> MachineConfig {
+        MachineConfig {
+            mode,
+            timing: CoreTiming::arm7_like(),
+            // Zero-wait memory: the classic core runs at flash speed.
+            flash: FlashConfig { seq_cycles: 1, nonseq_cycles: 1, ..FlashConfig::default() },
+            sram_size: 1 << 20,
+            tcm_size: None,
+            icache: None,
+            dcache: None,
+            mpu: None,
+            irq_style: IrqStyle::SoftwarePreamble,
+            irq_lines: 32,
+            bitband: false,
+            vector_base: 0,
+        }
+    }
+
+    /// Cortex-M3-class: Harvard, flash prefetch, NVIC, bit-band.
+    #[must_use]
+    pub fn m3_like() -> MachineConfig {
+        MachineConfig {
+            mode: IsaMode::T2,
+            timing: CoreTiming::m3_like(),
+            flash: FlashConfig::default(),
+            sram_size: 1 << 20,
+            tcm_size: None,
+            icache: None,
+            dcache: None,
+            mpu: None,
+            irq_style: IrqStyle::HardwareStacking,
+            irq_lines: 32,
+            bitband: true,
+            vector_base: 0,
+        }
+    }
+
+    /// ARM1156T2-class: caches, fine-grain MPU, TCM, interruptible LDM.
+    #[must_use]
+    pub fn high_end_like() -> MachineConfig {
+        MachineConfig {
+            mode: IsaMode::T2,
+            timing: CoreTiming::high_end_like(),
+            flash: FlashConfig { seq_cycles: 1, nonseq_cycles: 6, ..FlashConfig::default() },
+            sram_size: 1 << 20,
+            tcm_size: Some(64 << 10),
+            icache: Some(CacheConfig::default()),
+            dcache: Some(CacheConfig::default()),
+            mpu: Some(MpuKind::FineGrain),
+            irq_style: IrqStyle::HardwareStacking,
+            irq_lines: 32,
+            bitband: false,
+            vector_base: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SwFrame {
+    ret_pc: u32,
+    flags: Flags,
+    primask: bool,
+}
+
+/// A complete simulated machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Static configuration.
+    pub config: MachineConfig,
+    /// Architectural state.
+    pub cpu: Cpu,
+    /// Flash memory.
+    pub flash: Flash,
+    /// SRAM.
+    pub sram: Sram,
+    /// TCM, if fitted.
+    pub tcm: Option<Tcm>,
+    /// Instrumentation MMIO.
+    pub mmio: Mmio,
+    /// Instruction cache, if fitted.
+    pub icache: Option<Cache>,
+    /// Data cache, if fitted.
+    pub dcache: Option<Cache>,
+    /// MPU, if fitted.
+    pub mpu: Option<Mpu>,
+    /// Interrupt controller.
+    pub irq: IrqController,
+    /// Flash patch unit.
+    pub patch: FlashPatch,
+    cycles: u64,
+    instret: u64,
+    fetch_window: Option<u32>,
+    irq_schedule: Vec<(u64, u32)>,
+    pend_cycle: Vec<Option<u64>>,
+    latencies: Vec<IrqLatency>,
+    sw_frames: Vec<SwFrame>,
+    active_irq: u32,
+    svc_count: u64,
+    icache_recoveries: u64,
+    dcache_recoveries: u64,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            cpu: Cpu::new(),
+            flash: Flash::new(config.flash),
+            sram: Sram::new(config.sram_size),
+            tcm: config.tcm_size.map(Tcm::new),
+            mmio: Mmio::new(),
+            icache: config.icache.map(Cache::new),
+            dcache: config.dcache.map(Cache::new),
+            mpu: config.mpu.map(Mpu::new),
+            irq: IrqController::new(config.irq_style, config.irq_lines),
+            patch: FlashPatch::new(),
+            cycles: 0,
+            instret: 0,
+            fetch_window: None,
+            irq_schedule: Vec::new(),
+            pend_cycle: vec![None; config.irq_lines],
+            latencies: Vec::new(),
+            sw_frames: Vec::new(),
+            active_irq: 0,
+            svc_count: 0,
+            icache_recoveries: 0,
+            dcache_recoveries: 0,
+            config,
+        }
+    }
+
+    /// Shorthand: [`MachineConfig::arm7_like`].
+    #[must_use]
+    pub fn arm7_like(mode: IsaMode) -> Machine {
+        Machine::new(MachineConfig::arm7_like(mode))
+    }
+
+    /// Shorthand: [`MachineConfig::m3_like`].
+    #[must_use]
+    pub fn m3_like() -> Machine {
+        Machine::new(MachineConfig::m3_like())
+    }
+
+    /// Shorthand: [`MachineConfig::high_end_like`].
+    #[must_use]
+    pub fn high_end_like() -> Machine {
+        Machine::new(MachineConfig::high_end_like())
+    }
+
+    /// Cycles consumed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instret
+    }
+
+    /// `svc` instructions executed.
+    #[must_use]
+    pub fn svc_count(&self) -> u64 {
+        self.svc_count
+    }
+
+    /// Interrupt latency observations.
+    #[must_use]
+    pub fn latencies(&self) -> &[IrqLatency] {
+        &self.latencies
+    }
+
+    /// Soft-error recoveries performed by the instruction cache.
+    #[must_use]
+    pub fn icache_recoveries(&self) -> u64 {
+        self.icache_recoveries
+    }
+
+    /// Soft-error recoveries performed on the data side.
+    #[must_use]
+    pub fn dcache_recoveries(&self) -> u64 {
+        self.dcache_recoveries
+    }
+
+    /// Loads bytes into flash at `addr` (must be inside flash).
+    pub fn load_flash(&mut self, addr: u32, image: &[u8]) {
+        self.flash.load(addr - FLASH_BASE, image);
+    }
+
+    /// Loads bytes into SRAM at `addr`.
+    pub fn load_sram(&mut self, addr: u32, image: &[u8]) {
+        let off = (addr - SRAM_BASE) as usize;
+        self.sram.bytes_mut()[off..off + image.len()].copy_from_slice(image);
+    }
+
+    /// Reads a word from SRAM (test/benchmark helper).
+    #[must_use]
+    pub fn read_sram_word(&self, addr: u32) -> u32 {
+        self.sram.read(addr - SRAM_BASE, 4)
+    }
+
+    /// Writes a word to SRAM (test/benchmark helper).
+    pub fn write_sram_word(&mut self, addr: u32, value: u32) {
+        self.sram.write(addr - SRAM_BASE, 4, value);
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.cpu.pc = pc;
+    }
+
+    /// Schedules interrupt `irq` to assert at absolute cycle `cycle`.
+    pub fn schedule_irq(&mut self, cycle: u64, irq: u32) {
+        self.irq_schedule.push((cycle, irq));
+        self.irq_schedule.sort_unstable();
+    }
+
+    fn pend_irq(&mut self, irq: u32, asserted_at: u64) {
+        self.irq.pend(irq);
+        let slot = &mut self.pend_cycle[irq as usize];
+        if slot.is_none() {
+            // Latency is measured from the cycle the line was asserted,
+            // not from when the core got around to sampling it.
+            *slot = Some(asserted_at);
+        }
+    }
+
+    fn drain_due_irqs(&mut self, now: u64) {
+        while let Some(&(cycle, irq)) = self.irq_schedule.first() {
+            if cycle > now {
+                break;
+            }
+            self.irq_schedule.remove(0);
+            self.pend_irq(irq, cycle);
+        }
+        let reqs: Vec<u32> = self.mmio.irq_requests.drain(..).collect();
+        for irq in reqs {
+            if (irq as usize) < self.config.irq_lines {
+                self.pend_irq(irq, self.cycles);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Memory paths
+    // -----------------------------------------------------------------
+
+    fn in_flash(&self, addr: u32) -> bool {
+        (FLASH_BASE..FLASH_BASE + self.flash.config().size).contains(&addr)
+    }
+
+    fn in_sram(&self, addr: u32) -> bool {
+        (SRAM_BASE..SRAM_BASE + self.config.sram_size).contains(&addr)
+    }
+
+    fn in_tcm(&self, addr: u32) -> bool {
+        match self.config.tcm_size {
+            Some(sz) => (TCM_BASE..TCM_BASE + sz).contains(&addr),
+            None => false,
+        }
+    }
+
+    fn in_bitband(&self, addr: u32) -> bool {
+        self.config.bitband
+            && (BITBAND_BASE..BITBAND_BASE + self.config.sram_size.saturating_mul(8))
+                .contains(&addr)
+    }
+
+    fn in_mmio(&self, addr: u32) -> bool {
+        (MMIO_BASE..MMIO_BASE + 0x1000).contains(&addr)
+    }
+
+    /// Fetches `len` instruction bytes at `addr`. Returns
+    /// `(raw, cycles, patched_breakpoint)`.
+    fn fetch_mem(&mut self, addr: u32, len: u32) -> Result<(u32, u32, bool), MemFault> {
+        if let Some(mpu) = &mut self.mpu {
+            if !mpu.check_execute(addr) {
+                return Err(MemFault::MpuViolation { addr, write: false });
+            }
+        }
+        if self.in_sram(addr) {
+            let v = self.sram.read(addr - SRAM_BASE, len);
+            return Ok((v, self.sram.cycles, false));
+        }
+        if self.in_tcm(addr) {
+            let tcm = self.tcm.as_mut().expect("in_tcm checked");
+            let (v, c) = tcm.read(addr - TCM_BASE, len);
+            return Ok((v, c, false));
+        }
+        if !self.in_flash(addr) {
+            return Err(MemFault::Unmapped { addr });
+        }
+        let off = addr - FLASH_BASE;
+        let mut cycles = 0;
+        if let Some(ic) = &mut self.icache {
+            let (lookup, c) = ic.access(off);
+            cycles += c;
+            if lookup == Lookup::DataError {
+                // §3.1.3: invalidate + refetch, transparently.
+                self.icache_recoveries += 1;
+                let (_, c2) = ic.access(off);
+                cycles += c2;
+            }
+        } else {
+            // Streaming fetch through the window buffer.
+            let window = self.flash.config().width.max(2);
+            let mut w = addr & !(window - 1);
+            let end = addr + len;
+            while w < end {
+                if self.fetch_window != Some(w) {
+                    let (_, c) = self.flash.access(w - FLASH_BASE, window, Access::Fetch);
+                    cycles += c;
+                    self.fetch_window = Some(w);
+                }
+                w += window;
+            }
+            // Only the final window stays buffered.
+            self.fetch_window = Some((end - 1) & !(window - 1));
+        }
+        let raw = self.flash.peek(off, len);
+        let (patched, bp) = self.patch.apply(addr, len, raw);
+        Ok((patched, cycles, bp))
+    }
+
+    /// Performs a data read. Returns `(value, cycles)`.
+    fn data_read(&mut self, addr: u32, len: u32) -> Result<(u32, u32), MemFault> {
+        if let Some(mpu) = &mut self.mpu {
+            if !mpu.check(addr, false, true) {
+                return Err(MemFault::MpuViolation { addr, write: false });
+            }
+        }
+        if self.in_mmio(addr) {
+            self.mmio.cycles = self.cycles;
+            let v = if addr & !3 == MMIO_IRQ_ACTIVE { self.active_irq } else { self.mmio.read(addr) };
+            return Ok((v, 1));
+        }
+        if self.in_bitband(addr) {
+            let bit_index = addr - BITBAND_BASE;
+            let byte = bit_index / 8;
+            let bit = bit_index % 8;
+            let v = self.sram.read(byte, 1) >> bit & 1;
+            return Ok((v, 1));
+        }
+        let mut cycles = 0;
+        if self.dcache.is_some() && (self.in_flash(addr) || self.in_sram(addr)) {
+            let dc = self.dcache.as_mut().expect("checked");
+            let (lookup, c) = dc.access(addr);
+            cycles += c;
+            if lookup == Lookup::DataError {
+                // Precise abort + software recovery, modelled as a charged
+                // recovery sequence followed by a refill.
+                self.dcache_recoveries += 1;
+                let (_, c2) = dc.access(addr);
+                cycles += c2 + 8; // recovery handler overhead
+            }
+            let v = if self.in_flash(addr) {
+                self.flash.peek(addr - FLASH_BASE, len)
+            } else {
+                self.sram.read(addr - SRAM_BASE, len)
+            };
+            return Ok((v, cycles));
+        }
+        if self.in_sram(addr) {
+            let v = self.sram.read(addr - SRAM_BASE, len);
+            cycles += self.sram.cycles;
+            if !self.config.timing.harvard {
+                // Unified bus: the data access steals the bus from the
+                // fetch stream.
+                self.break_fetch_stream();
+            }
+            return Ok((v, cycles));
+        }
+        if self.in_tcm(addr) {
+            let tcm = self.tcm.as_mut().expect("checked");
+            let (v, c) = tcm.read(addr - TCM_BASE, len);
+            return Ok((v, c));
+        }
+        if self.in_flash(addr) {
+            // Literal pool load: disturbs the prefetch stream (§2.2).
+            let (raw, c) = self.flash.access(addr - FLASH_BASE, len, Access::Read);
+            self.fetch_window = None;
+            let (v, _) = self.patch.apply(addr, len, raw);
+            return Ok((v, c));
+        }
+        Err(MemFault::Unmapped { addr })
+    }
+
+    /// Performs a data write. Returns cycles.
+    fn data_write(&mut self, addr: u32, len: u32, value: u32) -> Result<u32, MemFault> {
+        if let Some(mpu) = &mut self.mpu {
+            if !mpu.check(addr, true, true) {
+                return Err(MemFault::MpuViolation { addr, write: true });
+            }
+        }
+        if self.in_mmio(addr) {
+            self.mmio.cycles = self.cycles;
+            self.mmio.write(addr, value);
+            return Ok(1);
+        }
+        if self.in_bitband(addr) {
+            // The paper's §3.2.3 mechanism: one store atomically sets or
+            // clears a single bit, no read-modify-write, no IRQ masking.
+            let bit_index = addr - BITBAND_BASE;
+            let byte = bit_index / 8;
+            let bit = bit_index % 8;
+            let old = self.sram.read(byte, 1);
+            let new = if value & 1 != 0 { old | 1 << bit } else { old & !(1 << bit) };
+            self.sram.write(byte, 1, new);
+            return Ok(1);
+        }
+        if self.in_sram(addr) {
+            self.sram.write(addr - SRAM_BASE, len, value);
+            if !self.config.timing.harvard {
+                self.break_fetch_stream();
+            }
+            return Ok(self.sram.cycles);
+        }
+        if self.in_tcm(addr) {
+            let tcm = self.tcm.as_mut().expect("checked");
+            return Ok(tcm.write(addr - TCM_BASE, len, value));
+        }
+        Err(MemFault::Unmapped { addr })
+    }
+
+    fn break_fetch_stream(&mut self) {
+        self.fetch_window = None;
+        // A non-fetch bus transaction desequentializes flash.
+        self.flash.break_stream();
+    }
+
+    // -----------------------------------------------------------------
+    // Execution
+    // -----------------------------------------------------------------
+
+    /// Runs until a stop condition or `cycle_limit`.
+    pub fn run(&mut self, cycle_limit: u64) -> RunResult {
+        loop {
+            if self.cycles >= cycle_limit {
+                return self.result(StopReason::CycleLimit);
+            }
+            match self.step() {
+                None => {}
+                Some(reason) => return self.result(reason),
+            }
+        }
+    }
+
+    fn result(&self, reason: StopReason) -> RunResult {
+        RunResult { reason, cycles: self.cycles, instructions: self.instret }
+    }
+
+    /// Executes one instruction (or takes one interrupt). Returns a stop
+    /// reason when the machine halts.
+    pub fn step(&mut self) -> Option<StopReason> {
+        self.drain_due_irqs(self.cycles);
+        // Interrupts are taken between instructions (and never nested).
+        if self.cpu.handler_depth == 0 || self.irq.nmi.is_some_and(|n| self.irq.is_pending(n)) {
+            if let Some(irq) = self.irq.highest_pending(self.cpu.primask) {
+                if self.cpu.handler_depth == 0 || Some(irq) == self.irq.nmi {
+                    self.take_interrupt(irq, false);
+                    return None;
+                }
+            }
+        }
+        let pc = self.cpu.pc;
+        let mode = self.config.mode;
+        // Fetch enough bytes to decode: narrow first, widen on demand.
+        let first_len = mode.min_instr_size();
+        let (mut raw, mut fetch_cycles, bp) = match self.fetch_mem(pc, first_len) {
+            Ok(t) => t,
+            Err(f) => return Some(StopReason::Fault(f)),
+        };
+        if bp {
+            return Some(StopReason::PatchBreakpoint { addr: pc });
+        }
+        let mut bytes = raw.to_le_bytes().to_vec();
+        if mode != IsaMode::A32 {
+            let hw1 = raw as u16;
+            if hw1 >> 11 >= 0b11101 {
+                let (raw2, c2, bp2) = match self.fetch_mem(pc + 2, 2) {
+                    Ok(t) => t,
+                    Err(f) => return Some(StopReason::Fault(f)),
+                };
+                if bp2 {
+                    return Some(StopReason::PatchBreakpoint { addr: pc + 2 });
+                }
+                fetch_cycles += c2;
+                bytes = [&raw.to_le_bytes()[..2], &raw2.to_le_bytes()[..2]].concat();
+                raw = u32::from(hw1) | raw2 << 16;
+            } else {
+                bytes.truncate(2);
+            }
+        }
+        let _ = raw;
+        let (instr, isize) = match decode(&bytes, mode) {
+            Ok(t) => t,
+            Err(_) => return Some(StopReason::DecodeError { addr: pc }),
+        };
+        // Fetch overlaps execution in the pipeline: only the stall beyond
+        // one cycle is charged (an ARM7 data-processing op is 1S total).
+        self.cycles += u64::from(fetch_cycles.saturating_sub(1));
+        self.instret += 1;
+
+        // Predication: IT queue (T2) or per-instruction condition (A32).
+        let predicated_cond = if !matches!(instr, Instr::It { .. }) {
+            self.cpu.it_queue.pop_front()
+        } else {
+            None
+        };
+        let cond = predicated_cond.unwrap_or_else(|| instr.cond());
+        if !cond.eval(self.cpu.flags) {
+            // Skipped: costs the fetch plus one issue cycle.
+            self.cycles += 1;
+            self.cpu.pc = pc.wrapping_add(isize);
+            return None;
+        }
+        self.exec(instr, pc, isize)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, instr: Instr, pc: u32, isize: u32) -> Option<StopReason> {
+        let bias = self.config.mode.pc_bias();
+        let timing = self.config.timing;
+        let mut next_pc = pc.wrapping_add(isize);
+        let mut cost = 1u64;
+        macro_rules! mem_read {
+            ($addr:expr, $len:expr) => {
+                match self.data_read($addr, $len) {
+                    Ok((v, c)) => {
+                        cost += u64::from(c) + u64::from(timing.load_internal);
+                        v
+                    }
+                    Err(f) => return Some(StopReason::Fault(f)),
+                }
+            };
+        }
+        macro_rules! mem_write {
+            ($addr:expr, $len:expr, $v:expr) => {
+                match self.data_write($addr, $len, $v) {
+                    Ok(c) => cost += u64::from(c) + u64::from(timing.store_internal),
+                    Err(f) => return Some(StopReason::Fault(f)),
+                }
+            };
+        }
+
+        let mut branch_target: Option<u32> = None;
+        match instr {
+            Instr::Dp { op, s, rd, rn, op2, .. } => {
+                let (b, shc) = self.cpu.eval_operand2(op2, bias);
+                if matches!(op2, Operand2::RegShiftReg(..)) {
+                    cost += 1;
+                }
+                let a = self.cpu.read_reg(rn, bias);
+                use alia_isa::DpOp::*;
+                let (result, c, v) = match op {
+                    And => (a & b, shc, self.cpu.flags.v),
+                    Eor => (a ^ b, shc, self.cpu.flags.v),
+                    Orr => (a | b, shc, self.cpu.flags.v),
+                    Bic => (a & !b, shc, self.cpu.flags.v),
+                    Add => add_with_carry(a, b, false),
+                    Adc => add_with_carry(a, b, self.cpu.flags.c),
+                    Sub => add_with_carry(a, !b, true),
+                    Sbc => add_with_carry(a, !b, self.cpu.flags.c),
+                    Rsb => add_with_carry(b, !a, true),
+                };
+                if s {
+                    self.cpu.set_nz(result);
+                    self.cpu.flags.c = c;
+                    self.cpu.flags.v = v;
+                }
+                if rd == Reg::PC {
+                    branch_target = Some(result);
+                } else {
+                    self.cpu.write_reg(rd, result);
+                }
+            }
+            Instr::Mov { s, rd, op2, .. } => {
+                let (v, shc) = self.cpu.eval_operand2(op2, bias);
+                if matches!(op2, Operand2::RegShiftReg(..)) {
+                    cost += 1;
+                }
+                if s {
+                    self.cpu.set_nz(v);
+                    self.cpu.flags.c = shc;
+                }
+                if rd == Reg::PC {
+                    branch_target = Some(v);
+                } else {
+                    self.cpu.write_reg(rd, v);
+                }
+            }
+            Instr::Mvn { s, rd, op2, .. } => {
+                let (v, shc) = self.cpu.eval_operand2(op2, bias);
+                let v = !v;
+                if s {
+                    self.cpu.set_nz(v);
+                    self.cpu.flags.c = shc;
+                }
+                self.cpu.write_reg(rd, v);
+            }
+            Instr::Cmp { op, rn, op2, .. } => {
+                let (b, shc) = self.cpu.eval_operand2(op2, bias);
+                let a = self.cpu.read_reg(rn, bias);
+                use alia_isa::CmpOp::*;
+                match op {
+                    Cmp => {
+                        let (r, c, v) = add_with_carry(a, !b, true);
+                        self.cpu.set_nz(r);
+                        self.cpu.flags.c = c;
+                        self.cpu.flags.v = v;
+                    }
+                    Cmn => {
+                        let (r, c, v) = add_with_carry(a, b, false);
+                        self.cpu.set_nz(r);
+                        self.cpu.flags.c = c;
+                        self.cpu.flags.v = v;
+                    }
+                    Tst => {
+                        self.cpu.set_nz(a & b);
+                        self.cpu.flags.c = shc;
+                    }
+                    Teq => {
+                        self.cpu.set_nz(a ^ b);
+                        self.cpu.flags.c = shc;
+                    }
+                }
+            }
+            Instr::MovW { rd, imm16, .. } => self.cpu.write_reg(rd, u32::from(imm16)),
+            Instr::MovT { rd, imm16, .. } => {
+                let old = self.cpu.read_reg(rd, bias);
+                self.cpu.write_reg(rd, old & 0xFFFF | u32::from(imm16) << 16);
+            }
+            Instr::Mul { s, rd, rn, rm, .. } => {
+                let r = self
+                    .cpu
+                    .read_reg(rn, bias)
+                    .wrapping_mul(self.cpu.read_reg(rm, bias));
+                cost += u64::from(timing.mul_cycles - 1);
+                if s {
+                    self.cpu.set_nz(r);
+                }
+                self.cpu.write_reg(rd, r);
+            }
+            Instr::Mla { rd, rn, rm, ra, .. } => {
+                let r = self
+                    .cpu
+                    .read_reg(rn, bias)
+                    .wrapping_mul(self.cpu.read_reg(rm, bias))
+                    .wrapping_add(self.cpu.read_reg(ra, bias));
+                cost += u64::from(timing.mul_cycles);
+                self.cpu.write_reg(rd, r);
+            }
+            Instr::Sdiv { rd, rn, rm, .. } => {
+                let a = self.cpu.read_reg(rn, bias) as i32;
+                let b = self.cpu.read_reg(rm, bias) as i32;
+                let q = if b == 0 { 0 } else { a.wrapping_div(b) };
+                cost += u64::from(timing.div_cycles(a.unsigned_abs(), b.unsigned_abs()) - 1);
+                self.cpu.write_reg(rd, q as u32);
+            }
+            Instr::Udiv { rd, rn, rm, .. } => {
+                let a = self.cpu.read_reg(rn, bias);
+                let b = self.cpu.read_reg(rm, bias);
+                let q = if b == 0 { 0 } else { a / b };
+                cost += u64::from(timing.div_cycles(a, b) - 1);
+                self.cpu.write_reg(rd, q);
+            }
+            Instr::Bfi { rd, rn, lsb, width, .. } => {
+                let mask = width_mask(width) << lsb;
+                let old = self.cpu.read_reg(rd, bias);
+                let v = self.cpu.read_reg(rn, bias) << lsb & mask;
+                self.cpu.write_reg(rd, old & !mask | v);
+            }
+            Instr::Bfc { rd, lsb, width, .. } => {
+                let mask = width_mask(width) << lsb;
+                let old = self.cpu.read_reg(rd, bias);
+                self.cpu.write_reg(rd, old & !mask);
+            }
+            Instr::Ubfx { rd, rn, lsb, width, .. } => {
+                let v = self.cpu.read_reg(rn, bias) >> lsb & width_mask(width);
+                self.cpu.write_reg(rd, v);
+            }
+            Instr::Sbfx { rd, rn, lsb, width, .. } => {
+                let mut v = self.cpu.read_reg(rn, bias) >> lsb & width_mask(width);
+                if width < 32 && v >> (width - 1) & 1 != 0 {
+                    v |= !width_mask(width);
+                }
+                self.cpu.write_reg(rd, v);
+            }
+            Instr::Rbit { rd, rm, .. } => {
+                let v = self.cpu.read_reg(rm, bias).reverse_bits();
+                self.cpu.write_reg(rd, v);
+            }
+            Instr::Rev { rd, rm, .. } => {
+                let v = self.cpu.read_reg(rm, bias).swap_bytes();
+                self.cpu.write_reg(rd, v);
+            }
+            Instr::Ldr { size, signed, rt, addr, .. } => {
+                let (ea, wb) = self.effective_address(addr, bias);
+                let len = size.bytes();
+                let mut v = mem_read!(ea, len);
+                if signed {
+                    v = match size {
+                        MemSize::Byte => v as u8 as i8 as i32 as u32,
+                        MemSize::Half => v as u16 as i16 as i32 as u32,
+                        MemSize::Word => v,
+                    };
+                }
+                if let Some((reg, val)) = wb {
+                    self.cpu.write_reg(reg, val);
+                }
+                if rt == Reg::PC {
+                    branch_target = Some(v);
+                } else {
+                    self.cpu.write_reg(rt, v);
+                }
+            }
+            Instr::Str { size, rt, addr, .. } => {
+                let (ea, wb) = self.effective_address(addr, bias);
+                let v = self.cpu.read_reg(rt, bias);
+                mem_write!(ea, size.bytes(), v);
+                if let Some((reg, val)) = wb {
+                    self.cpu.write_reg(reg, val);
+                }
+            }
+            Instr::LdrLit { rt, offset, .. } => {
+                let base = (pc.wrapping_add(bias)) & !3;
+                let ea = base.wrapping_add(offset as u32);
+                let v = mem_read!(ea, 4);
+                if rt == Reg::PC {
+                    branch_target = Some(v);
+                } else {
+                    self.cpu.write_reg(rt, v);
+                }
+            }
+            Instr::Ldm { rn, writeback, regs, .. } => {
+                let base = self.cpu.read_reg(rn, bias);
+                let mut addr = base;
+                let mut loaded = Vec::new();
+                for (i, r) in regs.iter().enumerate() {
+                    // Interruptible LDM (§3.1.2): abandon and restart.
+                    if timing.interruptible_ldm && i > 0 && self.irq_due_mid_instr(cost) {
+                        self.cycles += cost;
+                        self.cpu.pc = pc; // restart the LDM afterwards
+                        let irq = self
+                            .irq
+                            .highest_pending(self.cpu.primask)
+                            .expect("irq_due_mid_instr");
+                        self.take_interrupt(irq, false);
+                        return None;
+                    }
+                    let v = mem_read!(addr, 4);
+                    loaded.push((r, v));
+                    addr += 4;
+                }
+                for (r, v) in loaded {
+                    if r == Reg::PC {
+                        branch_target = Some(v);
+                    } else {
+                        self.cpu.write_reg(r, v);
+                    }
+                }
+                if writeback && !regs.contains(rn) {
+                    self.cpu.write_reg(rn, addr);
+                }
+                let _ = base;
+            }
+            Instr::Stm { rn, writeback, regs, .. } => {
+                let mut addr = self.cpu.read_reg(rn, bias);
+                for r in regs.iter() {
+                    let v = self.cpu.read_reg(r, bias);
+                    mem_write!(addr, 4, v);
+                    addr += 4;
+                }
+                if writeback {
+                    self.cpu.write_reg(rn, addr);
+                }
+            }
+            Instr::Push { regs, .. } => {
+                let mut addr = self.cpu.sp() - 4 * regs.len();
+                self.cpu.set_sp(addr);
+                for r in regs.iter() {
+                    let v = self.cpu.read_reg(r, bias);
+                    mem_write!(addr, 4, v);
+                    addr += 4;
+                }
+            }
+            Instr::Pop { regs, .. } => {
+                let mut addr = self.cpu.sp();
+                for r in regs.iter() {
+                    let v = mem_read!(addr, 4);
+                    addr += 4;
+                    if r == Reg::PC {
+                        branch_target = Some(v);
+                    } else {
+                        self.cpu.write_reg(r, v);
+                    }
+                }
+                self.cpu.set_sp(addr);
+            }
+            Instr::B { offset, .. } => {
+                branch_target = Some(pc.wrapping_add(offset as u32));
+            }
+            Instr::Bl { offset } => {
+                self.cpu.set_lr(pc.wrapping_add(isize));
+                branch_target = Some(pc.wrapping_add(offset as u32));
+            }
+            Instr::Bx { rm, .. } => {
+                branch_target = Some(self.cpu.read_reg(rm, bias));
+            }
+            Instr::Cbz { nonzero, rn, offset } => {
+                let v = self.cpu.read_reg(rn, bias);
+                if (v == 0) != nonzero {
+                    branch_target = Some(pc.wrapping_add(offset as u32));
+                }
+            }
+            Instr::It { firstcond, mask, count } => {
+                self.cpu.it_queue = expand_it(firstcond, mask, count);
+            }
+            Instr::Tbb { rn, rm } => {
+                let base = self.cpu.read_reg(rn, bias);
+                let idx = self.cpu.read_reg(rm, bias);
+                let entry = mem_read!(base.wrapping_add(idx), 1);
+                branch_target = Some(pc.wrapping_add(4).wrapping_add(entry * 2));
+                cost += 1;
+            }
+            Instr::Tbh { rn, rm } => {
+                let base = self.cpu.read_reg(rn, bias);
+                let idx = self.cpu.read_reg(rm, bias);
+                let entry = mem_read!(base.wrapping_add(idx * 2), 2);
+                branch_target = Some(pc.wrapping_add(4).wrapping_add(entry * 2));
+                cost += 1;
+            }
+            Instr::Svc { .. } => {
+                self.svc_count += 1;
+            }
+            Instr::Bkpt { imm } => {
+                self.cycles += cost;
+                return Some(StopReason::Bkpt(imm));
+            }
+            Instr::Nop => {}
+            Instr::Cpsid => self.cpu.primask = true,
+            Instr::Cpsie => self.cpu.primask = false,
+            Instr::Wfi => {
+                self.cycles += cost;
+                self.cpu.pc = next_pc;
+                return self.sleep_until_irq();
+            }
+            // `Instr` is non_exhaustive; anything added later is a nop
+            // until the executor learns it.
+            _ => {}
+        }
+
+        self.cycles += cost;
+        if let Some(target) = branch_target {
+            if target == EXC_RETURN_HW {
+                return self.exception_return_hw();
+            }
+            if target == EXC_RETURN_SW {
+                self.exception_return_sw();
+                return None;
+            }
+            next_pc = target & !1;
+            self.cycles += u64::from(timing.branch_taken_penalty);
+        }
+        self.cpu.pc = next_pc;
+        if self.mmio.exit_code.is_some() {
+            return Some(StopReason::MmioExit(self.mmio.exit_code.expect("just checked")));
+        }
+        None
+    }
+
+    fn effective_address(
+        &self,
+        addr: alia_isa::AddrMode,
+        bias: u32,
+    ) -> (u32, Option<(Reg, u32)>) {
+        let base = self.cpu.read_reg(addr.base, bias);
+        let off = match addr.offset {
+            Offset::Imm(i) => i as u32,
+            Offset::Reg(rm, sh) => self.cpu.read_reg(rm, bias) << sh,
+        };
+        match addr.index {
+            alia_isa::Index::Offset => (base.wrapping_add(off), None),
+            alia_isa::Index::PreIndex => {
+                let ea = base.wrapping_add(off);
+                (ea, Some((addr.base, ea)))
+            }
+            alia_isa::Index::PostIndex => (base, Some((addr.base, base.wrapping_add(off)))),
+        }
+    }
+
+    fn irq_due_mid_instr(&mut self, cost_so_far: u64) -> bool {
+        self.drain_due_irqs(self.cycles + cost_so_far);
+        self.cpu.handler_depth == 0
+            && self.irq.highest_pending(self.cpu.primask).is_some()
+    }
+
+    fn sleep_until_irq(&mut self) -> Option<StopReason> {
+        self.drain_due_irqs(self.cycles);
+        if self.irq.highest_pending(self.cpu.primask).is_some() {
+            return None;
+        }
+        // Fast-forward to the next scheduled interrupt.
+        match self.irq_schedule.first() {
+            Some(&(cycle, _)) => {
+                self.cycles = self.cycles.max(cycle);
+                self.drain_due_irqs(self.cycles);
+                None
+            }
+            None => Some(StopReason::WfiIdle),
+        }
+    }
+
+    fn take_interrupt(&mut self, irq: u32, tail_chained: bool) {
+        self.irq.acknowledge(irq);
+        self.active_irq = irq;
+        let timing = self.irq.timing();
+        let vector_addr = match self.irq.style() {
+            IrqStyle::HardwareStacking => self.config.vector_base + 4 * irq,
+            IrqStyle::SoftwarePreamble => self.config.vector_base,
+        };
+        let vector = self.flash.peek(vector_addr - FLASH_BASE, 4);
+        match self.irq.style() {
+            IrqStyle::HardwareStacking => {
+                if tail_chained {
+                    self.cycles += u64::from(timing.tail_chain);
+                    self.irq.note_tail_chain();
+                } else {
+                    // Stack r0-r3, r12, lr, pc, psr — eight words; the cost
+                    // is folded into `entry` (stacking and vector fetch
+                    // proceed in parallel, §3.2.1).
+                    let mut sp = self.cpu.sp();
+                    let flags = flags_word(self.cpu.flags);
+                    let frame = [
+                        self.cpu.regs[0],
+                        self.cpu.regs[1],
+                        self.cpu.regs[2],
+                        self.cpu.regs[3],
+                        self.cpu.regs[12],
+                        self.cpu.lr(),
+                        self.cpu.pc,
+                        flags,
+                    ];
+                    sp -= 32;
+                    self.cpu.set_sp(sp);
+                    for (i, w) in frame.iter().enumerate() {
+                        let _ = self.data_write(sp + 4 * i as u32, 4, *w);
+                    }
+                    self.cycles += u64::from(timing.entry);
+                }
+                self.cpu.set_lr(EXC_RETURN_HW);
+            }
+            IrqStyle::SoftwarePreamble => {
+                self.sw_frames.push(SwFrame {
+                    ret_pc: self.cpu.pc,
+                    flags: self.cpu.flags,
+                    primask: self.cpu.primask,
+                });
+                self.cpu.primask = true;
+                self.cpu.set_lr(EXC_RETURN_SW);
+                self.cycles += u64::from(timing.entry);
+            }
+        }
+        self.cpu.pc = vector & !1;
+        self.cpu.it_queue.clear();
+        if self.cpu.handler_depth == 0 || !tail_chained {
+            self.cpu.handler_depth = 1;
+        }
+        let pend = self.pend_cycle[irq as usize].take().unwrap_or(self.cycles);
+        self.latencies.push(IrqLatency {
+            irq,
+            pend_cycle: pend,
+            entry_cycle: self.cycles,
+            tail_chained,
+        });
+    }
+
+    fn exception_return_hw(&mut self) -> Option<StopReason> {
+        self.drain_due_irqs(self.cycles);
+        if let Some(next) = self.irq.highest_pending(self.cpu.primask) {
+            // Tail-chain: skip unstack + restack (Figure 4).
+            self.take_interrupt(next, true);
+            return None;
+        }
+        let timing = self.irq.timing();
+        let sp = self.cpu.sp();
+        let mut frame = [0u32; 8];
+        for (i, slot) in frame.iter_mut().enumerate() {
+            match self.data_read(sp + 4 * i as u32, 4) {
+                Ok((v, _)) => *slot = v,
+                Err(f) => return Some(StopReason::Fault(f)),
+            }
+        }
+        self.cpu.regs[0] = frame[0];
+        self.cpu.regs[1] = frame[1];
+        self.cpu.regs[2] = frame[2];
+        self.cpu.regs[3] = frame[3];
+        self.cpu.regs[12] = frame[4];
+        self.cpu.set_lr(frame[5]);
+        self.cpu.pc = frame[6] & !1;
+        self.cpu.flags = flags_from_word(frame[7]);
+        self.cpu.set_sp(sp + 32);
+        self.cycles += u64::from(timing.exit);
+        self.cpu.handler_depth = 0;
+        None
+    }
+
+    fn exception_return_sw(&mut self) {
+        let timing = self.irq.timing();
+        let frame = self.sw_frames.pop().expect("software exception return without frame");
+        self.cpu.pc = frame.ret_pc;
+        self.cpu.flags = frame.flags;
+        self.cpu.primask = frame.primask;
+        self.cycles += u64::from(timing.exit);
+        self.cpu.handler_depth = self.cpu.handler_depth.saturating_sub(1);
+        // No tail-chaining in the software scheme: a pending interrupt is
+        // taken at the next step boundary, paying full exit + entry.
+    }
+}
+
+fn width_mask(width: u8) -> u32 {
+    if width >= 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+fn flags_word(f: Flags) -> u32 {
+    u32::from(f.n) << 31 | u32::from(f.z) << 30 | u32::from(f.c) << 29 | u32::from(f.v) << 28
+}
+
+fn flags_from_word(w: u32) -> Flags {
+    Flags { n: w >> 31 & 1 != 0, z: w >> 30 & 1 != 0, c: w >> 29 & 1 != 0, v: w >> 28 & 1 != 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PatchKind;
+    use alia_isa::Assembler;
+
+    fn asm_machine(mode: IsaMode, src: &str) -> Machine {
+        let out = Assembler::new(mode).assemble(src).expect("assembly failed");
+        let mut m = match mode {
+            IsaMode::A32 => Machine::arm7_like(IsaMode::A32),
+            IsaMode::T16 => Machine::arm7_like(IsaMode::T16),
+            IsaMode::T2 => Machine::m3_like(),
+        };
+        m.load_flash(0x100, &out.bytes);
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    }
+
+    #[test]
+    fn add_loop_t2() {
+        let mut m = asm_machine(
+            IsaMode::T2,
+            "mov r0, #0
+             mov r1, #10
+             loop: add r0, r0, #1
+             sub r1, r1, #1
+             cmp r1, #0
+             bne loop
+             bkpt #0",
+        );
+        let r = m.run(100_000);
+        assert_eq!(r.reason, StopReason::Bkpt(0));
+        assert_eq!(m.cpu.regs[0], 10);
+    }
+
+    #[test]
+    fn same_program_all_modes_same_result() {
+        let src = "mov r0, #100
+             mov r1, #7
+             loop: sub r0, r0, r1
+             cmp r0, #10
+             bge loop
+             bkpt #0";
+        for mode in IsaMode::ALL {
+            let mut m = asm_machine(mode, src);
+            let r = m.run(100_000);
+            assert_eq!(r.reason, StopReason::Bkpt(0), "{mode}");
+            // 100, 93, ... descends by 7 until the first value below 10.
+            assert_eq!(m.cpu.regs[0] as i32, 9, "{mode}");
+        }
+    }
+
+    #[test]
+    fn memory_and_stack() {
+        let mut m = asm_machine(
+            IsaMode::T2,
+            "movw r0, #0
+             movt r0, #0x2000
+             mov r1, #42
+             str r1, [r0, #4]
+             ldr r2, [r0, #4]
+             push {r1, r2}
+             pop {r3, r4}
+             bkpt #0",
+        );
+        let r = m.run(100_000);
+        assert_eq!(r.reason, StopReason::Bkpt(0));
+        assert_eq!(m.cpu.regs[2], 42);
+        assert_eq!(m.cpu.regs[3], 42);
+        assert_eq!(m.cpu.regs[4], 42);
+        assert_eq!(m.read_sram_word(SRAM_BASE + 4), 42);
+    }
+
+    #[test]
+    fn hardware_divide_runs_on_t2() {
+        let mut m = asm_machine(
+            IsaMode::T2,
+            "mov r0, #100
+             mov r1, #7
+             sdiv r2, r0, r1
+             udiv r3, r0, r1
+             bkpt #0",
+        );
+        m.run(10_000);
+        assert_eq!(m.cpu.regs[2], 14);
+        assert_eq!(m.cpu.regs[3], 14);
+    }
+
+    #[test]
+    fn it_block_predication() {
+        let mut m = asm_machine(
+            IsaMode::T2,
+            "mov r0, #5
+             cmp r0, #5
+             ite eq
+             mov r1, #1
+             mov r1, #2
+             bkpt #0",
+        );
+        m.run(10_000);
+        assert_eq!(m.cpu.regs[1], 1);
+    }
+
+    #[test]
+    fn a32_conditional_execution() {
+        let mut m = asm_machine(
+            IsaMode::A32,
+            "mov r0, #5
+             cmp r0, #9
+             moveq r1, #1
+             movne r1, #2
+             bkpt #0",
+        );
+        m.run(10_000);
+        assert_eq!(m.cpu.regs[1], 2);
+    }
+
+    #[test]
+    fn bitband_atomic_set() {
+        // Set bit 3 of SRAM byte 0 via the alias region.
+        let mut m = asm_machine(
+            IsaMode::T2,
+            "movw r0, #3
+             movt r0, #0x2200 ; alias of bit 3 of byte 0
+             mov r1, #1
+             str r1, [r0]
+             bkpt #0",
+        );
+        m.run(10_000);
+        assert_eq!(m.sram.read(0, 1), 0b1000);
+    }
+
+    #[test]
+    fn interrupt_hardware_stacking_and_return() {
+        // Vector table at 0: irq 0 vector -> 0x200.
+        let mut m = Machine::m3_like();
+        let main = Assembler::new(IsaMode::T2)
+            .assemble("main: add r4, r4, #1\n b main")
+            .unwrap();
+        let handler = Assembler::new(IsaMode::T2)
+            .assemble("add r5, r5, #1\n bx lr")
+            .unwrap();
+        m.load_flash(0x0, &[0u8; 4]); // vector 0 written below
+        m.load_flash(0x100, &main.bytes);
+        m.load_flash(0x200, &handler.bytes);
+        m.load_flash(0, &0x200u32.to_le_bytes());
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m.schedule_irq(50, 0);
+        let r = m.run(400);
+        assert_eq!(r.reason, StopReason::CycleLimit);
+        assert_eq!(m.cpu.regs[5], 1, "handler ran once");
+        assert!(m.cpu.regs[4] > 10, "main kept running after return");
+        assert_eq!(m.latencies().len(), 1);
+        let lat = m.latencies()[0];
+        assert!(lat.entry_cycle >= lat.pend_cycle + 12);
+    }
+
+    #[test]
+    fn nmi_fires_despite_cpsid() {
+        let mut m = Machine::m3_like();
+        m.irq.nmi = Some(1);
+        let main = Assembler::new(IsaMode::T2)
+            .assemble("cpsid\nmain: add r4, r4, #1\n b main")
+            .unwrap();
+        let handler = Assembler::new(IsaMode::T2).assemble("mov r7, #99\n bkpt #7").unwrap();
+        m.load_flash(0x100, &main.bytes);
+        m.load_flash(0x200, &handler.bytes);
+        m.load_flash(4, &0x200u32.to_le_bytes()); // vector for irq 1
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m.schedule_irq(40, 1);
+        let r = m.run(10_000);
+        assert_eq!(r.reason, StopReason::Bkpt(7));
+        assert_eq!(m.cpu.regs[7], 99);
+    }
+
+    #[test]
+    fn masked_irq_waits_for_cpsie() {
+        let mut m = Machine::m3_like();
+        let main = Assembler::new(IsaMode::T2)
+            .assemble(
+                "cpsid
+                 mov r4, #0
+                 spin: add r4, r4, #1
+                 cmp r4, #20
+                 bne spin
+                 cpsie
+                 b spin2
+                 spin2: b spin2",
+            )
+            .unwrap();
+        let handler = Assembler::new(IsaMode::T2).assemble("bkpt #9").unwrap();
+        m.load_flash(0x100, &main.bytes);
+        m.load_flash(0x200, &handler.bytes);
+        m.load_flash(0, &0x200u32.to_le_bytes());
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m.schedule_irq(10, 0);
+        let r = m.run(100_000);
+        assert_eq!(r.reason, StopReason::Bkpt(9));
+        // The IRQ had to wait until cpsie: latency >> entry cost.
+        let lat = m.latencies()[0];
+        assert!(lat.entry_cycle - lat.pend_cycle > 20);
+    }
+
+    #[test]
+    fn wfi_fast_forwards_to_next_irq() {
+        let mut m = Machine::m3_like();
+        let main = Assembler::new(IsaMode::T2).assemble("wfi\n bkpt #1").unwrap();
+        let handler = Assembler::new(IsaMode::T2).assemble("bx lr").unwrap();
+        m.load_flash(0x100, &main.bytes);
+        m.load_flash(0x200, &handler.bytes);
+        m.load_flash(0, &0x200u32.to_le_bytes());
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m.schedule_irq(5000, 0);
+        let r = m.run(100_000);
+        assert_eq!(r.reason, StopReason::Bkpt(1));
+        assert!(r.cycles >= 5000);
+    }
+
+    #[test]
+    fn wfi_with_no_irq_idles() {
+        let mut m = asm_machine(IsaMode::T2, "wfi");
+        let r = m.run(1000);
+        assert_eq!(r.reason, StopReason::WfiIdle);
+    }
+
+    #[test]
+    fn mpu_violation_faults() {
+        let mut m = Machine::high_end_like();
+        let prog = Assembler::new(IsaMode::T2)
+            .assemble(
+                "movw r0, #0
+                 movt r0, #0x2000
+                 mov r1, #1
+                 str r1, [r0]
+                 bkpt #0",
+            )
+            .unwrap();
+        m.load_flash(0x100, &prog.bytes);
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        {
+            let mpu = m.mpu.as_mut().unwrap();
+            mpu.background_allowed = false;
+            // Code is executable, stack is RW, but SRAM word 0 is not mapped.
+            mpu.add_region(0, 0x1000, crate::Perms::RX).unwrap();
+            mpu.add_region(SRAM_BASE + 0x7000, 0x1000, crate::Perms::RW).unwrap();
+        }
+        let r = m.run(10_000);
+        assert!(matches!(
+            r.reason,
+            StopReason::Fault(MemFault::MpuViolation { write: true, .. })
+        ));
+    }
+
+    #[test]
+    fn literal_pool_load_breaks_flash_stream() {
+        // ldr r0, [pc, #...] from flash data: the next fetch pays
+        // non-sequential timing.
+        let mut m = Machine::m3_like();
+        // Layout: nop@0x100, ldr@0x102 (literal base = align4(0x102+4) =
+        // 0x104), nop@0x104, nop@0x106, bkpt@0x108, pad, word@0x10C ->
+        // offset = 0x10C - 0x104 = 8.
+        let prog = Assembler::new(IsaMode::T2)
+            .assemble(
+                "nop
+                 ldr r0, [pc, #8]
+                 nop
+                 nop
+                 bkpt #0
+                 .align 4
+                 .word 0x12345678",
+            )
+            .unwrap();
+        m.load_flash(0x100, &prog.bytes);
+        m.set_pc(0x100);
+        m.run(10_000);
+        assert_eq!(m.cpu.regs[0], 0x1234_5678);
+        assert!(m.flash.stats().data_accesses >= 1);
+        assert!(m.flash.stats().non_sequential >= 2);
+    }
+
+    #[test]
+    fn flash_patch_remaps_literal_data(){
+        let mut m = Machine::m3_like();
+        // ldr@0x100: literal base = align4(0x100+4) = 0x104, which is
+        // exactly where the word lands after bkpt@0x102 -> offset 0.
+        let prog = Assembler::new(IsaMode::T2)
+            .assemble(
+                "ldr r0, [pc, #0]
+                 bkpt #0
+                 .align 4
+                 lit: .word 0x11111111",
+            )
+            .unwrap();
+        let lit_addr = 0x100 + prog.symbols["lit"];
+        m.load_flash(0x100, &prog.bytes);
+        m.patch.set(0, lit_addr, PatchKind::Remap(0x2222_2222)).unwrap();
+        m.set_pc(0x100);
+        m.run(10_000);
+        assert_eq!(m.cpu.regs[0], 0x2222_2222);
+    }
+
+    #[test]
+    fn patch_breakpoint_stops_fetch() {
+        let mut m = Machine::m3_like();
+        let prog = Assembler::new(IsaMode::T2)
+            .assemble("nop\nnop\ntarget: nop\n bkpt #0")
+            .unwrap();
+        let target = 0x100 + prog.symbols["target"];
+        m.load_flash(0x100, &prog.bytes);
+        m.patch.set(0, target & !3, PatchKind::Breakpoint).unwrap();
+        m.set_pc(0x100);
+        let r = m.run(10_000);
+        assert!(matches!(r.reason, StopReason::PatchBreakpoint { .. }));
+    }
+}

@@ -1,0 +1,517 @@
+//! The simulated memory system: flash, SRAM, TCM, bit-band alias and MMIO.
+//!
+//! Addresses follow a Cortex-M-like convention:
+//!
+//! | Region   | Base          | Notes                                      |
+//! |----------|---------------|--------------------------------------------|
+//! | Flash    | `0x0000_0000` | wait-stated, streaming prefetch buffer     |
+//! | TCM      | `0x1000_0000` | single-cycle, optional ECC hold-and-repair |
+//! | SRAM     | `0x2000_0000` | single-cycle                               |
+//! | Bit-band | `0x2200_0000` | byte-per-bit alias of SRAM (paper §3.2.3)  |
+//! | MMIO     | `0x4000_0000` | experiment instrumentation registers       |
+//!
+//! The flash model is the heart of the paper's §2.2 experiment: accesses
+//! that continue the current stream cost [`FlashConfig::seq_cycles`], any
+//! other access costs [`FlashConfig::nonseq_cycles`] *and* restarts the
+//! stream — so a literal-pool data fetch in the middle of an instruction
+//! stream is charged twice: once for itself and once by un-streaming the
+//! next fetch.
+
+use std::fmt;
+
+/// Default flash base address.
+pub const FLASH_BASE: u32 = 0x0000_0000;
+/// Default TCM base address.
+pub const TCM_BASE: u32 = 0x1000_0000;
+/// Default SRAM base address.
+pub const SRAM_BASE: u32 = 0x2000_0000;
+/// Base of the bit-band alias region.
+pub const BITBAND_BASE: u32 = 0x2200_0000;
+/// Base of the instrumentation MMIO block.
+pub const MMIO_BASE: u32 = 0x4000_0000;
+
+/// Writing any value here halts the machine (used by bare-metal tests).
+pub const MMIO_EXIT: u32 = MMIO_BASE;
+/// Read: cycles executed so far (low 32 bits).
+pub const MMIO_CYCLES: u32 = MMIO_BASE + 4;
+/// Write: record a scalar observation (appended to a trace the host reads).
+pub const MMIO_TRACE: u32 = MMIO_BASE + 8;
+/// Write: assert the IRQ whose number is written.
+pub const MMIO_IRQ_SET: u32 = MMIO_BASE + 12;
+
+/// Why a memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// No device is mapped at the address.
+    Unmapped {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// The MPU rejected the access.
+    MpuViolation {
+        /// Faulting address.
+        addr: u32,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// A detected-but-uncorrectable error (parity hit on a D-cache line).
+    ParityError {
+        /// Faulting address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Unmapped { addr } => write!(f, "access to unmapped address {addr:#010x}"),
+            MemFault::MpuViolation { addr, write } => write!(
+                f,
+                "mpu violation: {} at {addr:#010x}",
+                if *write { "write" } else { "read" }
+            ),
+            MemFault::ParityError { addr } => write!(f, "parity error at {addr:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// What kind of agent performs an access (affects flash streaming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Instruction fetch.
+    Fetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+/// Flash timing/behaviour parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashConfig {
+    /// Size in bytes.
+    pub size: u32,
+    /// Cycles for an access that continues the current stream.
+    pub seq_cycles: u32,
+    /// Cycles for an access that breaks the stream.
+    pub nonseq_cycles: u32,
+    /// Physical interface width in bytes (2 or 4): a 4-byte access over a
+    /// 2-byte interface costs two accesses.
+    pub width: u32,
+}
+
+impl Default for FlashConfig {
+    /// A 30–40 MHz-class embedded flash behind a prefetch buffer, per the
+    /// paper's §2.2 description: streaming hides the wait states,
+    /// non-sequential accesses pay them.
+    fn default() -> FlashConfig {
+        FlashConfig { size: 1 << 20, seq_cycles: 1, nonseq_cycles: 3, width: 4 }
+    }
+}
+
+/// Counters exposed by the flash model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashStats {
+    /// Accesses that continued the stream.
+    pub sequential: u64,
+    /// Accesses that broke the stream.
+    pub non_sequential: u64,
+    /// Data (non-fetch) accesses, e.g. literal-pool loads.
+    pub data_accesses: u64,
+}
+
+/// Wait-stated flash with a streaming prefetch model.
+#[derive(Debug, Clone)]
+pub struct Flash {
+    bytes: Vec<u8>,
+    config: FlashConfig,
+    stream_next: Option<u32>,
+    stats: FlashStats,
+}
+
+impl Flash {
+    /// Creates a flash of `config.size` zeroed bytes.
+    #[must_use]
+    pub fn new(config: FlashConfig) -> Flash {
+        Flash { bytes: vec![0; config.size as usize], config, stream_next: None, stats: FlashStats::default() }
+    }
+
+    /// Loads an image at byte offset `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit.
+    pub fn load(&mut self, offset: u32, image: &[u8]) {
+        let o = offset as usize;
+        self.bytes[o..o + image.len()].copy_from_slice(image);
+    }
+
+    /// The behaviour parameters.
+    #[must_use]
+    pub fn config(&self) -> FlashConfig {
+        self.config
+    }
+
+    /// Streaming counters.
+    #[must_use]
+    pub fn stats(&self) -> FlashStats {
+        self.stats
+    }
+
+    /// Resets streaming state and counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = FlashStats::default();
+        self.stream_next = None;
+    }
+
+    /// Raw contents (offset-addressed).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw contents.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Performs an access of `len` bytes at byte offset `off`, returning
+    /// `(value, cycles)`. The value is little-endian, zero-extended.
+    pub fn access(&mut self, off: u32, len: u32, kind: Access) -> (u32, u32) {
+        let beats = len.div_ceil(self.config.width).max(1);
+        let mut cycles = 0;
+        // First beat: sequential if it continues the stream.
+        let seq = self.stream_next == Some(off);
+        if seq {
+            self.stats.sequential += 1;
+            cycles += self.config.seq_cycles;
+        } else {
+            self.stats.non_sequential += 1;
+            cycles += self.config.nonseq_cycles;
+        }
+        // Remaining beats stream.
+        if beats > 1 {
+            cycles += (beats - 1) * self.config.seq_cycles;
+            self.stats.sequential += u64::from(beats - 1);
+        }
+        match kind {
+            Access::Fetch => {
+                // The stream follows the fetch pointer.
+                self.stream_next = Some(off + len);
+            }
+            Access::Read | Access::Write => {
+                // A data access (literal pool!) steals the flash interface
+                // and invalidates the prefetch stream (paper §2.2).
+                self.stats.data_accesses += 1;
+                self.stream_next = None;
+            }
+        }
+        (self.peek(off, len), cycles)
+    }
+
+    /// Forces the next access to be non-sequential (a foreign bus
+    /// transaction occurred on a unified bus).
+    pub fn break_stream(&mut self) {
+        self.stream_next = None;
+    }
+
+    /// Reads without affecting timing state.
+    #[must_use]
+    pub fn peek(&self, off: u32, len: u32) -> u32 {
+        let mut v = 0u32;
+        for i in (0..len.min(4)).rev() {
+            v = v << 8 | u32::from(self.bytes[(off + i) as usize]);
+        }
+        v
+    }
+}
+
+/// Single-cycle SRAM.
+#[derive(Debug, Clone)]
+pub struct Sram {
+    bytes: Vec<u8>,
+    /// Cycles per access.
+    pub cycles: u32,
+}
+
+impl Sram {
+    /// Creates `size` zeroed bytes of single-cycle RAM.
+    #[must_use]
+    pub fn new(size: u32) -> Sram {
+        Sram { bytes: vec![0; size as usize], cycles: 1 }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Whether the RAM is empty (zero-sized).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw contents.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw contents.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Reads `len` bytes at offset `off` (little-endian).
+    #[must_use]
+    pub fn read(&self, off: u32, len: u32) -> u32 {
+        let mut v = 0u32;
+        for i in (0..len.min(4)).rev() {
+            v = v << 8 | u32::from(self.bytes[(off + i) as usize]);
+        }
+        v
+    }
+
+    /// Writes the low `len` bytes of `value` at offset `off`.
+    pub fn write(&mut self, off: u32, len: u32, value: u32) {
+        for i in 0..len.min(4) {
+            self.bytes[(off + i) as usize] = (value >> (8 * i)) as u8;
+        }
+    }
+}
+
+/// Tightly-coupled memory with optional ECC "hold-and-repair" (§3.1.3).
+///
+/// A poisoned word is corrected in place the next time it is read: the
+/// processor is stalled for [`Tcm::repair_cycles`] and execution continues
+/// without an interrupt, exactly as the paper describes.
+#[derive(Debug, Clone)]
+pub struct Tcm {
+    ram: Sram,
+    poisoned: Vec<bool>, // per word
+    shadow: Vec<u8>,     // ECC-protected truth
+    /// Whether ECC protection is fitted.
+    pub ecc: bool,
+    /// Stall cycles for one hold-and-repair event.
+    pub repair_cycles: u32,
+    repairs: u64,
+}
+
+impl Tcm {
+    /// Creates `size` bytes of TCM with ECC enabled.
+    #[must_use]
+    pub fn new(size: u32) -> Tcm {
+        Tcm {
+            ram: Sram::new(size),
+            poisoned: vec![false; (size / 4) as usize],
+            shadow: vec![0; size as usize],
+            ecc: true,
+            repair_cycles: 4,
+            repairs: 0,
+        }
+    }
+
+    /// Number of hold-and-repair events so far.
+    #[must_use]
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Flips bit `bit` of the word at offset `off`, marking it poisoned
+    /// (a soft error).
+    pub fn inject_bit_flip(&mut self, off: u32, bit: u32) {
+        let word = self.ram.read(off & !3, 4) ^ (1 << (bit & 31));
+        self.ram.write(off & !3, 4, word);
+        self.poisoned[(off / 4) as usize] = true;
+    }
+
+    /// Whether the word containing `off` is currently poisoned.
+    #[must_use]
+    pub fn is_poisoned(&self, off: u32) -> bool {
+        self.poisoned[(off / 4) as usize]
+    }
+
+    /// Reads with hold-and-repair; returns `(value, cycles)`.
+    pub fn read(&mut self, off: u32, len: u32) -> (u32, u32) {
+        let mut cycles = 1;
+        let widx = (off / 4) as usize;
+        if self.ecc && self.poisoned[widx] {
+            // Repair from the ECC shadow copy, stall, continue.
+            let base = (off & !3) as usize;
+            for i in 0..4 {
+                self.ram.bytes_mut()[base + i] = self.shadow[base + i];
+            }
+            self.poisoned[widx] = false;
+            self.repairs += 1;
+            cycles += self.repair_cycles;
+        }
+        (self.ram.read(off, len), cycles)
+    }
+
+    /// Writes; keeps the ECC shadow in sync. Returns cycles.
+    pub fn write(&mut self, off: u32, len: u32, value: u32) -> u32 {
+        self.ram.write(off, len, value);
+        for i in 0..len.min(4) {
+            self.shadow[(off + i) as usize] = (value >> (8 * i)) as u8;
+        }
+        // A full-word write clears poison (the word is rewritten whole).
+        if len == 4 {
+            self.poisoned[(off / 4) as usize] = false;
+        }
+        1
+    }
+
+    /// Loads an image and synchronizes the ECC shadow.
+    pub fn load(&mut self, off: u32, image: &[u8]) {
+        let o = off as usize;
+        self.ram.bytes_mut()[o..o + image.len()].copy_from_slice(image);
+        self.shadow[o..o + image.len()].copy_from_slice(image);
+    }
+}
+
+/// Instrumentation MMIO block.
+#[derive(Debug, Clone, Default)]
+pub struct Mmio {
+    /// Set when the program writes [`MMIO_EXIT`]; value is the exit code.
+    pub exit_code: Option<u32>,
+    /// `(value, cycle)` pairs written to [`MMIO_TRACE`].
+    pub trace: Vec<(u32, u64)>,
+    /// IRQ numbers the program asserted via [`MMIO_IRQ_SET`].
+    pub irq_requests: Vec<u32>,
+    /// Latched cycle counter (written by the machine before each access).
+    pub cycles: u64,
+}
+
+impl Mmio {
+    /// Creates an empty MMIO block.
+    #[must_use]
+    pub fn new() -> Mmio {
+        Mmio::default()
+    }
+
+    /// Handles a read; returns the value.
+    #[must_use]
+    pub fn read(&self, addr: u32) -> u32 {
+        match addr & !3 {
+            MMIO_CYCLES => self.cycles as u32,
+            _ => 0,
+        }
+    }
+
+    /// Handles a write.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        match addr & !3 {
+            MMIO_EXIT => self.exit_code = Some(value),
+            MMIO_TRACE => self.trace.push((value, self.cycles)),
+            MMIO_IRQ_SET => self.irq_requests.push(value),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_sequential_vs_nonsequential() {
+        let mut f = Flash::new(FlashConfig { size: 4096, seq_cycles: 1, nonseq_cycles: 4, width: 4 });
+        let (_, c0) = f.access(0, 4, Access::Fetch);
+        assert_eq!(c0, 4); // cold
+        let (_, c1) = f.access(4, 4, Access::Fetch);
+        assert_eq!(c1, 1); // streaming
+        let (_, c2) = f.access(64, 4, Access::Fetch);
+        assert_eq!(c2, 4); // branch: stream broken
+        assert_eq!(f.stats().sequential, 1);
+        assert_eq!(f.stats().non_sequential, 2);
+    }
+
+    #[test]
+    fn literal_pool_fetch_breaks_the_stream() {
+        let mut f = Flash::new(FlashConfig::default());
+        f.access(0, 4, Access::Fetch);
+        f.access(4, 4, Access::Fetch);
+        // Literal pool read from elsewhere in flash...
+        let (_, c_data) = f.access(512, 4, Access::Read);
+        assert_eq!(c_data, f.config().nonseq_cycles);
+        // ...and the *next* fetch also pays the non-sequential cost.
+        let (_, c_next) = f.access(8, 4, Access::Fetch);
+        assert_eq!(c_next, f.config().nonseq_cycles);
+        assert_eq!(f.stats().data_accesses, 1);
+    }
+
+    #[test]
+    fn narrow_interface_doubles_beats() {
+        let mut f = Flash::new(FlashConfig { size: 4096, seq_cycles: 1, nonseq_cycles: 3, width: 2 });
+        // 4-byte fetch over a 16-bit interface: one non-seq + one seq beat.
+        let (_, c) = f.access(0, 4, Access::Fetch);
+        assert_eq!(c, 4);
+        // 2-byte fetch: single beat.
+        let (_, c) = f.access(4, 2, Access::Fetch);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn flash_image_roundtrip() {
+        let mut f = Flash::new(FlashConfig::default());
+        f.load(16, &[0xAA, 0xBB, 0xCC, 0xDD]);
+        assert_eq!(f.peek(16, 4), 0xDDCC_BBAA);
+        assert_eq!(f.peek(18, 2), 0xDDCC);
+    }
+
+    #[test]
+    fn sram_read_write() {
+        let mut s = Sram::new(64);
+        s.write(8, 4, 0x1122_3344);
+        assert_eq!(s.read(8, 4), 0x1122_3344);
+        assert_eq!(s.read(9, 1), 0x33);
+        s.write(10, 2, 0xBEEF);
+        assert_eq!(s.read(8, 4), 0xBEEF_3344);
+    }
+
+    #[test]
+    fn tcm_hold_and_repair() {
+        let mut t = Tcm::new(64);
+        t.write(0, 4, 0xCAFE_F00D);
+        t.inject_bit_flip(0, 7);
+        assert!(t.is_poisoned(0));
+        let (v, c) = t.read(0, 4);
+        // Value is repaired, a stall was charged, no interrupt needed.
+        assert_eq!(v, 0xCAFE_F00D);
+        assert_eq!(c, 1 + t.repair_cycles);
+        assert_eq!(t.repairs(), 1);
+        // Subsequent read is clean and fast.
+        let (v, c) = t.read(0, 4);
+        assert_eq!(v, 0xCAFE_F00D);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn tcm_without_ecc_returns_corrupt_data() {
+        let mut t = Tcm::new(64);
+        t.ecc = false;
+        t.write(0, 4, 0xFFFF_FFFF);
+        t.inject_bit_flip(0, 0);
+        let (v, _) = t.read(0, 4);
+        assert_eq!(v, 0xFFFF_FFFE);
+        assert_eq!(t.repairs(), 0);
+    }
+
+    #[test]
+    fn mmio_registers() {
+        let mut m = Mmio::new();
+        m.cycles = 9;
+        m.write(MMIO_TRACE, 42);
+        m.write(MMIO_IRQ_SET, 3);
+        m.write(MMIO_EXIT, 7);
+        assert_eq!(m.trace, vec![(42, 9)]);
+        assert_eq!(m.irq_requests, vec![3]);
+        assert_eq!(m.exit_code, Some(7));
+        m.cycles = 1234;
+        assert_eq!(m.read(MMIO_CYCLES), 1234);
+    }
+}

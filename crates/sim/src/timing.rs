@@ -1,0 +1,146 @@
+//! Per-core timing parameters.
+//!
+//! Three design points, mirroring the paper's cores. The numbers are taken
+//! from public technical reference material for the respective core
+//! classes (ARM7TDMI TRM chapter "Instruction cycle timings"; Cortex-M3
+//! TRM "Instruction set summary"; ARM1156T2-S TRM) and rounded to the
+//! granularity of this model:
+//!
+//! | parameter              | `Arm7Like` | `M3Like` | `HighEndLike` |
+//! |------------------------|-----------:|---------:|--------------:|
+//! | taken-branch penalty   | 2          | 2        | 1             |
+//! | load internal cycles   | 1          | 0        | 0             |
+//! | store internal cycles  | 0          | 0        | 0             |
+//! | multiply cycles        | 4          | 1        | 2             |
+//! | hardware divide        | —          | 2..12    | 2..12         |
+//! | interruptible LDM/STM  | no         | no       | yes           |
+//!
+//! A load on `Arm7Like` therefore costs `fetch + 1 + mem` ≈ 3 cycles
+//! (1S + 1N + 1I in ARM7 terms); on `M3Like` it costs `1 + mem` ≈ 2.
+
+/// Which core class a machine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// Von-Neumann, cacheless, 3-stage classic core (ARM7TDMI-class).
+    Arm7Like,
+    /// Harvard-style low-cost core with NVIC and bit-banding
+    /// (Cortex-M3-class).
+    M3Like,
+    /// High-frequency cached core with MPU, fault-tolerant RAM and
+    /// interruptible load/store multiple (ARM1156T2-class).
+    HighEndLike,
+}
+
+/// Cycle-cost parameters of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreTiming {
+    /// The core class these parameters describe.
+    pub kind: CoreKind,
+    /// Extra cycles when a branch is taken (pipeline refill).
+    pub branch_taken_penalty: u32,
+    /// Internal cycles added to each load beyond the memory access.
+    pub load_internal: u32,
+    /// Internal cycles added to each store beyond the memory access.
+    pub store_internal: u32,
+    /// Cycles for a 32×32 multiply.
+    pub mul_cycles: u32,
+    /// Whether `SDIV`/`UDIV` exist in hardware (otherwise the compiler
+    /// emits a runtime-library call).
+    pub has_hw_divide: bool,
+    /// Whether a multi-register transfer can be interrupted and restarted
+    /// (§3.1.2).
+    pub interruptible_ldm: bool,
+    /// Whether instruction and data paths are separate (fetches do not
+    /// compete with data for one bus, and only *flash* data accesses
+    /// disturb the prefetch stream).
+    pub harvard: bool,
+}
+
+impl CoreTiming {
+    /// ARM7TDMI-class parameters.
+    #[must_use]
+    pub fn arm7_like() -> CoreTiming {
+        CoreTiming {
+            kind: CoreKind::Arm7Like,
+            branch_taken_penalty: 2,
+            load_internal: 1,
+            store_internal: 0,
+            mul_cycles: 4,
+            has_hw_divide: false,
+            interruptible_ldm: false,
+            harvard: false,
+        }
+    }
+
+    /// Cortex-M3-class parameters.
+    #[must_use]
+    pub fn m3_like() -> CoreTiming {
+        CoreTiming {
+            kind: CoreKind::M3Like,
+            branch_taken_penalty: 2,
+            load_internal: 0,
+            store_internal: 0,
+            mul_cycles: 1,
+            has_hw_divide: true,
+            interruptible_ldm: false,
+            harvard: true,
+        }
+    }
+
+    /// ARM1156T2-class parameters.
+    #[must_use]
+    pub fn high_end_like() -> CoreTiming {
+        CoreTiming {
+            kind: CoreKind::HighEndLike,
+            branch_taken_penalty: 1,
+            load_internal: 0,
+            store_internal: 0,
+            mul_cycles: 2,
+            has_hw_divide: true,
+            interruptible_ldm: true,
+            harvard: true,
+        }
+    }
+
+    /// Cycles for a hardware divide, which early-terminates on small
+    /// quotients (2..=12 like the M3).
+    #[must_use]
+    pub fn div_cycles(&self, dividend: u32, divisor: u32) -> u32 {
+        if divisor == 0 {
+            return 2;
+        }
+        let dbits = 32 - dividend.leading_zeros();
+        let vbits = 32 - divisor.leading_zeros();
+        let qbits = dbits.saturating_sub(vbits).min(31);
+        // 0 quotient bits -> 2 cycles, 31 bits -> 12 cycles (M3-like).
+        2 + qbits * 10 / 31
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_documented_shape() {
+        let a = CoreTiming::arm7_like();
+        let m = CoreTiming::m3_like();
+        let h = CoreTiming::high_end_like();
+        assert!(!a.has_hw_divide && m.has_hw_divide && h.has_hw_divide);
+        assert!(!a.interruptible_ldm && h.interruptible_ldm);
+        assert!(a.load_internal > m.load_internal);
+        assert!(a.mul_cycles > m.mul_cycles);
+        assert!(!a.harvard && m.harvard);
+    }
+
+    #[test]
+    fn divide_early_terminates() {
+        let m = CoreTiming::m3_like();
+        let small = m.div_cycles(7, 3);
+        let large = m.div_cycles(u32::MAX, 1);
+        assert!(small >= 2);
+        assert!(large <= 13);
+        assert!(large > small);
+        assert_eq!(m.div_cycles(5, 0), 2);
+    }
+}

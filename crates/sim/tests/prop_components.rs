@@ -1,0 +1,114 @@
+//! Property tests on simulator components: MPU planning invariants, cache
+//! behaviour, flash streaming accounting and TCM repair.
+
+use alia_sim::{
+    Access, Cache, CacheConfig, Flash, FlashConfig, Lookup, Mpu, MpuKind, Tcm,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mpu_plans_always_cover_the_request(
+        base in 0x2000_0000u32..0x2010_0000,
+        size in 1u32..16384,
+        fine in any::<bool>(),
+    ) {
+        let kind = if fine { MpuKind::FineGrain } else { MpuKind::Classic };
+        let mpu = Mpu::new(kind);
+        let (b, s) = mpu.plan_region(base, size);
+        prop_assert!(b <= base, "base {b:#x} above request {base:#x}");
+        prop_assert!(u64::from(b) + u64::from(s) >= u64::from(base) + u64::from(size));
+        match kind {
+            MpuKind::Classic => {
+                prop_assert!(s.is_power_of_two() && s >= 4096);
+                prop_assert_eq!(b % s, 0, "classic base aligned to size");
+            }
+            MpuKind::FineGrain => {
+                prop_assert_eq!(s % 32, 0);
+                prop_assert_eq!(b % 32, 0);
+                // Fine-grain waste is bounded by two granules.
+                prop_assert!(s <= (size + 63) / 32 * 32 + 32);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_repeated_access_always_hits(addrs in prop::collection::vec(0u32..0x8000, 1..40)) {
+        let mut c = Cache::new(CacheConfig::default());
+        for &a in &addrs {
+            c.access(a);
+            let (second, cy) = c.access(a);
+            prop_assert_eq!(second, Lookup::Hit, "immediate re-access must hit");
+            prop_assert_eq!(cy, 1);
+        }
+        let stats = c.stats();
+        prop_assert_eq!(stats.hits + stats.misses, 2 * addrs.len() as u64);
+    }
+
+    #[test]
+    fn cache_injection_then_access_detects_exactly_once(addr in 0u32..0x4000) {
+        let mut c = Cache::new(CacheConfig::default());
+        c.access(addr);
+        prop_assert!(c.inject_data_error(addr));
+        let (first, _) = c.access(addr);
+        prop_assert_eq!(first, Lookup::DataError);
+        // Recovery: refill then clean hit; no further errors.
+        let (refill, _) = c.access(addr);
+        prop_assert_eq!(refill, Lookup::Miss);
+        let (clean, _) = c.access(addr);
+        prop_assert_eq!(clean, Lookup::Hit);
+        prop_assert_eq!(c.stats().parity_errors, 1);
+    }
+
+    #[test]
+    fn flash_sequential_walk_pays_nonseq_once(
+        start in 0u32..1024u32,
+        steps in 1u32..64,
+        nonseq in 1u32..8,
+    ) {
+        let start = start * 4;
+        let mut f = Flash::new(FlashConfig {
+            size: 1 << 20,
+            seq_cycles: 1,
+            nonseq_cycles: nonseq,
+            width: 4,
+        });
+        let mut total = 0;
+        for i in 0..steps {
+            let (_, c) = f.access(start + 4 * i, 4, Access::Fetch);
+            total += c;
+        }
+        prop_assert_eq!(total, nonseq + (steps - 1));
+        prop_assert_eq!(f.stats().non_sequential, 1);
+        prop_assert_eq!(f.stats().sequential, u64::from(steps) - 1);
+    }
+
+    #[test]
+    fn tcm_repair_restores_any_corruption(
+        word in 0u32..16,
+        bit in 0u32..32,
+        value in any::<u32>(),
+    ) {
+        let mut t = Tcm::new(64);
+        t.write(word * 4, 4, value);
+        t.inject_bit_flip(word * 4, bit);
+        let (got, cycles) = t.read(word * 4, 4);
+        prop_assert_eq!(got, value, "ECC must restore the original word");
+        prop_assert!(cycles > 1, "a repair stall must be charged");
+        let (again, fast) = t.read(word * 4, 4);
+        prop_assert_eq!(again, value);
+        prop_assert_eq!(fast, 1);
+    }
+
+    #[test]
+    fn tcm_without_ecc_really_corrupts(word in 0u32..16, bit in 0u32..32) {
+        let mut t = Tcm::new(64);
+        t.ecc = false;
+        t.write(word * 4, 4, 0);
+        t.inject_bit_flip(word * 4, bit);
+        let (got, _) = t.read(word * 4, 4);
+        prop_assert_eq!(got, 1u32 << bit);
+    }
+}

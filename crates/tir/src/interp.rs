@@ -1,0 +1,414 @@
+//! The golden-model interpreter.
+//!
+//! Executes TIR directly over a byte-addressed memory. The compiler and
+//! the cycle-approximate simulator are both validated against this
+//! interpreter: for every workload,
+//! `interp(tir) == simulate(compile(tir))` must hold bit-for-bit.
+
+use std::fmt;
+
+use crate::{AccessSize, Function, FuncId, Inst, Module, Operand, Terminator, VReg};
+
+/// Byte-addressed memory as seen by the interpreter.
+pub trait TirMemory {
+    /// Loads `size` bytes (little-endian, zero-extended) from `addr`.
+    fn load(&mut self, addr: u32, size: AccessSize) -> u32;
+    /// Stores the low `size` bytes of `value` to `addr`.
+    fn store(&mut self, addr: u32, size: AccessSize, value: u32);
+}
+
+/// A flat RAM block starting at `base`.
+///
+/// # Examples
+///
+/// ```
+/// use alia_tir::{FlatMemory, TirMemory, AccessSize};
+/// let mut m = FlatMemory::new(0x2000_0000, 64);
+/// m.store(0x2000_0004, AccessSize::Word, 0xAABBCCDD);
+/// assert_eq!(m.load(0x2000_0004, AccessSize::Half), 0xCCDD);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatMemory {
+    base: u32,
+    bytes: Vec<u8>,
+}
+
+impl FlatMemory {
+    /// Allocates `len` zeroed bytes at `base`.
+    #[must_use]
+    pub fn new(base: u32, len: usize) -> FlatMemory {
+        FlatMemory { base, bytes: vec![0; len] }
+    }
+
+    /// The base address.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Raw bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    fn index(&self, addr: u32, size: AccessSize) -> usize {
+        let off = addr.wrapping_sub(self.base) as usize;
+        assert!(
+            off + size.bytes() as usize <= self.bytes.len(),
+            "interpreter memory access out of range: {addr:#x} (base {:#x}, len {})",
+            self.base,
+            self.bytes.len()
+        );
+        off
+    }
+}
+
+impl TirMemory for FlatMemory {
+    fn load(&mut self, addr: u32, size: AccessSize) -> u32 {
+        let i = self.index(addr, size);
+        match size {
+            AccessSize::Byte => u32::from(self.bytes[i]),
+            AccessSize::Half => u32::from(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]])),
+            AccessSize::Word => u32::from_le_bytes([
+                self.bytes[i],
+                self.bytes[i + 1],
+                self.bytes[i + 2],
+                self.bytes[i + 3],
+            ]),
+        }
+    }
+
+    fn store(&mut self, addr: u32, size: AccessSize, value: u32) {
+        let i = self.index(addr, size);
+        match size {
+            AccessSize::Byte => self.bytes[i] = value as u8,
+            AccessSize::Half => self.bytes[i..i + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            AccessSize::Word => self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes()),
+        }
+    }
+}
+
+/// An error raised during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step budget ran out (probable infinite loop).
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A switch value fell outside `targets` and no default was sensible.
+    BadSwitch {
+        /// The observed value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit { limit } => {
+                write!(f, "step limit {limit} exhausted (infinite loop?)")
+            }
+            InterpError::BadSwitch { value } => write!(f, "switch value {value} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Interprets TIR functions against a [`TirMemory`].
+#[derive(Debug)]
+pub struct Interpreter<'m, M> {
+    module: &'m Module,
+    memory: M,
+    step_limit: u64,
+    steps: u64,
+}
+
+impl<'m, M: TirMemory> Interpreter<'m, M> {
+    /// Creates an interpreter with a default budget of 100 million steps.
+    pub fn new(module: &'m Module, memory: M) -> Interpreter<'m, M> {
+        Interpreter { module, memory, step_limit: 100_000_000, steps: 0 }
+    }
+
+    /// Overrides the step budget.
+    #[must_use]
+    pub fn with_step_limit(mut self, limit: u64) -> Interpreter<'m, M> {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Instructions executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Releases the memory.
+    #[must_use]
+    pub fn into_memory(self) -> M {
+        self.memory
+    }
+
+    /// A view of the memory.
+    pub fn memory(&mut self) -> &mut M {
+        &mut self.memory
+    }
+
+    /// Runs `func` with `args`, returning its result (0 when the function
+    /// returns nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError`] if the step budget is exhausted or a switch
+    /// misbehaves.
+    pub fn run(&mut self, func: FuncId, args: &[u32]) -> Result<u32, InterpError> {
+        let f = self.module.func(func);
+        self.call(f, args)
+    }
+
+    fn call(&mut self, f: &Function, args: &[u32]) -> Result<u32, InterpError> {
+        let mut regs = vec![0u32; f.vreg_count as usize];
+        for (p, a) in f.params.iter().zip(args) {
+            regs[p.0 as usize] = *a;
+        }
+        let mut block = &f.blocks[0];
+        loop {
+            for inst in &block.insts {
+                self.steps += 1;
+                if self.steps > self.step_limit {
+                    return Err(InterpError::StepLimit { limit: self.step_limit });
+                }
+                self.exec(inst, &mut regs)?;
+            }
+            self.steps += 1;
+            if self.steps > self.step_limit {
+                return Err(InterpError::StepLimit { limit: self.step_limit });
+            }
+            match &block.term {
+                Terminator::Br { target } => block = f.block(*target),
+                Terminator::CondBr { kind, a, b, then_bb, else_bb } => {
+                    let av = read(&regs, *a);
+                    let bv = read(&regs, *b);
+                    block = f.block(if kind.eval(av, bv) { *then_bb } else { *else_bb });
+                }
+                Terminator::Switch { value, base, targets, default } => {
+                    let v = regs[value.0 as usize].wrapping_sub(*base);
+                    let id = targets.get(v as usize).copied().unwrap_or(*default);
+                    block = f.block(id);
+                }
+                Terminator::Ret { value } => {
+                    return Ok(value.map_or(0, |v| read(&regs, v)));
+                }
+            }
+        }
+    }
+
+    fn exec(&mut self, inst: &Inst, regs: &mut [u32]) -> Result<(), InterpError> {
+        match inst {
+            Inst::Const { dst, value } => regs[dst.0 as usize] = *value,
+            Inst::Copy { dst, src } => regs[dst.0 as usize] = read(regs, *src),
+            Inst::Bin { op, dst, a, b } => {
+                regs[dst.0 as usize] = op.eval(read(regs, *a), read(regs, *b));
+            }
+            Inst::Un { op, dst, a } => regs[dst.0 as usize] = op.eval(read(regs, *a)),
+            Inst::ExtractBits { dst, src, lsb, width, signed } => {
+                let v = read(regs, *src) >> lsb;
+                let mask = mask_of(*width);
+                let mut r = v & mask;
+                if *signed && *width < 32 && r >> (width - 1) & 1 != 0 {
+                    r |= !mask;
+                }
+                regs[dst.0 as usize] = r;
+            }
+            Inst::InsertBits { dst, src, lsb, width } => {
+                let mask = mask_of(*width) << lsb;
+                let cur = regs[dst.0 as usize];
+                let v = read(regs, *src) << lsb & mask;
+                regs[dst.0 as usize] = cur & !mask | v;
+            }
+            Inst::Select { dst, kind, a, b, t, f } => {
+                let cond = kind.eval(read(regs, *a), read(regs, *b));
+                regs[dst.0 as usize] = if cond { read(regs, *t) } else { read(regs, *f) };
+            }
+            Inst::Load { dst, size, signed, base, offset } => {
+                let addr = regs[base.0 as usize].wrapping_add(read(regs, *offset));
+                let mut v = self.memory.load(addr, *size);
+                if *signed {
+                    v = match size {
+                        AccessSize::Byte => v as u8 as i8 as i32 as u32,
+                        AccessSize::Half => v as u16 as i16 as i32 as u32,
+                        AccessSize::Word => v,
+                    };
+                }
+                regs[dst.0 as usize] = v;
+            }
+            Inst::Store { src, size, base, offset } => {
+                let addr = regs[base.0 as usize].wrapping_add(read(regs, *offset));
+                self.memory.store(addr, *size, read(regs, *src));
+            }
+            Inst::Call { dst, func, args } => {
+                let vals: Vec<u32> = args.iter().map(|a| read(regs, *a)).collect();
+                let callee = self.module.func(*func);
+                let r = self.call(callee, &vals)?;
+                if let Some(d) = dst {
+                    regs[d.0 as usize] = r;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn read(regs: &[u32], op: Operand) -> u32 {
+    match op {
+        Operand::Reg(VReg(i)) => regs[i as usize],
+        Operand::Imm(v) => v,
+    }
+}
+
+fn mask_of(width: u8) -> u32 {
+    if width >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, CmpKind, FunctionBuilder, UnOp};
+
+    fn run1(f: crate::Function, args: &[u32]) -> u32 {
+        let mut m = Module::new();
+        let id = m.add_function(f);
+        let mem = FlatMemory::new(0, 1024);
+        Interpreter::new(&m, mem).run(id, args).unwrap()
+    }
+
+    #[test]
+    fn loop_sum() {
+        let mut b = FunctionBuilder::new("sum", 1);
+        let n = b.param(0);
+        let s = b.imm(0);
+        let i = b.imm(0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        b.cond_br(CmpKind::Ult, i, n, body, exit);
+        b.switch_to(body);
+        b.bin_into(s, BinOp::Add, s, i);
+        b.bin_into(i, BinOp::Add, i, 1u32);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(s.into()));
+        assert_eq!(run1(b.build(), &[10]), 45);
+    }
+
+    #[test]
+    fn select_and_bitfields() {
+        let mut b = FunctionBuilder::new("bits", 1);
+        let x = b.param(0);
+        let field = b.extract_bits(x, 4, 8, false);
+        let clamped = b.select(CmpKind::Ugt, field, 100u32, 100u32, field);
+        let mut out = b.imm(0);
+        b.insert_bits(out, clamped, 8, 8);
+        out = b.un(UnOp::ByteRev, out);
+        b.ret(Some(out.into()));
+        // x = 0xFFF0 -> field = 0xFF -> clamped = 100 = 0x64 -> out = 0x6400
+        // -> byte-reversed = 0x00640000
+        assert_eq!(run1(b.build(), &[0xFFF0]), 0x0064_0000);
+    }
+
+    #[test]
+    fn memory_round_trip_via_loads_stores() {
+        let mut b = FunctionBuilder::new("memcpy4", 2);
+        let dst = b.param(0);
+        let src = b.param(1);
+        let v = b.load(src, 0u32);
+        b.store(dst, 0u32, v);
+        let v2 = b.load_sized(AccessSize::Half, true, src, 4u32);
+        b.store_sized(AccessSize::Word, dst, 4u32, v2);
+        b.ret(None);
+        let mut m = Module::new();
+        let id = m.add_function(b.build());
+        let mut mem = FlatMemory::new(0x1000, 64);
+        mem.store(0x1020, AccessSize::Word, 0x1234_5678);
+        mem.store(0x1024, AccessSize::Half, 0x8001);
+        let mut interp = Interpreter::new(&m, mem);
+        interp.run(id, &[0x1000, 0x1020]).unwrap();
+        let mem = interp.into_memory();
+        let mut mem = mem;
+        assert_eq!(mem.load(0x1000, AccessSize::Word), 0x1234_5678);
+        // sign-extended halfword
+        assert_eq!(mem.load(0x1004, AccessSize::Word), 0xFFFF_8001);
+    }
+
+    #[test]
+    fn cross_function_calls() {
+        let mut m = Module::new();
+        let mut sq = FunctionBuilder::new("square", 1);
+        let x = sq.param(0);
+        let r = sq.bin(BinOp::Mul, x, x);
+        sq.ret(Some(r.into()));
+        let sq_id = m.add_function(sq.build());
+
+        let mut main = FunctionBuilder::new("main", 1);
+        let a = main.param(0);
+        let s = main.call(sq_id, &[a.into()]);
+        let s2 = main.bin(BinOp::Add, s, 1u32);
+        main.ret(Some(s2.into()));
+        let main_id = m.add_function(main.build());
+
+        let mem = FlatMemory::new(0, 16);
+        let got = Interpreter::new(&m, mem).run(main_id, &[9]).unwrap();
+        assert_eq!(got, 82);
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let mut b = FunctionBuilder::new("sw", 1);
+        let x = b.param(0);
+        let c0 = b.new_block();
+        let c1 = b.new_block();
+        let dfl = b.new_block();
+        b.switch(x, 10, vec![c0, c1], dfl);
+        b.switch_to(c0);
+        b.ret(Some(100u32.into()));
+        b.switch_to(c1);
+        b.ret(Some(200u32.into()));
+        b.switch_to(dfl);
+        b.ret(Some(0u32.into()));
+        let f = b.build();
+        let mut m = Module::new();
+        let id = m.add_function(f);
+        for (arg, want) in [(10u32, 100u32), (11, 200), (12, 0), (9, 0)] {
+            let mem = FlatMemory::new(0, 16);
+            assert_eq!(Interpreter::new(&m, mem).run(id, &[arg]).unwrap(), want, "arg={arg}");
+        }
+    }
+
+    #[test]
+    fn step_limit_detects_infinite_loops() {
+        let mut b = FunctionBuilder::new("spin", 0);
+        let header = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        b.br(header);
+        let f = b.build();
+        let mut m = Module::new();
+        let id = m.add_function(f);
+        let mem = FlatMemory::new(0, 16);
+        let err = Interpreter::new(&m, mem).with_step_limit(1000).run(id, &[]).unwrap_err();
+        assert!(matches!(err, InterpError::StepLimit { .. }));
+    }
+}

@@ -1,0 +1,621 @@
+//! TIR data structures: modules, functions, blocks and instructions.
+//!
+//! TIR is a small, non-SSA three-address IR over 32-bit words. Virtual
+//! registers are mutable variables; control flow is explicit basic blocks
+//! with a single terminator each. It is deliberately close to what a C
+//! compiler front-end of the paper's era would hand to a code generator.
+
+use std::fmt;
+
+/// A virtual register (mutable 32-bit variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic-block label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A function reference within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub u32);
+
+/// An instruction operand: a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read a virtual register.
+    Reg(VReg),
+    /// A 32-bit immediate.
+    Imm(u32),
+}
+
+impl From<VReg> for Operand {
+    fn from(v: VReg) -> Operand {
+        Operand::Reg(v)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v as u32)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(v) => write!(f, "{v}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Two-operand arithmetic/logical operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Signed divide (defined result 0 for division by zero, like the
+    /// paper's cores' `SDIV` with `DIV_0_TRP` off).
+    Sdiv,
+    /// Unsigned divide (0 on division by zero).
+    Udiv,
+    /// Signed remainder (`a - (a/b)*b`, 0-divisor gives `a`).
+    Srem,
+    /// Unsigned remainder.
+    Urem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (amount taken mod 256, shifts ≥ 32 give 0).
+    Shl,
+    /// Logical shift right.
+    Lshr,
+    /// Arithmetic shift right.
+    Ashr,
+    /// Rotate right (amount mod 32).
+    Rotr,
+}
+
+impl BinOp {
+    /// Evaluates the operation on concrete values (the golden semantics).
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Sdiv => {
+                let (a, b) = (a as i32, b as i32);
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b) as u32
+                }
+            }
+            BinOp::Udiv => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Srem => {
+                let (a, b) = (a as i32, b as i32);
+                if b == 0 {
+                    a as u32
+                } else {
+                    a.wrapping_rem(b) as u32
+                }
+            }
+            BinOp::Urem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => {
+                let amt = b & 0xFF;
+                if amt >= 32 {
+                    0
+                } else {
+                    a << amt
+                }
+            }
+            BinOp::Lshr => {
+                let amt = b & 0xFF;
+                if amt >= 32 {
+                    0
+                } else {
+                    a >> amt
+                }
+            }
+            BinOp::Ashr => {
+                let amt = (b & 0xFF).min(31);
+                ((a as i32) >> amt) as u32
+            }
+            BinOp::Rotr => a.rotate_right(b & 31),
+        }
+    }
+
+    /// The mnemonic used by [`fmt::Display`].
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Sdiv => "sdiv",
+            BinOp::Udiv => "udiv",
+            BinOp::Srem => "srem",
+            BinOp::Urem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Lshr => "lshr",
+            BinOp::Ashr => "ashr",
+            BinOp::Rotr => "rotr",
+        }
+    }
+}
+
+/// One-operand operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Two's-complement negate.
+    Neg,
+    /// Bitwise NOT.
+    Not,
+    /// Byte-reverse a 32-bit word.
+    ByteRev,
+    /// Bit-reverse a 32-bit word.
+    BitRev,
+    /// Sign-extend the low 8 bits.
+    SignExt8,
+    /// Sign-extend the low 16 bits.
+    SignExt16,
+}
+
+impl UnOp {
+    /// Evaluates the operation (golden semantics).
+    #[must_use]
+    pub fn eval(self, a: u32) -> u32 {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => !a,
+            UnOp::ByteRev => a.swap_bytes(),
+            UnOp::BitRev => a.reverse_bits(),
+            UnOp::SignExt8 => a as u8 as i8 as i32 as u32,
+            UnOp::SignExt16 => a as u16 as i16 as i32 as u32,
+        }
+    }
+
+    /// The mnemonic used by [`fmt::Display`].
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::ByteRev => "brev",
+            UnOp::BitRev => "bitrev",
+            UnOp::SignExt8 => "sext8",
+            UnOp::SignExt16 => "sext16",
+        }
+    }
+}
+
+/// Comparison kind for conditional branches and selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+}
+
+impl CmpKind {
+    /// Evaluates the comparison.
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Slt => sa < sb,
+            CmpKind::Sle => sa <= sb,
+            CmpKind::Sgt => sa > sb,
+            CmpKind::Sge => sa >= sb,
+            CmpKind::Ult => a < b,
+            CmpKind::Ule => a <= b,
+            CmpKind::Ugt => a > b,
+            CmpKind::Uge => a >= b,
+        }
+    }
+
+    /// The logically inverted comparison.
+    #[must_use]
+    pub fn inverted(self) -> CmpKind {
+        match self {
+            CmpKind::Eq => CmpKind::Ne,
+            CmpKind::Ne => CmpKind::Eq,
+            CmpKind::Slt => CmpKind::Sge,
+            CmpKind::Sle => CmpKind::Sgt,
+            CmpKind::Sgt => CmpKind::Sle,
+            CmpKind::Sge => CmpKind::Slt,
+            CmpKind::Ult => CmpKind::Uge,
+            CmpKind::Ule => CmpKind::Ugt,
+            CmpKind::Ugt => CmpKind::Ule,
+            CmpKind::Uge => CmpKind::Ult,
+        }
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessSize {
+    /// 8-bit.
+    Byte,
+    /// 16-bit.
+    Half,
+    /// 32-bit.
+    Word,
+}
+
+impl AccessSize {
+    /// Width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            AccessSize::Byte => 1,
+            AccessSize::Half => 2,
+            AccessSize::Word => 4,
+        }
+    }
+}
+
+/// A non-terminator TIR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings are given in each variant's doc line
+pub enum Inst {
+    /// `dst = value`.
+    Const { dst: VReg, value: u32 },
+    /// `dst = src` (register copy).
+    Copy { dst: VReg, src: Operand },
+    /// `dst = a <op> b`.
+    Bin { op: BinOp, dst: VReg, a: Operand, b: Operand },
+    /// `dst = <op> a`.
+    Un { op: UnOp, dst: VReg, a: Operand },
+    /// `dst = (src >> lsb) & mask(width)`, optionally sign-extended —
+    /// the bit-field extract the paper's §2.1 motivates.
+    ExtractBits { dst: VReg, src: Operand, lsb: u8, width: u8, signed: bool },
+    /// Insert the low `width` bits of `src` into `dst` at `lsb`
+    /// (read-modify-write of `dst`).
+    InsertBits { dst: VReg, src: Operand, lsb: u8, width: u8 },
+    /// `dst = cmp(a, b) ? t : f`.
+    Select { dst: VReg, kind: CmpKind, a: Operand, b: Operand, t: Operand, f: Operand },
+    /// `dst = mem[base + offset]` (zero- or sign-extended sub-word).
+    Load { dst: VReg, size: AccessSize, signed: bool, base: VReg, offset: Operand },
+    /// `mem[base + offset] = src` (truncated to `size`).
+    Store { src: Operand, size: AccessSize, base: VReg, offset: Operand },
+    /// Call another function in the module (up to 4 arguments).
+    Call { dst: Option<VReg>, func: FuncId, args: Vec<Operand> },
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value:#x}"),
+            Inst::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Bin { op, dst, a, b } => write!(f, "{dst} = {} {a}, {b}", op.mnemonic()),
+            Inst::Un { op, dst, a } => write!(f, "{dst} = {} {a}", op.mnemonic()),
+            Inst::ExtractBits { dst, src, lsb, width, signed } => {
+                write!(f, "{dst} = extract{} {src}, {lsb}, {width}", if *signed { "s" } else { "u" })
+            }
+            Inst::InsertBits { dst, src, lsb, width } => {
+                write!(f, "{dst} = insert {src}, {lsb}, {width}")
+            }
+            Inst::Select { dst, kind, a, b, t, f: fv } => {
+                write!(f, "{dst} = select {kind:?} {a}, {b} ? {t} : {fv}")
+            }
+            Inst::Load { dst, size, signed, base, offset } => write!(
+                f,
+                "{dst} = load.{}{} [{base} + {offset}]",
+                size.bytes(),
+                if *signed { "s" } else { "" }
+            ),
+            Inst::Store { src, size, base, offset } => {
+                write!(f, "store.{} [{base} + {offset}], {src}", size.bytes())
+            }
+            Inst::Call { dst, func, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call f{}(", func.0)?;
+                } else {
+                    write!(f, "call f{}(", func.0)?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings are given in each variant's doc line
+pub enum Terminator {
+    /// Unconditional jump.
+    Br { target: BlockId },
+    /// Conditional branch on a comparison.
+    CondBr { kind: CmpKind, a: Operand, b: Operand, then_bb: BlockId, else_bb: BlockId },
+    /// Multi-way branch on a dense value; lowered to a table branch in
+    /// `T2`, a jump table in `A32` and a compare chain in `T16`.
+    Switch { value: VReg, base: u32, targets: Vec<BlockId>, default: BlockId },
+    /// Return (optionally with a value in `r0`).
+    Ret { value: Option<Operand> },
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Br { target } => write!(f, "br {target}"),
+            Terminator::CondBr { kind, a, b, then_bb, else_bb } => {
+                write!(f, "br.{kind:?} {a}, {b} ? {then_bb} : {else_bb}")
+            }
+            Terminator::Switch { value, base, targets, default } => {
+                write!(f, "switch {value} - {base} -> [")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "] else {default}")
+            }
+            Terminator::Ret { value: Some(v) } => write!(f, "ret {v}"),
+            Terminator::Ret { value: None } => write!(f, "ret"),
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block's label.
+    pub id: BlockId,
+    /// Straight-line body.
+    pub insts: Vec<Inst>,
+    /// The single terminator.
+    pub term: Terminator,
+}
+
+/// A TIR function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter registers (at most 4, passed in `r0..r3`).
+    pub params: Vec<VReg>,
+    /// Total virtual registers used (ids `0..vreg_count`).
+    pub vreg_count: u32,
+    /// Basic blocks; entry is `blocks[0]`.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown (validated modules never do this).
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &Block {
+        self.blocks
+            .iter()
+            .find(|b| b.id == id)
+            .unwrap_or_else(|| panic!("unknown block {id} in {}", self.name))
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ") {{")?;
+        for b in &self.blocks {
+            writeln!(f, "{}:", b.id)?;
+            for i in &b.insts {
+                writeln!(f, "    {i}")?;
+            }
+            writeln!(f, "    {}", b.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A TIR module: a set of functions that may call one another.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Module {
+    /// The functions; [`FuncId`] indexes this vector.
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    #[must_use]
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, func: Function) -> FuncId {
+        self.funcs.push(func);
+        FuncId(self.funcs.len() as u32 - 1)
+    }
+
+    /// Finds a function by name.
+    #[must_use]
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// The function behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_golden_semantics() {
+        assert_eq!(BinOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(BinOp::Sub.eval(0, 1), u32::MAX);
+        assert_eq!(BinOp::Sdiv.eval((-7i32) as u32, 2), (-3i32) as u32);
+        assert_eq!(BinOp::Sdiv.eval(7, 0), 0);
+        assert_eq!(BinOp::Udiv.eval(7, 2), 3);
+        assert_eq!(BinOp::Srem.eval((-7i32) as u32, 2), (-1i32) as u32);
+        assert_eq!(BinOp::Urem.eval(7, 0), 7);
+        assert_eq!(BinOp::Shl.eval(1, 33), 0);
+        assert_eq!(BinOp::Ashr.eval(0x8000_0000, 40), 0xFFFF_FFFF);
+        assert_eq!(BinOp::Rotr.eval(0b1011, 1), 0x8000_0005);
+    }
+
+    #[test]
+    fn unop_golden_semantics() {
+        assert_eq!(UnOp::Neg.eval(1), u32::MAX);
+        assert_eq!(UnOp::ByteRev.eval(0x1122_3344), 0x4433_2211);
+        assert_eq!(UnOp::BitRev.eval(1), 0x8000_0000);
+        assert_eq!(UnOp::SignExt8.eval(0x80), 0xFFFF_FF80);
+        assert_eq!(UnOp::SignExt16.eval(0x8000), 0xFFFF_8000);
+    }
+
+    #[test]
+    fn cmp_inversion_complementary() {
+        let kinds = [
+            CmpKind::Eq,
+            CmpKind::Ne,
+            CmpKind::Slt,
+            CmpKind::Sle,
+            CmpKind::Sgt,
+            CmpKind::Sge,
+            CmpKind::Ult,
+            CmpKind::Ule,
+            CmpKind::Ugt,
+            CmpKind::Uge,
+        ];
+        let samples =
+            [(0u32, 0u32), (1, 2), (2, 1), (0x8000_0000, 1), (1, 0x8000_0000), (5, 5)];
+        for k in kinds {
+            for (a, b) in samples {
+                assert_ne!(k.eval(a, b), k.inverted().eval(a, b), "{k:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new();
+        let f = Function {
+            name: "f".into(),
+            params: vec![],
+            vreg_count: 0,
+            blocks: vec![Block {
+                id: BlockId(0),
+                insts: vec![],
+                term: Terminator::Ret { value: None },
+            }],
+        };
+        let id = m.add_function(f);
+        assert_eq!(m.func_by_name("f").unwrap().0, id);
+        assert!(m.func_by_name("g").is_none());
+    }
+
+    #[test]
+    fn display_renders() {
+        let f = Function {
+            name: "demo".into(),
+            params: vec![VReg(0)],
+            vreg_count: 2,
+            blocks: vec![Block {
+                id: BlockId(0),
+                insts: vec![Inst::Bin {
+                    op: BinOp::Add,
+                    dst: VReg(1),
+                    a: VReg(0).into(),
+                    b: 3u32.into(),
+                }],
+                term: Terminator::Ret { value: Some(VReg(1).into()) },
+            }],
+        };
+        let s = f.to_string();
+        assert!(s.contains("fn demo(v0)"));
+        assert!(s.contains("v1 = add v0, 3"));
+        assert!(s.contains("ret v1"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # TIR — the tiny IR of the ALIA reproduction
+//!
+//! A small, non-SSA three-address intermediate representation used as the
+//! common source language for the reproduction's benchmark kernels. The
+//! paper's Table 1 compares *compiled* code across three encodings of one
+//! ISA; TIR plays the role of the C front-end output, and the
+//! `alia-codegen` crate lowers it to each encoding.
+//!
+//! The crate also ships the **golden-model interpreter**
+//! ([`Interpreter`]): the compiler and the cycle-approximate core
+//! simulator are validated by checking
+//! `interp(tir) == simulate(compile(tir))` for every workload.
+//!
+//! # Examples
+//!
+//! ```
+//! use alia_tir::{FunctionBuilder, Module, Interpreter, FlatMemory, BinOp, CmpKind};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // fn gcd(a, b) { while b != 0 { t = a % b; a = b; b = t } return a }
+//! let mut f = FunctionBuilder::new("gcd", 2);
+//! let a = f.param(0);
+//! let b = f.param(1);
+//! let header = f.new_block();
+//! let body = f.new_block();
+//! let exit = f.new_block();
+//! f.br(header);
+//! f.switch_to(header);
+//! f.cond_br(CmpKind::Ne, b, 0u32, body, exit);
+//! f.switch_to(body);
+//! let t = f.bin(BinOp::Urem, a, b);
+//! f.assign(a, b);
+//! f.assign(b, t);
+//! f.br(header);
+//! f.switch_to(exit);
+//! f.ret(Some(a.into()));
+//!
+//! let mut module = Module::new();
+//! let gcd = module.add_function(f.build());
+//! let mut interp = Interpreter::new(&module, FlatMemory::new(0, 16));
+//! assert_eq!(interp.run(gcd, &[54, 24])?, 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod interp;
+mod ir;
+mod validate;
+
+pub use builder::FunctionBuilder;
+pub use interp::{FlatMemory, InterpError, Interpreter, TirMemory};
+pub use ir::{
+    AccessSize, BinOp, Block, BlockId, CmpKind, FuncId, Function, Inst, Module, Operand,
+    Terminator, UnOp, VReg,
+};
+pub use validate::{validate, ValidateError};

@@ -1,0 +1,256 @@
+//! Structural validation of TIR modules.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::{Function, Inst, Module, Operand, Terminator, VReg};
+
+/// A structural defect in a TIR module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function where the defect was found.
+    pub func: String,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in `{}`: {}", self.func, self.msg)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates structural invariants of a module:
+///
+/// * every referenced block exists and block ids are dense and unique,
+/// * every referenced virtual register is below `vreg_count`,
+/// * every call target exists and receives at most 4 arguments,
+/// * switch target lists are non-empty,
+/// * bit-field ranges stay within 32 bits.
+///
+/// # Errors
+///
+/// Returns the first defect found.
+pub fn validate(module: &Module) -> Result<(), ValidateError> {
+    for f in &module.funcs {
+        validate_function(module, f)?;
+    }
+    Ok(())
+}
+
+fn err(f: &Function, msg: impl Into<String>) -> ValidateError {
+    ValidateError { func: f.name.clone(), msg: msg.into() }
+}
+
+fn validate_function(module: &Module, f: &Function) -> Result<(), ValidateError> {
+    if f.blocks.is_empty() {
+        return Err(err(f, "no blocks"));
+    }
+    let mut seen = HashSet::new();
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.id.0 as usize != i {
+            return Err(err(f, format!("block ids must be dense, found {} at {i}", b.id)));
+        }
+        if !seen.insert(b.id) {
+            return Err(err(f, format!("duplicate block {}", b.id)));
+        }
+    }
+    let n_blocks = f.blocks.len() as u32;
+    let check_block = |id: crate::BlockId| -> Result<(), ValidateError> {
+        if id.0 >= n_blocks {
+            return Err(err(f, format!("reference to unknown block {id}")));
+        }
+        Ok(())
+    };
+    let check_vreg = |v: VReg| -> Result<(), ValidateError> {
+        if v.0 >= f.vreg_count {
+            return Err(err(f, format!("vreg {v} out of range (count {})", f.vreg_count)));
+        }
+        Ok(())
+    };
+    let check_op = |o: Operand| -> Result<(), ValidateError> {
+        if let Operand::Reg(v) = o {
+            check_vreg(v)?;
+        }
+        Ok(())
+    };
+    for p in &f.params {
+        check_vreg(*p)?;
+    }
+    for b in &f.blocks {
+        for inst in &b.insts {
+            match inst {
+                Inst::Const { dst, .. } => check_vreg(*dst)?,
+                Inst::Copy { dst, src } => {
+                    check_vreg(*dst)?;
+                    check_op(*src)?;
+                }
+                Inst::Bin { dst, a, b: bb, .. } => {
+                    check_vreg(*dst)?;
+                    check_op(*a)?;
+                    check_op(*bb)?;
+                }
+                Inst::Un { dst, a, .. } => {
+                    check_vreg(*dst)?;
+                    check_op(*a)?;
+                }
+                Inst::ExtractBits { dst, src, lsb, width, .. }
+                | Inst::InsertBits { dst, src, lsb, width } => {
+                    check_vreg(*dst)?;
+                    check_op(*src)?;
+                    if *width == 0 || u32::from(*lsb) + u32::from(*width) > 32 {
+                        return Err(err(f, format!("bit-field {lsb}+{width} out of range")));
+                    }
+                }
+                Inst::Select { dst, a, b: bb, t, f: fv, .. } => {
+                    check_vreg(*dst)?;
+                    for o in [a, bb, t, fv] {
+                        check_op(*o)?;
+                    }
+                }
+                Inst::Load { dst, base, offset, .. } => {
+                    check_vreg(*dst)?;
+                    check_vreg(*base)?;
+                    check_op(*offset)?;
+                }
+                Inst::Store { src, base, offset, .. } => {
+                    check_op(*src)?;
+                    check_vreg(*base)?;
+                    check_op(*offset)?;
+                }
+                Inst::Call { dst, func, args } => {
+                    if let Some(d) = dst {
+                        check_vreg(*d)?;
+                    }
+                    if func.0 as usize >= module.funcs.len() {
+                        return Err(err(f, format!("call to unknown function f{}", func.0)));
+                    }
+                    if args.len() > 4 {
+                        return Err(err(f, "more than 4 call arguments"));
+                    }
+                    let callee = module.func(*func);
+                    if args.len() != callee.params.len() {
+                        return Err(err(
+                            f,
+                            format!(
+                                "call to `{}` passes {} args, expects {}",
+                                callee.name,
+                                args.len(),
+                                callee.params.len()
+                            ),
+                        ));
+                    }
+                    for a in args {
+                        check_op(*a)?;
+                    }
+                }
+            }
+        }
+        match &b.term {
+            Terminator::Br { target } => check_block(*target)?,
+            Terminator::CondBr { a, b: bb, then_bb, else_bb, .. } => {
+                check_op(*a)?;
+                check_op(*bb)?;
+                check_block(*then_bb)?;
+                check_block(*else_bb)?;
+            }
+            Terminator::Switch { value, targets, default, .. } => {
+                check_vreg(*value)?;
+                if targets.is_empty() {
+                    return Err(err(f, "switch with no targets"));
+                }
+                for t in targets {
+                    check_block(*t)?;
+                }
+                check_block(*default)?;
+            }
+            Terminator::Ret { value } => {
+                if let Some(v) = value {
+                    check_op(*v)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Block, BlockId, FunctionBuilder};
+
+    #[test]
+    fn valid_function_passes() {
+        let mut b = FunctionBuilder::new("ok", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let z = b.bin(BinOp::Add, x, y);
+        b.ret(Some(z.into()));
+        let mut m = Module::new();
+        m.add_function(b.build());
+        assert!(validate(&m).is_ok());
+    }
+
+    #[test]
+    fn detects_bad_vreg() {
+        let f = Function {
+            name: "bad".into(),
+            params: vec![],
+            vreg_count: 1,
+            blocks: vec![Block {
+                id: BlockId(0),
+                insts: vec![Inst::Copy { dst: VReg(5), src: Operand::Imm(0) }],
+                term: Terminator::Ret { value: None },
+            }],
+        };
+        let mut m = Module::new();
+        m.add_function(f);
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn detects_bad_block_ref() {
+        let f = Function {
+            name: "bad".into(),
+            params: vec![],
+            vreg_count: 0,
+            blocks: vec![Block {
+                id: BlockId(0),
+                insts: vec![],
+                term: Terminator::Br { target: BlockId(7) },
+            }],
+        };
+        let mut m = Module::new();
+        m.add_function(f);
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn detects_arity_mismatch() {
+        let mut m = Module::new();
+        let mut callee = FunctionBuilder::new("callee", 2);
+        let p = callee.param(0);
+        callee.ret(Some(p.into()));
+        let callee_id = m.add_function(callee.build());
+        let mut caller = FunctionBuilder::new("caller", 0);
+        let r = caller.call(callee_id, &[Operand::Imm(1)]);
+        caller.ret(Some(r.into()));
+        m.add_function(caller.build());
+        let e = validate(&m).unwrap_err();
+        assert!(e.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn detects_bad_bitfield() {
+        let mut b = FunctionBuilder::new("bf", 1);
+        let x = b.param(0);
+        let v = b.extract_bits(x, 30, 8, false);
+        b.ret(Some(v.into()));
+        let mut m = Module::new();
+        m.add_function(b.build());
+        assert!(validate(&m).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`Kernel`] abstraction: a TIR benchmark plus its input generator
+//! and a pure-Rust reference implementation.
+
+use alia_tir::{AccessSize, FlatMemory, Interpreter, Module, TirMemory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where kernel data lives in the simulated address space (inside SRAM).
+pub const DATA_BASE: u32 = 0x2000_1000;
+
+/// One automotive benchmark kernel.
+///
+/// Kernels follow a single calling convention:
+/// `fn <name>(input_ptr, output_ptr, n) -> checksum`, with `n` elements of
+/// input starting at `input_ptr` and outputs written from `output_ptr`.
+pub struct Kernel {
+    /// Kernel name (matches the entry function).
+    pub name: &'static str,
+    /// One-line description of the automotive function modelled.
+    pub description: &'static str,
+    /// The TIR module holding the entry function (and helpers).
+    pub module: Module,
+    /// Default element count for benchmarking.
+    pub default_elems: u32,
+    /// Input generator: `(seed, elems)` to little-endian input words.
+    pub gen_input: fn(u64, u32) -> Vec<u32>,
+    /// Reference implementation: `(input, elems)` to
+    /// `(checksum, output words)`.
+    pub reference: fn(&[u32], u32) -> (u32, Vec<u32>),
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("default_elems", &self.default_elems)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Kernel {
+    /// Generates the input block for `seed`/`elems` as bytes.
+    #[must_use]
+    pub fn input_bytes(&self, seed: u64, elems: u32) -> Vec<u8> {
+        (self.gen_input)(seed, elems).iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// The size of the input block in bytes.
+    #[must_use]
+    pub fn input_len(&self, elems: u32) -> u32 {
+        (self.gen_input)(0, elems).len() as u32 * 4
+    }
+
+    /// The address outputs are written to (input rounded up, plus slack).
+    #[must_use]
+    pub fn output_base(&self, elems: u32) -> u32 {
+        DATA_BASE + (self.input_len(elems) + 63 & !63)
+    }
+
+    /// The arguments to pass in `r0..r2`.
+    #[must_use]
+    pub fn args(&self, elems: u32) -> [u32; 3] {
+        [DATA_BASE, self.output_base(elems), elems]
+    }
+
+    /// Runs the kernel in the golden interpreter; returns the checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module is malformed (kernels are library-provided, so
+    /// this indicates a bug).
+    #[must_use]
+    pub fn run_interp(&self, seed: u64, elems: u32) -> u32 {
+        let (fid, _) = self.module.func_by_name(self.name).expect("entry exists");
+        let input = self.input_bytes(seed, elems);
+        let out_base = self.output_base(elems);
+        let total = (out_base - DATA_BASE) as usize + (elems as usize + 8) * 16;
+        let mut mem = FlatMemory::new(DATA_BASE, total);
+        mem.bytes_mut()[..input.len()].copy_from_slice(&input);
+        let args = self.args(elems);
+        let mut interp = Interpreter::new(&self.module, mem);
+        interp.run(fid, &args).expect("kernel interprets")
+    }
+
+    /// Runs the Rust reference; returns the checksum.
+    #[must_use]
+    pub fn run_reference(&self, seed: u64, elems: u32) -> u32 {
+        let input = (self.gen_input)(seed, elems);
+        (self.reference)(&input, elems).0
+    }
+
+    /// Cross-checks the interpreter against the Rust reference, including
+    /// output memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when they disagree.
+    pub fn verify(&self, seed: u64, elems: u32) {
+        let (fid, _) = self.module.func_by_name(self.name).expect("entry exists");
+        alia_tir::validate(&self.module).expect("kernel module valid");
+        let input_words = (self.gen_input)(seed, elems);
+        let input = self.input_bytes(seed, elems);
+        let out_base = self.output_base(elems);
+        let total = (out_base - DATA_BASE) as usize + (elems as usize + 8) * 16;
+        let mut mem = FlatMemory::new(DATA_BASE, total);
+        mem.bytes_mut()[..input.len()].copy_from_slice(&input);
+        let args = self.args(elems);
+        let mut interp = Interpreter::new(&self.module, mem);
+        let got = interp.run(fid, &args).expect("kernel interprets");
+        let (want, want_out) = (self.reference)(&input_words, elems);
+        assert_eq!(got, want, "{}: checksum mismatch (seed {seed}, n {elems})", self.name);
+        let mut mem = interp.into_memory();
+        for (i, w) in want_out.iter().enumerate() {
+            let got_w = mem.load(out_base + 4 * i as u32, AccessSize::Word);
+            assert_eq!(
+                got_w, *w,
+                "{}: output word {i} mismatch (seed {seed})",
+                self.name
+            );
+        }
+    }
+}
+
+/// A deterministic RNG for input generation.
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0xA11A_5EED)
+}
+
+/// Uniform word with the given mask applied.
+pub fn masked(rng: &mut StdRng, mask: u32) -> u32 {
+    rng.gen::<u32>() & mask
+}

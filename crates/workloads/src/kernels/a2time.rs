@@ -1,0 +1,110 @@
+//! `a2time` — angle-to-time conversion.
+//!
+//! Models the EEMBC automotive `a2time` kernel: converting crankshaft
+//! angle ticks into time values, one division per sample — the workload
+//! class the paper's hardware-divide argument (§2.1) targets.
+
+use alia_tir::{BinOp, CmpKind, FunctionBuilder, Module};
+use rand::Rng;
+
+use crate::kernel::{rng, Kernel};
+
+/// Input layout: `2n` words — `(angle, period)` pairs.
+fn gen_input(seed: u64, n: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..2 * n).map(|_| r.gen()).collect()
+}
+
+fn reference(input: &[u32], n: u32) -> (u32, Vec<u32>) {
+    let mut sum = 0u32;
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n as usize {
+        let angle = input[2 * i] & 0xFFFF;
+        let period = (input[2 * i + 1] & 0x3FFF) | 1;
+        let time = (angle << 10) / period;
+        // Tooth-train analysis: walk eight teeth, tracking the filtered
+        // inter-tooth time and a tolerance-window checksum.
+        let mut x = time;
+        let mut acc = 0u32;
+        for t in 0..8u32 {
+            x = x.wrapping_mul(3).wrapping_add(period) >> 1;
+            acc = acc.wrapping_add(x & 0xFF);
+            x ^= angle.rotate_right(t);
+        }
+        let v = time.wrapping_add(acc & 0xFFF);
+        sum = sum.wrapping_add(v);
+        out.push(v);
+    }
+    (sum, out)
+}
+
+fn build() -> Module {
+    let mut b = FunctionBuilder::new("a2time", 3);
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let n = b.param(2);
+    let sum = b.imm(0);
+    let i = b.imm(0);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ult, i, n, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Shl, i, 3u32); // 2 words per element
+    let raw_angle = b.load(inp, off);
+    let angle = b.bin(BinOp::And, raw_angle, 0xFFFFu32);
+    let off2 = b.bin(BinOp::Add, off, 4u32);
+    let raw_period = b.load(inp, off2);
+    let masked = b.bin(BinOp::And, raw_period, 0x3FFFu32);
+    let period = b.bin(BinOp::Or, masked, 1u32);
+    let scaled = b.bin(BinOp::Shl, angle, 10u32);
+    let time = b.bin(BinOp::Udiv, scaled, period);
+    // tooth-train analysis (8 teeth)
+    let x = b.copy(time);
+    let acc = b.imm(0);
+    let t = b.imm(0);
+    let tooth_hdr = b.new_block();
+    let tooth_body = b.new_block();
+    let tooth_done = b.new_block();
+    b.br(tooth_hdr);
+    b.switch_to(tooth_hdr);
+    b.cond_br(CmpKind::Ult, t, 8u32, tooth_body, tooth_done);
+    b.switch_to(tooth_body);
+    let x3 = b.bin(BinOp::Mul, x, 3u32);
+    let xp = b.bin(BinOp::Add, x3, period);
+    b.bin_into(x, BinOp::Lshr, xp, 1u32);
+    let low = b.bin(BinOp::And, x, 0xFFu32);
+    b.bin_into(acc, BinOp::Add, acc, low);
+    let rot = b.bin(BinOp::Rotr, angle, t);
+    b.bin_into(x, BinOp::Xor, x, rot);
+    b.bin_into(t, BinOp::Add, t, 1u32);
+    b.br(tooth_hdr);
+    b.switch_to(tooth_done);
+    let accm = b.bin(BinOp::And, acc, 0xFFFu32);
+    let v = b.bin(BinOp::Add, time, accm);
+    b.bin_into(sum, BinOp::Add, sum, v);
+    let out_off = b.bin(BinOp::Shl, i, 2u32);
+    b.store(outp, out_off, v);
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    b.br(hdr);
+    b.switch_to(exit);
+    b.ret(Some(sum.into()));
+    let mut m = Module::new();
+    m.add_function(b.build());
+    m
+}
+
+/// The `a2time` kernel.
+#[must_use]
+pub fn kernel() -> Kernel {
+    Kernel {
+        name: "a2time",
+        description: "crank-angle to time conversion (one divide per sample)",
+        module: build(),
+        default_elems: 256,
+        gen_input,
+        reference,
+    }
+}

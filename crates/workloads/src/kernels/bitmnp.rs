@@ -1,0 +1,81 @@
+//! `bitmnp` — bit manipulation.
+//!
+//! Models the EEMBC automotive `bitmnp` kernel: bit reversal, field
+//! shuffling and rotation — exactly the workload the paper's §2.1 uses to
+//! motivate the `T2` bit-field and `RBIT` instructions.
+
+use alia_tir::{BinOp, CmpKind, FunctionBuilder, Module, UnOp};
+use rand::Rng;
+
+use crate::kernel::{rng, Kernel};
+
+/// Input layout: `n` words.
+fn gen_input(seed: u64, n: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+fn reference(input: &[u32], n: u32) -> (u32, Vec<u32>) {
+    let mut sum = 0u32;
+    let mut out = Vec::with_capacity(n as usize);
+    for w in &input[..n as usize] {
+        let v = *w;
+        let r = v.reverse_bits();
+        let x = r >> 8 & 0xFFFF;
+        let mut y = 0u32;
+        y = y & !0xFFFF | x;
+        y = y & !0xFF_0000 | ((v & 0xFF) << 16);
+        let z = y ^ v.rotate_right(13);
+        sum = sum.wrapping_add(z);
+        out.push(z);
+    }
+    (sum, out)
+}
+
+fn build() -> Module {
+    let mut b = FunctionBuilder::new("bitmnp", 3);
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let n = b.param(2);
+    let sum = b.imm(0);
+    let i = b.imm(0);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ult, i, n, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Shl, i, 2u32);
+    let v = b.load(inp, off);
+    let r = b.un(UnOp::BitRev, v);
+    let x = b.extract_bits(r, 8, 16, false);
+    let y = b.imm(0);
+    b.insert_bits(y, x, 0, 16);
+    let low = b.extract_bits(v, 0, 8, false);
+    b.insert_bits(y, low, 16, 8);
+    let rot = b.bin(BinOp::Rotr, v, 13u32);
+    let z = b.bin(BinOp::Xor, y, rot);
+    b.bin_into(sum, BinOp::Add, sum, z);
+    b.store(outp, off, z);
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    b.br(hdr);
+    b.switch_to(exit);
+    b.ret(Some(sum.into()));
+    let mut m = Module::new();
+    m.add_function(b.build());
+    m
+}
+
+/// The `bitmnp` kernel.
+#[must_use]
+pub fn kernel() -> Kernel {
+    Kernel {
+        name: "bitmnp",
+        description: "bit reversal and field shuffling (RBIT/BFI territory)",
+        module: build(),
+        default_elems: 256,
+        gen_input,
+        reference,
+    }
+}

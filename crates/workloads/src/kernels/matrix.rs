@@ -1,0 +1,148 @@
+//! `matrix` — fixed-point matrix arithmetic.
+//!
+//! Models the EEMBC automotive `matrix01` kernel: small fixed-point
+//! matrix products of the kind used in sensor fusion and chassis control.
+
+use alia_tir::{BinOp, CmpKind, FunctionBuilder, Module};
+use rand::Rng;
+
+use crate::kernel::{rng, Kernel};
+
+const DIM: u32 = 4;
+
+/// Input layout: two 4×4 matrices (32 words), row-major.
+fn gen_input(seed: u64, _n: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..2 * DIM * DIM).map(|_| r.gen::<u32>() & 0xFFFF).collect()
+}
+
+fn reference(input: &[u32], n: u32) -> (u32, Vec<u32>) {
+    let a = &input[..16];
+    let b = &input[16..32];
+    let mut sum = 0u32;
+    let mut out = vec![0u32; 16];
+    for rep in 0..n {
+        for i in 0..4usize {
+            for j in 0..4usize {
+                let mut acc = 0u32;
+                for k in 0..4usize {
+                    let av = a[i * 4 + k].wrapping_add(rep);
+                    acc = acc.wrapping_add(av.wrapping_mul(b[k * 4 + j]));
+                }
+                out[i * 4 + j] = acc >> 4;
+            }
+        }
+        sum = sum.wrapping_add(out[(rep % 4) as usize * 4 + (rep % 4) as usize]);
+    }
+    (sum, out)
+}
+
+#[allow(clippy::many_single_char_names)]
+fn build() -> Module {
+    let mut b = FunctionBuilder::new("matrix", 3);
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let n = b.param(2);
+    let sum = b.imm(0);
+    let rep = b.imm(0);
+    let i = b.imm(0);
+    let j = b.imm(0);
+    let k = b.imm(0);
+    let acc = b.imm(0);
+
+    let rep_hdr = b.new_block();
+    let i_hdr = b.new_block();
+    let j_hdr = b.new_block();
+    let k_hdr = b.new_block();
+    let k_body = b.new_block();
+    let j_done = b.new_block();
+    let i_done = b.new_block();
+    let rep_done = b.new_block();
+    let exit = b.new_block();
+
+    b.br(rep_hdr);
+    b.switch_to(rep_hdr);
+    b.cond_br(CmpKind::Ult, rep, n, i_hdr, exit);
+
+    b.switch_to(i_hdr);
+    b.assign(i, 0u32);
+    b.br(j_hdr); // j loop is re-entered per i via i_done
+
+    b.switch_to(j_hdr);
+    b.assign(j, 0u32);
+    b.br(k_hdr);
+
+    b.switch_to(k_hdr);
+    b.assign(k, 0u32);
+    b.assign(acc, 0u32);
+    b.br(k_body);
+
+    b.switch_to(k_body);
+    // av = a[i*4+k] + rep
+    let i4 = b.bin(BinOp::Shl, i, 2u32);
+    let aidx = b.bin(BinOp::Add, i4, k);
+    let aoff = b.bin(BinOp::Shl, aidx, 2u32);
+    let a_v = b.load(inp, aoff);
+    let av = b.bin(BinOp::Add, a_v, rep);
+    // bv = b[k*4+j] (matrix B starts at word 16)
+    let k4 = b.bin(BinOp::Shl, k, 2u32);
+    let bidx = b.bin(BinOp::Add, k4, j);
+    let boff0 = b.bin(BinOp::Shl, bidx, 2u32);
+    let boff = b.bin(BinOp::Add, boff0, 64u32);
+    let b_v = b.load(inp, boff);
+    let prod = b.bin(BinOp::Mul, av, b_v);
+    b.bin_into(acc, BinOp::Add, acc, prod);
+    b.bin_into(k, BinOp::Add, k, 1u32);
+    b.cond_br(CmpKind::Ult, k, 4u32, k_body, j_done);
+
+    b.switch_to(j_done);
+    // out[i*4+j] = acc >> 4
+    let scaled = b.bin(BinOp::Lshr, acc, 4u32);
+    let oidx = b.bin(BinOp::Add, i4, j);
+    let ooff = b.bin(BinOp::Shl, oidx, 2u32);
+    b.store(outp, ooff, scaled);
+    b.bin_into(j, BinOp::Add, j, 1u32);
+    let back_k = b.new_block();
+    b.cond_br(CmpKind::Ult, j, 4u32, back_k, i_done);
+    b.switch_to(back_k);
+    b.assign(k, 0u32);
+    b.assign(acc, 0u32);
+    b.br(k_body);
+
+    b.switch_to(i_done);
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    let back_j = b.new_block();
+    b.cond_br(CmpKind::Ult, i, 4u32, back_j, rep_done);
+    b.switch_to(back_j);
+    b.br(j_hdr);
+
+    b.switch_to(rep_done);
+    // sum += out[(rep%4)*4 + rep%4]
+    let rm = b.bin(BinOp::And, rep, 3u32);
+    let rm4 = b.bin(BinOp::Shl, rm, 2u32);
+    let didx = b.bin(BinOp::Add, rm4, rm);
+    let doff = b.bin(BinOp::Shl, didx, 2u32);
+    let diag = b.load(outp, doff);
+    b.bin_into(sum, BinOp::Add, sum, diag);
+    b.bin_into(rep, BinOp::Add, rep, 1u32);
+    b.br(rep_hdr);
+
+    b.switch_to(exit);
+    b.ret(Some(sum.into()));
+    let mut m = Module::new();
+    m.add_function(b.build());
+    m
+}
+
+/// The `matrix` kernel.
+#[must_use]
+pub fn kernel() -> Kernel {
+    Kernel {
+        name: "matrix",
+        description: "4x4 fixed-point matrix product (multiply-accumulate loops)",
+        module: build(),
+        default_elems: 64,
+        gen_input,
+        reference,
+    }
+}

@@ -1,0 +1,43 @@
+//! The kernel collection.
+
+pub mod a2time;
+pub mod bitmnp;
+pub mod canrdr;
+pub mod matrix;
+pub mod puwmod;
+pub mod rspeed;
+pub mod tblook;
+pub mod ttsprk;
+
+use crate::kernel::Kernel;
+
+/// The six kernels used for the Table 1 reproduction — our stand-in for
+/// the "6 available AutoIndy benchmarks" the paper's geometric mean is
+/// computed over.
+#[must_use]
+pub fn autoindy() -> Vec<Kernel> {
+    vec![
+        a2time::kernel(),
+        tblook::kernel(),
+        ttsprk::kernel(),
+        puwmod::kernel(),
+        rspeed::kernel(),
+        canrdr::kernel(),
+    ]
+}
+
+/// Every kernel in the suite (the AutoIndy six plus `bitmnp` and
+/// `matrix`).
+#[must_use]
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![
+        a2time::kernel(),
+        tblook::kernel(),
+        ttsprk::kernel(),
+        puwmod::kernel(),
+        rspeed::kernel(),
+        canrdr::kernel(),
+        bitmnp::kernel(),
+        matrix::kernel(),
+    ]
+}

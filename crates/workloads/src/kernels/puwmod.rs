@@ -1,0 +1,88 @@
+//! `puwmod` — pulse-width modulation.
+//!
+//! Models the EEMBC automotive `puwmod` kernel: computing on/off times for
+//! a PWM output and packing them into a control word — bit-field
+//! insertion territory (§2.1).
+
+use alia_tir::{BinOp, CmpKind, FunctionBuilder, Module};
+use rand::Rng;
+
+use crate::kernel::{rng, Kernel};
+
+/// Input layout: `n` words: `duty[7:0] period[15:8]`.
+fn gen_input(seed: u64, n: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+fn reference(input: &[u32], n: u32) -> (u32, Vec<u32>) {
+    let mut sum = 0u32;
+    let mut out = Vec::with_capacity(n as usize);
+    for w in &input[..n as usize] {
+        let duty = w & 0xFF;
+        let period = (w >> 8 & 0xFF) | 1;
+        let on = duty.wrapping_mul(period) >> 8;
+        let off = period.wrapping_sub(on) & 0xFF;
+        let mut ctrl = 0u32;
+        ctrl = ctrl & !0xFF | (on & 0xFF);
+        ctrl = ctrl & !0xFF00 | (off << 8 & 0xFF00);
+        if on > period / 2 {
+            ctrl |= 1 << 16;
+        }
+        sum = sum.wrapping_add(ctrl);
+        out.push(ctrl);
+    }
+    (sum, out)
+}
+
+fn build() -> Module {
+    let mut b = FunctionBuilder::new("puwmod", 3);
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let n = b.param(2);
+    let sum = b.imm(0);
+    let i = b.imm(0);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ult, i, n, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Shl, i, 2u32);
+    let w = b.load(inp, off);
+    let duty = b.extract_bits(w, 0, 8, false);
+    let p_raw = b.extract_bits(w, 8, 8, false);
+    let period = b.bin(BinOp::Or, p_raw, 1u32);
+    let prod = b.bin(BinOp::Mul, duty, period);
+    let on = b.bin(BinOp::Lshr, prod, 8u32);
+    let toff = b.bin(BinOp::Sub, period, on);
+    let ctrl = b.imm(0);
+    b.insert_bits(ctrl, on, 0, 8);
+    b.insert_bits(ctrl, toff, 8, 8);
+    let half = b.bin(BinOp::Lshr, period, 1u32);
+    let flag = b.select(CmpKind::Ugt, on, half, 1u32, 0u32);
+    b.insert_bits(ctrl, flag, 16, 1);
+    b.bin_into(sum, BinOp::Add, sum, ctrl);
+    b.store(outp, off, ctrl);
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    b.br(hdr);
+    b.switch_to(exit);
+    b.ret(Some(sum.into()));
+    let mut m = Module::new();
+    m.add_function(b.build());
+    m
+}
+
+/// The `puwmod` kernel.
+#[must_use]
+pub fn kernel() -> Kernel {
+    Kernel {
+        name: "puwmod",
+        description: "PWM on/off-time computation with bit-field packing",
+        module: build(),
+        default_elems: 256,
+        gen_input,
+        reference,
+    }
+}

@@ -1,0 +1,110 @@
+//! `rspeed` — road-speed calculation.
+//!
+//! Models the EEMBC automotive `rspeed` kernel: exponential smoothing of
+//! wheel-pulse intervals followed by a reciprocal (divide) to speed.
+
+use alia_tir::{BinOp, CmpKind, FunctionBuilder, Module};
+use rand::Rng;
+
+use crate::kernel::{rng, Kernel};
+
+/// Input layout: `n` pulse-interval words.
+fn gen_input(seed: u64, n: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+fn reference(input: &[u32], n: u32) -> (u32, Vec<u32>) {
+    let mut sum = 0u32;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut avg = 1000u32;
+    for w in &input[..n as usize] {
+        let interval = (w & 0xF_FFFF) | 1;
+        avg = (avg.wrapping_mul(7).wrapping_add(interval)) >> 3;
+        let speed = 3_600_000 / (avg | 1);
+        // Pulse-train smoothing: eight debounce/filter steps per sample.
+        let mut s = speed;
+        let mut acc = 0u32;
+        for t in 0..8u32 {
+            s = s.wrapping_mul(7).wrapping_add(interval) >> 3;
+            acc = acc.wrapping_add(s & 0x3F);
+            s ^= interval.rotate_right(t + 3);
+        }
+        let v = speed.wrapping_add(acc & 0x7FF);
+        sum = sum.wrapping_add(v);
+        out.push(v);
+    }
+    (sum, out)
+}
+
+fn build() -> Module {
+    let mut b = FunctionBuilder::new("rspeed", 3);
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let n = b.param(2);
+    let sum = b.imm(0);
+    let i = b.imm(0);
+    let avg = b.imm(1000);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ult, i, n, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Shl, i, 2u32);
+    let w = b.load(inp, off);
+    let masked = b.bin(BinOp::And, w, 0xF_FFFFu32);
+    let interval = b.bin(BinOp::Or, masked, 1u32);
+    let scaled = b.bin(BinOp::Mul, avg, 7u32);
+    let mixed = b.bin(BinOp::Add, scaled, interval);
+    b.bin_into(avg, BinOp::Lshr, mixed, 3u32);
+    let divisor = b.bin(BinOp::Or, avg, 1u32);
+    let speed = b.bin(BinOp::Udiv, 3_600_000u32, divisor);
+    // pulse-train smoothing (8 steps)
+    let s = b.copy(speed);
+    let acc = b.imm(0);
+    let t = b.imm(0);
+    let f_hdr = b.new_block();
+    let f_body = b.new_block();
+    let f_done = b.new_block();
+    b.br(f_hdr);
+    b.switch_to(f_hdr);
+    b.cond_br(CmpKind::Ult, t, 8u32, f_body, f_done);
+    b.switch_to(f_body);
+    let s7 = b.bin(BinOp::Mul, s, 7u32);
+    let sp = b.bin(BinOp::Add, s7, interval);
+    b.bin_into(s, BinOp::Lshr, sp, 3u32);
+    let low = b.bin(BinOp::And, s, 0x3Fu32);
+    b.bin_into(acc, BinOp::Add, acc, low);
+    let t3 = b.bin(BinOp::Add, t, 3u32);
+    let rot = b.bin(BinOp::Rotr, interval, t3);
+    b.bin_into(s, BinOp::Xor, s, rot);
+    b.bin_into(t, BinOp::Add, t, 1u32);
+    b.br(f_hdr);
+    b.switch_to(f_done);
+    let accm = b.bin(BinOp::And, acc, 0x7FFu32);
+    let v = b.bin(BinOp::Add, speed, accm);
+    b.bin_into(sum, BinOp::Add, sum, v);
+    b.store(outp, off, v);
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    b.br(hdr);
+    b.switch_to(exit);
+    b.ret(Some(sum.into()));
+    let mut m = Module::new();
+    m.add_function(b.build());
+    m
+}
+
+/// The `rspeed` kernel.
+#[must_use]
+pub fn kernel() -> Kernel {
+    Kernel {
+        name: "rspeed",
+        description: "road-speed from smoothed pulse intervals (divide per sample)",
+        module: build(),
+        default_elems: 256,
+        gen_input,
+        reference,
+    }
+}

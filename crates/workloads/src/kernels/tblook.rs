@@ -1,0 +1,98 @@
+//! `tblook` — table lookup and interpolation.
+//!
+//! Models the EEMBC automotive `tblook` kernel: linear interpolation into
+//! a calibration table (fuel/ignition maps), signed fixed-point arithmetic.
+
+use alia_tir::{BinOp, CmpKind, FunctionBuilder, Module};
+use rand::Rng;
+
+use crate::kernel::{rng, Kernel};
+
+const TABLE_LEN: usize = 33;
+
+/// Input layout: 33 signed table entries, then `n` query words.
+fn gen_input(seed: u64, n: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    let mut v: Vec<u32> = Vec::with_capacity(TABLE_LEN + n as usize);
+    // A plausible monotone-ish calibration curve with noise.
+    let mut level = -20_000i32;
+    for _ in 0..TABLE_LEN {
+        v.push(level as u32);
+        level += r.gen_range(0..2500);
+    }
+    for _ in 0..n {
+        v.push(r.gen());
+    }
+    v
+}
+
+fn reference(input: &[u32], n: u32) -> (u32, Vec<u32>) {
+    let tab = &input[..TABLE_LEN];
+    let mut sum = 0u32;
+    let mut out = Vec::with_capacity(n as usize);
+    for q in &input[TABLE_LEN..TABLE_LEN + n as usize] {
+        let x = q & 0xFFFF;
+        let idx = (x >> 11) as usize; // 0..=31
+        let frac = (x & 0x7FF) as i32;
+        let a = tab[idx] as i32;
+        let b2 = tab[idx + 1] as i32;
+        let y = a.wrapping_add((b2.wrapping_sub(a)).wrapping_mul(frac) >> 11) as u32;
+        sum = sum.wrapping_add(y);
+        out.push(y);
+    }
+    (sum, out)
+}
+
+fn build() -> Module {
+    let mut b = FunctionBuilder::new("tblook", 3);
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let n = b.param(2);
+    let sum = b.imm(0);
+    let i = b.imm(0);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ult, i, n, body, exit);
+    b.switch_to(body);
+    // q = in[33 + i]
+    let qoff = b.bin(BinOp::Shl, i, 2u32);
+    let qoff = b.bin(BinOp::Add, qoff, TABLE_LEN as u32 * 4);
+    let q = b.load(inp, qoff);
+    let x = b.bin(BinOp::And, q, 0xFFFFu32);
+    let idx = b.bin(BinOp::Lshr, x, 11u32);
+    let frac = b.bin(BinOp::And, x, 0x7FFu32);
+    let aoff = b.bin(BinOp::Shl, idx, 2u32);
+    let a = b.load(inp, aoff);
+    let boff = b.bin(BinOp::Add, aoff, 4u32);
+    let b2 = b.load(inp, boff);
+    let diff = b.bin(BinOp::Sub, b2, a);
+    let scaled = b.bin(BinOp::Mul, diff, frac);
+    let adj = b.bin(BinOp::Ashr, scaled, 11u32);
+    let y = b.bin(BinOp::Add, a, adj);
+    b.bin_into(sum, BinOp::Add, sum, y);
+    let ooff = b.bin(BinOp::Shl, i, 2u32);
+    b.store(outp, ooff, y);
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    b.br(hdr);
+    b.switch_to(exit);
+    b.ret(Some(sum.into()));
+    let mut m = Module::new();
+    m.add_function(b.build());
+    m
+}
+
+/// The `tblook` kernel.
+#[must_use]
+pub fn kernel() -> Kernel {
+    Kernel {
+        name: "tblook",
+        description: "calibration-table lookup with linear interpolation",
+        module: build(),
+        default_elems: 256,
+        gen_input,
+        reference,
+    }
+}

@@ -1,0 +1,156 @@
+//! `ttsprk` — tooth-to-spark timing.
+//!
+//! Models the EEMBC automotive `ttsprk` kernel the paper's §3.1.2 names
+//! explicitly: computing spark advance from tooth-wheel events, with a
+//! mode switch (cranking / idle / run / overrun) and per-event division.
+
+use alia_tir::{BinOp, CmpKind, FunctionBuilder, Module};
+use rand::Rng;
+
+use crate::kernel::{rng, Kernel};
+
+/// Input layout: `n` packed words: `rpm[13:0] load[21:14] mode[23:22]`.
+fn gen_input(seed: u64, n: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+fn reference(input: &[u32], n: u32) -> (u32, Vec<u32>) {
+    let mut sum = 0u32;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut prev = 10u32;
+    for w in &input[..n as usize] {
+        let rpm = (w & 0x3FFF) | 1;
+        let load = w >> 14 & 0xFF;
+        let mode = w >> 22 & 3;
+        let adv = match mode {
+            0 => 10u32.wrapping_add(load / 4),
+            1 => (600_000 / rpm).wrapping_add(load),
+            2 => load.wrapping_sub(rpm / 64),
+            _ => prev,
+        };
+        // clamp to [0, 60] treating the value as signed
+        let clamped = if (adv as i32) < 0 {
+            0
+        } else if adv > 60 {
+            60
+        } else {
+            adv
+        };
+        prev = clamped;
+        // Dwell-time shaping: six coil-charge steps per event.
+        let mut dwell = clamped;
+        let mut dacc = 0u32;
+        for t in 0..6u32 {
+            dwell = dwell.wrapping_mul(5).wrapping_add(load) >> 2;
+            dacc = dacc.wrapping_add(dwell & 0x1F);
+            dwell ^= rpm.rotate_right(t + 1);
+        }
+        let v = clamped.wrapping_add(dacc & 0x3FF);
+        sum = sum.wrapping_add(v);
+        out.push(v);
+    }
+    (sum, out)
+}
+
+fn build() -> Module {
+    let mut b = FunctionBuilder::new("ttsprk", 3);
+    let inp = b.param(0);
+    let outp = b.param(1);
+    let n = b.param(2);
+    let sum = b.imm(0);
+    let i = b.imm(0);
+    let prev = b.imm(10);
+    let adv = b.imm(0);
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let m0 = b.new_block();
+    let m1 = b.new_block();
+    let m2 = b.new_block();
+    let m3 = b.new_block();
+    let join = b.new_block();
+    let exit = b.new_block();
+    b.br(hdr);
+    b.switch_to(hdr);
+    b.cond_br(CmpKind::Ult, i, n, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Shl, i, 2u32);
+    let w = b.load(inp, off);
+    let rpm_raw = b.bin(BinOp::And, w, 0x3FFFu32);
+    let rpm = b.bin(BinOp::Or, rpm_raw, 1u32);
+    let load = b.extract_bits(w, 14, 8, false);
+    let mode = b.extract_bits(w, 22, 2, false);
+    b.switch(mode, 0, vec![m0, m1, m2], m3);
+
+    b.switch_to(m0);
+    let q0 = b.bin(BinOp::Udiv, load, 4u32);
+    b.bin_into(adv, BinOp::Add, q0, 10u32);
+    b.br(join);
+
+    b.switch_to(m1);
+    let q1 = b.bin(BinOp::Udiv, 600_000u32, rpm);
+    b.bin_into(adv, BinOp::Add, q1, load);
+    b.br(join);
+
+    b.switch_to(m2);
+    let q2 = b.bin(BinOp::Udiv, rpm, 64u32);
+    b.bin_into(adv, BinOp::Sub, load, q2);
+    b.br(join);
+
+    b.switch_to(m3);
+    b.assign(adv, prev);
+    b.br(join);
+
+    b.switch_to(join);
+    let nonneg = b.select(CmpKind::Slt, adv, 0u32, 0u32, adv);
+    let clamped = b.select(CmpKind::Ugt, nonneg, 60u32, 60u32, nonneg);
+    b.assign(prev, clamped);
+    // dwell-time shaping (6 coil-charge steps)
+    let dwell = b.copy(clamped);
+    let dacc = b.imm(0);
+    let t = b.imm(0);
+    let d_hdr = b.new_block();
+    let d_body = b.new_block();
+    let d_done = b.new_block();
+    b.br(d_hdr);
+    b.switch_to(d_hdr);
+    b.cond_br(CmpKind::Ult, t, 6u32, d_body, d_done);
+    b.switch_to(d_body);
+    let d5 = b.bin(BinOp::Mul, dwell, 5u32);
+    let dl = b.bin(BinOp::Add, d5, load);
+    b.bin_into(dwell, BinOp::Lshr, dl, 2u32);
+    let low = b.bin(BinOp::And, dwell, 0x1Fu32);
+    b.bin_into(dacc, BinOp::Add, dacc, low);
+    let t1 = b.bin(BinOp::Add, t, 1u32);
+    let rot = b.bin(BinOp::Rotr, rpm, t1);
+    b.bin_into(dwell, BinOp::Xor, dwell, rot);
+    b.assign(t, t1);
+    b.br(d_hdr);
+    b.switch_to(d_done);
+    let daccm = b.bin(BinOp::And, dacc, 0x3FFu32);
+    let v = b.bin(BinOp::Add, clamped, daccm);
+    b.bin_into(sum, BinOp::Add, sum, v);
+    let ooff = b.bin(BinOp::Shl, i, 2u32);
+    b.store(outp, ooff, v);
+    b.bin_into(i, BinOp::Add, i, 1u32);
+    b.br(hdr);
+
+    b.switch_to(exit);
+    b.ret(Some(sum.into()));
+    let mut m = Module::new();
+    m.add_function(b.build());
+    m
+}
+
+/// The `ttsprk` kernel.
+#[must_use]
+pub fn kernel() -> Kernel {
+    Kernel {
+        name: "ttsprk",
+        description: "tooth-to-spark advance with mode switch and divides",
+        module: build(),
+        default_elems: 256,
+        gen_input,
+        reference,
+    }
+}

@@ -1,0 +1,24 @@
+//! Soft-error campaign: §3.1.3 as a safety-engineering workflow.
+//!
+//! Runs the full fault-injection campaign against the high-end core's
+//! fault-tolerant RAM, then demonstrates the calibration-time flash
+//! patching of §3.2.2 — the two "dependability" features the paper gives
+//! the high-end automotive core.
+//!
+//! Run with: `cargo run -p alia-core --example soft_error_campaign`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let campaign = alia_core::experiments::soft_error_experiment(8)?;
+    println!("{campaign}");
+    for arm in &campaign.arms {
+        assert!(arm.checksum_ok, "protected arm must stay correct");
+    }
+    println!("\nEvery injected error was detected; every run finished with the");
+    println!("correct checksum; the unprotected control arm corrupted silently.");
+
+    let patch = alia_core::experiments::flash_patch_experiment()?;
+    println!("\n{patch}");
+    println!("Calibration engineers change constants and plant breakpoints");
+    println!("without reflashing — the paper's 'dynamic download' workflow.");
+    Ok(())
+}

@@ -1,0 +1,168 @@
+//! RTOS / network integration: the analytic tools (response-time
+//! analysis, CAN RTA, isolation planning) against the executable models
+//! (discrete-event kernel, bus simulator, MPU-enforcing machine).
+
+use alia_core::prelude::*;
+use can::{can_response_times, CanBus, CanFrame, CanId, CanMessage};
+use rtos::{
+    plan_isolation, response_time_analysis, AlarmSpec, AnalysisTask, Kernel, TaskSpec,
+};
+use sim::{Machine, MemFault, MpuKind, Perms, StopReason, SRAM_BASE};
+
+#[test]
+fn rta_bounds_hold_in_simulation_across_many_sets() {
+    // Several task sets: the simulated worst response never exceeds the
+    // analytic bound, and the synchronous-release bound is tight for the
+    // lowest-priority task.
+    let sets: Vec<Vec<AnalysisTask>> = vec![
+        vec![
+            AnalysisTask::new(3, 1, 5),
+            AnalysisTask::new(2, 2, 12),
+            AnalysisTask::new(1, 3, 30),
+        ],
+        vec![
+            AnalysisTask::new(4, 2, 10),
+            AnalysisTask::new(3, 3, 15),
+            AnalysisTask::new(2, 5, 40),
+            AnalysisTask::new(1, 7, 120),
+        ],
+    ];
+    for set in sets {
+        let rta = response_time_analysis(&set);
+        assert!(rta.iter().all(|r| r.schedulable));
+        let mut k = Kernel::new();
+        let ids: Vec<_> = set
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                k.add_task(TaskSpec::simple(format!("t{i}"), t.priority, t.wcet)
+                    .with_deadline(t.deadline))
+            })
+            .collect();
+        for (id, t) in ids.iter().zip(&set) {
+            k.add_alarm(AlarmSpec { task: *id, offset: 0, period: t.period });
+        }
+        k.run(20_000);
+        for (i, id) in ids.iter().enumerate() {
+            let sim = k.task_stats(*id).worst_response;
+            let bound = rta[i].response.unwrap();
+            assert!(sim <= bound, "task {i}: sim {sim} > bound {bound}");
+        }
+        let last = ids.len() - 1;
+        assert_eq!(
+            k.task_stats(ids[last]).worst_response,
+            rta[last].response.unwrap(),
+            "critical-instant bound must be tight for the lowest priority"
+        );
+    }
+}
+
+#[test]
+fn can_rta_bounds_hold_in_simulation() {
+    let set = [
+        CanMessage { id: 0x08, dlc: 2, extended: false, period: 1500, jitter: 0, deadline: 1500 },
+        CanMessage { id: 0x10, dlc: 8, extended: false, period: 2500, jitter: 0, deadline: 2500 },
+        CanMessage { id: 0x18, dlc: 4, extended: false, period: 4000, jitter: 0, deadline: 4000 },
+        CanMessage { id: 0x20, dlc: 8, extended: false, period: 8000, jitter: 0, deadline: 8000 },
+    ];
+    let rta = can_response_times(&set);
+    assert!(rta.iter().all(|r| r.schedulable));
+    let mut bus = CanBus::new();
+    for (node, s) in set.iter().enumerate() {
+        // Worst-stuffing payload (all zeros).
+        let frame = CanFrame::new(CanId::Standard(s.id as u16), &vec![0u8; s.dlc as usize]);
+        let mut t = 0;
+        while t < 400_000 {
+            bus.enqueue(t, node, frame);
+            t += s.period;
+        }
+    }
+    bus.run(400_000);
+    for (i, s) in set.iter().enumerate() {
+        let worst = bus.worst_latency(CanId::Standard(s.id as u16)).expect("delivered");
+        let bound = rta[i].response.unwrap();
+        assert!(worst <= bound, "msg {i}: sim {worst} > bound {bound}");
+    }
+}
+
+#[test]
+fn isolation_plan_is_enforced_by_the_machine() {
+    // Program the fine-grain MPU per an isolation plan, then run code
+    // that stays inside its region (ok) and code that strays (faults).
+    let tasks = [
+        rtos::TaskFootprint::new("window", 128),
+        rtos::TaskFootprint::new("mirror", 96),
+    ];
+    let plan = plan_isolation(MpuKind::FineGrain, &tasks, SRAM_BASE + 0x1000);
+    assert_eq!(plan.isolated_tasks, 2);
+
+    let build = |touch_offset: u32| -> Machine {
+        let src = format!(
+            "movw r0, #0x1000
+             movt r0, #0x2000
+             mov r1, #0x5A
+             str r1, [r0, #{touch_offset}]
+             bkpt #0"
+        );
+        let prog = isa::Assembler::new(isa::IsaMode::T2).assemble(&src).expect("asm");
+        let mut m = Machine::high_end_like();
+        m.load_flash(0x100, &prog.bytes);
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8_0000);
+        {
+            let mpu = m.mpu.as_mut().expect("mpu fitted");
+            mpu.background_allowed = false;
+            mpu.add_region(0, 0x1000, Perms::RX).unwrap(); // code
+            mpu.add_region(SRAM_BASE + 0x7_0000, 0x1_0000, Perms::RW).unwrap(); // stack
+            // The window module's own region only.
+            mpu.add_region(SRAM_BASE + 0x1000, 128, Perms::RW).unwrap();
+        }
+        m
+    };
+
+    // Inside the window region: runs to completion.
+    let mut ok = build(0x10);
+    assert_eq!(ok.run(100_000).reason, StopReason::Bkpt(0));
+    // Straying into the mirror module's memory: MPU violation.
+    let mut bad = build(0x90);
+    match bad.run(100_000).reason {
+        StopReason::Fault(MemFault::MpuViolation { write: true, .. }) => {}
+        other => panic!("expected an MPU violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn osek_kernel_with_shared_resource_and_events_runs_clean() {
+    use rtos::{Action, ResourceId};
+    let mut k = Kernel::new();
+    let r = ResourceId(0);
+    let logger = k.add_task(
+        TaskSpec::simple("logger", 2, 0)
+            .extended_task()
+            .with_body(vec![Action::WaitEvent(1), Action::Compute(3)]),
+    );
+    let sensor = k.add_task(
+        TaskSpec::simple("sensor", 5, 0).with_body(vec![
+            Action::GetResource(r),
+            Action::Compute(2),
+            Action::ReleaseResource(r),
+            Action::SetEvent(logger, 1),
+        ]),
+    );
+    let control = k.add_task(
+        TaskSpec::simple("control", 8, 0).with_body(vec![
+            Action::GetResource(r),
+            Action::Compute(1),
+            Action::ReleaseResource(r),
+        ]),
+    );
+    k.add_resource("adc");
+    k.add_alarm(AlarmSpec { task: logger, offset: 0, period: 50 });
+    k.add_alarm(AlarmSpec { task: sensor, offset: 0, period: 50 });
+    k.add_alarm(AlarmSpec { task: control, offset: 1, period: 25 });
+    k.run(5_000);
+    assert_eq!(k.task_stats(sensor).completed, 100);
+    assert_eq!(k.task_stats(control).completed, 200);
+    assert_eq!(k.task_stats(logger).completed, 100);
+    assert_eq!(k.required_conformance(), rtos::ConformanceClass::Ecc1);
+}
