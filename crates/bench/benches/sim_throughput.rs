@@ -1,0 +1,121 @@
+//! Host-side throughput of the bare simulator loop: guest instructions
+//! retired per wall-clock second (MIPS), isolated from compilation and
+//! interpreter cross-checking.
+//!
+//! Two workloads per core preset: a register-only ALU spin (decode/issue
+//! bound) and a load/store loop (memory-path bound). A MIPS summary is
+//! printed after the Criterion timings.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alia_core::prelude::isa::{Assembler, IsaMode};
+use alia_core::prelude::sim::{Machine, MachineConfig, StopReason, SRAM_BASE};
+
+/// ALU-only spin: 0x20000 loop trips, 4 instructions per trip (T2).
+const ALU_SRC: &str = "mov r0, #0
+     movw r2, #0
+     movt r2, #2
+     loop: add r0, r0, #1
+     cmp r0, r2
+     bne loop
+     bkpt #0";
+
+/// A32 variant (no movw/movt): build the bound with a shift.
+const ALU_SRC_CLASSIC: &str = "mov r0, #0
+     mov r2, #2
+     mov r2, r2, lsl #16
+     loop: add r0, r0, #1
+     cmp r0, r2
+     bne loop
+     bkpt #0";
+
+/// T16 variant: narrow encodings only.
+const ALU_SRC_T16: &str = "mov r0, #0
+     mov r2, #2
+     lsl r2, r2, #16
+     loop: add r0, r0, #1
+     cmp r0, r2
+     bne loop
+     bkpt #0";
+
+/// Load/store loop over SRAM: exercises the data-memory path.
+const MEM_SRC: &str = "movw r1, #0
+     movt r1, #0x2000
+     mov r0, #0
+     movw r2, #0x4000
+     loop: ldr r3, [r1, #0]
+     add r3, r3, #1
+     str r3, [r1, #4]
+     add r0, r0, #1
+     cmp r0, r2
+     bne loop
+     bkpt #0";
+
+fn machine_with(config: MachineConfig, src: &str) -> Machine {
+    let mode = config.mode;
+    let out = Assembler::new(mode).assemble(src).expect("bench program assembles");
+    let mut m = Machine::new(config);
+    m.load_flash(0x100, &out.bytes);
+    m.set_pc(0x100);
+    m.cpu.set_sp(SRAM_BASE + 0x8000);
+    m
+}
+
+fn run_to_bkpt(mut m: Machine) -> (u64, u64) {
+    let r = m.run(10_000_000_000);
+    assert_eq!(r.reason, StopReason::Bkpt(0));
+    (r.instructions, r.cycles)
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let cases: Vec<(&str, MachineConfig, &str)> = vec![
+        ("alu_a32_arm7", MachineConfig::arm7_like(IsaMode::A32), ALU_SRC_CLASSIC),
+        ("alu_t16_arm7", MachineConfig::arm7_like(IsaMode::T16), ALU_SRC_T16),
+        ("alu_t2_m3", MachineConfig::m3_like(), ALU_SRC),
+        ("alu_t2_high_end", MachineConfig::high_end_like(), ALU_SRC),
+        ("mem_t2_m3", MachineConfig::m3_like(), MEM_SRC),
+    ];
+
+    let mut g = c.benchmark_group("sim_throughput");
+    for (name, config, src) in &cases {
+        g.bench_function(name, |b| {
+            b.iter(|| run_to_bkpt(machine_with(config.clone(), src)))
+        });
+    }
+    // Ablation: the same ALU spin with the predecode cache disabled
+    // (every step pays the fetch-bytes + table-decode cost again).
+    g.bench_function("alu_t2_m3_no_predecode", |b| {
+        b.iter(|| {
+            let mut m = machine_with(MachineConfig::m3_like(), ALU_SRC);
+            m.set_predecode_enabled(false);
+            run_to_bkpt(m)
+        })
+    });
+    g.finish();
+
+    // Host-MIPS summary: one long timed run per case.
+    println!("\nhost throughput (guest MIPS = retired instructions / wall second):");
+    for (name, config, src) in &cases {
+        let m = machine_with(config.clone(), src);
+        let start = Instant::now();
+        let (instructions, cycles) = run_to_bkpt(m);
+        let dt = start.elapsed();
+        println!(
+            "  {name:<18} {:>8.1} MIPS  ({instructions} instrs, {cycles} cycles, {:.1} ms)",
+            instructions as f64 / dt.as_secs_f64() / 1e6,
+            dt.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sim_throughput
+}
+criterion_main!(benches);

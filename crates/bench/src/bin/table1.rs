@@ -17,7 +17,14 @@ fn main() {
     println!("per-kernel cycle detail:");
     for r in &t.rows {
         for k in &r.kernels {
-            println!("  {:<6} {:<8} {:>9} cycles {:>6} bytes", r.mode, k.kernel, k.cycles, k.code_size);
+            println!(
+                "  {:<6} {:<8} {:>9} cycles {:>6} bytes  {:>7.1} host MIPS",
+                r.mode, k.kernel, k.cycles, k.code_size, k.host_mips()
+            );
         }
     }
+    println!(
+        "\nhost simulation throughput: {:.1} guest MIPS (instructions / wall second inside Machine::run)",
+        t.host_mips()
+    );
 }

@@ -425,7 +425,7 @@ fn emit(
             }
         }
     }
-    while bytes.len() as u32 % 4 != 0 {
+    while !(bytes.len() as u32).is_multiple_of(4) {
         bytes.push(0);
     }
     debug_assert_eq!(bytes.len() as u32, code_end);

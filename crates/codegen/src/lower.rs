@@ -798,11 +798,7 @@ impl Lowerer<'_> {
             }
             UnOp::Not => {
                 let ra = self.operand_in(a, self.s0());
-                if self.mode == IsaMode::T16 && rd == ra {
-                    self.emit(Instr::Mvn { s: false, cond: AL, rd, op2: Operand2::Reg(ra) });
-                } else {
-                    self.emit(Instr::Mvn { s: false, cond: AL, rd, op2: Operand2::Reg(ra) });
-                }
+                self.emit(Instr::Mvn { s: false, cond: AL, rd, op2: Operand2::Reg(ra) });
             }
             UnOp::ByteRev => {
                 let ra = self.operand_in(a, self.s0());

@@ -105,6 +105,7 @@ pub fn compile(
         lowered.push(lower_function(f, mode, opts)?);
     }
     let mut laid = Vec::with_capacity(lowered.len());
+    #[allow(clippy::needless_range_loop)] // `lowered[fi]` is also written in the retry arm
     for fi in 0..lowered.len() {
         match layout_function(&lowered[fi], mode, 0) {
             Ok(l) => laid.push(l),

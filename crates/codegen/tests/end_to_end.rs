@@ -6,7 +6,7 @@ use alia_codegen::{compile, CodegenOptions, ConstStrategy};
 use alia_isa::IsaMode;
 use alia_sim::{Machine, StopReason, SRAM_BASE};
 use alia_tir::{
-    AccessSize, BinOp, CmpKind, FlatMemory, FuncId, FunctionBuilder, Interpreter, Module, UnOp,
+    AccessSize, BinOp, CmpKind, FlatMemory, FunctionBuilder, Interpreter, Module, UnOp,
 };
 
 const DATA_BASE: u32 = SRAM_BASE + 0x1000;

@@ -1,0 +1,259 @@
+//! Offline stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! The build environment for this repository cannot reach a crate
+//! registry, so the workspace vendors the subset of the Criterion API its
+//! benches use: [`Criterion`] with `sample_size`/`measurement_time`/
+//! `warm_up_time`, `bench_function`, `benchmark_group`, the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`].
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up for
+//! the configured time, then run for `sample_size` samples (each sample
+//! batches enough iterations to cover `measurement_time / sample_size`),
+//! and the per-iteration mean, minimum and maximum are printed. This is
+//! not a statistics suite — it exists so `cargo bench` compiles and
+//! produces useful host-performance numbers offline.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timing collector handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.target_iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += self.target_iters;
+    }
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement time budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time before measurement starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_one(&self.clone(), None, name, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { config: self.clone(), name: name.to_string(), _parent: self }
+    }
+
+    /// Final-summary hook (no-op in the offline harness).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&self.config, Some(&self.name), name, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, group: Option<&str>, name: &str, mut f: F) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+
+    // Calibration + warm-up: discover how many iterations fit in the
+    // warm-up budget, starting from one.
+    let mut per_call = Duration::from_nanos(100);
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < config.warm_up_time {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, target_iters: 1 };
+        f(&mut b);
+        if b.iters_done > 0 && !b.elapsed.is_zero() {
+            per_call = b.elapsed / b.iters_done as u32;
+        }
+        if per_call > config.warm_up_time {
+            break; // one call blows the whole budget; stop warming
+        }
+    }
+
+    // Measurement: sample_size samples, each batching enough iterations
+    // to fill its share of the measurement budget.
+    let per_sample = config.measurement_time / config.sample_size as u32;
+    let batch = (per_sample.as_nanos() / per_call.as_nanos().max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut worst = Duration::ZERO;
+    for _ in 0..config.sample_size {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, target_iters: batch };
+        f(&mut b);
+        if b.iters_done == 0 {
+            continue;
+        }
+        let per_iter = b.elapsed / b.iters_done as u32;
+        best = best.min(per_iter);
+        worst = worst.max(per_iter);
+        total_iters += b.iters_done;
+        total_time += b.elapsed;
+    }
+    if total_iters == 0 {
+        println!("{label:<40} (no iterations executed)");
+        return;
+    }
+    let mean = total_time / total_iters as u32;
+    println!(
+        "{label:<40} time: [{} {} {}]  ({} iterations)",
+        fmt_duration(best),
+        fmt_duration(mean),
+        fmt_duration(worst),
+        total_iters
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring Criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -18,10 +18,26 @@ pub struct KernelMeasurement {
     pub kernel: &'static str,
     /// Cycles for the run.
     pub cycles: u64,
+    /// Guest instructions retired.
+    pub instructions: u64,
     /// Iterations (elements) processed.
     pub elems: u32,
     /// Program bytes.
     pub code_size: u32,
+    /// Host wall-clock nanoseconds spent simulating.
+    pub host_nanos: u64,
+}
+
+impl KernelMeasurement {
+    /// Host-side simulation throughput in guest MIPS for this kernel run
+    /// (zero when the run was too short for the clock to resolve).
+    #[must_use]
+    pub fn host_mips(&self) -> f64 {
+        if self.host_nanos == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 * 1e3 / self.host_nanos as f64
+    }
 }
 
 /// One configuration row of Table 1.
@@ -52,6 +68,26 @@ pub struct Table1 {
     pub seed: u64,
     /// Elements per kernel.
     pub elems: u32,
+}
+
+impl Table1 {
+    /// Host-side simulation throughput over the whole experiment, in
+    /// guest MIPS (million retired guest instructions per wall second of
+    /// `Machine::run` time).
+    #[must_use]
+    pub fn host_mips(&self) -> f64 {
+        let (mut instrs, mut nanos) = (0u64, 0u64);
+        for r in &self.rows {
+            for k in &r.kernels {
+                instrs += k.instructions;
+                nanos += k.host_nanos;
+            }
+        }
+        if nanos == 0 {
+            return 0.0;
+        }
+        instrs as f64 * 1e3 / nanos as f64
+    }
 }
 
 impl fmt::Display for Table1 {
@@ -95,8 +131,10 @@ pub fn table1(seed: u64, elems: u32) -> Result<Table1, CoreError> {
             kernels.push(KernelMeasurement {
                 kernel: k.name,
                 cycles: run.cycles,
+                instructions: run.instructions,
                 elems,
                 code_size: run.code_size,
+                host_nanos: run.host_nanos,
             });
         }
         rows.push(Table1Row {

@@ -15,7 +15,11 @@ pub const TRAMPOLINE: u32 = 0x10;
 pub const STACK_TOP: u32 = alia_sim::SRAM_BASE + 0x8_0000;
 
 /// The measured outcome of one kernel execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality compares the *simulation* outcome (checksum, cycles,
+/// instructions, code size) and deliberately ignores `host_nanos`, which
+/// is host measurement metadata and varies run to run.
+#[derive(Debug, Clone, Copy)]
 pub struct KernelRun {
     /// The kernel's checksum (cross-checked against the interpreter).
     pub checksum: u32,
@@ -25,6 +29,33 @@ pub struct KernelRun {
     pub instructions: u64,
     /// Program image size in bytes (code + pools).
     pub code_size: u32,
+    /// Wall-clock nanoseconds the host spent inside `Machine::run`
+    /// (simulation only — compile and interpreter verification excluded).
+    pub host_nanos: u64,
+}
+
+impl PartialEq for KernelRun {
+    fn eq(&self, other: &KernelRun) -> bool {
+        self.checksum == other.checksum
+            && self.cycles == other.cycles
+            && self.instructions == other.instructions
+            && self.code_size == other.code_size
+    }
+}
+
+impl Eq for KernelRun {}
+
+impl KernelRun {
+    /// Host-side simulation throughput in guest MIPS (million retired
+    /// instructions per wall-clock second). Zero when the run was too
+    /// short for the clock to resolve.
+    #[must_use]
+    pub fn host_mips(&self) -> f64 {
+        if self.host_nanos == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 * 1e3 / self.host_nanos as f64
+    }
 }
 
 /// Compiles `kernel` for `mode` with `opts`.
@@ -82,7 +113,9 @@ pub fn run_kernel(
 ) -> Result<KernelRun, CoreError> {
     let prog = compile_kernel(kernel, config.mode, opts)?;
     let mut m = machine_for(config, &prog, kernel, seed, elems);
+    let host_start = std::time::Instant::now();
     let result = m.run(2_000_000_000);
+    let host_nanos = host_start.elapsed().as_nanos() as u64;
     if result.reason != StopReason::Bkpt(0) {
         return Err(CoreError::Run {
             what: format!(
@@ -105,6 +138,7 @@ pub fn run_kernel(
         cycles: result.cycles,
         instructions: result.instructions,
         code_size: prog.code_size(),
+        host_nanos,
     })
 }
 

@@ -179,7 +179,7 @@ impl Assembler {
             match item {
                 Item::Word(v) => bytes.extend_from_slice(&v.to_le_bytes()),
                 Item::Align(a) => {
-                    while bytes.len() as u32 % a != 0 {
+                    while !(bytes.len() as u32).is_multiple_of(*a) {
                         bytes.push(0);
                     }
                 }
@@ -304,9 +304,9 @@ fn parse_addr(s: &str, line: usize) -> Result<AddrMode, AsmError> {
             .ok_or_else(|| aerr(line, "expected ["))?
             .trim();
         let rest = rest.trim();
-        if rest.starts_with(',') {
+        if let Some(offset_src) = rest.strip_prefix(',') {
             let base = parse_reg(inner, line)?;
-            let off = parse_imm_value(rest[1..].trim(), line)? as i32;
+            let off = parse_imm_value(offset_src.trim(), line)? as i32;
             return Ok(AddrMode::post(base, off));
         }
         let pre = rest == "!";

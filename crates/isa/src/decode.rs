@@ -5,6 +5,10 @@
 //! [`crate::encode`] composed with [`decode`] is the identity on canonical
 //! instructions — a property the test-suite checks exhaustively by fuzzing.
 
+// Binary literals below group digits by instruction *field* boundaries,
+// not uniform width; that is the readable form for encoding tables.
+#![allow(clippy::unusual_byte_groupings)]
+
 use std::fmt;
 
 use crate::encode::{a32_dp_from_bits, it_field_decode, narrow_alu_from_bits, wop};
@@ -58,19 +62,42 @@ pub fn decode(bytes: &[u8], mode: IsaMode) -> Result<(Instr, u32), DecodeError> 
             if bytes.len() < 4 {
                 return Err(derr(0, mode, "need 4 bytes"));
             }
-            let w = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-            decode_a32(w).map(|i| (i, 4))
         }
         IsaMode::T16 | IsaMode::T2 => {
             if bytes.len() < 2 {
                 return Err(derr(0, mode, "need 2 bytes"));
             }
             let hw1 = u16::from_le_bytes([bytes[0], bytes[1]]);
+            if hw1 >> 11 >= 0b11101 && bytes.len() < 4 {
+                return Err(derr(u32::from(hw1), mode, "truncated wide instruction"));
+            }
+        }
+    }
+    let mut window = 0u32;
+    for (i, &b) in bytes.iter().take(4).enumerate() {
+        window |= u32::from(b) << (8 * i);
+    }
+    decode_window(window, mode)
+}
+
+/// Decodes one instruction from a fixed 4-byte little-endian `window` in
+/// `mode`, returning the instruction and its encoded length.
+///
+/// This is the allocation-free hot-path entry used by the simulator: the
+/// caller supplies up to four instruction-stream bytes packed
+/// little-endian (a narrow Thumb instruction only consumes — and only
+/// requires — the low halfword; the rest of the window is ignored).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unrecognized encodings.
+pub fn decode_window(window: u32, mode: IsaMode) -> Result<(Instr, u32), DecodeError> {
+    match mode {
+        IsaMode::A32 => decode_a32(window).map(|i| (i, 4)),
+        IsaMode::T16 | IsaMode::T2 => {
+            let hw1 = window as u16;
             if hw1 >> 11 >= 0b11101 {
-                if bytes.len() < 4 {
-                    return Err(derr(u32::from(hw1), mode, "truncated wide instruction"));
-                }
-                let hw2 = u16::from_le_bytes([bytes[2], bytes[3]]);
+                let hw2 = (window >> 16) as u16;
                 let instr = decode_wide(hw1, hw2, mode)?;
                 if mode == IsaMode::T16 && !matches!(instr, Instr::Bl { .. }) {
                     return Err(derr(
@@ -301,7 +328,7 @@ fn decode_narrow(hw: u16, mode: IsaMode) -> Result<Instr, DecodeError> {
     let al = Cond::Al;
     match hw >> 11 {
         // Shift by immediate (and the 00011 add/sub format).
-        0b00000 | 0b00001 | 0b00010 => {
+        0b00000..=0b00010 => {
             let sh = ShiftOp::from_bits((hw >> 11) as u8 & 3);
             let amt = (hw >> 6 & 31) as u8;
             let rm = low(hw >> 3);
@@ -430,7 +457,7 @@ fn decode_narrow(hw: u16, mode: IsaMode) -> Result<Instr, DecodeError> {
                 _ => Instr::Ldr { cond: al, size: MemSize::Half, signed: true, rt, addr },
             })
         }
-        0b01100 | 0b01101 | 0b01110 | 0b01111 => {
+        0b01100..=0b01111 => {
             let byte = hw >> 12 & 1 != 0;
             let load = hw >> 11 & 1 != 0;
             let imm5 = i32::from(hw >> 6 & 31);

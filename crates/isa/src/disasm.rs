@@ -89,7 +89,8 @@ mod tests {
             ldr r2, [r0, #4]
             push {r4, lr}
             pop {r4, pc}";
-        for mode in [IsaMode::T2] {
+        {
+            let mode = IsaMode::T2;
             let out = Assembler::new(mode).assemble(src).unwrap();
             let lines = disassemble(&out.bytes, mode, 0);
             assert_eq!(lines.len(), 5);

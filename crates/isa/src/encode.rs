@@ -14,6 +14,10 @@
 //! All multi-byte units are little-endian; a wide Thumb instruction is
 //! stored as two consecutive little-endian halfwords.
 
+// Binary literals below group digits by instruction *field* boundaries,
+// not uniform width; that is the readable form for encoding tables.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::{
     a32_imm_encode, t2_imm_encode, AddrMode, CmpOp, Cond, DpOp, EncodeInstrError, Index, Instr,
     IsaMode, MemSize, Offset, Operand2, Reg, ShiftOp,

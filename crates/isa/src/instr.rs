@@ -516,11 +516,10 @@ impl Instr {
             Instr::Dp { op2: Operand2::Imm(v), .. }
             | Instr::Mov { op2: Operand2::Imm(v), .. }
             | Instr::Mvn { op2: Operand2::Imm(v), .. }
-            | Instr::Cmp { op2: Operand2::Imm(v), .. } => {
-                if !a32_imm_encodable(v) {
+            | Instr::Cmp { op2: Operand2::Imm(v), .. }
+                if !a32_imm_encodable(v) => {
                     return Err(self.err(mode, format!("immediate {v:#x} not a rotated imm8")));
                 }
-            }
             Instr::Ldr { addr, size, signed, .. } => {
                 let max = if size == MemSize::Word || (size == MemSize::Byte && !signed) {
                     4096
@@ -541,11 +540,10 @@ impl Instr {
                     }
                 }
             }
-            Instr::LdrLit { offset, .. } => {
-                if offset.abs() >= 4096 {
+            Instr::LdrLit { offset, .. }
+                if offset.abs() >= 4096 => {
                     return Err(self.err(mode, "literal offset out of range"));
                 }
-            }
             Instr::B { offset, .. } | Instr::Bl { offset } => {
                 if offset % 4 != 0 {
                     return Err(self.err(mode, "branch offset must be word-aligned"));
@@ -566,21 +564,19 @@ impl Instr {
         match *self {
             Instr::Dp { op2: Operand2::Imm(v), .. }
             | Instr::Mvn { op2: Operand2::Imm(v), .. }
-            | Instr::Cmp { op2: Operand2::Imm(v), .. } => {
-                if !self.fits_narrow() && !t2_imm_encodable(v) {
+            | Instr::Cmp { op2: Operand2::Imm(v), .. }
+                if !self.fits_narrow() && !t2_imm_encodable(v) => {
                     return Err(
                         self.err(mode, format!("immediate {v:#x} not a T2 modified immediate"))
                     );
                 }
-            }
-            Instr::Mov { op2: Operand2::Imm(v), .. } => {
-                if !self.fits_narrow() && !t2_imm_encodable(v) {
+            Instr::Mov { op2: Operand2::Imm(v), .. }
+                if !self.fits_narrow() && !t2_imm_encodable(v) => {
                     return Err(self.err(
                         mode,
                         format!("immediate {v:#x} not a T2 modified immediate (use movw/movt)"),
                     ));
                 }
-            }
             Instr::Dp { op2: Operand2::RegShiftReg(..), .. }
             | Instr::Mvn { op2: Operand2::RegShiftReg(..), .. }
             | Instr::Cmp { op2: Operand2::RegShiftReg(..), .. } => {
@@ -601,11 +597,10 @@ impl Instr {
                     }
                 }
             }
-            Instr::LdrLit { offset, .. } => {
-                if offset.abs() >= 16 * 1024 {
+            Instr::LdrLit { offset, .. }
+                if offset.abs() >= 16 * 1024 => {
                     return Err(self.err(mode, "literal offset out of range"));
                 }
-            }
             Instr::B { offset, .. } => {
                 if offset % 2 != 0 {
                     return Err(self.err(mode, "branch offset must be halfword-aligned"));
@@ -614,29 +609,25 @@ impl Instr {
                     return Err(self.err(mode, "wide branch offset out of range"));
                 }
             }
-            Instr::Bl { offset } => {
-                if offset % 2 != 0 || !(-2_097_148..=2_097_154).contains(&offset) {
+            Instr::Bl { offset }
+                if (offset % 2 != 0 || !(-2_097_148..=2_097_154).contains(&offset)) => {
                     return Err(self.err(mode, "bl offset out of range"));
                 }
-            }
-            Instr::Cbz { offset, .. } => {
-                if !(4..=130).contains(&offset) || offset % 2 != 0 {
+            Instr::Cbz { offset, .. }
+                if (!(4..=130).contains(&offset) || offset % 2 != 0) => {
                     return Err(self.err(mode, "cbz offset must be 4..=130, even"));
                 }
-            }
-            Instr::It { mask, count, .. } => {
-                if !(1..=4).contains(&count) || mask >> (count - 1) != 0 {
+            Instr::It { mask, count, .. }
+                if (!(1..=4).contains(&count) || mask >> (count - 1) != 0) => {
                     return Err(self.err(mode, "malformed IT block"));
                 }
-            }
             Instr::Bfi { lsb, width, .. }
             | Instr::Bfc { lsb, width, .. }
             | Instr::Ubfx { lsb, width, .. }
-            | Instr::Sbfx { lsb, width, .. } => {
-                if width == 0 || u32::from(lsb) + u32::from(width) > 32 {
+            | Instr::Sbfx { lsb, width, .. }
+                if (width == 0 || u32::from(lsb) + u32::from(width) > 32) => {
                     return Err(self.err(mode, "bit-field out of range"));
                 }
-            }
             _ => {}
         }
         Ok(())
@@ -753,7 +744,7 @@ impl fmt::Display for Instr {
                 for i in 0..count.saturating_sub(1) {
                     pat.push(if mask >> i & 1 != 0 { 't' } else { 'e' });
                 }
-                write!(f, "i{}t{} {firstcond:?}", "", pat)?;
+                write!(f, "it{} {firstcond:?}", pat)?;
                 Ok(())
             }
             Instr::Tbb { rn, rm } => write!(f, "tbb [{rn}, {rm}]"),

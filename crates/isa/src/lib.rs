@@ -53,7 +53,7 @@ mod reg;
 
 pub use asm::{AsmError, Assembled, Assembler};
 pub use cond::{Cond, Flags};
-pub use decode::{decode, DecodeError};
+pub use decode::{decode, decode_window, DecodeError};
 pub use disasm::{disassemble, DisasmLine};
 pub use encode::{encode, EncodedInstr};
 pub use instr::{CmpOp, DpOp, EncodeInstrError, Instr};

@@ -331,7 +331,7 @@ pub fn t2_imm_encode(value: u32) -> Option<u16> {
     // Rotated form: 8-bit value with bit 7 set, rotated right by 8..=31.
     for rot in 8..32u32 {
         let unrot = value.rotate_left(rot);
-        if unrot <= 0xFF && unrot >= 0x80 {
+        if (0x80..=0xFF).contains(&unrot) {
             return Some(((rot as u16) << 7) | (unrot as u16 & 0x7F));
         }
     }

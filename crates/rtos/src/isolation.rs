@@ -69,7 +69,7 @@ pub fn plan_isolation(kind: MpuKind, tasks: &[TaskFootprint], ram_base: u32) -> 
             // Alignment pulled the region backwards over the previous one;
             // move forward to the next aligned boundary.
             let align = size.max(kind.min_size());
-            let fwd = (cursor + align - 1) / align * align;
+            let fwd = cursor.div_ceil(align) * align;
             let planned = mpu.plan_region(fwd, t.ram_bytes);
             base = planned.0;
             size = planned.1;

@@ -247,12 +247,11 @@ impl Kernel {
             (None, Some(b)) => {
                 self.dispatch(b);
             }
-            (Some(r), Some(b)) => {
-                if self.preemptible_now() && self.runs[b].dyn_prio > self.runs[r].dyn_prio {
+            (Some(r), Some(b))
+                if self.preemptible_now() && self.runs[b].dyn_prio > self.runs[r].dyn_prio => {
                     self.runs[r].state = TaskState::Ready;
                     self.dispatch(b);
                 }
-            }
             _ => {}
         }
     }

@@ -88,7 +88,7 @@ impl Cache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Cache {
         let n_lines = config.size / config.line;
-        assert!(n_lines % config.ways == 0, "bad cache geometry");
+        assert!(n_lines.is_multiple_of(config.ways), "bad cache geometry");
         let n_sets = (n_lines / config.ways) as usize;
         let line = Line { valid: false, tag: 0, lru: 0, poisoned: false, tag_poisoned: false };
         Cache {

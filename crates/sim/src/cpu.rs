@@ -21,9 +21,81 @@ pub struct Cpu {
     /// Global interrupt disable (`cpsid i` sets, `cpsie i` clears).
     pub primask: bool,
     /// Outstanding IT-block conditions (front = next instruction's).
-    pub it_queue: VecDeque<Cond>,
+    pub it_queue: ItQueue,
     /// Depth of active exception handlers.
     pub handler_depth: u32,
+}
+
+/// Fixed-capacity queue of outstanding IT-block conditions.
+///
+/// An IT block predicates at most four instructions, so the queue lives
+/// inline in the CPU state — executing an `it` instruction allocates
+/// nothing (the seed used a `VecDeque`, a per-`it` heap allocation on the
+/// interpreter hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItQueue {
+    conds: [Cond; 4],
+    len: u8,
+    pos: u8,
+}
+
+impl Default for ItQueue {
+    fn default() -> ItQueue {
+        ItQueue { conds: [Cond::Al; 4], len: 0, pos: 0 }
+    }
+}
+
+impl ItQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> ItQueue {
+        ItQueue::default()
+    }
+
+    /// Replaces the queue with the expansion of an IT block: `firstcond`
+    /// followed by `count - 1` then/else conditions per `mask` (LSB
+    /// first, `1` = then).
+    pub fn load(&mut self, firstcond: Cond, mask: u8, count: u8) {
+        self.conds[0] = firstcond;
+        let n = count.clamp(1, 4);
+        for i in 0..n.saturating_sub(1) {
+            self.conds[(i + 1) as usize] = if mask >> i & 1 != 0 {
+                firstcond
+            } else {
+                firstcond.inverted()
+            };
+        }
+        self.len = n;
+        self.pos = 0;
+    }
+
+    /// Takes the next outstanding condition, if any.
+    pub fn pop_front(&mut self) -> Option<Cond> {
+        if self.pos == self.len {
+            return None;
+        }
+        let c = self.conds[self.pos as usize];
+        self.pos += 1;
+        Some(c)
+    }
+
+    /// Discards all outstanding conditions.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.pos = 0;
+    }
+
+    /// Whether no conditions are outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.len
+    }
+
+    /// Outstanding condition count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len - self.pos)
+    }
 }
 
 impl Default for Cpu {
@@ -41,7 +113,7 @@ impl Cpu {
             pc: 0,
             flags: Flags::default(),
             primask: false,
-            it_queue: VecDeque::new(),
+            it_queue: ItQueue::new(),
             handler_depth: 0,
         }
     }
@@ -119,7 +191,9 @@ pub fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, bool, bool) {
     (result, carry, overflow)
 }
 
-/// Expands an IT block into the per-instruction condition queue.
+/// Expands an IT block into a per-instruction condition list (reference
+/// form used by tests and tools; the machine hot path uses
+/// [`ItQueue::load`], which performs the same expansion in place).
 #[must_use]
 pub fn expand_it(firstcond: Cond, mask: u8, count: u8) -> VecDeque<Cond> {
     let mut q = VecDeque::with_capacity(count as usize);
@@ -173,6 +247,23 @@ mod tests {
         assert_eq!(cpu.read_reg(Reg::PC, 4), 0x104);
         cpu.write_reg(Reg::R5, 99);
         assert_eq!(cpu.read_reg(Reg::R5, 8), 99);
+    }
+
+    #[test]
+    fn it_queue_matches_expand_it() {
+        for mask in 0..16u8 {
+            for count in 1..=4u8 {
+                let mut q = ItQueue::new();
+                q.load(Cond::Eq, mask, count);
+                assert_eq!(q.len(), count as usize);
+                let mut reference = expand_it(Cond::Eq, mask, count);
+                while let Some(c) = reference.pop_front() {
+                    assert_eq!(q.pop_front(), Some(c));
+                }
+                assert!(q.is_empty());
+                assert_eq!(q.pop_front(), None);
+            }
+        }
     }
 
     #[test]

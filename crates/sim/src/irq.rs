@@ -56,6 +56,7 @@ pub struct IrqController {
     style: IrqStyle,
     timing: IrqTiming,
     pending: Vec<bool>,
+    pending_count: usize,
     priority: Vec<u8>,
     enabled: Vec<bool>,
     /// IRQ number treated as non-maskable (the paper's NMI-on-FIQ for
@@ -80,6 +81,7 @@ impl IrqController {
             style,
             timing,
             pending: vec![false; lines],
+            pending_count: 0,
             priority: vec![128; lines],
             enabled: vec![true; lines],
             nmi: None,
@@ -135,7 +137,10 @@ impl IrqController {
     ///
     /// Panics on an unknown line.
     pub fn pend(&mut self, irq: u32) {
-        self.pending[irq as usize] = true;
+        if !self.pending[irq as usize] {
+            self.pending[irq as usize] = true;
+            self.pending_count += 1;
+        }
     }
 
     /// Whether a given line is pending.
@@ -149,6 +154,10 @@ impl IrqController {
     /// it.
     #[must_use]
     pub fn highest_pending(&self, masked: bool) -> Option<u32> {
+        // Fast path for the common steady state: nothing pending at all.
+        if self.pending_count == 0 {
+            return None;
+        }
         let mut best: Option<u32> = None;
         for (i, (&p, &e)) in self.pending.iter().zip(&self.enabled).enumerate() {
             if !p || !e {
@@ -185,7 +194,10 @@ impl IrqController {
     ///
     /// Panics on an unknown line.
     pub fn acknowledge(&mut self, irq: u32) {
-        self.pending[irq as usize] = false;
+        if self.pending[irq as usize] {
+            self.pending[irq as usize] = false;
+            self.pending_count -= 1;
+        }
         self.taken += 1;
     }
 

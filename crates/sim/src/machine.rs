@@ -6,13 +6,14 @@
 //! [`Machine::high_end_like`] (caches, MPU, fault-tolerant RAM,
 //! interruptible LDM).
 
-use alia_isa::{decode, Flags, Instr, IsaMode, MemSize, Offset, Operand2, Reg};
+use alia_isa::{decode_window, Flags, Instr, IsaMode, MemSize, Offset, Operand2, Reg};
 
-use crate::cpu::{add_with_carry, expand_it, Cpu, EXC_RETURN_HW, EXC_RETURN_SW};
+use crate::cpu::{add_with_carry, Cpu, EXC_RETURN_HW, EXC_RETURN_SW};
 use crate::mem::{
     Access, Flash, FlashConfig, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE, MMIO_BASE,
     SRAM_BASE, TCM_BASE,
 };
+use crate::predecode::{Entry, Predecode, PredecodeStats};
 use crate::{Cache, CacheConfig, CoreTiming, FlashPatch, IrqController, IrqStyle, Lookup, Mpu,
     MpuKind};
 
@@ -97,6 +98,10 @@ pub struct MachineConfig {
     /// Base address of the vector table (one word per line for the
     /// hardware scheme; a single vector for the software scheme).
     pub vector_base: u32,
+    /// Whether the host-side predecoded-instruction cache is enabled
+    /// (a pure host optimization; cycle counts are identical either way —
+    /// see [`crate::predecode`]).
+    pub predecode: bool,
 }
 
 impl MachineConfig {
@@ -117,6 +122,7 @@ impl MachineConfig {
             irq_lines: 32,
             bitband: false,
             vector_base: 0,
+            predecode: true,
         }
     }
 
@@ -136,6 +142,7 @@ impl MachineConfig {
             irq_lines: 32,
             bitband: true,
             vector_base: 0,
+            predecode: true,
         }
     }
 
@@ -155,6 +162,7 @@ impl MachineConfig {
             irq_lines: 32,
             bitband: false,
             vector_base: 0,
+            predecode: true,
         }
     }
 }
@@ -194,6 +202,8 @@ pub struct Machine {
     cycles: u64,
     instret: u64,
     fetch_window: Option<u32>,
+    /// Scheduled interrupts, sorted descending so the earliest is `last()`
+    /// and draining is an O(1) `pop`.
     irq_schedule: Vec<(u64, u32)>,
     pend_cycle: Vec<Option<u64>>,
     latencies: Vec<IrqLatency>,
@@ -202,6 +212,30 @@ pub struct Machine {
     svc_count: u64,
     icache_recoveries: u64,
     dcache_recoveries: u64,
+    predecode: Predecode,
+    /// Bumped whenever a simulated store lands inside the predecode
+    /// watermark (self-modifying code); part of the cache's generation
+    /// stamp.
+    code_write_gen: u64,
+}
+
+/// Memory region classes of the simulated address map, as resolved by
+/// [`Machine::classify`] — the single classifier shared by the fetch,
+/// data-read and data-write paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Wait-stated flash.
+    Flash,
+    /// Tightly-coupled memory (when fitted).
+    Tcm,
+    /// Single-cycle SRAM.
+    Sram,
+    /// Bit-band alias of SRAM (when fitted).
+    BitBand,
+    /// Instrumentation MMIO block.
+    Mmio,
+    /// No device.
+    Unmapped,
 }
 
 impl Machine {
@@ -230,6 +264,8 @@ impl Machine {
             svc_count: 0,
             icache_recoveries: 0,
             dcache_recoveries: 0,
+            predecode: Predecode::new(config.predecode),
+            code_write_gen: 0,
             config,
         }
     }
@@ -288,6 +324,25 @@ impl Machine {
         self.dcache_recoveries
     }
 
+    /// Enables or disables the host-side predecode cache at runtime.
+    /// Disabling drops all cached entries; cycle results are identical
+    /// either way (the cache is a pure host optimization).
+    pub fn set_predecode_enabled(&mut self, enabled: bool) {
+        self.predecode.set_enabled(enabled);
+    }
+
+    /// Whether the predecode cache is currently enabled.
+    #[must_use]
+    pub fn predecode_enabled(&self) -> bool {
+        self.predecode.enabled()
+    }
+
+    /// Predecode cache hit/miss/invalidation counters.
+    #[must_use]
+    pub fn predecode_stats(&self) -> PredecodeStats {
+        self.predecode.stats()
+    }
+
     /// Loads bytes into flash at `addr` (must be inside flash).
     pub fn load_flash(&mut self, addr: u32, image: &[u8]) {
         self.flash.load(addr - FLASH_BASE, image);
@@ -295,8 +350,7 @@ impl Machine {
 
     /// Loads bytes into SRAM at `addr`.
     pub fn load_sram(&mut self, addr: u32, image: &[u8]) {
-        let off = (addr - SRAM_BASE) as usize;
-        self.sram.bytes_mut()[off..off + image.len()].copy_from_slice(image);
+        self.sram.load(addr - SRAM_BASE, image);
     }
 
     /// Reads a word from SRAM (test/benchmark helper).
@@ -307,7 +361,8 @@ impl Machine {
 
     /// Writes a word to SRAM (test/benchmark helper).
     pub fn write_sram_word(&mut self, addr: u32, value: u32) {
-        self.sram.write(addr - SRAM_BASE, 4, value);
+        self.note_code_write(addr, 4);
+        self.sram.write_raw(addr - SRAM_BASE, 4, value);
     }
 
     /// Sets the program counter.
@@ -318,7 +373,9 @@ impl Machine {
     /// Schedules interrupt `irq` to assert at absolute cycle `cycle`.
     pub fn schedule_irq(&mut self, cycle: u64, irq: u32) {
         self.irq_schedule.push((cycle, irq));
-        self.irq_schedule.sort_unstable();
+        // Descending order: the earliest event sits at the end, so the
+        // per-step drain below pops instead of shifting the whole vector.
+        self.irq_schedule.sort_unstable_by(|a, b| b.cmp(a));
     }
 
     fn pend_irq(&mut self, irq: u32, asserted_at: u64) {
@@ -332,100 +389,133 @@ impl Machine {
     }
 
     fn drain_due_irqs(&mut self, now: u64) {
-        while let Some(&(cycle, irq)) = self.irq_schedule.first() {
+        while let Some(&(cycle, irq)) = self.irq_schedule.last() {
             if cycle > now {
                 break;
             }
-            self.irq_schedule.remove(0);
+            self.irq_schedule.pop();
             self.pend_irq(irq, cycle);
         }
-        let reqs: Vec<u32> = self.mmio.irq_requests.drain(..).collect();
-        for irq in reqs {
+        // Index loop instead of drain().collect(): no per-step allocation.
+        let mut i = 0;
+        while i < self.mmio.irq_requests.len() {
+            let irq = self.mmio.irq_requests[i];
+            i += 1;
             if (irq as usize) < self.config.irq_lines {
                 self.pend_irq(irq, self.cycles);
             }
         }
+        self.mmio.irq_requests.clear();
     }
 
     // -----------------------------------------------------------------
     // Memory paths
     // -----------------------------------------------------------------
 
-    fn in_flash(&self, addr: u32) -> bool {
-        (FLASH_BASE..FLASH_BASE + self.flash.config().size).contains(&addr)
-    }
-
-    fn in_sram(&self, addr: u32) -> bool {
-        (SRAM_BASE..SRAM_BASE + self.config.sram_size).contains(&addr)
-    }
-
-    fn in_tcm(&self, addr: u32) -> bool {
-        match self.config.tcm_size {
-            Some(sz) => (TCM_BASE..TCM_BASE + sz).contains(&addr),
-            None => false,
+    /// Resolves an address to its memory region — the single classifier
+    /// shared by the fetch, data-read and data-write paths (the seed had
+    /// three divergent `in_*` if-chains).
+    #[must_use]
+    #[inline]
+    pub fn classify(&self, addr: u32) -> Region {
+        if (FLASH_BASE..FLASH_BASE + self.flash.config().size).contains(&addr) {
+            return Region::Flash;
         }
-    }
-
-    fn in_bitband(&self, addr: u32) -> bool {
-        self.config.bitband
+        if (SRAM_BASE..SRAM_BASE + self.config.sram_size).contains(&addr) {
+            return Region::Sram;
+        }
+        if let Some(sz) = self.config.tcm_size {
+            if (TCM_BASE..TCM_BASE + sz).contains(&addr) {
+                return Region::Tcm;
+            }
+        }
+        if self.config.bitband
             && (BITBAND_BASE..BITBAND_BASE + self.config.sram_size.saturating_mul(8))
                 .contains(&addr)
+        {
+            return Region::BitBand;
+        }
+        if (MMIO_BASE..MMIO_BASE + 0x1000).contains(&addr) {
+            return Region::Mmio;
+        }
+        Region::Unmapped
     }
 
-    fn in_mmio(&self, addr: u32) -> bool {
-        (MMIO_BASE..MMIO_BASE + 0x1000).contains(&addr)
-    }
-
-    /// Fetches `len` instruction bytes at `addr`. Returns
-    /// `(raw, cycles, patched_breakpoint)`.
-    fn fetch_mem(&mut self, addr: u32, len: u32) -> Result<(u32, u32, bool), MemFault> {
+    /// Charges the *timing* of fetching `len` instruction bytes at `addr`
+    /// — MPU execute check, flash streaming / I-cache state, TCM
+    /// hold-and-repair — without extracting flash bytes. Run on every
+    /// step (predecode hit or miss) so cached execution is
+    /// cycle-identical. Returns `(cycles, region, tcm_value)`; the third
+    /// element carries the TCM read's value (the repairing read is the
+    /// access itself, so it is performed exactly once) and is zero for
+    /// other regions.
+    #[inline]
+    fn fetch_timing(&mut self, addr: u32, len: u32) -> Result<(u32, Region, u32), MemFault> {
         if let Some(mpu) = &mut self.mpu {
             if !mpu.check_execute(addr) {
                 return Err(MemFault::MpuViolation { addr, write: false });
             }
         }
-        if self.in_sram(addr) {
-            let v = self.sram.read(addr - SRAM_BASE, len);
-            return Ok((v, self.sram.cycles, false));
-        }
-        if self.in_tcm(addr) {
-            let tcm = self.tcm.as_mut().expect("in_tcm checked");
-            let (v, c) = tcm.read(addr - TCM_BASE, len);
-            return Ok((v, c, false));
-        }
-        if !self.in_flash(addr) {
-            return Err(MemFault::Unmapped { addr });
-        }
-        let off = addr - FLASH_BASE;
-        let mut cycles = 0;
-        if let Some(ic) = &mut self.icache {
-            let (lookup, c) = ic.access(off);
-            cycles += c;
-            if lookup == Lookup::DataError {
-                // §3.1.3: invalidate + refetch, transparently.
-                self.icache_recoveries += 1;
-                let (_, c2) = ic.access(off);
-                cycles += c2;
+        match self.classify(addr) {
+            Region::Sram => Ok((self.sram.cycles, Region::Sram, 0)),
+            Region::Tcm => {
+                let tcm = self.tcm.as_mut().expect("classified Tcm");
+                let (v, c) = tcm.read(addr - TCM_BASE, len);
+                Ok((c, Region::Tcm, v))
             }
-        } else {
-            // Streaming fetch through the window buffer.
-            let window = self.flash.config().width.max(2);
-            let mut w = addr & !(window - 1);
-            let end = addr + len;
-            while w < end {
-                if self.fetch_window != Some(w) {
-                    let (_, c) = self.flash.access(w - FLASH_BASE, window, Access::Fetch);
+            Region::Flash => {
+                let off = addr - FLASH_BASE;
+                let mut cycles = 0;
+                if let Some(ic) = &mut self.icache {
+                    let (lookup, c) = ic.access(off);
                     cycles += c;
-                    self.fetch_window = Some(w);
+                    if lookup == Lookup::DataError {
+                        // §3.1.3: invalidate + refetch, transparently.
+                        self.icache_recoveries += 1;
+                        let (_, c2) = ic.access(off);
+                        cycles += c2;
+                    }
+                } else {
+                    // Streaming fetch through the window buffer.
+                    let window = self.flash.config().width.max(2);
+                    let mut w = addr & !(window - 1);
+                    let end = addr + len;
+                    while w < end {
+                        if self.fetch_window != Some(w) {
+                            cycles += self.flash.access_timing(w - FLASH_BASE, window, Access::Fetch);
+                            self.fetch_window = Some(w);
+                        }
+                        w += window;
+                    }
+                    // Only the final window stays buffered.
+                    self.fetch_window = Some((end - 1) & !(window - 1));
                 }
-                w += window;
+                Ok((cycles, Region::Flash, 0))
             }
-            // Only the final window stays buffered.
-            self.fetch_window = Some((end - 1) & !(window - 1));
+            Region::BitBand | Region::Mmio | Region::Unmapped => {
+                Err(MemFault::Unmapped { addr })
+            }
         }
-        let raw = self.flash.peek(off, len);
-        let (patched, bp) = self.patch.apply(addr, len, raw);
-        Ok((patched, cycles, bp))
+    }
+
+    /// Fetches `len` instruction bytes at `addr`. Returns
+    /// `(raw, cycles, patched_breakpoint)`. Predecode-miss path only; the
+    /// hit path replays [`Machine::fetch_timing`] alone.
+    fn fetch_mem(&mut self, addr: u32, len: u32) -> Result<(u32, u32, bool), MemFault> {
+        let (cycles, region, tcm_value) = self.fetch_timing(addr, len)?;
+        match region {
+            Region::Sram => Ok((self.sram.read(addr - SRAM_BASE, len), cycles, false)),
+            Region::Tcm => Ok((tcm_value, cycles, false)),
+            Region::Flash => {
+                let raw = self.flash.peek(addr - FLASH_BASE, len);
+                let (patched, bp) = self.patch.apply(addr, len, raw);
+                Ok((patched, cycles, bp))
+            }
+            // fetch_timing faulted above; keep the compiler honest.
+            Region::BitBand | Region::Mmio | Region::Unmapped => {
+                Err(MemFault::Unmapped { addr })
+            }
+        }
     }
 
     /// Performs a data read. Returns `(value, cycles)`.
@@ -435,12 +525,13 @@ impl Machine {
                 return Err(MemFault::MpuViolation { addr, write: false });
             }
         }
-        if self.in_mmio(addr) {
+        let region = self.classify(addr);
+        if region == Region::Mmio {
             self.mmio.cycles = self.cycles;
             let v = if addr & !3 == MMIO_IRQ_ACTIVE { self.active_irq } else { self.mmio.read(addr) };
             return Ok((v, 1));
         }
-        if self.in_bitband(addr) {
+        if region == Region::BitBand {
             let bit_index = addr - BITBAND_BASE;
             let byte = bit_index / 8;
             let bit = bit_index % 8;
@@ -448,8 +539,7 @@ impl Machine {
             return Ok((v, 1));
         }
         let mut cycles = 0;
-        if self.dcache.is_some() && (self.in_flash(addr) || self.in_sram(addr)) {
-            let dc = self.dcache.as_mut().expect("checked");
+        if let (Some(dc), Region::Flash | Region::Sram) = (&mut self.dcache, region) {
             let (lookup, c) = dc.access(addr);
             cycles += c;
             if lookup == Lookup::DataError {
@@ -459,36 +549,44 @@ impl Machine {
                 let (_, c2) = dc.access(addr);
                 cycles += c2 + 8; // recovery handler overhead
             }
-            let v = if self.in_flash(addr) {
-                self.flash.peek(addr - FLASH_BASE, len)
+            let v = if region == Region::Flash {
+                // The patch unit sits on the flash data path regardless of
+                // caching (the cache stores timing, not data).
+                let raw = self.flash.peek(addr - FLASH_BASE, len);
+                let (patched, _) = self.patch.apply(addr, len, raw);
+                patched
             } else {
                 self.sram.read(addr - SRAM_BASE, len)
             };
             return Ok((v, cycles));
         }
-        if self.in_sram(addr) {
-            let v = self.sram.read(addr - SRAM_BASE, len);
-            cycles += self.sram.cycles;
-            if !self.config.timing.harvard {
-                // Unified bus: the data access steals the bus from the
-                // fetch stream.
-                self.break_fetch_stream();
+        match region {
+            Region::Sram => {
+                let v = self.sram.read(addr - SRAM_BASE, len);
+                cycles += self.sram.cycles;
+                if !self.config.timing.harvard {
+                    // Unified bus: the data access steals the bus from the
+                    // fetch stream.
+                    self.break_fetch_stream();
+                }
+                Ok((v, cycles))
             }
-            return Ok((v, cycles));
+            Region::Tcm => {
+                let tcm = self.tcm.as_mut().expect("classified Tcm");
+                let (v, c) = tcm.read(addr - TCM_BASE, len);
+                Ok((v, c))
+            }
+            Region::Flash => {
+                // Literal pool load: disturbs the prefetch stream (§2.2).
+                let (raw, c) = self.flash.access(addr - FLASH_BASE, len, Access::Read);
+                self.fetch_window = None;
+                let (v, _) = self.patch.apply(addr, len, raw);
+                Ok((v, c))
+            }
+            Region::BitBand | Region::Mmio | Region::Unmapped => {
+                Err(MemFault::Unmapped { addr })
+            }
         }
-        if self.in_tcm(addr) {
-            let tcm = self.tcm.as_mut().expect("checked");
-            let (v, c) = tcm.read(addr - TCM_BASE, len);
-            return Ok((v, c));
-        }
-        if self.in_flash(addr) {
-            // Literal pool load: disturbs the prefetch stream (§2.2).
-            let (raw, c) = self.flash.access(addr - FLASH_BASE, len, Access::Read);
-            self.fetch_window = None;
-            let (v, _) = self.patch.apply(addr, len, raw);
-            return Ok((v, c));
-        }
-        Err(MemFault::Unmapped { addr })
     }
 
     /// Performs a data write. Returns cycles.
@@ -498,34 +596,60 @@ impl Machine {
                 return Err(MemFault::MpuViolation { addr, write: true });
             }
         }
-        if self.in_mmio(addr) {
-            self.mmio.cycles = self.cycles;
-            self.mmio.write(addr, value);
-            return Ok(1);
-        }
-        if self.in_bitband(addr) {
-            // The paper's §3.2.3 mechanism: one store atomically sets or
-            // clears a single bit, no read-modify-write, no IRQ masking.
-            let bit_index = addr - BITBAND_BASE;
-            let byte = bit_index / 8;
-            let bit = bit_index % 8;
-            let old = self.sram.read(byte, 1);
-            let new = if value & 1 != 0 { old | 1 << bit } else { old & !(1 << bit) };
-            self.sram.write(byte, 1, new);
-            return Ok(1);
-        }
-        if self.in_sram(addr) {
-            self.sram.write(addr - SRAM_BASE, len, value);
-            if !self.config.timing.harvard {
-                self.break_fetch_stream();
+        match self.classify(addr) {
+            Region::Mmio => {
+                self.mmio.cycles = self.cycles;
+                self.mmio.write(addr, value);
+                Ok(1)
             }
-            return Ok(self.sram.cycles);
+            Region::BitBand => {
+                // The paper's §3.2.3 mechanism: one store atomically sets or
+                // clears a single bit, no read-modify-write, no IRQ masking.
+                let bit_index = addr - BITBAND_BASE;
+                let byte = bit_index / 8;
+                let bit = bit_index % 8;
+                self.note_code_write(SRAM_BASE + byte, 1);
+                let old = self.sram.read(byte, 1);
+                let new = if value & 1 != 0 { old | 1 << bit } else { old & !(1 << bit) };
+                self.sram.write_raw(byte, 1, new);
+                Ok(1)
+            }
+            Region::Sram => {
+                self.note_code_write(addr, len);
+                self.sram.write_raw(addr - SRAM_BASE, len, value);
+                if !self.config.timing.harvard {
+                    self.break_fetch_stream();
+                }
+                Ok(self.sram.cycles)
+            }
+            Region::Tcm => {
+                self.note_code_write(addr, len);
+                let tcm = self.tcm.as_mut().expect("classified Tcm");
+                Ok(tcm.write_raw(addr - TCM_BASE, len, value))
+            }
+            Region::Flash | Region::Unmapped => Err(MemFault::Unmapped { addr }),
         }
-        if self.in_tcm(addr) {
-            let tcm = self.tcm.as_mut().expect("checked");
-            return Ok(tcm.write(addr - TCM_BASE, len, value));
+    }
+
+    /// Self-modifying-code hook on the store path: a write that lands
+    /// inside the predecode watermark invalidates the cache (by bumping
+    /// the machine's code-write generation).
+    fn note_code_write(&mut self, addr: u32, len: u32) {
+        if self.predecode.covers(addr, len) {
+            self.code_write_gen = self.code_write_gen.wrapping_add(1);
         }
-        Err(MemFault::Unmapped { addr })
+    }
+
+    /// The predecode generation stamp: any change to what instruction
+    /// bytes decode to moves this value. See [`crate::predecode`].
+    #[inline]
+    fn code_stamp(&self) -> u64 {
+        self.flash
+            .revision()
+            .wrapping_add(self.patch.revision())
+            .wrapping_add(self.sram.revision())
+            .wrapping_add(self.tcm.as_ref().map_or(0, Tcm::revision))
+            .wrapping_add(self.code_write_gen)
     }
 
     fn break_fetch_stream(&mut self) {
@@ -569,38 +693,20 @@ impl Machine {
             }
         }
         let pc = self.cpu.pc;
-        let mode = self.config.mode;
-        // Fetch enough bytes to decode: narrow first, widen on demand.
-        let first_len = mode.min_instr_size();
-        let (mut raw, mut fetch_cycles, bp) = match self.fetch_mem(pc, first_len) {
-            Ok(t) => t,
-            Err(f) => return Some(StopReason::Fault(f)),
-        };
-        if bp {
-            return Some(StopReason::PatchBreakpoint { addr: pc });
-        }
-        let mut bytes = raw.to_le_bytes().to_vec();
-        if mode != IsaMode::A32 {
-            let hw1 = raw as u16;
-            if hw1 >> 11 >= 0b11101 {
-                let (raw2, c2, bp2) = match self.fetch_mem(pc + 2, 2) {
-                    Ok(t) => t,
-                    Err(f) => return Some(StopReason::Fault(f)),
-                };
-                if bp2 {
-                    return Some(StopReason::PatchBreakpoint { addr: pc + 2 });
-                }
-                fetch_cycles += c2;
-                bytes = [&raw.to_le_bytes()[..2], &raw2.to_le_bytes()[..2]].concat();
-                raw = u32::from(hw1) | raw2 << 16;
-            } else {
-                bytes.truncate(2);
+        let stamp = self.code_stamp();
+        // Predecode hit: replay the fetch timing, skip bytes + decode.
+        // Miss: full fetch + decode, filling the cache. Both paths charge
+        // identical cycles and produce identical patch accounting.
+        let (entry, fetch_cycles) = if let Some(e) = self.predecode.lookup(pc, stamp) {
+            match self.replay_fetch(pc, &e) {
+                Ok(c) => (e, c),
+                Err(stop) => return Some(stop),
             }
-        }
-        let _ = raw;
-        let (instr, isize) = match decode(&bytes, mode) {
-            Ok(t) => t,
-            Err(_) => return Some(StopReason::DecodeError { addr: pc }),
+        } else {
+            match self.fetch_decode(pc, stamp) {
+                Ok(t) => t,
+                Err(stop) => return Some(stop),
+            }
         };
         // Fetch overlaps execution in the pipeline: only the stall beyond
         // one cycle is charged (an ARM7 data-processing op is 1S total).
@@ -608,19 +714,83 @@ impl Machine {
         self.instret += 1;
 
         // Predication: IT queue (T2) or per-instruction condition (A32).
-        let predicated_cond = if !matches!(instr, Instr::It { .. }) {
-            self.cpu.it_queue.pop_front()
-        } else {
-            None
-        };
-        let cond = predicated_cond.unwrap_or_else(|| instr.cond());
+        let predicated_cond = if entry.is_it { None } else { self.cpu.it_queue.pop_front() };
+        let cond = predicated_cond.unwrap_or(entry.cond);
         if !cond.eval(self.cpu.flags) {
             // Skipped: costs the fetch plus one issue cycle.
             self.cycles += 1;
-            self.cpu.pc = pc.wrapping_add(isize);
+            self.cpu.pc = pc.wrapping_add(entry.size);
             return None;
         }
-        self.exec(instr, pc, isize)
+        self.exec(entry.instr, pc, entry.size)
+    }
+
+    /// Predecode-hit fetch: re-charges the timing of every fetch the
+    /// decode path would perform (flash streaming / I-cache / TCM / MPU
+    /// state advance identically) and replays the entry's flash-patch
+    /// accounting, without touching bytes or the decoder.
+    fn replay_fetch(&mut self, pc: u32, e: &Entry) -> Result<u32, StopReason> {
+        let mode = self.config.mode;
+        let mut cycles = match self.fetch_timing(pc, mode.min_instr_size()) {
+            Ok((c, _, _)) => c,
+            Err(f) => return Err(StopReason::Fault(f)),
+        };
+        self.patch.hits += u64::from(e.patch_hits);
+        if e.bp_first {
+            return Err(StopReason::PatchBreakpoint { addr: pc });
+        }
+        if mode != IsaMode::A32 && e.size == 4 {
+            let c2 = match self.fetch_timing(pc + 2, 2) {
+                Ok((c, _, _)) => c,
+                Err(f) => return Err(StopReason::Fault(f)),
+            };
+            if e.bp_second {
+                return Err(StopReason::PatchBreakpoint { addr: pc + 2 });
+            }
+            cycles += c2;
+        }
+        Ok(cycles)
+    }
+
+    /// Predecode-miss fetch: narrow first, widen on demand, decode from a
+    /// fixed 4-byte window (no heap), install the result in the cache.
+    fn fetch_decode(&mut self, pc: u32, stamp: u64) -> Result<(Entry, u32), StopReason> {
+        let mode = self.config.mode;
+        let first_len = mode.min_instr_size();
+        let hits_before = self.patch.hits;
+        let (raw, mut fetch_cycles, bp) = match self.fetch_mem(pc, first_len) {
+            Ok(t) => t,
+            Err(f) => return Err(StopReason::Fault(f)),
+        };
+        if bp {
+            let patch_hits = (self.patch.hits - hits_before) as u8;
+            self.predecode
+                .insert(pc, stamp, Entry::breakpoint(pc, first_len, false, patch_hits));
+            return Err(StopReason::PatchBreakpoint { addr: pc });
+        }
+        let mut window = raw;
+        if mode != IsaMode::A32 && (raw as u16) >> 11 >= 0b11101 {
+            let (raw2, c2, bp2) = match self.fetch_mem(pc + 2, 2) {
+                Ok(t) => t,
+                Err(f) => return Err(StopReason::Fault(f)),
+            };
+            if bp2 {
+                let patch_hits = (self.patch.hits - hits_before) as u8;
+                self.predecode
+                    .insert(pc, stamp, Entry::breakpoint(pc, 4, true, patch_hits));
+                return Err(StopReason::PatchBreakpoint { addr: pc + 2 });
+            }
+            fetch_cycles += c2;
+            window = raw & 0xFFFF | raw2 << 16;
+        }
+        let (instr, isize) = match decode_window(window, mode) {
+            Ok(t) => t,
+            Err(_) => return Err(StopReason::DecodeError { addr: pc }),
+        };
+        let patch_hits = (self.patch.hits - hits_before) as u8;
+        let entry = Entry::decoded(pc, instr, isize, patch_hits);
+        self.predecode.insert(pc, stamp, entry);
+        Ok((entry, fetch_cycles))
     }
 
     #[allow(clippy::too_many_lines)]
@@ -766,7 +936,7 @@ impl Machine {
             Instr::Udiv { rd, rn, rm, .. } => {
                 let a = self.cpu.read_reg(rn, bias);
                 let b = self.cpu.read_reg(rm, bias);
-                let q = if b == 0 { 0 } else { a / b };
+                let q = a.checked_div(b).unwrap_or(0);
                 cost += u64::from(timing.div_cycles(a, b) - 1);
                 self.cpu.write_reg(rd, q);
             }
@@ -839,9 +1009,13 @@ impl Machine {
                 }
             }
             Instr::Ldm { rn, writeback, regs, .. } => {
-                let base = self.cpu.read_reg(rn, bias);
-                let mut addr = base;
-                let mut loaded = Vec::new();
+                let mut addr = self.cpu.read_reg(rn, bias);
+                // All reads complete before any register is written (a
+                // mid-list fault must leave the register file untouched);
+                // a register list holds at most 16 entries, so the staging
+                // buffer lives on the stack.
+                let mut loaded = [(Reg::R0, 0u32); 16];
+                let mut nloaded = 0;
                 for (i, r) in regs.iter().enumerate() {
                     // Interruptible LDM (§3.1.2): abandon and restart.
                     if timing.interruptible_ldm && i > 0 && self.irq_due_mid_instr(cost) {
@@ -855,10 +1029,11 @@ impl Machine {
                         return None;
                     }
                     let v = mem_read!(addr, 4);
-                    loaded.push((r, v));
+                    loaded[nloaded] = (r, v);
+                    nloaded += 1;
                     addr += 4;
                 }
-                for (r, v) in loaded {
+                for &(r, v) in &loaded[..nloaded] {
                     if r == Reg::PC {
                         branch_target = Some(v);
                     } else {
@@ -868,7 +1043,6 @@ impl Machine {
                 if writeback && !regs.contains(rn) {
                     self.cpu.write_reg(rn, addr);
                 }
-                let _ = base;
             }
             Instr::Stm { rn, writeback, regs, .. } => {
                 let mut addr = self.cpu.read_reg(rn, bias);
@@ -920,7 +1094,7 @@ impl Machine {
                 }
             }
             Instr::It { firstcond, mask, count } => {
-                self.cpu.it_queue = expand_it(firstcond, mask, count);
+                self.cpu.it_queue.load(firstcond, mask, count);
             }
             Instr::Tbb { rn, rm } => {
                 let base = self.cpu.read_reg(rn, bias);
@@ -969,8 +1143,8 @@ impl Machine {
             self.cycles += u64::from(timing.branch_taken_penalty);
         }
         self.cpu.pc = next_pc;
-        if self.mmio.exit_code.is_some() {
-            return Some(StopReason::MmioExit(self.mmio.exit_code.expect("just checked")));
+        if let Some(code) = self.mmio.exit_code {
+            return Some(StopReason::MmioExit(code));
         }
         None
     }
@@ -1007,7 +1181,7 @@ impl Machine {
             return None;
         }
         // Fast-forward to the next scheduled interrupt.
-        match self.irq_schedule.first() {
+        match self.irq_schedule.last() {
             Some(&(cycle, _)) => {
                 self.cycles = self.cycles.max(cycle);
                 self.drain_due_irqs(self.cycles);

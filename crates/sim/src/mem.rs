@@ -19,6 +19,123 @@
 
 use std::fmt;
 
+/// Backing storage for the large zeroed memory arrays (flash, SRAM).
+///
+/// Allocating a machine used to cost two ~1 MiB `vec![0; n]` zeroings —
+/// after the allocator starts recycling arena memory, that is a 2 MiB
+/// memset per `Machine::new`, which dominated short experiment runs. This
+/// wrapper keeps a thread-local pool of *already-zeroed* buffers: on drop
+/// it zeroes only the 4 KiB pages that were actually written (tracked
+/// with a one-bit-per-page map on the store path) and returns the buffer
+/// to the pool; on construction it takes a pooled buffer when one fits.
+/// Net effect: steady-state machine construction zeroes only the pages a
+/// run touched (typically a handful), not the whole address space.
+mod zeroed {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    /// Page granularity for dirty tracking (4 KiB).
+    const PAGE_SHIFT: u32 = 12;
+    /// Buffers smaller than this skip the pool (cheap to allocate fresh).
+    const POOL_MIN: usize = 64 << 10;
+    /// Retained buffers per size class per thread.
+    const POOL_CAP: usize = 8;
+
+    thread_local! {
+        static POOL: RefCell<HashMap<usize, Vec<Vec<u8>>>> = RefCell::new(HashMap::new());
+    }
+
+    /// A zero-initialized byte array with page-granular dirty tracking.
+    ///
+    /// Invariant: every byte outside a dirty page is zero.
+    #[derive(Debug, Clone)]
+    pub struct ZeroedBytes {
+        buf: Vec<u8>,
+        dirty: Vec<u64>,
+    }
+
+    impl ZeroedBytes {
+        pub fn new(size: usize) -> ZeroedBytes {
+            let buf = if size >= POOL_MIN {
+                POOL.with(|p| p.borrow_mut().get_mut(&size).and_then(Vec::pop))
+                    .unwrap_or_else(|| vec![0; size])
+            } else {
+                vec![0; size]
+            };
+            let pages = size.div_ceil(1 << PAGE_SHIFT);
+            ZeroedBytes { buf, dirty: vec![0; pages.div_ceil(64)] }
+        }
+
+        /// Marks the pages covering `off..off + len` as written.
+        #[inline]
+        pub fn mark(&mut self, off: u32, len: u32) {
+            let first = off >> PAGE_SHIFT;
+            let last = (off + len.max(1) - 1) >> PAGE_SHIFT;
+            for p in first..=last {
+                self.dirty[(p >> 6) as usize] |= 1 << (p & 63);
+            }
+        }
+
+        /// Marks every page as written (out-of-band mutable access).
+        pub fn mark_all(&mut self) {
+            self.dirty.fill(!0);
+        }
+
+        #[inline]
+        pub fn as_slice(&self) -> &[u8] {
+            &self.buf
+        }
+
+        #[inline]
+        pub fn as_mut_slice(&mut self) -> &mut [u8] {
+            &mut self.buf
+        }
+    }
+
+    impl Drop for ZeroedBytes {
+        fn drop(&mut self) {
+            if self.buf.len() < POOL_MIN {
+                return;
+            }
+            // Zeroing is only worthwhile if the pool will retain the
+            // buffer; a full size class means it is simply freed.
+            let wanted = POOL.with(|p| {
+                p.borrow().get(&self.buf.len()).is_none_or(|c| c.len() < POOL_CAP)
+            });
+            if !wanted {
+                return;
+            }
+            // Restore the all-zero invariant (only dirty pages can hold
+            // nonzero bytes), then hand the buffer to the pool.
+            let page = 1usize << PAGE_SHIFT;
+            for (w, &bits) in self.dirty.iter().enumerate() {
+                if bits == 0 {
+                    continue;
+                }
+                for b in 0..64 {
+                    if bits & 1 << b != 0 {
+                        let start = (w * 64 + b) * page;
+                        let end = (start + page).min(self.buf.len());
+                        if start < self.buf.len() {
+                            self.buf[start..end].fill(0);
+                        }
+                    }
+                }
+            }
+            let buf = std::mem::take(&mut self.buf);
+            POOL.with(|p| {
+                let mut pool = p.borrow_mut();
+                let class = pool.entry(buf.len()).or_default();
+                if class.len() < POOL_CAP {
+                    class.push(buf);
+                }
+            });
+        }
+    }
+}
+
+use zeroed::ZeroedBytes;
+
 /// Default flash base address.
 pub const FLASH_BASE: u32 = 0x0000_0000;
 /// Default TCM base address.
@@ -125,17 +242,33 @@ pub struct FlashStats {
 /// Wait-stated flash with a streaming prefetch model.
 #[derive(Debug, Clone)]
 pub struct Flash {
-    bytes: Vec<u8>,
+    bytes: ZeroedBytes,
     config: FlashConfig,
     stream_next: Option<u32>,
     stats: FlashStats,
+    revision: u64,
 }
 
 impl Flash {
     /// Creates a flash of `config.size` zeroed bytes.
     #[must_use]
     pub fn new(config: FlashConfig) -> Flash {
-        Flash { bytes: vec![0; config.size as usize], config, stream_next: None, stats: FlashStats::default() }
+        Flash {
+            bytes: ZeroedBytes::new(config.size as usize),
+            config,
+            stream_next: None,
+            stats: FlashStats::default(),
+            revision: 0,
+        }
+    }
+
+    /// Content revision: bumped by every mutable access to the array
+    /// ([`Flash::load`], [`Flash::bytes_mut`]). Consumers caching decoded
+    /// views of flash (the machine's predecode cache) compare revisions
+    /// to detect staleness.
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Loads an image at byte offset `offset`.
@@ -145,7 +278,9 @@ impl Flash {
     /// Panics if the image does not fit.
     pub fn load(&mut self, offset: u32, image: &[u8]) {
         let o = offset as usize;
-        self.bytes[o..o + image.len()].copy_from_slice(image);
+        self.bytes.mark(offset, image.len() as u32);
+        self.bytes.as_mut_slice()[o..o + image.len()].copy_from_slice(image);
+        self.revision += 1;
     }
 
     /// The behaviour parameters.
@@ -169,18 +304,33 @@ impl Flash {
     /// Raw contents (offset-addressed).
     #[must_use]
     pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+        self.bytes.as_slice()
     }
 
-    /// Mutable raw contents.
+    /// Mutable raw contents. Conservatively counts as a content mutation
+    /// (bumps [`Flash::revision`]).
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.bytes
+        self.revision += 1;
+        self.bytes.mark_all();
+        self.bytes.as_mut_slice()
     }
 
     /// Performs an access of `len` bytes at byte offset `off`, returning
     /// `(value, cycles)`. The value is little-endian, zero-extended.
     pub fn access(&mut self, off: u32, len: u32, kind: Access) -> (u32, u32) {
-        let beats = len.div_ceil(self.config.width).max(1);
+        let cycles = self.access_timing(off, len, kind);
+        (self.peek(off, len), cycles)
+    }
+
+    /// Timing-only access: advances the streaming state and counters
+    /// exactly like [`Flash::access`] without extracting bytes. Used by
+    /// the fetch path, where the predecode cache usually already knows
+    /// the decoded instruction.
+    #[inline]
+    pub fn access_timing(&mut self, off: u32, len: u32, kind: Access) -> u32 {
+        // Avoid the division in the overwhelmingly common case of an
+        // access no wider than the interface.
+        let beats = if len <= self.config.width { 1 } else { len.div_ceil(self.config.width) };
         let mut cycles = 0;
         // First beat: sequential if it continues the stream.
         let seq = self.stream_next == Some(off);
@@ -208,7 +358,7 @@ impl Flash {
                 self.stream_next = None;
             }
         }
-        (self.peek(off, len), cycles)
+        cycles
     }
 
     /// Forces the next access to be non-sequential (a foreign bus
@@ -220,67 +370,138 @@ impl Flash {
     /// Reads without affecting timing state.
     #[must_use]
     pub fn peek(&self, off: u32, len: u32) -> u32 {
-        let mut v = 0u32;
-        for i in (0..len.min(4)).rev() {
-            v = v << 8 | u32::from(self.bytes[(off + i) as usize]);
+        read_le(self.bytes.as_slice(), off, len)
+    }
+}
+
+/// Little-endian scalar read of `len.min(4)` bytes at `off`.
+///
+/// # Panics
+///
+/// Panics when the access runs past the end of `bytes` (same contract as
+/// direct indexing).
+#[inline]
+fn read_le(bytes: &[u8], off: u32, len: u32) -> u32 {
+    let o = off as usize;
+    match len {
+        4 => u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4-byte slice")),
+        2 => u32::from(u16::from_le_bytes(bytes[o..o + 2].try_into().expect("2-byte slice"))),
+        1 => u32::from(bytes[o]),
+        0 => 0,
+        _ => {
+            let mut v = 0u32;
+            for i in (0..len.min(4)).rev() {
+                v = v << 8 | u32::from(bytes[(off + i) as usize]);
+            }
+            v
         }
-        v
+    }
+}
+
+/// Little-endian scalar write of the low `len.min(4)` bytes of `value`.
+#[inline]
+fn write_le(bytes: &mut [u8], off: u32, len: u32, value: u32) {
+    let o = off as usize;
+    match len {
+        4 => bytes[o..o + 4].copy_from_slice(&value.to_le_bytes()),
+        2 => bytes[o..o + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+        1 => bytes[o] = value as u8,
+        _ => {
+            for i in 0..len.min(4) {
+                bytes[(off + i) as usize] = (value >> (8 * i)) as u8;
+            }
+        }
     }
 }
 
 /// Single-cycle SRAM.
 #[derive(Debug, Clone)]
 pub struct Sram {
-    bytes: Vec<u8>,
+    bytes: ZeroedBytes,
+    size: u32,
     /// Cycles per access.
     pub cycles: u32,
+    revision: u64,
 }
 
 impl Sram {
     /// Creates `size` zeroed bytes of single-cycle RAM.
     #[must_use]
     pub fn new(size: u32) -> Sram {
-        Sram { bytes: vec![0; size as usize], cycles: 1 }
+        Sram { bytes: ZeroedBytes::new(size as usize), size, cycles: 1, revision: 0 }
+    }
+
+    /// Loads an image at byte offset `off` (host-side bulk write; bumps
+    /// [`Sram::revision`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit.
+    pub fn load(&mut self, off: u32, image: &[u8]) {
+        let o = off as usize;
+        self.bytes.mark(off, image.len() as u32);
+        self.bytes.as_mut_slice()[o..o + image.len()].copy_from_slice(image);
+        self.revision += 1;
+    }
+
+    /// Host-side content revision: bumped by [`Sram::bytes_mut`] (bulk /
+    /// out-of-band mutation). Per-access [`Sram::write`] is *not* counted
+    /// here — simulated stores are tracked by the machine's predecode
+    /// watermark instead, keeping the store path cheap.
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Size in bytes.
     #[must_use]
     pub fn len(&self) -> u32 {
-        self.bytes.len() as u32
+        self.size
     }
 
     /// Whether the RAM is empty (zero-sized).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.size == 0
     }
 
     /// Raw contents.
     #[must_use]
     pub fn bytes(&self) -> &[u8] {
-        &self.bytes
+        self.bytes.as_slice()
     }
 
-    /// Mutable raw contents.
+    /// Mutable raw contents. Conservatively counts as a content mutation
+    /// (bumps [`Sram::revision`]).
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.bytes
+        self.revision += 1;
+        self.bytes.mark_all();
+        self.bytes.as_mut_slice()
     }
 
     /// Reads `len` bytes at offset `off` (little-endian).
     #[must_use]
+    #[inline]
     pub fn read(&self, off: u32, len: u32) -> u32 {
-        let mut v = 0u32;
-        for i in (0..len.min(4)).rev() {
-            v = v << 8 | u32::from(self.bytes[(off + i) as usize]);
-        }
-        v
+        read_le(self.bytes.as_slice(), off, len)
     }
 
     /// Writes the low `len` bytes of `value` at offset `off`.
+    ///
+    /// This is the *host-side* entry point and conservatively counts as a
+    /// content mutation (bumps [`Sram::revision`], invalidating any
+    /// cached decoded view). The machine's own store path uses
+    /// [`Sram::write_raw`] instead, guarded by its predecode watermark.
     pub fn write(&mut self, off: u32, len: u32, value: u32) {
-        for i in 0..len.min(4) {
-            self.bytes[(off + i) as usize] = (value >> (8 * i)) as u8;
-        }
+        self.revision += 1;
+        self.write_raw(off, len, value);
+    }
+
+    /// Simulated-store write: no revision bump (the caller is responsible
+    /// for code-coherence tracking — see `Machine::note_code_write`).
+    pub(crate) fn write_raw(&mut self, off: u32, len: u32, value: u32) {
+        self.bytes.mark(off, len);
+        write_le(self.bytes.as_mut_slice(), off, len, value);
     }
 }
 
@@ -299,6 +520,7 @@ pub struct Tcm {
     /// Stall cycles for one hold-and-repair event.
     pub repair_cycles: u32,
     repairs: u64,
+    revision: u64,
 }
 
 impl Tcm {
@@ -312,6 +534,7 @@ impl Tcm {
             ecc: true,
             repair_cycles: 4,
             repairs: 0,
+            revision: 0,
         }
     }
 
@@ -321,12 +544,21 @@ impl Tcm {
         self.repairs
     }
 
+    /// Host-side content revision: bumped by out-of-band mutation
+    /// ([`Tcm::load`], [`Tcm::inject_bit_flip`]). Simulated stores are
+    /// tracked by the machine's predecode watermark instead.
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Flips bit `bit` of the word at offset `off`, marking it poisoned
     /// (a soft error).
     pub fn inject_bit_flip(&mut self, off: u32, bit: u32) {
         let word = self.ram.read(off & !3, 4) ^ (1 << (bit & 31));
-        self.ram.write(off & !3, 4, word);
+        self.ram.write_raw(off & !3, 4, word);
         self.poisoned[(off / 4) as usize] = true;
+        self.revision += 1;
     }
 
     /// Whether the word containing `off` is currently poisoned.
@@ -341,10 +573,8 @@ impl Tcm {
         let widx = (off / 4) as usize;
         if self.ecc && self.poisoned[widx] {
             // Repair from the ECC shadow copy, stall, continue.
-            let base = (off & !3) as usize;
-            for i in 0..4 {
-                self.ram.bytes_mut()[base + i] = self.shadow[base + i];
-            }
+            let base = off & !3;
+            self.ram.write_raw(base, 4, read_le(&self.shadow, base, 4));
             self.poisoned[widx] = false;
             self.repairs += 1;
             cycles += self.repair_cycles;
@@ -353,8 +583,20 @@ impl Tcm {
     }
 
     /// Writes; keeps the ECC shadow in sync. Returns cycles.
+    ///
+    /// This is the *host-side* entry point and conservatively counts as a
+    /// content mutation (bumps [`Tcm::revision`], invalidating any cached
+    /// decoded view). The machine's own store path uses
+    /// [`Tcm::write_raw`], guarded by its predecode watermark.
     pub fn write(&mut self, off: u32, len: u32, value: u32) -> u32 {
-        self.ram.write(off, len, value);
+        self.revision += 1;
+        self.write_raw(off, len, value)
+    }
+
+    /// Simulated-store write: no revision bump (the caller is responsible
+    /// for code-coherence tracking — see `Machine::note_code_write`).
+    pub(crate) fn write_raw(&mut self, off: u32, len: u32, value: u32) -> u32 {
+        self.ram.write_raw(off, len, value);
         for i in 0..len.min(4) {
             self.shadow[(off + i) as usize] = (value >> (8 * i)) as u8;
         }
@@ -368,8 +610,9 @@ impl Tcm {
     /// Loads an image and synchronizes the ECC shadow.
     pub fn load(&mut self, off: u32, image: &[u8]) {
         let o = off as usize;
-        self.ram.bytes_mut()[o..o + image.len()].copy_from_slice(image);
+        self.ram.load(off, image);
         self.shadow[o..o + image.len()].copy_from_slice(image);
+        self.revision += 1;
     }
 }
 

@@ -212,9 +212,9 @@ impl Mpu {
         }
         let ok = match self.kind {
             MpuKind::Classic => {
-                size.is_power_of_two() && size >= 4096 && base % size == 0
+                size.is_power_of_two() && size >= 4096 && base.is_multiple_of(size)
             }
-            MpuKind::FineGrain => size >= 32 && size % 32 == 0 && base % 32 == 0,
+            MpuKind::FineGrain => size >= 32 && size.is_multiple_of(32) && base.is_multiple_of(32),
         };
         if !ok {
             return Err(MpuError::BadGeometry { base, size });

@@ -32,6 +32,8 @@ pub struct FlashPatch {
     entries: [Option<(u32, PatchKind)>; FlashPatch::SLOTS],
     /// Count of fetches/reads that were patched.
     pub hits: u64,
+    active: u32,
+    revision: u64,
 }
 
 /// Errors programming the patch unit.
@@ -70,6 +72,21 @@ impl FlashPatch {
         FlashPatch::default()
     }
 
+    /// Programming revision: bumped by every [`FlashPatch::set`] /
+    /// [`FlashPatch::clear`]. Consumers caching patched views of flash
+    /// (the machine's predecode cache) compare revisions to detect
+    /// staleness.
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Whether no slot is programmed (fast-path check on fetch/read).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.active == 0
+    }
+
     /// Programs slot `slot` to patch the word at `addr`.
     ///
     /// # Errors
@@ -79,10 +96,14 @@ impl FlashPatch {
         if slot >= FlashPatch::SLOTS {
             return Err(PatchError::BadSlot { slot });
         }
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(PatchError::Misaligned { addr });
         }
+        if self.entries[slot].is_none() {
+            self.active += 1;
+        }
         self.entries[slot] = Some((addr, kind));
+        self.revision += 1;
         Ok(())
     }
 
@@ -95,7 +116,11 @@ impl FlashPatch {
         if slot >= FlashPatch::SLOTS {
             return Err(PatchError::BadSlot { slot });
         }
+        if self.entries[slot].is_some() {
+            self.active -= 1;
+        }
         self.entries[slot] = None;
+        self.revision += 1;
         Ok(())
     }
 
@@ -112,6 +137,9 @@ impl FlashPatch {
     ///
     /// Returns `(value, is_breakpoint)`.
     pub fn apply(&mut self, addr: u32, len: u32, raw: u32) -> (u32, bool) {
+        if self.active == 0 {
+            return (raw, false);
+        }
         match self.lookup(addr) {
             None => (raw, false),
             Some(PatchKind::Breakpoint) => {

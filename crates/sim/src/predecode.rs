@@ -1,0 +1,311 @@
+//! Predecoded-instruction cache: decode each instruction address once.
+//!
+//! Guest instruction memory is effectively immutable between flash loads,
+//! flash-patch updates and (rare) self-modifying stores, yet the seed
+//! interpreter re-fetched bytes and re-ran the table decoder on every
+//! single step. This module adds the classic interpreter remedy — a
+//! *predecode cache* (translation cache without code generation): a
+//! direct-mapped table from instruction address to the already-decoded
+//! [`Instr`], its size, its condition field and its flash-patch
+//! interaction, consulted by `Machine::step` before falling back to
+//! `alia_isa::decode_window`.
+//!
+//! # Semantics preservation
+//!
+//! The cache changes *host* cost only. Everything the cycle model
+//! observes is replayed on every step, hit or miss:
+//!
+//! * fetch **timing** (flash streaming/prefetch state, I-cache lookups and
+//!   parity recoveries, TCM hold-and-repair, MPU execute checks) — the
+//!   machine re-runs the timing side of every fetch; only the byte
+//!   extraction and decode are skipped,
+//! * **flash-patch accounting** — a cached entry remembers how many patch
+//!   hits the fetch contributed and whether it was a patch breakpoint, so
+//!   `FlashPatch::hits` and `StopReason::PatchBreakpoint` are identical,
+//! * **condition evaluation** — IT-block and A32 predication read live CPU
+//!   state, never the cache.
+//!
+//! # Invalidation
+//!
+//! Entries are guarded by a *generation stamp* — the sum of revision
+//! counters on everything that can change what bytes decode to:
+//!
+//! * [`crate::Flash::revision`] — flash image loads / host mutation,
+//! * [`crate::FlashPatch::revision`] — patch slot programming,
+//! * [`crate::Sram::revision`] / [`crate::Tcm::revision`] — host-side RAM
+//!   mutation (bulk loads, fault injection),
+//! * the machine's *code-write generation*, bumped when a simulated store
+//!   (including bit-band aliases) lands inside the cache's **watermark**
+//!   — the address interval covered by cached instructions. Stores
+//!   outside the watermark (the overwhelmingly common case: data is data)
+//!   cost two compares.
+//!
+//! A stamp mismatch clears the whole table on the next lookup. This is
+//! deliberately coarse: correct first, cheap second — invalidation events
+//! are rare compared to steps, and a full clear makes the consistency
+//! argument one sentence long.
+
+use alia_isa::{Cond, Instr};
+
+/// Number of direct-mapped slots (covers 4 KiB of contiguous Thumb code
+/// before aliasing; kernels in this repo are a few hundred bytes).
+const SLOTS: usize = 2048;
+
+/// Marker for an empty slot (instruction addresses are even, so an odd
+/// tag can never match a real PC).
+const TAG_EMPTY: u32 = 1;
+
+/// One predecoded instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entry {
+    tag: u32,
+    /// The decoded instruction (meaningless for breakpoint entries).
+    pub instr: Instr,
+    /// Encoded size in bytes (2 or 4).
+    pub size: u32,
+    /// Precomputed `instr.cond()`.
+    pub cond: Cond,
+    /// Precomputed `matches!(instr, Instr::It { .. })`.
+    pub is_it: bool,
+    /// Flash-patch breakpoint on the first fetched unit (stop before
+    /// executing; `StopReason::PatchBreakpoint { addr: pc }`).
+    pub bp_first: bool,
+    /// Flash-patch breakpoint on the second halfword of a wide Thumb
+    /// instruction (`StopReason::PatchBreakpoint { addr: pc + 2 }`).
+    pub bp_second: bool,
+    /// `FlashPatch::hits` increments this fetch contributes per step.
+    pub patch_hits: u8,
+}
+
+impl Entry {
+    /// An entry for a successfully decoded instruction at `pc`.
+    pub(crate) fn decoded(pc: u32, instr: Instr, size: u32, patch_hits: u8) -> Entry {
+        Entry {
+            tag: pc,
+            instr,
+            size,
+            cond: instr.cond(),
+            is_it: matches!(instr, Instr::It { .. }),
+            bp_first: false,
+            bp_second: false,
+            patch_hits,
+        }
+    }
+
+    /// An entry for a flash-patch breakpoint at `pc`; `second` marks a
+    /// breakpoint on the second halfword of a wide Thumb instruction.
+    pub(crate) fn breakpoint(pc: u32, size: u32, second: bool, patch_hits: u8) -> Entry {
+        Entry {
+            tag: pc,
+            instr: Instr::Nop,
+            size,
+            cond: Cond::Al,
+            is_it: false,
+            bp_first: !second,
+            bp_second: second,
+            patch_hits,
+        }
+    }
+}
+
+/// Hit/miss/invalidation counters for the predecode cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredecodeStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell back to the full fetch + decode path.
+    pub misses: u64,
+    /// Whole-cache invalidations (generation-stamp changes).
+    pub invalidations: u64,
+}
+
+/// The predecoded-instruction cache. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Predecode {
+    /// Direct-mapped table, allocated lazily on the first insert so a
+    /// machine that never steps (or runs with the cache disabled) pays
+    /// nothing at construction.
+    entries: Vec<Entry>,
+    stamp: u64,
+    /// Watermark over cached instruction bytes: lowest / highest address
+    /// (inclusive) any live entry covers. `lo > hi` means empty.
+    lo: u32,
+    hi: u32,
+    enabled: bool,
+    stats: PredecodeStats,
+}
+
+impl Predecode {
+    pub(crate) fn new(enabled: bool) -> Predecode {
+        Predecode {
+            entries: Vec::new(),
+            stamp: 0,
+            lo: u32::MAX,
+            hi: 0,
+            enabled,
+            stats: PredecodeStats::default(),
+        }
+    }
+
+    /// Whether lookups are served (disabling also drops all entries).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.drop_entries();
+    }
+
+    /// Counters since construction (cleared entries keep their counts).
+    #[must_use]
+    pub fn stats(&self) -> PredecodeStats {
+        self.stats
+    }
+
+    fn slot(pc: u32) -> usize {
+        (pc >> 1) as usize & (SLOTS - 1)
+    }
+
+    fn drop_entries(&mut self) {
+        for e in &mut self.entries {
+            e.tag = TAG_EMPTY;
+        }
+        self.lo = u32::MAX;
+        self.hi = 0;
+    }
+
+    /// Looks up `pc` under generation `stamp`, copying out the entry on a
+    /// hit. A stamp change clears the table first.
+    #[inline]
+    pub(crate) fn lookup(&mut self, pc: u32, stamp: u64) -> Option<Entry> {
+        if !self.enabled {
+            return None;
+        }
+        if self.stamp != stamp {
+            self.drop_entries();
+            self.stamp = stamp;
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        match self.entries.get(Predecode::slot(pc)) {
+            Some(e) if e.tag == pc => {
+                self.stats.hits += 1;
+                Some(*e)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs an entry for `pc` filled under generation `stamp`.
+    pub(crate) fn insert(&mut self, pc: u32, stamp: u64, entry: Entry) {
+        if !self.enabled || self.stamp != stamp {
+            return;
+        }
+        if self.entries.is_empty() {
+            self.entries = vec![
+                Entry {
+                    tag: TAG_EMPTY,
+                    instr: Instr::Nop,
+                    size: 0,
+                    cond: Cond::Al,
+                    is_it: false,
+                    bp_first: false,
+                    bp_second: false,
+                    patch_hits: 0,
+                };
+                SLOTS
+            ];
+        }
+        debug_assert_eq!(entry.tag, pc);
+        let end = pc + entry.size.max(2) - 1;
+        self.lo = self.lo.min(pc);
+        self.hi = self.hi.max(end);
+        self.entries[Predecode::slot(pc)] = entry;
+    }
+
+    /// Whether a write of `len` bytes at `addr` overlaps any cached
+    /// instruction (the self-modifying-code check on the store path).
+    #[must_use]
+    pub(crate) fn covers(&self, addr: u32, len: u32) -> bool {
+        // Empty cache has lo > hi, which can never satisfy both bounds.
+        addr <= self.hi && addr.saturating_add(len.max(1) - 1) >= self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pc: u32, size: u32) -> Entry {
+        Entry::decoded(pc, Instr::Nop, size, 0)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut p = Predecode::new(true);
+        assert!(p.lookup(0x100, 5).is_none()); // first lookup sets stamp
+        p.insert(0x100, 5, entry(0x100, 2));
+        assert!(p.lookup(0x100, 5).is_some());
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+    }
+
+    #[test]
+    fn stamp_change_clears() {
+        let mut p = Predecode::new(true);
+        p.lookup(0x100, 1);
+        p.insert(0x100, 1, entry(0x100, 2));
+        assert!(p.lookup(0x100, 2).is_none(), "new stamp invalidates");
+        assert!(p.lookup(0x100, 2).is_none(), "entry really gone");
+        assert_eq!(p.stats().invalidations, 2, "construction stamp 0 -> 1 -> 2");
+    }
+
+    #[test]
+    fn stale_insert_is_dropped() {
+        let mut p = Predecode::new(true);
+        p.lookup(0x100, 1);
+        p.insert(0x100, 2, entry(0x100, 2)); // filled under a newer stamp
+        assert!(p.lookup(0x100, 1).is_none());
+    }
+
+    #[test]
+    fn disabled_never_hits() {
+        let mut p = Predecode::new(false);
+        p.insert(0x100, 0, entry(0x100, 2));
+        assert!(p.lookup(0x100, 0).is_none());
+        assert_eq!(p.stats().hits, 0);
+    }
+
+    #[test]
+    fn watermark_covers_cached_range_only() {
+        let mut p = Predecode::new(true);
+        p.lookup(0x100, 1);
+        assert!(!p.covers(0x100, 4), "empty cache covers nothing");
+        p.insert(0x100, 1, entry(0x100, 4));
+        p.insert(0x200, 1, entry(0x200, 2));
+        assert!(p.covers(0x100, 1));
+        assert!(p.covers(0x103, 1));
+        assert!(p.covers(0x201, 1));
+        assert!(p.covers(0xFE, 8), "straddling write detected");
+        assert!(!p.covers(0x202, 4));
+        assert!(!p.covers(0, 0x100));
+    }
+
+    #[test]
+    fn aliasing_slots_overwrite() {
+        let mut p = Predecode::new(true);
+        p.lookup(0x100, 1);
+        p.insert(0x100, 1, entry(0x100, 2));
+        // Same slot: 0x100 and 0x100 + 2*SLOTS alias.
+        let alias = 0x100 + 2 * SLOTS as u32;
+        p.insert(alias, 1, entry(alias, 2));
+        assert!(p.lookup(0x100, 1).is_none());
+        assert!(p.lookup(alias, 1).is_some());
+    }
+}

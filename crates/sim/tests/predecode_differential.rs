@@ -1,0 +1,554 @@
+//! Differential tests: the predecode cache must be invisible.
+//!
+//! Every scenario here runs twice — predecode enabled and disabled — and
+//! asserts bit-identical architectural outcomes: `StopReason`, `cycles`,
+//! `instructions`, registers, flags, flash streaming statistics and
+//! flash-patch hit accounting. Scenarios cover all three machine presets,
+//! IRQs (both schemes), IT blocks, literal pools, flash-patch programming
+//! mid-run, self-modifying SRAM code and randomized ALU programs.
+
+use alia_isa::{encode, Assembler, Instr, IsaMode, Operand2, Reg};
+use alia_sim::{Machine, MachineConfig, PatchKind, StopReason, RunResult, SRAM_BASE};
+
+/// Builds the pair: identical machines except for the predecode setting.
+fn pair(build: impl Fn() -> Machine) -> (Machine, Machine) {
+    let mut on = build();
+    on.set_predecode_enabled(true);
+    let mut off = build();
+    off.set_predecode_enabled(false);
+    (on, off)
+}
+
+/// Asserts both machines are architecturally identical right now.
+fn assert_state_eq(on: &Machine, off: &Machine, what: &str) {
+    assert_eq!(on.cycles(), off.cycles(), "{what}: cycles diverged");
+    assert_eq!(on.instructions(), off.instructions(), "{what}: instret diverged");
+    assert_eq!(on.cpu.pc, off.cpu.pc, "{what}: pc diverged");
+    assert_eq!(on.cpu.regs, off.cpu.regs, "{what}: registers diverged");
+    assert_eq!(on.cpu.flags, off.cpu.flags, "{what}: flags diverged");
+    assert_eq!(on.patch.hits, off.patch.hits, "{what}: patch hits diverged");
+    assert_eq!(on.flash.stats(), off.flash.stats(), "{what}: flash stats diverged");
+    assert_eq!(on.svc_count(), off.svc_count(), "{what}: svc count diverged");
+    assert_eq!(
+        on.latencies().len(),
+        off.latencies().len(),
+        "{what}: IRQ latency observations diverged"
+    );
+}
+
+/// Runs both machines to completion and asserts identical results.
+fn run_both(mut on: Machine, mut off: Machine, limit: u64, what: &str) -> RunResult {
+    let a = on.run(limit);
+    let b = off.run(limit);
+    assert_eq!(a, b, "{what}: RunResult diverged");
+    assert_state_eq(&on, &off, what);
+    assert!(
+        on.predecode_stats().hits > 0 || a.instructions < 2,
+        "{what}: cache never hit — the differential exercised nothing"
+    );
+    assert_eq!(off.predecode_stats().hits, 0, "{what}: disabled cache must not hit");
+    a
+}
+
+/// A host-side mutation applied to both machines at a given step index.
+type Event<'a> = (u64, &'a dyn Fn(&mut Machine));
+
+/// Lockstep run: steps both machines together, comparing after every
+/// step, applying `events` (host-side mutations) at given step indices.
+fn lockstep(
+    mut on: Machine,
+    mut off: Machine,
+    max_steps: u64,
+    events: &[Event<'_>],
+    what: &str,
+) -> Option<StopReason> {
+    for step in 0..max_steps {
+        for (at, event) in events {
+            if *at == step {
+                event(&mut on);
+                event(&mut off);
+            }
+        }
+        let a = on.step();
+        let b = off.step();
+        assert_eq!(a, b, "{what}: stop reason diverged at step {step}");
+        assert_state_eq(&on, &off, &format!("{what} (step {step})"));
+        if a.is_some() {
+            return a;
+        }
+    }
+    None
+}
+
+fn presets() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("arm7_a32", MachineConfig::arm7_like(IsaMode::A32)),
+        ("arm7_t16", MachineConfig::arm7_like(IsaMode::T16)),
+        ("m3_t2", MachineConfig::m3_like()),
+        ("high_end_t2", MachineConfig::high_end_like()),
+    ]
+}
+
+fn machine_with(config: &MachineConfig, src: &str) -> Machine {
+    let out = Assembler::new(config.mode).assemble(src).expect("program assembles");
+    let mut m = Machine::new(config.clone());
+    m.load_flash(0x100, &out.bytes);
+    m.set_pc(0x100);
+    m.cpu.set_sp(SRAM_BASE + 0x8000);
+    m
+}
+
+#[test]
+fn alu_loop_identical_across_presets() {
+    let src = "mov r0, #0
+         mov r1, #200
+         loop: add r0, r0, #1
+         sub r1, r1, #1
+         cmp r1, #0
+         bne loop
+         bkpt #0";
+    for (name, config) in presets() {
+        let (on, off) = pair(|| machine_with(&config, src));
+        let r = run_both(on, off, 1_000_000, name);
+        assert_eq!(r.reason, StopReason::Bkpt(0), "{name}");
+    }
+}
+
+#[test]
+fn memory_stack_and_literals_identical() {
+    // Loads, stores, push/pop in a loop, then a literal-pool load
+    // (stream break). The literal offset is resolved with a two-pass
+    // assembly over the layout symbols.
+    let template = |off: i32| {
+        format!(
+            "movw r0, #0
+             movt r0, #0x2000
+             mov r7, #3
+             loop: mov r1, #7
+             str r1, [r0, #4]
+             ldr r2, [r0, #4]
+             push {{r1, r2}}
+             pop {{r3, r4}}
+             sub r7, r7, #1
+             cmp r7, #0
+             bne loop
+             litload: ldr r5, [pc, #{off}]
+             nop
+             bkpt #0
+             .align 4
+             lit: .word 0xDEADBEEF"
+        )
+    };
+    for (name, config) in presets() {
+        if config.mode != IsaMode::T2 {
+            continue;
+        }
+        let probe = Assembler::new(config.mode).assemble(&template(0)).unwrap();
+        let base = (probe.symbols["litload"] + 4) & !3;
+        let off = probe.symbols["lit"] as i32 - base as i32;
+        let src = template(off);
+        let out = Assembler::new(config.mode).assemble(&src).unwrap();
+        assert_eq!(out.symbols, probe.symbols, "layout must be offset-independent");
+        let (on, off_m) = pair(|| machine_with(&config, &src));
+        let r = run_both(on, off_m, 1_000_000, name);
+        assert_eq!(r.reason, StopReason::Bkpt(0), "{name}");
+        let mut check = machine_with(&config, &src);
+        check.run(1_000_000);
+        assert_eq!(check.cpu.regs[5], 0xDEAD_BEEF, "{name}: literal load landed wrong");
+    }
+}
+
+#[test]
+fn it_blocks_and_predication_identical() {
+    let src = "mov r0, #5
+         mov r2, #0
+         loop: cmp r0, #3
+         ite ge
+         add r2, r2, #2
+         sub r2, r2, #1
+         sub r0, r0, #1
+         cmp r0, #0
+         bne loop
+         bkpt #0";
+    for (name, config) in presets() {
+        if config.mode != IsaMode::T2 {
+            continue;
+        }
+        let (on, off) = pair(|| machine_with(&config, src));
+        run_both(on, off, 1_000_000, name);
+    }
+}
+
+#[test]
+fn a32_conditional_execution_identical() {
+    let src = "mov r0, #10
+         mov r1, #0
+         loop: cmp r0, #5
+         addgt r1, r1, #2
+         addle r1, r1, #1
+         sub r0, r0, #1
+         cmp r0, #0
+         bne loop
+         bkpt #0";
+    let config = MachineConfig::arm7_like(IsaMode::A32);
+    let (on, off) = pair(|| machine_with(&config, src));
+    run_both(on, off, 1_000_000, "a32_cond");
+}
+
+#[test]
+fn interrupts_identical_under_both_schemes() {
+    for (name, config) in presets() {
+        let build = || {
+            let main = Assembler::new(config.mode)
+                .assemble("main: add r4, r4, #1\n cmp r4, #200\n bne main\n bkpt #0")
+                .unwrap();
+            let handler = Assembler::new(config.mode)
+                .assemble("add r5, r5, #1\n bx lr")
+                .unwrap();
+            let mut m = Machine::new(config.clone());
+            m.load_flash(0x100, &main.bytes);
+            m.load_flash(0x400, &handler.bytes);
+            m.load_flash(0, &0x400u32.to_le_bytes());
+            m.set_pc(0x100);
+            m.cpu.set_sp(SRAM_BASE + 0x8000);
+            m.schedule_irq(60, 0);
+            m.schedule_irq(200, 0);
+            m
+        };
+        let (on, off) = pair(build);
+        let r = run_both(on, off, 1_000_000, name);
+        assert_eq!(r.reason, StopReason::Bkpt(0), "{name}");
+    }
+}
+
+#[test]
+fn flash_patch_remap_programmed_mid_run_identical() {
+    // The loop re-reads a flash word that gets remapped mid-run; the
+    // predecode watermark doesn't cover data, but the patch *revision*
+    // must invalidate cached views either way.
+    //
+    // Two-pass assembly: first with placeholder immediates to learn the
+    // literal's offset (instruction sizes don't depend on immediates),
+    // then with the real address baked into movw/movt.
+    let template = |addr: u32| {
+        format!(
+            "movw r2, #{}
+             movt r2, #{}
+             mov r0, #0
+             mov r6, #0
+             loop: ldr r1, [r2, #0]
+             add r6, r6, r1
+             add r0, r0, #1
+             cmp r0, #40
+             bne loop
+             bkpt #0
+             .align 4
+             lit: .word 0x00000001",
+            addr & 0xFFFF,
+            addr >> 16
+        )
+    };
+    let config = MachineConfig::m3_like();
+    let probe = Assembler::new(config.mode).assemble(&template(0)).unwrap();
+    let lit_addr = 0x100 + probe.symbols["lit"];
+    let out = Assembler::new(config.mode).assemble(&template(lit_addr)).unwrap();
+    assert_eq!(out.symbols["lit"], probe.symbols["lit"], "layout must be immediate-independent");
+    let build = || {
+        let mut m = Machine::new(config.clone());
+        m.load_flash(0x100, &out.bytes);
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    let (on, off) = pair(build);
+    let set_patch: &dyn Fn(&mut Machine) =
+        &|m| m.patch.set(0, lit_addr, PatchKind::Remap(0x100)).unwrap();
+    let clear_patch: &dyn Fn(&mut Machine) = &|m| m.patch.clear(0).unwrap();
+    let stop = lockstep(
+        on,
+        off,
+        100_000,
+        &[(40, set_patch), (120, clear_patch)],
+        "patch_remap_mid_run",
+    );
+    assert_eq!(stop, Some(StopReason::Bkpt(0)));
+}
+
+#[test]
+fn flash_patch_breakpoint_on_cached_instruction() {
+    // Execute a loop long enough to cache it, then drop a breakpoint
+    // patch onto an instruction *already in the predecode cache*.
+    let src = "mov r0, #0
+         loop: add r0, r0, #1
+         target: add r0, r0, #2
+         cmp r0, #0
+         bne loop
+         bkpt #0";
+    let config = MachineConfig::m3_like();
+    let out = Assembler::new(config.mode).assemble(src).unwrap();
+    let target = (0x100 + out.symbols["target"]) & !3;
+    let build = || {
+        let mut m = Machine::new(config.clone());
+        m.load_flash(0x100, &out.bytes);
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    let (on, off) = pair(build);
+    let set_bp: &dyn Fn(&mut Machine) =
+        &|m| m.patch.set(3, target, PatchKind::Breakpoint).unwrap();
+    let stop = lockstep(on, off, 100_000, &[(30, set_bp)], "patch_bp_mid_run");
+    assert!(
+        matches!(stop, Some(StopReason::PatchBreakpoint { .. })),
+        "expected patch breakpoint, got {stop:?}"
+    );
+}
+
+#[test]
+fn self_modifying_sram_code_program_driven() {
+    // Code runs *from SRAM* and rewrites one of its own instructions
+    // (`mov r4, #1` -> `mov r4, #99`) after it has been executed (and
+    // therefore predecoded), then loops back through it. Two-pass
+    // assembly bakes the target address and replacement encoding into
+    // movw immediates (layout is immediate-independent).
+    let code_base = SRAM_BASE + 0x100;
+    let mode = IsaMode::T2;
+    // Replacement `mov r4, #99` (narrow, 2 bytes), stored with strh so
+    // the neighbouring instruction is untouched.
+    let repl = encode(
+        &Instr::Mov { s: false, cond: alia_isa::Cond::Al, rd: Reg::R4, op2: Operand2::Imm(99) },
+        mode,
+    )
+    .unwrap();
+    assert_eq!(repl.as_bytes().len(), 2, "narrow mov expected");
+    let repl_halfword =
+        u32::from(u16::from_le_bytes([repl.as_bytes()[0], repl.as_bytes()[1]]));
+    let template = |target: u32, halfword: u32| {
+        format!(
+            "b start
+             target: mov r4, #1
+             b after
+             start: mov r5, #0
+             pass: add r5, r5, #1
+             b target
+             after: cmp r5, #2
+             bge done
+             movw r0, #{}
+             movt r0, #{}
+             movw r1, #{}
+             strh r1, [r0, #0]
+             b pass
+             done: bkpt #0",
+            target & 0xFFFF,
+            target >> 16,
+            halfword
+        )
+    };
+    let probe = Assembler::new(mode).assemble(&template(0, 0)).unwrap();
+    let target_addr = code_base + probe.symbols["target"];
+    let out = Assembler::new(mode).assemble(&template(target_addr, repl_halfword)).unwrap();
+    assert_eq!(out.symbols, probe.symbols, "layout must be immediate-independent");
+    let build = || {
+        let mut m = Machine::new(MachineConfig::m3_like());
+        m.load_sram(code_base, &out.bytes);
+        m.set_pc(code_base + out.symbols["start"]);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    let (mut on, mut off) = pair(build);
+    let a = on.run(1_000_000);
+    let b = off.run(1_000_000);
+    assert_eq!(a, b, "SMC run diverged");
+    assert_eq!(on.cpu.regs, off.cpu.regs, "SMC registers diverged");
+    assert_eq!(a.reason, StopReason::Bkpt(0));
+    // The second pass must have executed the *rewritten* instruction.
+    assert_eq!(on.cpu.regs[4], 99, "stale predecode served the old instruction");
+}
+
+#[test]
+fn direct_component_level_sram_write_invalidates() {
+    // Mutating code through the *component-level* `Sram::write` API (the
+    // pub `machine.sram` field, bypassing `Machine::write_sram_word`)
+    // must also invalidate cached decode: `Sram::write` counts as a
+    // host-side content mutation.
+    let code_base = SRAM_BASE + 0x300;
+    let src = "mov r0, #0
+         loop: add r0, r0, #1
+         target: add r6, r6, #1
+         cmp r0, #30
+         bne loop
+         bkpt #0";
+    let mode = IsaMode::T2;
+    let out = Assembler::new(mode).assemble(src).unwrap();
+    let target_addr = code_base + out.symbols["target"];
+    let repl = Assembler::new(mode).assemble("add r6, r6, #5\n cmp r0, #30").unwrap();
+    let word = u32::from_le_bytes(repl.bytes[..4].try_into().unwrap());
+    let build = || {
+        let mut m = Machine::new(MachineConfig::m3_like());
+        m.load_sram(code_base, &out.bytes);
+        m.set_pc(code_base);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    let (on, off) = pair(build);
+    let rewrite: &dyn Fn(&mut Machine) =
+        &|m| m.sram.write(target_addr - SRAM_BASE, 4, word);
+    let stop = lockstep(on, off, 100_000, &[(20, rewrite)], "component_sram_write");
+    assert_eq!(stop, Some(StopReason::Bkpt(0)));
+}
+
+#[test]
+fn direct_component_level_tcm_write_invalidates() {
+    // Same hole, TCM flavour: mutating code through the component-level
+    // `Tcm::write` API must invalidate cached decode via `Tcm::revision`.
+    use alia_sim::TCM_BASE;
+    let code_base = TCM_BASE + 0x100;
+    let src = "mov r0, #0
+         loop: add r0, r0, #1
+         target: add r6, r6, #1
+         cmp r0, #30
+         bne loop
+         bkpt #0";
+    let mode = IsaMode::T2;
+    let out = Assembler::new(mode).assemble(src).unwrap();
+    let target_off = (code_base - TCM_BASE) + out.symbols["target"];
+    let repl = Assembler::new(mode).assemble("add r6, r6, #5\n cmp r0, #30").unwrap();
+    let word = u32::from_le_bytes(repl.bytes[..4].try_into().unwrap());
+    let build = || {
+        let mut m = Machine::new(MachineConfig::high_end_like());
+        m.tcm.as_mut().unwrap().load(code_base - TCM_BASE, &out.bytes);
+        m.set_pc(code_base);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    let (on, off) = pair(build);
+    let rewrite: &dyn Fn(&mut Machine) =
+        &|m| {
+            m.tcm.as_mut().unwrap().write(target_off, 4, word);
+        };
+    let stop = lockstep(on, off, 100_000, &[(20, rewrite)], "component_tcm_write");
+    assert_eq!(stop, Some(StopReason::Bkpt(0)));
+}
+
+#[test]
+fn self_modifying_sram_code_host_driven() {
+    // Host rewrites an upcoming instruction mid-run via write_sram_word.
+    let code_base = SRAM_BASE + 0x200;
+    let src = "mov r0, #0
+         loop: add r0, r0, #1
+         target: add r7, r7, #1
+         cmp r0, #60
+         bne loop
+         bkpt #0";
+    let mode = IsaMode::T2;
+    let out = Assembler::new(mode).assemble(src).unwrap();
+    let target_addr = code_base + out.symbols["target"];
+    assert_eq!(target_addr % 4, 0, "test wants an aligned word to rewrite");
+    let build = || {
+        let mut m = Machine::new(MachineConfig::m3_like());
+        m.load_sram(code_base, &out.bytes);
+        m.set_pc(code_base);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    // Replacement word: `add r7, r7, #3` + original `cmp r0, #60`.
+    let repl = Assembler::new(mode).assemble("add r7, r7, #3\n cmp r0, #60").unwrap();
+    let word = u32::from_le_bytes(repl.bytes[..4].try_into().unwrap());
+    let (on, off) = pair(build);
+    let rewrite: &dyn Fn(&mut Machine) = &|m| m.write_sram_word(target_addr, word);
+    let stop = lockstep(on, off, 100_000, &[(50, rewrite)], "host_smc");
+    assert_eq!(stop, Some(StopReason::Bkpt(0)));
+}
+
+#[test]
+fn toggling_predecode_mid_run_matches_disabled() {
+    let src = "mov r0, #0
+         mov r1, #300
+         loop: add r0, r0, #3
+         sub r1, r1, #1
+         cmp r1, #0
+         bne loop
+         bkpt #0";
+    let config = MachineConfig::m3_like();
+    let mut toggler = machine_with(&config, src);
+    let mut reference = machine_with(&config, src);
+    reference.set_predecode_enabled(false);
+    let mut stop_a = None;
+    for step in 0..100_000u64 {
+        if step.is_multiple_of(37) {
+            toggler.set_predecode_enabled(step.is_multiple_of(74));
+        }
+        let a = toggler.step();
+        let b = reference.step();
+        assert_eq!(a, b, "diverged at step {step}");
+        assert_eq!(toggler.cycles(), reference.cycles(), "cycles diverged at step {step}");
+        assert_eq!(toggler.cpu.regs, reference.cpu.regs, "regs diverged at step {step}");
+        if a.is_some() {
+            stop_a = a;
+            break;
+        }
+    }
+    assert_eq!(stop_a, Some(StopReason::Bkpt(0)));
+}
+
+#[test]
+fn randomized_alu_programs_identical() {
+    // Deterministic xorshift; straight-line random ALU over r0-r6.
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let ops = ["add", "sub", "and", "orr", "eor"];
+    for trial in 0..12 {
+        // Random straight-line body, looped thrice so the second and
+        // third passes run from the predecode cache.
+        let mut src = String::from(
+            "mov r0, #1\nmov r1, #2\nmov r2, #3\nmov r3, #4\nmov r7, #3\nloop:\n",
+        );
+        for _ in 0..100 {
+            let op = ops[(next() % ops.len() as u64) as usize];
+            let rd = next() % 7;
+            let rn = next() % 7;
+            if next() % 2 == 0 {
+                // T16's narrow immediate ALU forms only cover add/sub.
+                let imm = next() % 256;
+                let imm_op = if next() % 2 == 0 { "add" } else { "sub" };
+                src.push_str(&format!("{imm_op} r{rd}, r{rd}, #{imm}\n"));
+                let _ = (op, rn);
+            } else {
+                src.push_str(&format!("{op} r{rd}, r{rd}, r{rn}\n"));
+            }
+        }
+        src.push_str("sub r7, r7, #1\ncmp r7, #0\nbne loop\nbkpt #0");
+        for (name, config) in presets() {
+            let (on, off) = pair(|| machine_with(&config, &src));
+            let what = format!("random[{trial}] on {name}");
+            let r = run_both(on, off, 1_000_000, &what);
+            assert_eq!(r.reason, StopReason::Bkpt(0), "{what}");
+        }
+    }
+}
+
+#[test]
+fn predecode_stats_report_hits() {
+    let src = "mov r0, #0
+         mov r1, #50
+         loop: add r0, r0, #1
+         sub r1, r1, #1
+         cmp r1, #0
+         bne loop
+         bkpt #0";
+    let config = MachineConfig::m3_like();
+    let mut m = machine_with(&config, src);
+    let r = m.run(1_000_000);
+    assert_eq!(r.reason, StopReason::Bkpt(0));
+    let stats = m.predecode_stats();
+    assert!(stats.hits > stats.misses, "steady-state loop must mostly hit");
+    assert!(
+        stats.hits + stats.misses >= r.instructions,
+        "every retired instruction consults the cache"
+    );
+}

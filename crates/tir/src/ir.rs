@@ -118,11 +118,7 @@ impl BinOp {
                 }
             }
             BinOp::Udiv => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
+                a.checked_div(b).unwrap_or(0)
             }
             BinOp::Srem => {
                 let (a, b) = (a as i32, b as i32);

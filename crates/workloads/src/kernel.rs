@@ -54,7 +54,7 @@ impl Kernel {
     /// The address outputs are written to (input rounded up, plus slack).
     #[must_use]
     pub fn output_base(&self, elems: u32) -> u32 {
-        DATA_BASE + (self.input_len(elems) + 63 & !63)
+        DATA_BASE + ((self.input_len(elems) + 63) & !63)
     }
 
     /// The arguments to pass in `r0..r2`.
