@@ -93,6 +93,15 @@ fn bench_sim_throughput(c: &mut Criterion) {
             run_to_bkpt(m)
         })
     });
+    // Ablation: direct-mapped predecode layout (the default is 2-way
+    // set-associative; this isolates the associativity cost/benefit).
+    g.bench_function("alu_t2_m3_predecode_direct", |b| {
+        b.iter(|| {
+            let mut m = machine_with(MachineConfig::m3_like(), ALU_SRC);
+            m.set_predecode_two_way(false);
+            run_to_bkpt(m)
+        })
+    });
     g.finish();
 
     // Host-MIPS summary: one long timed run per case.

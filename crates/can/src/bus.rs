@@ -142,6 +142,13 @@ impl CanBus {
         &self.deliveries
     }
 
+    /// Frames queued but not yet transmitted (controllers poll while
+    /// this is nonzero).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Bus utilization over the elapsed time.
     #[must_use]
     pub fn utilization(&self) -> f64 {

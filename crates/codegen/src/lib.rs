@@ -52,7 +52,7 @@ pub use program::{compile, CompiledProgram, FuncStats};
 pub use softops::{lower_soft_ops, RuntimeFuncs, TargetFeatures};
 
 /// How 32-bit constants that do not fit an immediate are materialized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConstStrategy {
     /// `MOVW`/`MOVT` pairs — keeps instruction fetch sequential (§2.2).
     /// Only available in `T2`; other modes fall back to the pool.
@@ -63,7 +63,7 @@ pub enum ConstStrategy {
 }
 
 /// Compilation options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CodegenOptions {
     /// Address the image will be loaded at.
     pub base_addr: u32,

@@ -136,6 +136,17 @@ fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, group: Option<&str>, name
         None => name.to_string(),
     };
 
+    // `cargo bench -- --test` smoke mode (mirroring real Criterion):
+    // run each benchmark body exactly once, no warm-up, no sampling —
+    // CI uses this to catch benchmark regressions at compile+run level
+    // without paying measurement time.
+    if std::env::args().any(|a| a == "--test") {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, target_iters: 1 };
+        f(&mut b);
+        println!("{label:<40} (test mode: 1 iteration ok)");
+        return;
+    }
+
     // Calibration + warm-up: discover how many iterations fit in the
     // warm-up budget, starting from one.
     let mut per_call = Duration::from_nanos(100);

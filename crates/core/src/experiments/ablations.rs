@@ -1,5 +1,5 @@
 //! Ablations of the design choices the paper's §2 motivates, beyond the
-//! bus-width ablation in [`super::table1`]:
+//! bus-width ablation in [`super::table1::bus_width_ablation`]:
 //!
 //! * **IT blocks / conditional execution** (§2.3: "this instruction
 //!   encourages sequencing of opcodes rather than branching") — compile
@@ -12,7 +12,7 @@ use alia_isa::IsaMode;
 use alia_sim::MachineConfig;
 use alia_workloads::autoindy;
 
-use crate::runner::{geometric_mean, run_kernel};
+use crate::runner::{geometric_mean, run_kernel_cached, RunCache};
 use crate::CoreError;
 
 /// The predication ablation result.
@@ -52,6 +52,10 @@ pub fn predication_ablation(seed: u64, elems: u32) -> Result<PredicationAblation
     let on = CodegenOptions::default();
     let off = CodegenOptions { predication: false, ..CodegenOptions::default() };
     let suite = autoindy();
+    // Interpreter checksums are shared across all four sweeps (the
+    // ablation only changes codegen); compilations repeat per (mode,
+    // opts) pair.
+    let cache = std::cell::RefCell::new(RunCache::new());
 
     let measure = |mode: IsaMode,
                    opts: &CodegenOptions|
@@ -63,7 +67,7 @@ pub fn predication_ablation(seed: u64, elems: u32) -> Result<PredicationAblation
                 IsaMode::T2 => MachineConfig::m3_like(),
                 _ => MachineConfig::arm7_like(mode),
             };
-            let run = run_kernel(k, config, opts, seed, elems)?;
+            let run = run_kernel_cached(&mut cache.borrow_mut(), k, config, opts, seed, elems)?;
             cycles.push(run.cycles as f64);
             sizes.push(f64::from(run.code_size));
         }

@@ -134,7 +134,7 @@ fn measure(style: IrqStyle) -> Result<SchemeLatency, CoreError> {
     if r.reason != StopReason::CycleLimit {
         return Err(CoreError::Run { what: format!("isolated run stopped: {:?}", r.reason) });
     }
-    let trace = &m.mmio.trace;
+    let trace = &m.mmio().trace;
     if trace.is_empty() {
         return Err(CoreError::Run { what: "handler never traced".into() });
     }
@@ -150,11 +150,11 @@ fn measure(style: IrqStyle) -> Result<SchemeLatency, CoreError> {
     if r2.reason != StopReason::CycleLimit {
         return Err(CoreError::Run { what: format!("b2b run stopped: {:?}", r2.reason) });
     }
-    if m2.mmio.trace.len() < 2 {
+    if m2.mmio().trace.len() < 2 {
         return Err(CoreError::Run { what: "second handler never ran".into() });
     }
     let pend2 = 100u64;
-    let back_to_back_total = m2.mmio.trace[1].1 - pend2;
+    let back_to_back_total = m2.mmio().trace[1].1 - pend2;
     Ok(SchemeLatency {
         style,
         useful_latency,

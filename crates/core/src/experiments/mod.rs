@@ -30,7 +30,10 @@ pub use flash_patch::{flash_patch_experiment, FlashPatchExperiment};
 pub use interrupt::{interrupt_experiment, InterruptExperiment, SchemeLatency};
 pub use ldm::{ldm_experiment, LdmExperiment};
 pub use mpu::{mpu_experiment, GranularityPoint, MpuExperiment};
-pub use network::{network_experiment, NetworkExperiment};
+pub use network::{
+    guest_can_exchange, guest_can_exchange_checksum, network_experiment, GuestCanExchange,
+    NetworkExperiment,
+};
 pub use soft_error::{soft_error_experiment, CampaignArm, InjectTarget, SoftErrorExperiment};
 pub use table1::{
     bus_width_ablation, table1, BusWidthAblation, KernelMeasurement, Table1, Table1Row,

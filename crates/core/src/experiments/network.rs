@@ -9,6 +9,11 @@
 use std::fmt;
 
 use alia_can::{allocate, body_task_set, fleet, AllocationReport, Placement};
+use alia_isa::Assembler;
+use alia_sim::{
+    CanConfig, CanController, DeviceSpec, Machine, MachineConfig, StopReason, Timer, TimerConfig,
+    CAN_BASE, SRAM_BASE, TIMER_BASE,
+};
 
 use crate::CoreError;
 
@@ -72,9 +77,193 @@ pub fn network_experiment(
     Ok(NetworkExperiment { nodes, tasks: tasks.len(), dedicated, harmonized })
 }
 
+/// Result of the guest-driven CAN/timer exchange: a kernel on the
+/// M3-class node sends and receives CAN frames and paces itself on
+/// timer interrupts purely through loads and stores to the bus devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuestCanExchange {
+    /// Frames the guest submitted through the TX registers.
+    pub frames_sent: u64,
+    /// Frames the guest drained from the RX FIFO.
+    pub frames_received: u64,
+    /// Checksum the guest accumulated over received ids and payloads
+    /// (reported through the MMIO exit register).
+    pub checksum: u32,
+    /// Timer compare matches that interrupted the guest.
+    pub timer_fires: u64,
+    /// Interrupts the core actually took.
+    pub irqs_taken: u64,
+    /// Guest cycles for the whole exchange.
+    pub cycles: u64,
+    /// CAN wire utilization over the run.
+    pub bus_utilization: f64,
+}
+
+impl fmt::Display for GuestCanExchange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "guest-driven CAN exchange: {} sent / {} received in {} cycles \
+             ({} timer IRQs, {} IRQs taken, wire {:.1}% busy, checksum {:#x})",
+            self.frames_sent,
+            self.frames_received,
+            self.cycles,
+            self.timer_fires,
+            self.irqs_taken,
+            self.bus_utilization * 100.0,
+            self.checksum
+        )
+    }
+}
+
+/// The expected checksum of [`guest_can_exchange`]: the guest sums each
+/// received frame's id (`0x100 + k`) and first payload word (`k`).
+#[must_use]
+pub fn guest_can_exchange_checksum(frames: u32) -> u32 {
+    (0..frames).map(|k| 0x100 + k + k).sum()
+}
+
+/// Runs a guest program that exchanges `frames` CAN frames with itself
+/// (loopback test mode) and paces transmission on a periodic timer —
+/// every device interaction is a guest load or store; the host only
+/// builds the machine and reads the result.
+///
+/// The timer IRQ handler stages and submits one frame per compare
+/// match; the CAN RX IRQ handler drains the FIFO, accumulating the
+/// checksum. The main loop spins until all frames have arrived, then
+/// exits through the MMIO exit register with the checksum as the code.
+///
+/// # Errors
+///
+/// Fails when assembly fails or the exchange does not complete.
+///
+/// # Panics
+///
+/// Panics when `frames` exceeds 200 (the guest uses 8-bit compare
+/// immediates).
+pub fn guest_can_exchange(frames: u32) -> Result<GuestCanExchange, CoreError> {
+    assert!(frames > 0 && frames <= 200, "frame count must fit an 8-bit immediate");
+    let mut config = MachineConfig::m3_like();
+    config.devices = vec![
+        DeviceSpec::Timer(TimerConfig { base: TIMER_BASE, irq: 0, compare: 1_000 }),
+        DeviceSpec::Can(CanConfig {
+            base: CAN_BASE,
+            irq: 1,
+            node: 0,
+            cycles_per_bit: 4,
+            loopback: true,
+        }),
+    ];
+    let asm = |src: &str| {
+        Assembler::new(config.mode)
+            .assemble(src)
+            .map(|o| o.bytes)
+            .map_err(|e| CoreError::Run { what: format!("asm: {e}") })
+    };
+    // Main: program the timer (COMPARE then CTRL = enable | periodic),
+    // spin until the RX handler has counted all frames, exit with the
+    // checksum.
+    let main = asm(&format!(
+        "movw r0, #0x1000
+         movt r0, #0x4000
+         movw r1, #1000
+         str r1, [r0, #4]
+         mov r1, #3
+         str r1, [r0, #0]
+         spin: cmp r7, #{frames}
+         bne spin
+         movw r0, #0
+         movt r0, #0x4000
+         str r6, [r0, #0]
+         halt: b halt"
+    ))?;
+    // Timer handler: submit frame k with id 0x100+k and payload word k,
+    // until `frames` have been sent.
+    let timer_handler = asm(&format!(
+        "movw r0, #0x2000
+         movt r0, #0x4000
+         cmp r4, #{frames}
+         bge done
+         movw r1, #0x100
+         add r1, r1, r4
+         str r1, [r0, #0]
+         mov r1, #4
+         str r1, [r0, #4]
+         str r4, [r0, #8]
+         mov r1, #0
+         str r1, [r0, #12]
+         str r1, [r0, #16]
+         add r4, r4, #1
+         done: bx lr"
+    ))?;
+    // CAN RX handler: drain the FIFO, summing id + first payload word.
+    let can_handler = asm(
+        "movw r0, #0x2000
+         movt r0, #0x4000
+         rxloop: ldr r1, [r0, #20]
+         cmp r1, #0
+         beq rxdone
+         ldr r1, [r0, #24]
+         add r6, r6, r1
+         ldr r1, [r0, #32]
+         add r6, r6, r1
+         str r1, [r0, #40]
+         add r7, r7, #1
+         b rxloop
+         rxdone: bx lr",
+    )?;
+    let mut m = Machine::new(config);
+    m.load_flash(0x100, &main);
+    m.load_flash(0x200, &timer_handler);
+    m.load_flash(0x300, &can_handler);
+    m.load_flash(0, &0x200u32.to_le_bytes()); // vector: timer (irq 0)
+    m.load_flash(4, &0x300u32.to_le_bytes()); // vector: CAN RX (irq 1)
+    m.set_pc(0x100);
+    m.cpu.set_sp(SRAM_BASE + 0x8000);
+    let r = m.run(10_000_000);
+    let StopReason::MmioExit(checksum) = r.reason else {
+        return Err(CoreError::Run {
+            what: format!("exchange stopped with {:?} after {} cycles", r.reason, r.cycles),
+        });
+    };
+    let timer = m.bus.device::<Timer>().expect("timer attached");
+    let can = m.bus.device::<CanController>().expect("CAN controller attached");
+    Ok(GuestCanExchange {
+        frames_sent: can.tx_count(),
+        frames_received: can.rx_count(),
+        checksum,
+        timer_fires: timer.fires(),
+        irqs_taken: m.irq.taken,
+        cycles: r.cycles,
+        bus_utilization: can.can_bus().utilization(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn guest_exchange_is_fully_load_store_driven() {
+        let e = guest_can_exchange(8).expect("exchange completes");
+        assert_eq!(e.frames_sent, 8);
+        assert_eq!(e.frames_received, 8);
+        assert_eq!(e.checksum, guest_can_exchange_checksum(8));
+        assert!(e.timer_fires >= 8, "one send per compare match");
+        assert!(e.irqs_taken >= 16, "timer + RX interrupts both taken");
+        assert!(e.bus_utilization > 0.0);
+        let s = e.to_string();
+        assert!(s.contains("guest-driven CAN exchange"));
+    }
+
+    #[test]
+    fn guest_exchange_scales_with_frame_count() {
+        let small = guest_can_exchange(2).expect("completes");
+        let large = guest_can_exchange(16).expect("completes");
+        assert_eq!(small.checksum, guest_can_exchange_checksum(2));
+        assert_eq!(large.checksum, guest_can_exchange_checksum(16));
+        assert!(large.cycles > small.cycles);
+    }
 
     #[test]
     fn harmonization_dominates() {

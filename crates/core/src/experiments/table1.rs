@@ -8,7 +8,7 @@ use alia_isa::IsaMode;
 use alia_sim::MachineConfig;
 use alia_workloads::autoindy;
 
-use crate::runner::{geometric_mean, run_kernel};
+use crate::runner::{geometric_mean, run_kernel_cached, RunCache};
 use crate::CoreError;
 
 /// One per-kernel measurement.
@@ -118,13 +118,16 @@ pub fn table1(seed: u64, elems: u32) -> Result<Table1, CoreError> {
     ];
     let opts = CodegenOptions::default();
     let suite = autoindy();
+    // One cache across the whole table: interpreter checksums are shared
+    // by all three configurations, compilations by configs of one mode.
+    let mut cache = RunCache::new();
     let mut rows = Vec::new();
     for (label, config) in configs {
         let mut perfs = Vec::new();
         let mut total_size = 0u32;
         let mut kernels = Vec::new();
         for k in &suite {
-            let run = run_kernel(k, config.clone(), &opts, seed, elems)?;
+            let run = run_kernel_cached(&mut cache, k, config.clone(), &opts, seed, elems)?;
             // iterations per kilocycle ~ "per MHz" at 1 cycle = 1 tick.
             perfs.push(f64::from(elems) * 1000.0 / run.cycles as f64);
             total_size += run.code_size;
@@ -183,6 +186,9 @@ impl fmt::Display for BusWidthAblation {
 pub fn bus_width_ablation(seed: u64, elems: u32) -> Result<BusWidthAblation, CoreError> {
     let opts = CodegenOptions::default();
     let suite = autoindy();
+    // Flash width varies but the compiled program and checksum do not:
+    // every run after the first four is pure simulation.
+    let mut cache = RunCache::new();
     let mut rel = [0.0f64; 2];
     for (slot, width) in [(0usize, 4u32), (1, 2)] {
         let mut ratios = Vec::new();
@@ -191,8 +197,8 @@ pub fn bus_width_ablation(seed: u64, elems: u32) -> Result<BusWidthAblation, Cor
             a32_cfg.flash.width = width;
             let mut t16_cfg = MachineConfig::arm7_like(IsaMode::T16);
             t16_cfg.flash.width = width;
-            let a32 = run_kernel(k, a32_cfg, &opts, seed, elems)?;
-            let t16 = run_kernel(k, t16_cfg, &opts, seed, elems)?;
+            let a32 = run_kernel_cached(&mut cache, k, a32_cfg, &opts, seed, elems)?;
+            let t16 = run_kernel_cached(&mut cache, k, t16_cfg, &opts, seed, elems)?;
             ratios.push(a32.cycles as f64 / t16.cycles as f64);
         }
         rel[slot] = geometric_mean(&ratios);

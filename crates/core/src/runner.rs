@@ -1,6 +1,9 @@
 //! Running compiled workloads on simulated machines, with cross-checking
 //! against the golden interpreter.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use alia_codegen::{compile, CodegenOptions, CompiledProgram};
 use alia_isa::IsaMode;
 use alia_sim::{Machine, MachineConfig, StopReason};
@@ -71,6 +74,77 @@ pub fn compile_kernel(
     compile(&kernel.module, mode, opts).map_err(CoreError::from)
 }
 
+/// Memoization cache for the pure stages of the kernel pipeline:
+/// compilation (keyed on `(kernel, mode, opts)`) and golden-interpreter
+/// verification (keyed on `(kernel, seed, elems)`).
+///
+/// Sweep experiments (Table 1, the ablations, parameter scans) run the
+/// same kernels over and over with only the machine configuration
+/// varying; both stages are pure functions of their keys, so a shared
+/// cache removes them from every run after the first.
+///
+/// Kernels are identified by name: the workload suite maps each name to
+/// a fixed TIR module, so the name is a complete key within a process.
+#[derive(Debug, Default)]
+pub struct RunCache {
+    programs: HashMap<(&'static str, IsaMode, CodegenOptions), Arc<CompiledProgram>>,
+    checksums: HashMap<(&'static str, u64, u32), u32>,
+    compile_hits: u64,
+    interp_hits: u64,
+}
+
+impl RunCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> RunCache {
+        RunCache::default()
+    }
+
+    /// Compiles `kernel` for `mode`/`opts`, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler failures (which are not cached).
+    pub fn compiled(
+        &mut self,
+        kernel: &Kernel,
+        mode: IsaMode,
+        opts: &CodegenOptions,
+    ) -> Result<Arc<CompiledProgram>, CoreError> {
+        if let Some(p) = self.programs.get(&(kernel.name, mode, *opts)) {
+            self.compile_hits += 1;
+            return Ok(Arc::clone(p));
+        }
+        let prog = Arc::new(compile_kernel(kernel, mode, opts)?);
+        self.programs.insert((kernel.name, mode, *opts), Arc::clone(&prog));
+        Ok(prog)
+    }
+
+    /// The golden-interpreter checksum for `(kernel, seed, elems)`,
+    /// memoized.
+    pub fn interp_checksum(&mut self, kernel: &Kernel, seed: u64, elems: u32) -> u32 {
+        if let Some(&c) = self.checksums.get(&(kernel.name, seed, elems)) {
+            self.interp_hits += 1;
+            return c;
+        }
+        let c = kernel.run_interp(seed, elems);
+        self.checksums.insert((kernel.name, seed, elems), c);
+        c
+    }
+
+    /// Compilations served from the cache.
+    #[must_use]
+    pub fn compile_hits(&self) -> u64 {
+        self.compile_hits
+    }
+
+    /// Interpreter verifications served from the cache.
+    #[must_use]
+    pub fn interp_hits(&self) -> u64 {
+        self.interp_hits
+    }
+}
+
 /// Prepares a machine with `prog` and the kernel's input loaded, ready to
 /// run (pc, sp, args and the return trampoline are set).
 #[must_use]
@@ -111,7 +185,25 @@ pub fn run_kernel(
     seed: u64,
     elems: u32,
 ) -> Result<KernelRun, CoreError> {
-    let prog = compile_kernel(kernel, config.mode, opts)?;
+    run_kernel_cached(&mut RunCache::new(), kernel, config, opts, seed, elems)
+}
+
+/// [`run_kernel`] with compilation and interpreter verification served
+/// from `cache` — the entry point for sweep experiments that re-run the
+/// same kernels under varying machine configurations.
+///
+/// # Errors
+///
+/// Same contract as [`run_kernel`].
+pub fn run_kernel_cached(
+    cache: &mut RunCache,
+    kernel: &Kernel,
+    config: MachineConfig,
+    opts: &CodegenOptions,
+    seed: u64,
+    elems: u32,
+) -> Result<KernelRun, CoreError> {
+    let prog = cache.compiled(kernel, config.mode, opts)?;
     let mut m = machine_for(config, &prog, kernel, seed, elems);
     let host_start = std::time::Instant::now();
     let result = m.run(2_000_000_000);
@@ -124,7 +216,7 @@ pub fn run_kernel(
             ),
         });
     }
-    let expect = kernel.run_interp(seed, elems);
+    let expect = cache.interp_checksum(kernel, seed, elems);
     if m.cpu.regs[0] != expect {
         return Err(CoreError::Run {
             what: format!(
@@ -176,6 +268,29 @@ mod tests {
         assert_eq!(a32.checksum, t16.checksum);
         assert_eq!(a32.checksum, t2.checksum);
         assert!(t16.code_size < a32.code_size);
+    }
+
+    #[test]
+    fn run_cache_hits_and_matches_uncached() {
+        let kernels = all_kernels();
+        let k = kernels.iter().find(|k| k.name == "tblook").unwrap();
+        let opts = CodegenOptions::default();
+        let mut cache = RunCache::new();
+        let uncached = run_kernel(k, MachineConfig::m3_like(), &opts, 11, 24).unwrap();
+        // Same kernel across several machine configs: compile memoizes
+        // per mode, interp per (seed, elems).
+        let a = run_kernel_cached(&mut cache, k, MachineConfig::m3_like(), &opts, 11, 24).unwrap();
+        let b = run_kernel_cached(&mut cache, k, MachineConfig::high_end_like(), &opts, 11, 24)
+            .unwrap();
+        let c = run_kernel_cached(&mut cache, k, MachineConfig::m3_like(), &opts, 11, 24).unwrap();
+        assert_eq!(a, uncached, "cached run must be bit-identical");
+        assert_eq!(a, c, "repeat run must be bit-identical");
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(cache.compile_hits(), 2, "m3 + high_end share T2, repeat hits");
+        assert_eq!(cache.interp_hits(), 2, "seed/elems shared across configs");
+        // A different seed is a different interp key.
+        let _ = run_kernel_cached(&mut cache, k, MachineConfig::m3_like(), &opts, 12, 24).unwrap();
+        assert_eq!(cache.interp_hits(), 2);
     }
 
     #[test]

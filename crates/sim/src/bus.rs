@@ -1,0 +1,525 @@
+//! The system bus: region-table address decode and pluggable MMIO devices.
+//!
+//! The seed simulator resolved every memory access with a chain of range
+//! compares inside `Machine` and serviced exactly one hard-wired MMIO
+//! block. This module replaces both with a first-class bus:
+//!
+//! * a 16-entry **region table** indexed by `addr >> 28` — each entry
+//!   holds up to two `(base, size, kind)` slots (SRAM and its bit-band
+//!   alias share a nibble), so classification is two wrapping subtract +
+//!   compare pairs instead of a branch chain, and regions larger than one
+//!   nibble simply occupy several entries;
+//! * a [`Device`] trait through which every non-RAM region is serviced.
+//!   The instrumentation MMIO block, the compare-match timer and the
+//!   memory-mapped CAN controller are all ordinary devices attached to
+//!   windows inside the `0x4xxx_xxxx` nibble.
+//!
+//! # The `Device` contract
+//!
+//! * **Timing** — every device access costs one bus cycle on the machine
+//!   side (plus the core's internal load/store cycles). Devices model
+//!   time through [`Device::tick`], never by stalling the bus.
+//! * **Ticking** — the machine calls [`Device::tick`] whenever the cycle
+//!   counter reaches [`Device::next_event`]. A device with no timed
+//!   behaviour returns `None` and is only touched by loads and stores.
+//! * **IRQs** — devices raise interrupts through [`DeviceCtx::signals`]:
+//!   [`BusSignals::raise_irq`] for "pend at the next step boundary"
+//!   (matching the legacy instrumentation semantics) and
+//!   [`BusSignals::raise_irq_at`] for events with a precise assertion
+//!   cycle (latency accounting measures from that cycle).
+//!   [`Device::pending_irq`] exposes level-style state for
+//!   introspection; the machine drains edge events from the signals.
+//! * **Revisions** — [`Device::revision`] must change whenever the
+//!   device mutates state that can alter *instruction fetch* results
+//!   (e.g. a device that remaps code). It participates in the predecode
+//!   cache's generation stamp; plain data devices leave it at zero.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::mem::{BITBAND_BASE, FLASH_BASE, MMIO_BASE, SRAM_BASE, TCM_BASE};
+
+/// Memory region classes of the simulated address map, as resolved by
+/// the bus region table — shared by the fetch, data-read and data-write
+/// paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Wait-stated flash.
+    Flash,
+    /// Tightly-coupled memory (when fitted).
+    Tcm,
+    /// Single-cycle SRAM.
+    Sram,
+    /// Bit-band alias of SRAM (when fitted).
+    BitBand,
+    /// A bus device; the payload is its attachment index
+    /// (index 0 is always the instrumentation MMIO block).
+    Device(u8),
+    /// No device.
+    Unmapped,
+}
+
+/// What a region-table slot maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    Flash,
+    Tcm,
+    Sram,
+    BitBand,
+    /// The device nibble: resolve against the attached device windows.
+    DeviceSpace,
+}
+
+/// One `(base, size, kind)` slot of a region-table entry. `size == 0`
+/// marks an empty slot (the wrapping-subtract compare can never match).
+#[derive(Debug, Clone, Copy)]
+struct RegionSlot {
+    base: u32,
+    size: u32,
+    kind: SlotKind,
+}
+
+const EMPTY_SLOT: RegionSlot = RegionSlot { base: 0, size: 0, kind: SlotKind::Flash };
+
+/// One entry of the 16-entry region table (one per `addr >> 28` nibble).
+#[derive(Debug, Clone, Copy)]
+struct RegionEntry {
+    slots: [RegionSlot; 2],
+}
+
+/// Signals devices can raise towards the machine. Kept outside the
+/// devices themselves so the hot loop can poll them without dynamic
+/// dispatch.
+#[derive(Debug, Clone, Default)]
+pub struct BusSignals {
+    /// Set when a device requests a halt; the machine stops with
+    /// [`crate::StopReason::MmioExit`].
+    pub exit_code: Option<u32>,
+    /// IRQ numbers to pend at the next step boundary (assertion cycle =
+    /// the drain cycle, matching the legacy `MMIO_IRQ_SET` semantics).
+    pub irq_requests: Vec<u32>,
+    /// `(irq, cycle)` events with a precise assertion cycle (timer
+    /// compare matches, CAN frame completions).
+    pub timed_irqs: Vec<(u32, u64)>,
+}
+
+impl BusSignals {
+    /// Requests a machine halt with `code`.
+    pub fn request_exit(&mut self, code: u32) {
+        self.exit_code = Some(code);
+    }
+
+    /// Pends `irq` at the next step boundary.
+    pub fn raise_irq(&mut self, irq: u32) {
+        self.irq_requests.push(irq);
+    }
+
+    /// Pends `irq` with assertion cycle `at` (used for latency
+    /// accounting; `at` must not be in the future of the machine's
+    /// cycle counter when the event is drained).
+    pub fn raise_irq_at(&mut self, irq: u32, at: u64) {
+        self.timed_irqs.push((irq, at));
+    }
+}
+
+/// Context handed to device callbacks: the machine-side state a device
+/// may observe or signal through.
+#[derive(Debug)]
+pub struct DeviceCtx<'a> {
+    /// The machine's cycle counter at the access/tick.
+    pub now: u64,
+    /// The IRQ number currently being serviced (for dispatch registers).
+    pub active_irq: u32,
+    /// Signal sinks (exit requests, IRQ events).
+    pub signals: &'a mut BusSignals,
+}
+
+/// Object-safe clone support for boxed devices.
+pub trait DeviceClone {
+    /// Clones the device into a new box.
+    fn clone_box(&self) -> Box<dyn Device>;
+}
+
+impl<T: Device + Clone + 'static> DeviceClone for T {
+    fn clone_box(&self) -> Box<dyn Device> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Device> {
+    fn clone(&self) -> Box<dyn Device> {
+        self.clone_box()
+    }
+}
+
+/// A memory-mapped bus device. See the module docs for the contract
+/// (timing, ticking, IRQ signaling, revision counters).
+pub trait Device: fmt::Debug + DeviceClone {
+    /// Short device name (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Reads the register word containing byte offset `off` (the offset
+    /// is *not* word-aligned by the bus; implementations align as their
+    /// register file requires).
+    fn read32(&mut self, off: u32, ctx: &mut DeviceCtx<'_>) -> u32;
+
+    /// Writes a word to the register containing byte offset `off`.
+    fn write32(&mut self, off: u32, value: u32, ctx: &mut DeviceCtx<'_>);
+
+    /// Writes a halfword; the default routes to [`Device::write32`] of
+    /// the containing word (legacy instrumentation-block semantics).
+    fn write16(&mut self, off: u32, value: u32, ctx: &mut DeviceCtx<'_>) {
+        self.write32(off & !3, value, ctx);
+    }
+
+    /// Writes a byte; the default routes to [`Device::write32`] of the
+    /// containing word.
+    fn write8(&mut self, off: u32, value: u32, ctx: &mut DeviceCtx<'_>) {
+        self.write32(off & !3, value, ctx);
+    }
+
+    /// Width-dispatching read used by the bus. The default reproduces
+    /// the legacy instrumentation behaviour: every width reads the
+    /// containing register word unmasked.
+    fn read(&mut self, off: u32, len: u32, ctx: &mut DeviceCtx<'_>) -> u32 {
+        let _ = len;
+        self.read32(off & !3, ctx)
+    }
+
+    /// Width-dispatching write used by the bus.
+    fn write(&mut self, off: u32, len: u32, value: u32, ctx: &mut DeviceCtx<'_>) {
+        match len {
+            1 => self.write8(off, value, ctx),
+            2 => self.write16(off, value, ctx),
+            _ => self.write32(off & !3, value, ctx),
+        }
+    }
+
+    /// Advances device time to `ctx.now`, raising any due IRQ events
+    /// through `ctx.signals`. Called when the machine's cycle counter
+    /// reaches [`Device::next_event`]; the default does nothing.
+    fn tick(&mut self, ctx: &mut DeviceCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// The next cycle at which the device needs a [`Device::tick`],
+    /// or `None` for purely reactive devices.
+    fn next_event(&self) -> Option<u64> {
+        None
+    }
+
+    /// Level-style pending-interrupt state, for introspection (edge
+    /// events travel through [`BusSignals`] instead).
+    fn pending_irq(&self) -> Option<u32> {
+        None
+    }
+
+    /// Revision counter over device state that can change instruction
+    /// fetch results; participates in the predecode generation stamp.
+    fn revision(&self) -> u64 {
+        0
+    }
+
+    /// Upcast for typed access via [`Bus::device`].
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcast for typed access via [`Bus::device_mut`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A device attached to the bus at a window of the device nibble.
+#[derive(Debug, Clone)]
+pub struct AttachedDevice {
+    /// Window base address.
+    pub base: u32,
+    /// Window size in bytes.
+    pub size: u32,
+    /// The device itself.
+    pub dev: Box<dyn Device>,
+}
+
+/// The system bus: region table, attached devices and device signals.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    table: [RegionEntry; 16],
+    devices: Vec<AttachedDevice>,
+    /// Signals raised by devices, drained by the machine.
+    pub signals: BusSignals,
+    /// Cached minimum of the attached devices' [`Device::next_event`]
+    /// (`u64::MAX` when no device has a timed event).
+    next_event: u64,
+    /// Cached sum of the attached devices' [`Device::revision`]
+    /// counters (refreshed with `next_event`; read every step by the
+    /// predecode stamp).
+    rev_sum: u64,
+}
+
+impl Bus {
+    /// Builds the region table for a machine layout. Regions wider than
+    /// one 256 MiB nibble occupy every entry they cover.
+    #[must_use]
+    pub fn new(flash_size: u32, sram_size: u32, tcm_size: Option<u32>, bitband: bool) -> Bus {
+        let mut bus = Bus {
+            table: [RegionEntry { slots: [EMPTY_SLOT; 2] }; 16],
+            devices: Vec::new(),
+            signals: BusSignals::default(),
+            next_event: u64::MAX,
+            rev_sum: 0,
+        };
+        bus.add_region(FLASH_BASE, flash_size, SlotKind::Flash);
+        if let Some(sz) = tcm_size {
+            bus.add_region(TCM_BASE, sz, SlotKind::Tcm);
+        }
+        bus.add_region(SRAM_BASE, sram_size, SlotKind::Sram);
+        if bitband {
+            bus.add_region(BITBAND_BASE, sram_size.saturating_mul(8), SlotKind::BitBand);
+        }
+        bus
+    }
+
+    /// Inserts `(base, size, kind)` into every nibble entry the region
+    /// covers. Panics if a nibble already has two slots (the fixed
+    /// memory map never does).
+    fn add_region(&mut self, base: u32, size: u32, kind: SlotKind) {
+        if size == 0 {
+            return;
+        }
+        let first = base >> 28;
+        let last = (base as u64 + u64::from(size) - 1).min(u32::MAX.into()) as u32 >> 28;
+        for nib in first..=last {
+            let entry = &mut self.table[nib as usize];
+            let slot = entry
+                .slots
+                .iter_mut()
+                .find(|s| s.size == 0 || (s.kind == kind && s.base == base))
+                .expect("at most two regions per address nibble");
+            *slot = RegionSlot { base, size, kind };
+        }
+    }
+
+    /// Attaches `dev` at `[base, base + size)` and returns its index.
+    /// Index 0 is reserved for the instrumentation MMIO block by
+    /// machine construction. The window joins the `DeviceSpace` slot of
+    /// its nibble; per-access resolution scans the (short) window list.
+    pub fn attach(&mut self, base: u32, size: u32, dev: Box<dyn Device>) -> u8 {
+        assert!(
+            self.devices.len() < u8::MAX as usize,
+            "device index space exhausted"
+        );
+        assert!(size > 0, "device window must be non-empty");
+        // Grow (or create) the DeviceSpace slot of each covered nibble
+        // to span the union of all windows in that nibble.
+        let first = base >> 28;
+        let last = (base as u64 + u64::from(size) - 1).min(u32::MAX.into()) as u32 >> 28;
+        for nib in first..=last {
+            let entry = &mut self.table[nib as usize];
+            if let Some(s) = entry.slots.iter_mut().find(|s| {
+                s.size > 0 && s.kind == SlotKind::DeviceSpace
+            }) {
+                let lo = s.base.min(base);
+                let hi = (u64::from(s.base) + u64::from(s.size))
+                    .max(u64::from(base) + u64::from(size));
+                s.base = lo;
+                s.size = (hi - u64::from(lo)) as u32;
+            } else {
+                let slot = entry
+                    .slots
+                    .iter_mut()
+                    .find(|s| s.size == 0)
+                    .expect("at most two regions per address nibble");
+                *slot = RegionSlot { base, size, kind: SlotKind::DeviceSpace };
+            }
+        }
+        let idx = self.devices.len() as u8;
+        self.devices.push(AttachedDevice { base, size, dev });
+        self.refresh_next_event();
+        idx
+    }
+
+    /// Resolves an address to its region: one table index, at most two
+    /// wrapping subtract + compare pairs, then (for device space only) a
+    /// scan of the short device-window list.
+    #[must_use]
+    #[inline]
+    pub fn classify(&self, addr: u32) -> Region {
+        let entry = &self.table[(addr >> 28) as usize];
+        for s in &entry.slots {
+            if addr.wrapping_sub(s.base) < s.size {
+                return match s.kind {
+                    SlotKind::Flash => Region::Flash,
+                    SlotKind::Tcm => Region::Tcm,
+                    SlotKind::Sram => Region::Sram,
+                    SlotKind::BitBand => Region::BitBand,
+                    SlotKind::DeviceSpace => return self.resolve_device(addr),
+                };
+            }
+        }
+        Region::Unmapped
+    }
+
+    #[inline]
+    fn resolve_device(&self, addr: u32) -> Region {
+        for (i, d) in self.devices.iter().enumerate() {
+            if addr.wrapping_sub(d.base) < d.size {
+                return Region::Device(i as u8);
+            }
+        }
+        Region::Unmapped
+    }
+
+    /// The attached devices.
+    #[must_use]
+    pub fn devices(&self) -> &[AttachedDevice] {
+        &self.devices
+    }
+
+    /// Typed access to the first attached device of type `T`.
+    #[must_use]
+    pub fn device<T: Device + 'static>(&self) -> Option<&T> {
+        self.devices.iter().find_map(|d| d.dev.as_any().downcast_ref::<T>())
+    }
+
+    /// Typed mutable access to the first attached device of type `T`.
+    /// Host-side mutation that (re)arms timed behaviour must be followed
+    /// by [`Bus::refresh_next_event`].
+    pub fn device_mut<T: Device + 'static>(&mut self) -> Option<&mut T> {
+        self.devices.iter_mut().find_map(|d| d.dev.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Recomputes the cached next-event cycle and device-revision sum;
+    /// call after host-side device mutation through [`Bus::device_mut`].
+    pub fn refresh_next_event(&mut self) {
+        self.next_event = self
+            .devices
+            .iter()
+            .filter_map(|d| d.dev.next_event())
+            .min()
+            .unwrap_or(u64::MAX);
+        self.rev_sum = self
+            .devices
+            .iter()
+            .fold(0u64, |acc, d| acc.wrapping_add(d.dev.revision()));
+    }
+
+    /// The earliest cycle any device needs a tick (`u64::MAX` if none) —
+    /// one compare per step in the hot loop.
+    #[must_use]
+    #[inline]
+    pub fn next_event(&self) -> u64 {
+        self.next_event
+    }
+
+    /// Performs a device read of `len` bytes at `addr` (resolved against
+    /// the window of device `idx`).
+    pub fn device_read(&mut self, idx: u8, addr: u32, len: u32, now: u64, active_irq: u32) -> u32 {
+        let d = &mut self.devices[idx as usize];
+        let off = addr - d.base;
+        let mut ctx = DeviceCtx { now, active_irq, signals: &mut self.signals };
+        let v = d.dev.read(off, len, &mut ctx);
+        self.refresh_next_event();
+        v
+    }
+
+    /// Performs a device write of `len` bytes at `addr`.
+    pub fn device_write(
+        &mut self,
+        idx: u8,
+        addr: u32,
+        len: u32,
+        value: u32,
+        now: u64,
+        active_irq: u32,
+    ) {
+        let d = &mut self.devices[idx as usize];
+        let off = addr - d.base;
+        let mut ctx = DeviceCtx { now, active_irq, signals: &mut self.signals };
+        d.dev.write(off, len, value, &mut ctx);
+        self.refresh_next_event();
+    }
+
+    /// Ticks every device whose [`Device::next_event`] is due at `now`
+    /// and refreshes the cached next-event cycle.
+    pub fn tick_devices(&mut self, now: u64, active_irq: u32) {
+        for d in &mut self.devices {
+            if d.dev.next_event().is_some_and(|at| at <= now) {
+                let mut ctx = DeviceCtx { now, active_irq, signals: &mut self.signals };
+                d.dev.tick(&mut ctx);
+            }
+        }
+        self.refresh_next_event();
+    }
+
+    /// Sum of the attached devices' [`Device::revision`] counters —
+    /// folded into the predecode generation stamp (cached bus-side;
+    /// refreshed on every device access and tick).
+    #[must_use]
+    #[inline]
+    pub fn device_revisions(&self) -> u64 {
+        self.rev_sum
+    }
+}
+
+/// Default window base of the instrumentation MMIO block
+/// (same as [`MMIO_BASE`]; re-exported for symmetry with the other
+/// device windows).
+pub const MMIO_WINDOW_BASE: u32 = MMIO_BASE;
+/// Default window base of the compare-match timer device.
+pub const TIMER_BASE: u32 = MMIO_BASE + 0x1000;
+/// Default window base of the memory-mapped CAN controller.
+pub const CAN_BASE: u32 = MMIO_BASE + 0x2000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Mmio;
+
+    #[test]
+    fn table_matches_fixed_memory_map() {
+        let bus = Bus::new(1 << 20, 1 << 20, Some(64 << 10), true);
+        assert_eq!(bus.classify(FLASH_BASE), Region::Flash);
+        assert_eq!(bus.classify(FLASH_BASE + (1 << 20) - 1), Region::Flash);
+        assert_eq!(bus.classify(FLASH_BASE + (1 << 20)), Region::Unmapped);
+        assert_eq!(bus.classify(TCM_BASE), Region::Tcm);
+        assert_eq!(bus.classify(TCM_BASE + (64 << 10)), Region::Unmapped);
+        assert_eq!(bus.classify(SRAM_BASE), Region::Sram);
+        assert_eq!(bus.classify(BITBAND_BASE), Region::BitBand);
+        assert_eq!(bus.classify(BITBAND_BASE + (1 << 23) - 1), Region::BitBand);
+        assert_eq!(bus.classify(BITBAND_BASE + (1 << 23)), Region::Unmapped);
+        assert_eq!(bus.classify(0x3000_0000), Region::Unmapped);
+        assert_eq!(bus.classify(0xFFFF_FFFF), Region::Unmapped);
+    }
+
+    #[test]
+    fn no_tcm_or_bitband_when_not_fitted() {
+        let bus = Bus::new(1 << 20, 1 << 20, None, false);
+        assert_eq!(bus.classify(TCM_BASE), Region::Unmapped);
+        assert_eq!(bus.classify(BITBAND_BASE), Region::Unmapped);
+    }
+
+    #[test]
+    fn device_windows_resolve_by_index() {
+        let mut bus = Bus::new(1 << 20, 1 << 20, None, false);
+        let m = bus.attach(MMIO_WINDOW_BASE, 0x1000, Box::new(Mmio::new()));
+        let c = bus.attach(CAN_BASE, 0x100, Box::new(Mmio::new()));
+        assert_eq!(m, 0);
+        assert_eq!(c, 1);
+        assert_eq!(bus.classify(MMIO_WINDOW_BASE + 8), Region::Device(0));
+        assert_eq!(bus.classify(CAN_BASE + 4), Region::Device(1));
+        // The hole between the two windows is unmapped even though the
+        // DeviceSpace slot spans their union.
+        assert_eq!(bus.classify(TIMER_BASE), Region::Unmapped);
+        assert_eq!(bus.classify(CAN_BASE + 0x100), Region::Unmapped);
+        assert_eq!(bus.classify(MMIO_BASE + 0x8000), Region::Unmapped);
+    }
+
+    #[test]
+    fn signals_accumulate() {
+        let mut s = BusSignals::default();
+        s.raise_irq(3);
+        s.raise_irq_at(1, 99);
+        s.request_exit(7);
+        assert_eq!(s.irq_requests, vec![3]);
+        assert_eq!(s.timed_irqs, vec![(1, 99)]);
+        assert_eq!(s.exit_code, Some(7));
+    }
+}

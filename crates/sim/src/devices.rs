@@ -1,0 +1,490 @@
+//! Pluggable bus devices: a compare-match timer and a memory-mapped CAN
+//! controller.
+//!
+//! Both are ordinary [`Device`] implementations attached through
+//! [`crate::MachineConfig::devices`]; guest programs drive them purely
+//! with loads and stores, and receive their events as interrupts — no
+//! host-side calls are involved once the machine runs.
+//!
+//! # Timer register map (word offsets from [`crate::TIMER_BASE`])
+//!
+//! | off | name    | read                      | write                        |
+//! |-----|---------|---------------------------|------------------------------|
+//! | 0   | CTRL    | bit0 enable, bit1 periodic| same bits; enabling arms the |
+//! |     |         |                           | compare at `now + COMPARE`   |
+//! | 4   | COMPARE | programmed period (cycles)| sets the period              |
+//! | 8   | COUNT   | cycles until the next fire| —                            |
+//! | 12  | STATUS  | fires since enable        | —                            |
+//!
+//! # CAN controller register map (word offsets from [`crate::CAN_BASE`])
+//!
+//! | off | name      | read                  | write                       |
+//! |-----|-----------|-----------------------|-----------------------------|
+//! | 0   | `TX_ID`   | staged id             | arbitration id (bit 31 = extended) |
+//! | 4   | `TX_DLC`  | staged dlc            | payload length 0..=8        |
+//! | 8   | `TX_DATA0`| staged bytes 0–3      | payload bytes 0–3           |
+//! | 12  | `TX_DATA1`| staged bytes 4–7      | payload bytes 4–7           |
+//! | 16  | `TX_GO`   | frames submitted      | any value submits the frame |
+//! | 20  | `RX_STATUS`| RX FIFO depth        | —                           |
+//! | 24  | `RX_ID`   | head frame id         | —                           |
+//! | 28  | `RX_DLC`  | head frame dlc        | —                           |
+//! | 32  | `RX_DATA0`| head bytes 0–3        | —                           |
+//! | 36  | `RX_DATA1`| head bytes 4–7        | —                           |
+//! | 40  | `RX_POP`  | frames received       | any value pops the head     |
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use alia_can::{CanBus, CanFrame, CanId};
+
+use crate::bus::{Device, DeviceCtx};
+
+// ---------------------------------------------------------------------
+// Compare-match timer
+// ---------------------------------------------------------------------
+
+/// Static configuration of a [`Timer`] device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerConfig {
+    /// Window base address (default [`crate::TIMER_BASE`]).
+    pub base: u32,
+    /// IRQ line raised on compare match.
+    pub irq: u32,
+    /// Reset value of the COMPARE register (guest-writable).
+    pub compare: u32,
+}
+
+impl Default for TimerConfig {
+    fn default() -> TimerConfig {
+        TimerConfig { base: crate::TIMER_BASE, irq: 0, compare: 10_000 }
+    }
+}
+
+/// A compare-match timer: counts machine cycles and raises its IRQ when
+/// the programmed compare value elapses, one-shot or periodically.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    config: TimerConfig,
+    compare: u32,
+    enabled: bool,
+    periodic: bool,
+    next_fire: u64,
+    fires: u64,
+}
+
+impl Timer {
+    /// Builds a disarmed timer.
+    #[must_use]
+    pub fn new(config: TimerConfig) -> Timer {
+        Timer {
+            compare: config.compare,
+            config,
+            enabled: false,
+            periodic: false,
+            next_fire: u64::MAX,
+            fires: 0,
+        }
+    }
+
+    /// Number of compare matches since construction.
+    #[must_use]
+    pub fn fires(&self) -> u64 {
+        self.fires
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> TimerConfig {
+        self.config
+    }
+}
+
+impl Device for Timer {
+    fn name(&self) -> &'static str {
+        "timer"
+    }
+
+    fn read32(&mut self, off: u32, ctx: &mut DeviceCtx<'_>) -> u32 {
+        match off & !3 {
+            0 => u32::from(self.enabled) | u32::from(self.periodic) << 1,
+            4 => self.compare,
+            8 if self.enabled => self.next_fire.saturating_sub(ctx.now) as u32,
+            12 => self.fires as u32,
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, off: u32, value: u32, ctx: &mut DeviceCtx<'_>) {
+        match off & !3 {
+            0 => {
+                let enable = value & 1 != 0;
+                self.periodic = value & 2 != 0;
+                if enable && !self.enabled {
+                    self.next_fire = ctx.now + u64::from(self.compare.max(1));
+                }
+                self.enabled = enable;
+                if !enable {
+                    self.next_fire = u64::MAX;
+                }
+            }
+            4 => self.compare = value,
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut DeviceCtx<'_>) {
+        while self.enabled && self.next_fire <= ctx.now {
+            let at = self.next_fire;
+            self.fires += 1;
+            ctx.signals.raise_irq_at(self.config.irq, at);
+            if self.periodic {
+                self.next_fire = at + u64::from(self.compare.max(1));
+            } else {
+                self.enabled = false;
+                self.next_fire = u64::MAX;
+            }
+        }
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        self.enabled.then_some(self.next_fire)
+    }
+
+    // The timer is a pure edge source: compare matches travel through
+    // `BusSignals::raise_irq_at`, and an armed-but-unfired timer has no
+    // level state to report — so the default `pending_irq` (None)
+    // applies.
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory-mapped CAN controller
+// ---------------------------------------------------------------------
+
+/// Static configuration of a [`CanController`] device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanConfig {
+    /// Window base address (default [`crate::CAN_BASE`]).
+    pub base: u32,
+    /// IRQ line raised when a frame lands in the RX FIFO.
+    pub irq: u32,
+    /// This controller's node id on the bus.
+    pub node: usize,
+    /// CPU cycles per CAN bit time (clock-domain ratio).
+    pub cycles_per_bit: u64,
+    /// Whether the controller receives its own transmissions (loopback
+    /// test mode — lets a single machine exchange frames with itself).
+    pub loopback: bool,
+}
+
+impl Default for CanConfig {
+    fn default() -> CanConfig {
+        CanConfig {
+            base: crate::CAN_BASE,
+            irq: 1,
+            node: 0,
+            cycles_per_bit: 40,
+            loopback: false,
+        }
+    }
+}
+
+/// A memory-mapped CAN controller wrapping the event-driven
+/// [`alia_can::CanBus`]: guest stores stage and submit TX frames, bus
+/// deliveries land in an RX FIFO and raise the RX interrupt at the
+/// cycle the frame completes on the wire.
+#[derive(Debug, Clone)]
+pub struct CanController {
+    config: CanConfig,
+    bus: CanBus,
+    tx_id: u32,
+    tx_dlc: u32,
+    tx_data: [u32; 2],
+    tx_count: u64,
+    rx_fifo: VecDeque<CanFrame>,
+    rx_count: u64,
+    deliveries_seen: usize,
+    /// Next cycle the controller wants a tick (`u64::MAX` = idle).
+    poll_at: u64,
+}
+
+impl CanController {
+    /// Builds an idle controller with its own bus instance.
+    #[must_use]
+    pub fn new(config: CanConfig) -> CanController {
+        CanController {
+            config,
+            bus: CanBus::new(),
+            tx_id: 0,
+            tx_dlc: 0,
+            tx_data: [0; 2],
+            tx_count: 0,
+            rx_fifo: VecDeque::new(),
+            rx_count: 0,
+            deliveries_seen: 0,
+            poll_at: u64::MAX,
+        }
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> CanConfig {
+        self.config
+    }
+
+    /// Frames submitted by the guest so far.
+    #[must_use]
+    pub fn tx_count(&self) -> u64 {
+        self.tx_count
+    }
+
+    /// Frames received into the FIFO so far.
+    #[must_use]
+    pub fn rx_count(&self) -> u64 {
+        self.rx_count
+    }
+
+    /// The wrapped bus (inspection: deliveries, utilization).
+    #[must_use]
+    pub fn can_bus(&self) -> &CanBus {
+        &self.bus
+    }
+
+    /// Host-side traffic injection: enqueues `frame` from remote node
+    /// `node` at bus bit-time `at_bits`. Call
+    /// [`crate::Bus::refresh_next_event`] afterwards if the machine is
+    /// mid-run.
+    pub fn host_enqueue(&mut self, at_bits: u64, node: usize, frame: CanFrame) {
+        self.bus.enqueue(at_bits, node, frame);
+        self.poll_at = self.poll_at.min(at_bits.saturating_mul(self.config.cycles_per_bit));
+    }
+
+    fn staged_frame(&self) -> CanFrame {
+        let mut data = [0u8; 8];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (self.tx_data[i / 4] >> (8 * (i % 4))) as u8;
+        }
+        let dlc = self.tx_dlc.min(8) as usize;
+        let id = if self.tx_id & 1 << 31 != 0 {
+            CanId::Extended(self.tx_id & 0x1FFF_FFFF)
+        } else {
+            CanId::Standard((self.tx_id & 0x7FF) as u16)
+        };
+        CanFrame::new(id, &data[..dlc])
+    }
+
+    fn frame_id_word(frame: &CanFrame) -> u32 {
+        match frame.id {
+            CanId::Standard(v) => u32::from(v),
+            CanId::Extended(v) => v | 1 << 31,
+        }
+    }
+
+    fn head_data_word(&self, word: usize) -> u32 {
+        self.rx_fifo.front().map_or(0, |f| {
+            let mut v = 0u32;
+            for i in (0..4).rev() {
+                v = v << 8 | u32::from(f.data[word * 4 + i]);
+            }
+            v
+        })
+    }
+
+    /// Runs the wrapped bus up to `now` and surfaces completed
+    /// deliveries whose completion cycle has been reached.
+    fn advance(&mut self, now: u64, ctx: &mut DeviceCtx<'_>) {
+        let cpb = self.config.cycles_per_bit.max(1);
+        let now_bits = now / cpb;
+        self.bus.run(now_bits);
+        self.poll_at = u64::MAX;
+        let deliveries = self.bus.deliveries();
+        while self.deliveries_seen < deliveries.len() {
+            let d = deliveries[self.deliveries_seen];
+            let arrival = d.completed_at.saturating_mul(cpb);
+            if arrival > now {
+                // Completion is still in the future of the core clock;
+                // re-tick exactly then.
+                self.poll_at = arrival;
+                break;
+            }
+            self.deliveries_seen += 1;
+            if self.config.loopback || d.node != self.config.node {
+                self.rx_fifo.push_back(d.frame);
+                self.rx_count += 1;
+                ctx.signals.raise_irq_at(self.config.irq, arrival);
+            }
+        }
+        if self.poll_at == u64::MAX && self.bus.pending() > 0 {
+            // Frames are queued but not yet transmitted (arbitration or
+            // future enqueue times): poll again next bit time.
+            self.poll_at = now + cpb;
+        }
+    }
+}
+
+impl Device for CanController {
+    fn name(&self) -> &'static str {
+        "can"
+    }
+
+    fn read32(&mut self, off: u32, ctx: &mut DeviceCtx<'_>) -> u32 {
+        let _ = ctx;
+        match off & !3 {
+            0 => self.tx_id,
+            4 => self.tx_dlc,
+            8 => self.tx_data[0],
+            12 => self.tx_data[1],
+            16 => self.tx_count as u32,
+            20 => self.rx_fifo.len() as u32,
+            24 => self.rx_fifo.front().map_or(0, Self::frame_id_word),
+            28 => self.rx_fifo.front().map_or(0, |f| u32::from(f.dlc)),
+            32 => self.head_data_word(0),
+            36 => self.head_data_word(1),
+            40 => self.rx_count as u32,
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, off: u32, value: u32, ctx: &mut DeviceCtx<'_>) {
+        match off & !3 {
+            0 => self.tx_id = value,
+            4 => self.tx_dlc = value,
+            8 => self.tx_data[0] = value,
+            12 => self.tx_data[1] = value,
+            16 => {
+                let frame = self.staged_frame();
+                let cpb = self.config.cycles_per_bit.max(1);
+                self.bus.enqueue(ctx.now / cpb, self.config.node, frame);
+                self.tx_count += 1;
+                // Transmission progress needs ticks from now on.
+                self.poll_at = self.poll_at.min(ctx.now + cpb);
+            }
+            40 => {
+                self.rx_fifo.pop_front();
+            }
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut DeviceCtx<'_>) {
+        let now = ctx.now;
+        self.advance(now, ctx);
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        (self.poll_at != u64::MAX).then_some(self.poll_at)
+    }
+
+    fn pending_irq(&self) -> Option<u32> {
+        (!self.rx_fifo.is_empty()).then_some(self.config.irq)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::BusSignals;
+
+    fn ctx(now: u64, signals: &mut BusSignals) -> DeviceCtx<'_> {
+        DeviceCtx { now, active_irq: 0, signals }
+    }
+
+    #[test]
+    fn timer_fires_periodically() {
+        let mut t = Timer::new(TimerConfig { base: crate::TIMER_BASE, irq: 5, compare: 100 });
+        let mut s = BusSignals::default();
+        assert_eq!(t.next_event(), None);
+        t.write32(4, 50, &mut ctx(10, &mut s)); // COMPARE = 50
+        t.write32(0, 3, &mut ctx(10, &mut s)); // enable | periodic
+        assert_eq!(t.next_event(), Some(60));
+        t.tick(&mut ctx(59, &mut s));
+        assert!(s.timed_irqs.is_empty());
+        t.tick(&mut ctx(125, &mut s));
+        // Two fires elapsed: at 60 and 110, both stamped precisely.
+        assert_eq!(s.timed_irqs, vec![(5, 60), (5, 110)]);
+        assert_eq!(t.fires(), 2);
+        assert_eq!(t.next_event(), Some(160));
+        t.write32(0, 0, &mut ctx(130, &mut s)); // disable
+        assert_eq!(t.next_event(), None);
+    }
+
+    #[test]
+    fn timer_one_shot_disarms() {
+        let mut t = Timer::new(TimerConfig::default());
+        let mut s = BusSignals::default();
+        t.write32(4, 20, &mut ctx(0, &mut s));
+        t.write32(0, 1, &mut ctx(0, &mut s)); // enable, one-shot
+        t.tick(&mut ctx(100, &mut s));
+        assert_eq!(s.timed_irqs, vec![(0, 20)]);
+        assert_eq!(t.next_event(), None);
+        assert_eq!(t.read32(0, &mut ctx(100, &mut s)), 0, "disarmed after firing");
+    }
+
+    #[test]
+    fn can_loopback_round_trip() {
+        let mut c = CanController::new(CanConfig {
+            loopback: true,
+            cycles_per_bit: 10,
+            ..CanConfig::default()
+        });
+        let mut s = BusSignals::default();
+        c.write32(0, 0x123, &mut ctx(0, &mut s)); // TX_ID
+        c.write32(4, 4, &mut ctx(0, &mut s)); // TX_DLC
+        c.write32(8, 0xAABB_CCDD, &mut ctx(0, &mut s)); // TX_DATA0
+        c.write32(16, 1, &mut ctx(0, &mut s)); // TX_GO
+        assert_eq!(c.tx_count(), 1);
+        let due = c.next_event().expect("transmission pending");
+        // Tick until the frame completes on the wire.
+        let mut now = due;
+        while c.rx_count() == 0 {
+            c.tick(&mut ctx(now, &mut s));
+            now = c.next_event().unwrap_or(now + 10);
+            assert!(now < 100_000, "frame never delivered");
+        }
+        assert_eq!(c.read32(20, &mut ctx(now, &mut s)), 1, "RX_STATUS");
+        assert_eq!(c.read32(24, &mut ctx(now, &mut s)), 0x123, "RX_ID");
+        assert_eq!(c.read32(28, &mut ctx(now, &mut s)), 4, "RX_DLC");
+        assert_eq!(c.read32(32, &mut ctx(now, &mut s)), 0xAABB_CCDD, "RX_DATA0");
+        assert_eq!(s.timed_irqs.len(), 1);
+        let (irq, at) = s.timed_irqs[0];
+        assert_eq!(irq, c.config().irq);
+        assert!(at <= now, "IRQ stamped at completion, not in the future");
+        c.write32(40, 1, &mut ctx(now, &mut s)); // RX_POP
+        assert_eq!(c.read32(20, &mut ctx(now, &mut s)), 0);
+    }
+
+    #[test]
+    fn can_ignores_own_frames_without_loopback() {
+        let mut c = CanController::new(CanConfig {
+            loopback: false,
+            cycles_per_bit: 1,
+            ..CanConfig::default()
+        });
+        let mut s = BusSignals::default();
+        c.write32(0, 0x10, &mut ctx(0, &mut s));
+        c.write32(4, 1, &mut ctx(0, &mut s));
+        c.write32(16, 1, &mut ctx(0, &mut s));
+        // Remote traffic from node 7 interleaves.
+        c.host_enqueue(0, 7, CanFrame::new(CanId::Standard(0x20), &[9]));
+        for now in (0..2000).step_by(50) {
+            c.tick(&mut ctx(now, &mut s));
+        }
+        assert_eq!(c.rx_count(), 1, "only the remote frame is received");
+        assert_eq!(c.read32(24, &mut ctx(2000, &mut s)), 0x20);
+    }
+}

@@ -16,6 +16,20 @@
 //! * an 8-slot **flash patch / breakpoint unit** (§3.2.2), and
 //! * an **interruptible, re-startable LDM/STM** option (§3.1.2).
 //!
+//! # The device bus
+//!
+//! Every memory access is dispatched through a region table ([`bus`]):
+//! 16 entries indexed by `addr >> 28`, each with per-slot bounds, so
+//! classification is a table lookup instead of a range-compare chain.
+//! Non-RAM regions are serviced through the pluggable [`Device`] trait;
+//! machines always carry the instrumentation [`Mmio`] block and can
+//! attach a compare-match [`Timer`] and a memory-mapped
+//! [`CanController`] (wrapping `alia_can`) via
+//! [`MachineConfig::devices`] — guest programs drive them purely with
+//! loads and stores and receive their events as interrupts. See
+//! `ARCHITECTURE.md` for the full contract (timing, ticking, IRQ
+//! signaling, revision counters).
+//!
 //! # Host performance
 //!
 //! The interpreter is built to run "as fast as the hardware allows"
@@ -72,8 +86,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bus;
 mod cache;
 mod cpu;
+pub mod devices;
 mod irq;
 mod machine;
 mod mem;
@@ -82,13 +98,18 @@ mod patch;
 pub mod predecode;
 mod timing;
 
+pub use bus::{
+    AttachedDevice, Bus, BusSignals, Device, DeviceClone, DeviceCtx, Region, CAN_BASE,
+    MMIO_WINDOW_BASE, TIMER_BASE,
+};
 pub use cache::{Cache, CacheConfig, CacheStats, Lookup};
 pub use cpu::{
     add_with_carry, barrel_shift, expand_it, Cpu, ItQueue, EXC_RETURN_HW, EXC_RETURN_SW,
 };
+pub use devices::{CanConfig, CanController, Timer, TimerConfig};
 pub use irq::{IrqController, IrqStyle, IrqTiming};
 pub use machine::{
-    IrqLatency, Machine, MachineConfig, Region, RunResult, StopReason, MMIO_IRQ_ACTIVE,
+    DeviceSpec, IrqLatency, Machine, MachineConfig, RunResult, StopReason, MMIO_IRQ_ACTIVE,
 };
 pub use predecode::{Predecode, PredecodeStats};
 pub use mem::{

@@ -8,7 +8,9 @@
 
 use alia_isa::{decode_window, Flags, Instr, IsaMode, MemSize, Offset, Operand2, Reg};
 
+use crate::bus::{Bus, Region};
 use crate::cpu::{add_with_carry, Cpu, EXC_RETURN_HW, EXC_RETURN_SW};
+use crate::devices::{CanConfig, CanController, Timer, TimerConfig};
 use crate::mem::{
     Access, Flash, FlashConfig, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE, MMIO_BASE,
     SRAM_BASE, TCM_BASE,
@@ -70,6 +72,17 @@ pub struct IrqLatency {
     pub tail_chained: bool,
 }
 
+/// A bus device to attach at machine construction (see
+/// [`MachineConfig::devices`]). Index 0 on the bus is always the
+/// instrumentation MMIO block; configured devices follow in order.
+#[derive(Debug, Clone)]
+pub enum DeviceSpec {
+    /// A compare-match [`Timer`].
+    Timer(TimerConfig),
+    /// A memory-mapped [`CanController`].
+    Can(CanConfig),
+}
+
 /// Static machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -102,6 +115,15 @@ pub struct MachineConfig {
     /// (a pure host optimization; cycle counts are identical either way —
     /// see [`crate::predecode`]).
     pub predecode: bool,
+    /// Whether the predecode cache is 2-way set-associative (the
+    /// default; avoids main-loop/handler slot aliasing in
+    /// interrupt-dense workloads). `false` selects the direct-mapped
+    /// layout for the bench ablation. Host-only; cycle counts are
+    /// identical either way.
+    pub predecode_two_way: bool,
+    /// Bus devices to attach beyond the always-present instrumentation
+    /// MMIO block (index 0).
+    pub devices: Vec<DeviceSpec>,
 }
 
 impl MachineConfig {
@@ -123,6 +145,8 @@ impl MachineConfig {
             bitband: false,
             vector_base: 0,
             predecode: true,
+            predecode_two_way: true,
+            devices: Vec::new(),
         }
     }
 
@@ -143,6 +167,8 @@ impl MachineConfig {
             bitband: true,
             vector_base: 0,
             predecode: true,
+            predecode_two_way: true,
+            devices: Vec::new(),
         }
     }
 
@@ -163,6 +189,8 @@ impl MachineConfig {
             bitband: false,
             vector_base: 0,
             predecode: true,
+            predecode_two_way: true,
+            devices: Vec::new(),
         }
     }
 }
@@ -187,8 +215,8 @@ pub struct Machine {
     pub sram: Sram,
     /// TCM, if fitted.
     pub tcm: Option<Tcm>,
-    /// Instrumentation MMIO.
-    pub mmio: Mmio,
+    /// The system bus: region table, attached devices, device signals.
+    pub bus: Bus,
     /// Instruction cache, if fitted.
     pub icache: Option<Cache>,
     /// Data cache, if fitted.
@@ -219,35 +247,33 @@ pub struct Machine {
     code_write_gen: u64,
 }
 
-/// Memory region classes of the simulated address map, as resolved by
-/// [`Machine::classify`] — the single classifier shared by the fetch,
-/// data-read and data-write paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Region {
-    /// Wait-stated flash.
-    Flash,
-    /// Tightly-coupled memory (when fitted).
-    Tcm,
-    /// Single-cycle SRAM.
-    Sram,
-    /// Bit-band alias of SRAM (when fitted).
-    BitBand,
-    /// Instrumentation MMIO block.
-    Mmio,
-    /// No device.
-    Unmapped,
-}
-
 impl Machine {
     /// Builds a machine from a configuration.
     #[must_use]
     pub fn new(config: MachineConfig) -> Machine {
+        let mut bus = Bus::new(
+            config.flash.size,
+            config.sram_size,
+            config.tcm_size,
+            config.bitband,
+        );
+        bus.attach(MMIO_BASE, 0x1000, Box::new(Mmio::new()));
+        for spec in &config.devices {
+            match spec {
+                DeviceSpec::Timer(c) => {
+                    bus.attach(c.base, 0x100, Box::new(Timer::new(*c)));
+                }
+                DeviceSpec::Can(c) => {
+                    bus.attach(c.base, 0x100, Box::new(CanController::new(*c)));
+                }
+            }
+        }
         Machine {
             cpu: Cpu::new(),
             flash: Flash::new(config.flash),
             sram: Sram::new(config.sram_size),
             tcm: config.tcm_size.map(Tcm::new),
-            mmio: Mmio::new(),
+            bus,
             icache: config.icache.map(Cache::new),
             dcache: config.dcache.map(Cache::new),
             mpu: config.mpu.map(Mpu::new),
@@ -264,10 +290,21 @@ impl Machine {
             svc_count: 0,
             icache_recoveries: 0,
             dcache_recoveries: 0,
-            predecode: Predecode::new(config.predecode),
+            predecode: Predecode::new(config.predecode, config.predecode_two_way),
             code_write_gen: 0,
             config,
         }
+    }
+
+    /// The instrumentation MMIO block (always attached at bus index 0).
+    #[must_use]
+    pub fn mmio(&self) -> &Mmio {
+        self.bus.device::<Mmio>().expect("instrumentation MMIO always attached")
+    }
+
+    /// Mutable access to the instrumentation MMIO block.
+    pub fn mmio_mut(&mut self) -> &mut Mmio {
+        self.bus.device_mut::<Mmio>().expect("instrumentation MMIO always attached")
     }
 
     /// Shorthand: [`MachineConfig::arm7_like`].
@@ -337,6 +374,14 @@ impl Machine {
         self.predecode.enabled()
     }
 
+    /// Selects the predecode cache's associativity at runtime: 2-way
+    /// set-associative (`true`, the default) or direct-mapped (`false`,
+    /// the bench ablation). Switching drops all cached entries; cycle
+    /// results are identical either way.
+    pub fn set_predecode_two_way(&mut self, two_way: bool) {
+        self.predecode.set_two_way(two_way);
+    }
+
     /// Predecode cache hit/miss/invalidation counters.
     #[must_use]
     pub fn predecode_stats(&self) -> PredecodeStats {
@@ -396,16 +441,34 @@ impl Machine {
             self.irq_schedule.pop();
             self.pend_irq(irq, cycle);
         }
-        // Index loop instead of drain().collect(): no per-step allocation.
+        // Devices with timed behaviour (timer compare matches, CAN frame
+        // completions) tick only when due — one compare per step
+        // otherwise.
+        if now >= self.bus.next_event() {
+            self.bus.tick_devices(now, self.active_irq);
+        }
+        // Index loops instead of drain().collect(): no per-step
+        // allocation. Step-boundary requests pend at the drain cycle
+        // (legacy MMIO_IRQ_SET semantics)...
         let mut i = 0;
-        while i < self.mmio.irq_requests.len() {
-            let irq = self.mmio.irq_requests[i];
+        while i < self.bus.signals.irq_requests.len() {
+            let irq = self.bus.signals.irq_requests[i];
             i += 1;
             if (irq as usize) < self.config.irq_lines {
                 self.pend_irq(irq, self.cycles);
             }
         }
-        self.mmio.irq_requests.clear();
+        self.bus.signals.irq_requests.clear();
+        // ...while timed events carry their own assertion cycle.
+        let mut i = 0;
+        while i < self.bus.signals.timed_irqs.len() {
+            let (irq, at) = self.bus.signals.timed_irqs[i];
+            i += 1;
+            if (irq as usize) < self.config.irq_lines {
+                self.pend_irq(irq, at);
+            }
+        }
+        self.bus.signals.timed_irqs.clear();
     }
 
     // -----------------------------------------------------------------
@@ -413,32 +476,34 @@ impl Machine {
     // -----------------------------------------------------------------
 
     /// Resolves an address to its memory region — the single classifier
-    /// shared by the fetch, data-read and data-write paths (the seed had
-    /// three divergent `in_*` if-chains).
+    /// shared by the fetch, data-read and data-write paths. Dispatch is
+    /// a bus region-table lookup (`addr >> 28` index + bounds check),
+    /// not a chain of range compares; see [`crate::bus`].
     #[must_use]
     #[inline]
     pub fn classify(&self, addr: u32) -> Region {
-        if (FLASH_BASE..FLASH_BASE + self.flash.config().size).contains(&addr) {
-            return Region::Flash;
-        }
-        if (SRAM_BASE..SRAM_BASE + self.config.sram_size).contains(&addr) {
-            return Region::Sram;
-        }
-        if let Some(sz) = self.config.tcm_size {
-            if (TCM_BASE..TCM_BASE + sz).contains(&addr) {
-                return Region::Tcm;
-            }
-        }
-        if self.config.bitband
-            && (BITBAND_BASE..BITBAND_BASE + self.config.sram_size.saturating_mul(8))
-                .contains(&addr)
-        {
-            return Region::BitBand;
-        }
-        if (MMIO_BASE..MMIO_BASE + 0x1000).contains(&addr) {
-            return Region::Mmio;
-        }
-        Region::Unmapped
+        self.bus.classify(addr)
+    }
+
+    /// Host-driven bus read: performs a data read exactly as a guest
+    /// load would — MPU checks, cache/flash timing state and device side
+    /// effects included. Returns `(value, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`MemFault`]s a guest load would raise.
+    pub fn bus_read(&mut self, addr: u32, len: u32) -> Result<(u32, u32), MemFault> {
+        self.data_read(addr, len)
+    }
+
+    /// Host-driven bus write: performs a data write exactly as a guest
+    /// store would. Returns cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`MemFault`]s a guest store would raise.
+    pub fn bus_write(&mut self, addr: u32, len: u32, value: u32) -> Result<u32, MemFault> {
+        self.data_write(addr, len, value)
     }
 
     /// Charges the *timing* of fetching `len` instruction bytes at `addr`
@@ -492,7 +557,7 @@ impl Machine {
                 }
                 Ok((cycles, Region::Flash, 0))
             }
-            Region::BitBand | Region::Mmio | Region::Unmapped => {
+            Region::BitBand | Region::Device(_) | Region::Unmapped => {
                 Err(MemFault::Unmapped { addr })
             }
         }
@@ -512,10 +577,28 @@ impl Machine {
                 Ok((patched, cycles, bp))
             }
             // fetch_timing faulted above; keep the compiler honest.
-            Region::BitBand | Region::Mmio | Region::Unmapped => {
+            Region::BitBand | Region::Device(_) | Region::Unmapped => {
                 Err(MemFault::Unmapped { addr })
             }
         }
+    }
+
+    /// The single remap point for flash *data* reads: raw bytes filtered
+    /// through the flash-patch unit, identically for every access width
+    /// and on both the cached and uncached paths.
+    #[inline]
+    fn flash_data_value(&mut self, addr: u32, len: u32) -> u32 {
+        let raw = self.flash.peek(addr - FLASH_BASE, len);
+        self.patch.apply(addr, len, raw).0
+    }
+
+    /// Resolves a bit-band alias address to `(sram_byte_offset, bit)` —
+    /// shared by the read and write paths so every access width lands on
+    /// the same bit.
+    #[inline]
+    fn bitband_target(addr: u32) -> (u32, u32) {
+        let bit_index = addr - BITBAND_BASE;
+        (bit_index / 8, bit_index % 8)
     }
 
     /// Performs a data read. Returns `(value, cycles)`.
@@ -526,15 +609,12 @@ impl Machine {
             }
         }
         let region = self.classify(addr);
-        if region == Region::Mmio {
-            self.mmio.cycles = self.cycles;
-            let v = if addr & !3 == MMIO_IRQ_ACTIVE { self.active_irq } else { self.mmio.read(addr) };
+        if let Region::Device(idx) = region {
+            let v = self.bus.device_read(idx, addr, len, self.cycles, self.active_irq);
             return Ok((v, 1));
         }
         if region == Region::BitBand {
-            let bit_index = addr - BITBAND_BASE;
-            let byte = bit_index / 8;
-            let bit = bit_index % 8;
+            let (byte, bit) = Machine::bitband_target(addr);
             let v = self.sram.read(byte, 1) >> bit & 1;
             return Ok((v, 1));
         }
@@ -552,9 +632,7 @@ impl Machine {
             let v = if region == Region::Flash {
                 // The patch unit sits on the flash data path regardless of
                 // caching (the cache stores timing, not data).
-                let raw = self.flash.peek(addr - FLASH_BASE, len);
-                let (patched, _) = self.patch.apply(addr, len, raw);
-                patched
+                self.flash_data_value(addr, len)
             } else {
                 self.sram.read(addr - SRAM_BASE, len)
             };
@@ -578,12 +656,12 @@ impl Machine {
             }
             Region::Flash => {
                 // Literal pool load: disturbs the prefetch stream (§2.2).
-                let (raw, c) = self.flash.access(addr - FLASH_BASE, len, Access::Read);
+                let c = self.flash.access_timing(addr - FLASH_BASE, len, Access::Read);
                 self.fetch_window = None;
-                let (v, _) = self.patch.apply(addr, len, raw);
+                let v = self.flash_data_value(addr, len);
                 Ok((v, c))
             }
-            Region::BitBand | Region::Mmio | Region::Unmapped => {
+            Region::BitBand | Region::Device(_) | Region::Unmapped => {
                 Err(MemFault::Unmapped { addr })
             }
         }
@@ -597,17 +675,15 @@ impl Machine {
             }
         }
         match self.classify(addr) {
-            Region::Mmio => {
-                self.mmio.cycles = self.cycles;
-                self.mmio.write(addr, value);
+            Region::Device(idx) => {
+                self.bus
+                    .device_write(idx, addr, len, value, self.cycles, self.active_irq);
                 Ok(1)
             }
             Region::BitBand => {
                 // The paper's §3.2.3 mechanism: one store atomically sets or
                 // clears a single bit, no read-modify-write, no IRQ masking.
-                let bit_index = addr - BITBAND_BASE;
-                let byte = bit_index / 8;
-                let bit = bit_index % 8;
+                let (byte, bit) = Machine::bitband_target(addr);
                 self.note_code_write(SRAM_BASE + byte, 1);
                 let old = self.sram.read(byte, 1);
                 let new = if value & 1 != 0 { old | 1 << bit } else { old & !(1 << bit) };
@@ -640,8 +716,11 @@ impl Machine {
         }
     }
 
-    /// The predecode generation stamp: any change to what instruction
-    /// bytes decode to moves this value. See [`crate::predecode`].
+    /// The predecode generation stamp: the sum of the per-region
+    /// revision counters — any change to what instruction bytes decode
+    /// to moves this value. Devices participate through
+    /// [`crate::Device::revision`] (cached bus-side, so plain data
+    /// devices cost nothing here). See [`crate::predecode`].
     #[inline]
     fn code_stamp(&self) -> u64 {
         self.flash
@@ -649,6 +728,7 @@ impl Machine {
             .wrapping_add(self.patch.revision())
             .wrapping_add(self.sram.revision())
             .wrapping_add(self.tcm.as_ref().map_or(0, Tcm::revision))
+            .wrapping_add(self.bus.device_revisions())
             .wrapping_add(self.code_write_gen)
     }
 
@@ -1143,7 +1223,7 @@ impl Machine {
             self.cycles += u64::from(timing.branch_taken_penalty);
         }
         self.cpu.pc = next_pc;
-        if let Some(code) = self.mmio.exit_code {
+        if let Some(code) = self.bus.signals.exit_code {
             return Some(StopReason::MmioExit(code));
         }
         None
@@ -1180,9 +1260,17 @@ impl Machine {
         if self.irq.highest_pending(self.cpu.primask).is_some() {
             return None;
         }
-        // Fast-forward to the next scheduled interrupt.
-        match self.irq_schedule.last() {
-            Some(&(cycle, _)) => {
+        // Fast-forward to the next scheduled interrupt or device event.
+        let sched = self.irq_schedule.last().map(|&(cycle, _)| cycle);
+        let device = self.bus.next_event();
+        let target = match (sched, device) {
+            (Some(s), u64::MAX) => Some(s),
+            (Some(s), d) => Some(s.min(d)),
+            (None, u64::MAX) => None,
+            (None, d) => Some(d),
+        };
+        match target {
+            Some(cycle) => {
                 self.cycles = self.cycles.max(cycle);
                 self.drain_due_irqs(self.cycles);
                 None

@@ -491,7 +491,7 @@ impl Sram {
     /// This is the *host-side* entry point and conservatively counts as a
     /// content mutation (bumps [`Sram::revision`], invalidating any
     /// cached decoded view). The machine's own store path uses
-    /// [`Sram::write_raw`] instead, guarded by its predecode watermark.
+    /// `Sram::write_raw` instead, guarded by its predecode watermark.
     pub fn write(&mut self, off: u32, len: u32, value: u32) {
         self.revision += 1;
         self.write_raw(off, len, value);
@@ -587,7 +587,7 @@ impl Tcm {
     /// This is the *host-side* entry point and conservatively counts as a
     /// content mutation (bumps [`Tcm::revision`], invalidating any cached
     /// decoded view). The machine's own store path uses
-    /// [`Tcm::write_raw`], guarded by its predecode watermark.
+    /// `Tcm::write_raw`, guarded by its predecode watermark.
     pub fn write(&mut self, off: u32, len: u32, value: u32) -> u32 {
         self.revision += 1;
         self.write_raw(off, len, value)
@@ -616,17 +616,20 @@ impl Tcm {
     }
 }
 
-/// Instrumentation MMIO block.
+/// Instrumentation MMIO block — the bus device at [`MMIO_BASE`]
+/// (attachment index 0 on every machine).
+///
+/// Register semantics are unchanged from the seed: writes to
+/// [`MMIO_EXIT`] halt the machine, [`MMIO_TRACE`] appends a
+/// `(value, cycle)` observation, [`MMIO_IRQ_SET`] pends an interrupt at
+/// the next step boundary; reads of [`MMIO_CYCLES`] return the cycle
+/// counter and [`crate::MMIO_IRQ_ACTIVE`] the IRQ being serviced. Exit
+/// and IRQ requests travel through [`crate::BusSignals`] so the hot
+/// loop polls them without dynamic dispatch.
 #[derive(Debug, Clone, Default)]
 pub struct Mmio {
-    /// Set when the program writes [`MMIO_EXIT`]; value is the exit code.
-    pub exit_code: Option<u32>,
     /// `(value, cycle)` pairs written to [`MMIO_TRACE`].
     pub trace: Vec<(u32, u64)>,
-    /// IRQ numbers the program asserted via [`MMIO_IRQ_SET`].
-    pub irq_requests: Vec<u32>,
-    /// Latched cycle counter (written by the machine before each access).
-    pub cycles: u64,
 }
 
 impl Mmio {
@@ -635,24 +638,36 @@ impl Mmio {
     pub fn new() -> Mmio {
         Mmio::default()
     }
+}
 
-    /// Handles a read; returns the value.
-    #[must_use]
-    pub fn read(&self, addr: u32) -> u32 {
-        match addr & !3 {
-            MMIO_CYCLES => self.cycles as u32,
+impl crate::bus::Device for Mmio {
+    fn name(&self) -> &'static str {
+        "mmio"
+    }
+
+    fn read32(&mut self, off: u32, ctx: &mut crate::bus::DeviceCtx<'_>) -> u32 {
+        match MMIO_BASE + (off & !3) {
+            MMIO_CYCLES => ctx.now as u32,
+            crate::MMIO_IRQ_ACTIVE => ctx.active_irq,
             _ => 0,
         }
     }
 
-    /// Handles a write.
-    pub fn write(&mut self, addr: u32, value: u32) {
-        match addr & !3 {
-            MMIO_EXIT => self.exit_code = Some(value),
-            MMIO_TRACE => self.trace.push((value, self.cycles)),
-            MMIO_IRQ_SET => self.irq_requests.push(value),
+    fn write32(&mut self, off: u32, value: u32, ctx: &mut crate::bus::DeviceCtx<'_>) {
+        match MMIO_BASE + (off & !3) {
+            MMIO_EXIT => ctx.signals.request_exit(value),
+            MMIO_TRACE => self.trace.push((value, ctx.now)),
+            MMIO_IRQ_SET => ctx.signals.raise_irq(value),
             _ => {}
         }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -746,15 +761,18 @@ mod tests {
 
     #[test]
     fn mmio_registers() {
+        use crate::bus::{BusSignals, Device, DeviceCtx};
         let mut m = Mmio::new();
-        m.cycles = 9;
-        m.write(MMIO_TRACE, 42);
-        m.write(MMIO_IRQ_SET, 3);
-        m.write(MMIO_EXIT, 7);
+        let mut signals = BusSignals::default();
+        let mut ctx = DeviceCtx { now: 9, active_irq: 2, signals: &mut signals };
+        m.write32(MMIO_TRACE - MMIO_BASE, 42, &mut ctx);
+        m.write32(MMIO_IRQ_SET - MMIO_BASE, 3, &mut ctx);
+        m.write32(MMIO_EXIT - MMIO_BASE, 7, &mut ctx);
         assert_eq!(m.trace, vec![(42, 9)]);
-        assert_eq!(m.irq_requests, vec![3]);
-        assert_eq!(m.exit_code, Some(7));
-        m.cycles = 1234;
-        assert_eq!(m.read(MMIO_CYCLES), 1234);
+        assert_eq!(m.read32(crate::MMIO_IRQ_ACTIVE - MMIO_BASE, &mut ctx), 2);
+        let mut ctx = DeviceCtx { now: 1234, active_irq: 0, signals: &mut signals };
+        assert_eq!(m.read32(MMIO_CYCLES - MMIO_BASE, &mut ctx), 1234);
+        assert_eq!(signals.irq_requests, vec![3]);
+        assert_eq!(signals.exit_code, Some(7));
     }
 }

@@ -47,9 +47,14 @@
 
 use alia_isa::{Cond, Instr};
 
-/// Number of direct-mapped slots (covers 4 KiB of contiguous Thumb code
-/// before aliasing; kernels in this repo are a few hundred bytes).
+/// Total entry count (covers 4 KiB of contiguous Thumb code before
+/// aliasing; kernels in this repo are a few hundred bytes). In the
+/// default 2-way layout these are organised as [`SETS`] sets of two
+/// ways; the direct-mapped ablation layout indexes them flat.
 const SLOTS: usize = 2048;
+
+/// Set count of the 2-way layout (same storage, half the indices).
+const SETS: usize = SLOTS / 2;
 
 /// Marker for an empty slot (instruction addresses are even, so an odd
 /// tag can never match a real PC).
@@ -122,27 +127,34 @@ pub struct PredecodeStats {
 /// The predecoded-instruction cache. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Predecode {
-    /// Direct-mapped table, allocated lazily on the first insert so a
-    /// machine that never steps (or runs with the cache disabled) pays
-    /// nothing at construction.
+    /// Entry storage, allocated lazily on the first insert so a machine
+    /// that never steps (or runs with the cache disabled) pays nothing
+    /// at construction. Indexed flat (direct-mapped) or as [`SETS`]
+    /// pairs of ways (2-way).
     entries: Vec<Entry>,
+    /// One MRU bit per set in the 2-way layout (bit set = way 1 was
+    /// used more recently, so way 0 is the eviction victim).
+    mru: Vec<u64>,
     stamp: u64,
     /// Watermark over cached instruction bytes: lowest / highest address
     /// (inclusive) any live entry covers. `lo > hi` means empty.
     lo: u32,
     hi: u32,
     enabled: bool,
+    two_way: bool,
     stats: PredecodeStats,
 }
 
 impl Predecode {
-    pub(crate) fn new(enabled: bool) -> Predecode {
+    pub(crate) fn new(enabled: bool, two_way: bool) -> Predecode {
         Predecode {
             entries: Vec::new(),
+            mru: Vec::new(),
             stamp: 0,
             lo: u32::MAX,
             hi: 0,
             enabled,
+            two_way,
             stats: PredecodeStats::default(),
         }
     }
@@ -158,6 +170,20 @@ impl Predecode {
         self.drop_entries();
     }
 
+    /// Whether the 2-way set-associative layout is active (`false` =
+    /// direct-mapped ablation layout).
+    #[must_use]
+    pub fn two_way(&self) -> bool {
+        self.two_way
+    }
+
+    pub(crate) fn set_two_way(&mut self, two_way: bool) {
+        if self.two_way != two_way {
+            self.two_way = two_way;
+            self.drop_entries();
+        }
+    }
+
     /// Counters since construction (cleared entries keep their counts).
     #[must_use]
     pub fn stats(&self) -> PredecodeStats {
@@ -166,6 +192,10 @@ impl Predecode {
 
     fn slot(pc: u32) -> usize {
         (pc >> 1) as usize & (SLOTS - 1)
+    }
+
+    fn set(pc: u32) -> usize {
+        (pc >> 1) as usize & (SETS - 1)
     }
 
     fn drop_entries(&mut self) {
@@ -190,6 +220,25 @@ impl Predecode {
             self.stats.misses += 1;
             return None;
         }
+        if self.two_way {
+            let set = Predecode::set(pc);
+            if let Some(pair) = self.entries.get(set * 2..set * 2 + 2) {
+                let way = if pair[0].tag == pc {
+                    0
+                } else if pair[1].tag == pc {
+                    1
+                } else {
+                    self.stats.misses += 1;
+                    return None;
+                };
+                let e = pair[way];
+                self.mark_mru(set, way);
+                self.stats.hits += 1;
+                return Some(e);
+            }
+            self.stats.misses += 1;
+            return None;
+        }
         match self.entries.get(Predecode::slot(pc)) {
             Some(e) if e.tag == pc => {
                 self.stats.hits += 1;
@@ -199,6 +248,20 @@ impl Predecode {
                 self.stats.misses += 1;
                 None
             }
+        }
+    }
+
+    /// Records `way` as most-recently-used for `set`. The store is
+    /// skipped when the bit already agrees — in steady-state straight
+    ///-line execution the same way hits repeatedly, so the hot path
+    /// does one load and no store.
+    #[inline]
+    fn mark_mru(&mut self, set: usize, way: usize) {
+        let word = &mut self.mru[set >> 6];
+        let bit = 1u64 << (set & 63);
+        let want = way == 1;
+        if (*word & bit != 0) != want {
+            *word ^= bit;
         }
     }
 
@@ -221,12 +284,35 @@ impl Predecode {
                 };
                 SLOTS
             ];
+            self.mru = vec![0; SETS.div_ceil(64)];
         }
         debug_assert_eq!(entry.tag, pc);
         let end = pc + entry.size.max(2) - 1;
         self.lo = self.lo.min(pc);
         self.hi = self.hi.max(end);
-        self.entries[Predecode::slot(pc)] = entry;
+        if self.two_way {
+            let set = Predecode::set(pc);
+            let base = set * 2;
+            // Way choice: matching tag, then an empty way, then the LRU
+            // victim.
+            let way = if self.entries[base].tag == pc {
+                0
+            } else if self.entries[base + 1].tag == pc {
+                1
+            } else if self.entries[base].tag == TAG_EMPTY {
+                0
+            } else if self.entries[base + 1].tag == TAG_EMPTY {
+                1
+            } else if self.mru[set >> 6] & 1 << (set & 63) != 0 {
+                0 // way 1 is MRU: evict way 0
+            } else {
+                1
+            };
+            self.entries[base + way] = entry;
+            self.mark_mru(set, way);
+        } else {
+            self.entries[Predecode::slot(pc)] = entry;
+        }
     }
 
     /// Whether a write of `len` bytes at `addr` overlaps any cached
@@ -248,7 +334,7 @@ mod tests {
 
     #[test]
     fn miss_then_hit() {
-        let mut p = Predecode::new(true);
+        let mut p = Predecode::new(true, true);
         assert!(p.lookup(0x100, 5).is_none()); // first lookup sets stamp
         p.insert(0x100, 5, entry(0x100, 2));
         assert!(p.lookup(0x100, 5).is_some());
@@ -258,7 +344,7 @@ mod tests {
 
     #[test]
     fn stamp_change_clears() {
-        let mut p = Predecode::new(true);
+        let mut p = Predecode::new(true, true);
         p.lookup(0x100, 1);
         p.insert(0x100, 1, entry(0x100, 2));
         assert!(p.lookup(0x100, 2).is_none(), "new stamp invalidates");
@@ -268,7 +354,7 @@ mod tests {
 
     #[test]
     fn stale_insert_is_dropped() {
-        let mut p = Predecode::new(true);
+        let mut p = Predecode::new(true, true);
         p.lookup(0x100, 1);
         p.insert(0x100, 2, entry(0x100, 2)); // filled under a newer stamp
         assert!(p.lookup(0x100, 1).is_none());
@@ -276,7 +362,7 @@ mod tests {
 
     #[test]
     fn disabled_never_hits() {
-        let mut p = Predecode::new(false);
+        let mut p = Predecode::new(false, true);
         p.insert(0x100, 0, entry(0x100, 2));
         assert!(p.lookup(0x100, 0).is_none());
         assert_eq!(p.stats().hits, 0);
@@ -284,7 +370,7 @@ mod tests {
 
     #[test]
     fn watermark_covers_cached_range_only() {
-        let mut p = Predecode::new(true);
+        let mut p = Predecode::new(true, true);
         p.lookup(0x100, 1);
         assert!(!p.covers(0x100, 4), "empty cache covers nothing");
         p.insert(0x100, 1, entry(0x100, 4));
@@ -298,8 +384,8 @@ mod tests {
     }
 
     #[test]
-    fn aliasing_slots_overwrite() {
-        let mut p = Predecode::new(true);
+    fn direct_mapped_aliasing_slots_overwrite() {
+        let mut p = Predecode::new(true, false);
         p.lookup(0x100, 1);
         p.insert(0x100, 1, entry(0x100, 2));
         // Same slot: 0x100 and 0x100 + 2*SLOTS alias.
@@ -307,5 +393,46 @@ mod tests {
         p.insert(alias, 1, entry(alias, 2));
         assert!(p.lookup(0x100, 1).is_none());
         assert!(p.lookup(alias, 1).is_some());
+    }
+
+    #[test]
+    fn two_way_holds_a_pair_of_aliases() {
+        // In the 2-way layout two addresses mapping to the same set
+        // coexist — the main-loop/handler aliasing case.
+        let mut p = Predecode::new(true, true);
+        p.lookup(0x100, 1);
+        let alias = 0x100 + 2 * SETS as u32;
+        p.insert(0x100, 1, entry(0x100, 2));
+        p.insert(alias, 1, entry(alias, 2));
+        assert!(p.lookup(0x100, 1).is_some(), "way 0 survives");
+        assert!(p.lookup(alias, 1).is_some(), "way 1 coexists");
+    }
+
+    #[test]
+    fn two_way_evicts_the_lru_way() {
+        let mut p = Predecode::new(true, true);
+        p.lookup(0x100, 1);
+        let a = 0x100;
+        let b = a + 2 * SETS as u32;
+        let c = b + 2 * SETS as u32;
+        p.insert(a, 1, entry(a, 2));
+        p.insert(b, 1, entry(b, 2));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(p.lookup(a, 1).is_some());
+        p.insert(c, 1, entry(c, 2));
+        assert!(p.lookup(a, 1).is_some(), "MRU way kept");
+        assert!(p.lookup(b, 1).is_none(), "LRU way evicted");
+        assert!(p.lookup(c, 1).is_some());
+    }
+
+    #[test]
+    fn switching_associativity_drops_entries() {
+        let mut p = Predecode::new(true, true);
+        p.lookup(0x100, 1);
+        p.insert(0x100, 1, entry(0x100, 2));
+        p.set_two_way(false);
+        assert!(p.lookup(0x100, 1).is_none(), "layout change invalidates");
+        p.insert(0x100, 1, entry(0x100, 2));
+        assert!(p.lookup(0x100, 1).is_some());
     }
 }

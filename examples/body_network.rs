@@ -68,7 +68,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // --- 4. The harmonized virtual multi-core. -----------------------
+    // --- 4. Guest-driven devices: the node's firmware talks to its ---
+    // CAN controller and pacing timer purely through loads and stores
+    // (the memory-mapped device bus), not host-side calls.
+    let x = alia_core::experiments::guest_can_exchange(8)?;
+    println!("\n{x}");
+
+    // --- 5. The harmonized virtual multi-core. -----------------------
     let e = alia_core::experiments::network_experiment(8, 4)?;
     println!("\n{e}");
     Ok(())

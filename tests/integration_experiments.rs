@@ -84,6 +84,17 @@ fn e8_network_shape() {
 }
 
 #[test]
+fn e8_guest_can_exchange_is_pure_load_store() {
+    // The memory-mapped CAN controller + timer path: a guest program
+    // exchanges frames and takes timer IRQs with no host-side bus calls.
+    let e = experiments::guest_can_exchange(12).expect("exchange completes");
+    assert_eq!(e.frames_sent, 12);
+    assert_eq!(e.frames_received, 12);
+    assert_eq!(e.checksum, experiments::guest_can_exchange_checksum(12));
+    assert!(e.timer_fires >= 12);
+}
+
+#[test]
 fn e9_flash_patch_shape() {
     let e = experiments::flash_patch_experiment().expect("E9 runs");
     assert_ne!(e.baseline_output, e.patched_output);
