@@ -1,4 +1,5 @@
-//! Criterion bench for E8: allocation study + §1/§4 table.
+//! Criterion bench for E8: allocation study + §1/§4 table, plus the
+//! executable multi-ECU exchange over the shared CAN wire.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -6,8 +7,13 @@ fn bench_network(c: &mut Criterion) {
     c.bench_function("virtual_multicore_8x4", |b| {
         b.iter(|| alia_core::experiments::network_experiment(8, 4).unwrap())
     });
+    c.bench_function("multi_ecu_64_frames", |b| {
+        b.iter(|| alia_core::experiments::multi_ecu_exchange(64).unwrap())
+    });
     let e = alia_core::experiments::network_experiment(8, 4).expect("experiment");
     println!("\n{e}");
+    let m = alia_core::experiments::multi_ecu_exchange(64).expect("exchange");
+    println!("\n{m}");
 }
 
 criterion_group! {

@@ -17,8 +17,16 @@ struct Pending {
 impl Ord for Pending {
     fn cmp(&self, other: &Pending) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; we want the arbitration winner on top.
+        // Same-id ties break on (enqueue time, node, seq) rather than the
+        // global enqueue sequence alone, so arbitration is independent of
+        // the order in which a multi-node scheduler happens to service
+        // the controllers that enqueued within the same quantum.
         if self.frame.id == other.frame.id {
-            return other.seq.cmp(&self.seq);
+            return other
+                .enqueued_at
+                .cmp(&self.enqueued_at)
+                .then_with(|| other.node.cmp(&self.node))
+                .then_with(|| other.seq.cmp(&self.seq));
         }
         if self.frame.id.wins_over(other.frame.id) {
             std::cmp::Ordering::Greater
@@ -149,6 +157,31 @@ impl CanBus {
         self.queue.len()
     }
 
+    /// The bit time at which the frame currently on the wire completes
+    /// (equals the last completion when the wire is idle). A scheduler
+    /// coordinating several attached controllers can extend its quantum
+    /// to this point: no *new* arbitration decision can happen earlier.
+    #[must_use]
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Transmits everything still queued, advancing time just far enough.
+    ///
+    /// MMIO CAN controllers run the bus lazily (only when ticked), so a
+    /// guest that submits frames and halts can leave traffic queued and
+    /// invisible to [`CanBus::utilization`] / [`CanBus::worst_latency`].
+    /// Settling first makes those reports account for every frame the
+    /// guest enqueued — the RTA comparisons then see guest traffic, not
+    /// just host-injected frames.
+    pub fn settle(&mut self) {
+        while let Some(next) = self.queue.iter().map(|p| p.enqueued_at).min() {
+            // One frame transmits per horizon that clears its start time.
+            let start = self.now.max(next).max(self.busy_until);
+            self.run(start + 1);
+        }
+    }
+
     /// Bus utilization over the elapsed time.
     #[must_use]
     pub fn utilization(&self) -> f64 {
@@ -219,6 +252,51 @@ mod tests {
         bus.run(10_000);
         let u = bus.utilization();
         assert!(u > 0.05 && u < 0.5, "{u}");
+    }
+
+    #[test]
+    fn settle_accounts_for_queued_frames() {
+        // Frames enqueued but never run (the MMIO-controller pattern when
+        // a guest halts right after TX_GO) become visible to utilization
+        // and worst_latency after settling.
+        let mut bus = CanBus::new();
+        bus.enqueue(0, 0, frame(0x100, 4));
+        bus.enqueue(0, 1, frame(0x200, 8));
+        assert_eq!(bus.utilization(), 0.0);
+        assert_eq!(bus.worst_latency(CanId::Standard(0x200)), None);
+        bus.settle();
+        assert_eq!(bus.pending(), 0);
+        assert_eq!(bus.deliveries().len(), 2);
+        assert!(bus.utilization() > 0.9, "wire was busy back to back");
+        assert!(bus.worst_latency(CanId::Standard(0x200)).is_some());
+    }
+
+    #[test]
+    fn busy_until_tracks_the_wire() {
+        let mut bus = CanBus::new();
+        assert_eq!(bus.busy_until(), 0);
+        let f = frame(0x100, 2);
+        bus.enqueue(5, 0, f);
+        bus.run(6); // starts the frame at bit 5
+        assert_eq!(bus.busy_until(), 5 + u64::from(f.wire_bits()));
+    }
+
+    #[test]
+    fn same_id_ties_break_independent_of_enqueue_order() {
+        // Two nodes stage the same id in the same window: the earlier
+        // enqueue wins, and for equal times the lower node id wins —
+        // regardless of which enqueue call happened first host-side.
+        let f = frame(0x123, 1);
+        let mut a = CanBus::new();
+        a.enqueue(4, 1, f);
+        a.enqueue(2, 0, f);
+        a.run(10_000);
+        assert_eq!(a.deliveries()[0].node, 0, "earlier enqueue wins");
+        let mut b = CanBus::new();
+        b.enqueue(0, 1, f);
+        b.enqueue(0, 0, f);
+        b.run(10_000);
+        assert_eq!(b.deliveries()[0].node, 0, "equal times: lower node id wins");
     }
 
     #[test]

@@ -116,6 +116,13 @@ impl CanFrame {
 /// CRC delimiter (1) + ACK slot/delimiter (2) + EOF (7) + IFS (3).
 pub const TRAILER_BITS: u32 = 13;
 
+/// Lower bound on any frame's [`CanFrame::wire_bits`]: the 34 header/CRC
+/// bits of a standard-id data frame with an empty payload, plus the
+/// unstuffed trailer (stuff bits only ever add). Conservative schedulers
+/// use this as the bus lookahead: a frame enqueued at bit time `t`
+/// cannot complete before `t + MIN_WIRE_BITS`.
+pub const MIN_WIRE_BITS: u32 = 34 + TRAILER_BITS;
+
 /// Counts the stuff bits a transmitter inserts: one after every run of
 /// five equal bits (the stuff bit itself participates in later runs).
 #[must_use]

@@ -38,7 +38,7 @@ mod vision;
 
 pub use bus::{CanBus, Delivery};
 pub use frame::{
-    count_stuff_bits, crc15, worst_case_wire_bits, CanFrame, CanId, TRAILER_BITS,
+    count_stuff_bits, crc15, worst_case_wire_bits, CanFrame, CanId, MIN_WIRE_BITS, TRAILER_BITS,
 };
 pub use rta::{can_response_times, can_utilization, CanMessage, CanResponse};
 pub use vision::{

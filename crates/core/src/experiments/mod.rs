@@ -31,7 +31,8 @@ pub use interrupt::{interrupt_experiment, InterruptExperiment, SchemeLatency};
 pub use ldm::{ldm_experiment, LdmExperiment};
 pub use mpu::{mpu_experiment, GranularityPoint, MpuExperiment};
 pub use network::{
-    guest_can_exchange, guest_can_exchange_checksum, network_experiment, GuestCanExchange,
+    guest_can_exchange, guest_can_exchange_checksum, multi_ecu_exchange, multi_ecu_exchange_with,
+    multi_ecu_watchdog, network_experiment, GuestCanExchange, MultiEcuExchange, MultiEcuWatchdog,
     NetworkExperiment,
 };
 pub use soft_error::{soft_error_experiment, CampaignArm, InjectTarget, SoftErrorExperiment};

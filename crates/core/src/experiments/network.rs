@@ -11,11 +11,12 @@ use std::fmt;
 use alia_can::{allocate, body_task_set, fleet, AllocationReport, Placement};
 use alia_isa::Assembler;
 use alia_sim::{
-    CanConfig, CanController, DeviceSpec, Machine, MachineConfig, StopReason, Timer, TimerConfig,
-    CAN_BASE, SRAM_BASE, TIMER_BASE,
+    CanConfig, CanController, DeviceSpec, Machine, MachineConfig, StopReason, System,
+    SystemConfig, SystemStop, Timer, TimerConfig, Watchdog, WatchdogConfig, CAN_BASE, SRAM_BASE,
+    TIMER_BASE, WATCHDOG_BASE,
 };
 
-use crate::CoreError;
+use crate::{drive_system, CoreError};
 
 /// The E8 result.
 #[derive(Debug, Clone, PartialEq)]
@@ -226,16 +227,376 @@ pub fn guest_can_exchange(frames: u32) -> Result<GuestCanExchange, CoreError> {
             what: format!("exchange stopped with {:?} after {} cycles", r.reason, r.cycles),
         });
     };
-    let timer = m.bus.device::<Timer>().expect("timer attached");
-    let can = m.bus.device::<CanController>().expect("CAN controller attached");
+    let timer_fires = m.bus.device::<Timer>().expect("timer attached").fires();
+    let can = m.bus.device_mut::<CanController>().expect("CAN controller attached");
+    // Settle the wire before reading utilization so frames the guest
+    // enqueued through TX_GO are accounted for even if some were still
+    // queued when the machine halted.
+    can.settle_wire();
     Ok(GuestCanExchange {
         frames_sent: can.tx_count(),
         frames_received: can.rx_count(),
         checksum,
-        timer_fires: timer.fires(),
+        timer_fires,
         irqs_taken: m.irq.taken,
         cycles: r.cycles,
-        bus_utilization: can.can_bus().utilization(),
+        bus_utilization: can.utilization(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Multi-ECU: two machines, one shared wire
+// ---------------------------------------------------------------------
+
+/// Result of the two-ECU exchange over a [`alia_sim::SharedCanBus`]: a
+/// producer ECU samples its timer and ships frames, a consumer ECU
+/// checksums them — both guests written against the ordinary MMIO
+/// register maps, scheduled by [`System`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiEcuExchange {
+    /// Frames the producer was asked to ship.
+    pub frames: u32,
+    /// Frames the producer submitted through its TX registers.
+    pub frames_sent: u64,
+    /// Frames the consumer drained from its RX FIFO.
+    pub frames_received: u64,
+    /// Checksum the consumer accumulated (its MMIO exit code).
+    pub checksum: u32,
+    /// Producer guest cycles at halt.
+    pub producer_cycles: u64,
+    /// Consumer guest cycles at halt.
+    pub consumer_cycles: u64,
+    /// Shared-wire utilization over the run (guest traffic included).
+    pub bus_utilization: f64,
+    /// Scheduler quanta executed.
+    pub quanta: u64,
+    /// The wire's delivery log as `(raw id, completion cycle)` —
+    /// determinism tests compare it across scheduler configurations.
+    pub delivery_log: Vec<(u32, u64)>,
+}
+
+impl fmt::Display for MultiEcuExchange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "multi-ECU exchange: {} frames producer->consumer over the shared wire \
+             (checksum {:#x}, producer {} / consumer {} cycles, wire {:.1}% busy, \
+             {} quanta)",
+            self.frames_received,
+            self.checksum,
+            self.producer_cycles,
+            self.consumer_cycles,
+            self.bus_utilization * 100.0,
+            self.quanta
+        )
+    }
+}
+
+/// The producer ECU: a periodic timer (IRQ 0) paces one frame per
+/// compare match; the main loop spins until all frames are sent, then
+/// exits with the sent count.
+fn producer_machine(
+    frames: u32,
+    wire: &alia_sim::SharedCanBus,
+    asm: &impl Fn(&str) -> Result<Vec<u8>, CoreError>,
+) -> Result<Machine, CoreError> {
+    let mut config = MachineConfig::m3_like();
+    config.devices = vec![
+        DeviceSpec::Timer(TimerConfig { base: TIMER_BASE, irq: 0, compare: 600 }),
+        DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+            wire.clone(),
+        ),
+    ];
+    let main = asm(&format!(
+        "movw r0, #0x1000
+         movt r0, #0x4000
+         movw r1, #600
+         str r1, [r0, #4]
+         mov r1, #3
+         str r1, [r0, #0]
+         spin: cmp r4, #{frames}
+         bne spin
+         movw r0, #0
+         movt r0, #0x4000
+         str r4, [r0, #0]
+         halt: b halt"
+    ))?;
+    // Timer handler: submit frame k with id 0x100+k and payload word k.
+    let timer_handler = asm(&format!(
+        "movw r0, #0x2000
+         movt r0, #0x4000
+         cmp r4, #{frames}
+         bge done
+         movw r1, #0x100
+         add r1, r1, r4
+         str r1, [r0, #0]
+         mov r1, #4
+         str r1, [r0, #4]
+         str r4, [r0, #8]
+         mov r1, #0
+         str r1, [r0, #12]
+         str r1, [r0, #16]
+         add r4, r4, #1
+         done: bx lr"
+    ))?;
+    let mut m = Machine::new(config);
+    m.load_flash(0x100, &main);
+    m.load_flash(0x200, &timer_handler);
+    m.load_flash(0, &0x200u32.to_le_bytes()); // vector: timer (irq 0)
+    m.set_pc(0x100);
+    m.cpu.set_sp(SRAM_BASE + 0x8000);
+    Ok(m)
+}
+
+/// The consumer ECU: the CAN RX handler (IRQ 1) drains the FIFO,
+/// checksumming ids and payloads and kicking the watchdog; the watchdog
+/// handler (IRQ 2, wired as NMI) exits with `0xDEAD0000 | received` if
+/// the producer goes silent. The main loop spins until all expected
+/// frames arrived, then exits with the checksum.
+fn consumer_machine(
+    frames: u32,
+    wire: &alia_sim::SharedCanBus,
+    watchdog_timeout: u32,
+    asm: &impl Fn(&str) -> Result<Vec<u8>, CoreError>,
+) -> Result<Machine, CoreError> {
+    let mut config = MachineConfig::m3_like();
+    config.devices = vec![
+        DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 1, ..CanConfig::default() },
+            wire.clone(),
+        ),
+        DeviceSpec::Watchdog(WatchdogConfig {
+            base: WATCHDOG_BASE,
+            irq: 2,
+            timeout: watchdog_timeout,
+        }),
+    ];
+    let main = asm(&format!(
+        "movw r0, #0x3000
+         movt r0, #0x4000
+         mov r1, #1
+         str r1, [r0, #0]
+         spin: cmp r7, #{frames}
+         bne spin
+         movw r0, #0
+         movt r0, #0x4000
+         str r6, [r0, #0]
+         halt: b halt"
+    ))?;
+    // CAN RX handler: drain the FIFO (id + first payload word into the
+    // checksum), kick the watchdog once per drain.
+    let can_handler = asm(
+        "movw r0, #0x2000
+         movt r0, #0x4000
+         rxloop: ldr r1, [r0, #20]
+         cmp r1, #0
+         beq rxdone
+         ldr r1, [r0, #24]
+         add r6, r6, r1
+         ldr r1, [r0, #32]
+         add r6, r6, r1
+         str r1, [r0, #40]
+         add r7, r7, #1
+         b rxloop
+         rxdone: movw r0, #0x3000
+         movt r0, #0x4000
+         str r1, [r0, #8]
+         bx lr",
+    )?;
+    // Watchdog handler: the peer stalled — exit with a marker code
+    // carrying the frames received so far.
+    let dog_handler = asm(
+        "movw r1, #0
+         movt r1, #0xDEAD
+         orr r1, r1, r7
+         movw r0, #0
+         movt r0, #0x4000
+         str r1, [r0, #0]
+         stuck: b stuck",
+    )?;
+    let mut m = Machine::new(config);
+    m.load_flash(0x100, &main);
+    m.load_flash(0x300, &can_handler);
+    m.load_flash(0x400, &dog_handler);
+    m.load_flash(4, &0x300u32.to_le_bytes()); // vector: CAN RX (irq 1)
+    m.load_flash(8, &0x400u32.to_le_bytes()); // vector: watchdog (irq 2)
+    m.irq.nmi = Some(2); // the watchdog bite cannot be masked
+    m.set_pc(0x100);
+    m.cpu.set_sp(SRAM_BASE + 0x8000);
+    Ok(m)
+}
+
+fn ecu_asm(mode: alia_isa::IsaMode) -> impl Fn(&str) -> Result<Vec<u8>, CoreError> {
+    move |src: &str| {
+        Assembler::new(mode)
+            .assemble(src)
+            .map(|o| o.bytes)
+            .map_err(|e| CoreError::Run { what: format!("asm: {e}") })
+    }
+}
+
+/// Runs the two-ECU exchange with explicit scheduler knobs — the
+/// determinism tests sweep quantum sizes and node orderings and assert
+/// bit-identical results.
+///
+/// # Errors
+///
+/// Fails when assembly fails or the exchange does not complete.
+///
+/// # Panics
+///
+/// Panics when `frames` is 0 or exceeds 200 (8-bit compare immediates
+/// in the guests).
+pub fn multi_ecu_exchange_with(
+    frames: u32,
+    scheduler: SystemConfig,
+) -> Result<MultiEcuExchange, CoreError> {
+    assert!(frames > 0 && frames <= 200, "frame count must fit an 8-bit immediate");
+    let asm = ecu_asm(MachineConfig::m3_like().mode);
+    let mut system = System::with_config(scheduler);
+    let wire = system.shared_can_bus(4);
+    let producer = system.add_node("producer", producer_machine(frames, &wire, &asm)?);
+    let consumer = system.add_node(
+        "consumer",
+        // Never bites here: the timeout outlives the whole exchange.
+        consumer_machine(frames, &wire, u32::MAX, &asm)?,
+    );
+    let run = drive_system(&mut system, 10_000_000);
+    if run.result.reason != SystemStop::AllHalted {
+        return Err(CoreError::Run {
+            what: format!(
+                "multi-ECU exchange hit the horizon: producer {:?}, consumer {:?}",
+                system.node(producer).halted(),
+                system.node(consumer).halted()
+            ),
+        });
+    }
+    let Some(StopReason::MmioExit(sent_code)) = system.node(producer).halted() else {
+        return Err(CoreError::Run {
+            what: format!("producer stopped with {:?}", system.node(producer).halted()),
+        });
+    };
+    let Some(StopReason::MmioExit(checksum)) = system.node(consumer).halted() else {
+        return Err(CoreError::Run {
+            what: format!("consumer stopped with {:?}", system.node(consumer).halted()),
+        });
+    };
+    debug_assert_eq!(sent_code, frames);
+    wire.settle();
+    let tx = system.node(producer).machine().bus.device::<CanController>();
+    let rx = system.node(consumer).machine().bus.device::<CanController>();
+    Ok(MultiEcuExchange {
+        frames,
+        frames_sent: tx.map_or(0, CanController::tx_count),
+        frames_received: rx.map_or(0, CanController::rx_count),
+        checksum,
+        producer_cycles: system.node(producer).cycles(),
+        consumer_cycles: system.node(consumer).cycles(),
+        bus_utilization: wire.utilization(),
+        quanta: run.result.quanta,
+        delivery_log: wire
+            .delivery_log()
+            .iter()
+            .map(|d| (d.frame.id.raw(), d.completed_at * wire.cycles_per_bit()))
+            .collect(),
+    })
+}
+
+/// Runs the two-ECU exchange with default scheduling: `frames` CAN
+/// frames guest-to-guest over the shared wire. The expected checksum is
+/// [`guest_can_exchange_checksum`] (the frame ids and payloads match
+/// the single-machine loopback exchange).
+///
+/// # Errors
+///
+/// Same contract as [`multi_ecu_exchange_with`].
+pub fn multi_ecu_exchange(frames: u32) -> Result<MultiEcuExchange, CoreError> {
+    multi_ecu_exchange_with(frames, SystemConfig::default())
+}
+
+/// Result of the stalled-peer scenario: the producer ships only part of
+/// what the consumer expects, and the consumer's watchdog detects the
+/// silence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiEcuWatchdog {
+    /// Frames the consumer expected.
+    pub expected: u32,
+    /// Frames the producer actually shipped before stalling.
+    pub sent: u32,
+    /// Whether the watchdog bit (it must iff `sent < expected`).
+    pub stall_detected: bool,
+    /// Frames the consumer received before the verdict.
+    pub frames_received: u64,
+    /// Watchdog expiries on the consumer.
+    pub watchdog_bites: u64,
+    /// The consumer's exit code (`0xDEAD0000 | received` on a stall,
+    /// the checksum otherwise).
+    pub consumer_code: u32,
+}
+
+impl fmt::Display for MultiEcuWatchdog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "multi-ECU watchdog: {}/{} frames before silence -> {} \
+             (consumer exit {:#x}, {} bite(s))",
+            self.sent,
+            self.expected,
+            if self.stall_detected { "stall detected" } else { "no stall" },
+            self.consumer_code,
+            self.watchdog_bites
+        )
+    }
+}
+
+/// Runs the stalled-peer scenario: the consumer expects `expected`
+/// frames and arms its watchdog; the producer ships only `sent` before
+/// going silent. With `sent < expected` the consumer's watchdog must
+/// bite and report the stall through its NMI handler.
+///
+/// # Errors
+///
+/// Fails when assembly fails or neither node reaches a verdict.
+///
+/// # Panics
+///
+/// Panics when `expected` is 0, exceeds 200, or is smaller than `sent`.
+pub fn multi_ecu_watchdog(expected: u32, sent: u32) -> Result<MultiEcuWatchdog, CoreError> {
+    assert!(expected > 0 && expected <= 200, "frame count must fit an 8-bit immediate");
+    assert!(sent <= expected, "the producer cannot send more than expected");
+    let asm = ecu_asm(MachineConfig::m3_like().mode);
+    let mut system = System::new();
+    let wire = system.shared_can_bus(4);
+    // The producer is built to ship only `sent` frames and halt.
+    let producer = system.add_node("producer", producer_machine(sent, &wire, &asm)?);
+    // Inter-frame gap is 600 cycles; 20k cycles of silence is a stall.
+    let consumer =
+        system.add_node("consumer", consumer_machine(expected, &wire, 20_000, &asm)?);
+    let run = drive_system(&mut system, 10_000_000);
+    if run.result.reason != SystemStop::AllHalted {
+        return Err(CoreError::Run {
+            what: format!(
+                "watchdog scenario hit the horizon: producer {:?}, consumer {:?}",
+                system.node(producer).halted(),
+                system.node(consumer).halted()
+            ),
+        });
+    }
+    let Some(StopReason::MmioExit(consumer_code)) = system.node(consumer).halted() else {
+        return Err(CoreError::Run {
+            what: format!("consumer stopped with {:?}", system.node(consumer).halted()),
+        });
+    };
+    let rx = system.node(consumer).machine().bus.device::<CanController>();
+    let dog = system.node(consumer).machine().bus.device::<Watchdog>();
+    Ok(MultiEcuWatchdog {
+        expected,
+        sent,
+        stall_detected: consumer_code & 0xFFFF_0000 == 0xDEAD_0000,
+        frames_received: rx.map_or(0, CanController::rx_count),
+        watchdog_bites: dog.map_or(0, Watchdog::bites),
+        consumer_code,
     })
 }
 
@@ -263,6 +624,70 @@ mod tests {
         assert_eq!(small.checksum, guest_can_exchange_checksum(2));
         assert_eq!(large.checksum, guest_can_exchange_checksum(16));
         assert!(large.cycles > small.cycles);
+    }
+
+    #[test]
+    fn multi_ecu_exchange_crosses_the_shared_wire() {
+        // Acceptance: a two-node System exchanges >= 64 frames
+        // guest-to-guest with a deterministic checksum.
+        let e = multi_ecu_exchange(64).expect("exchange completes");
+        assert_eq!(e.frames_sent, 64);
+        assert_eq!(e.frames_received, 64);
+        assert_eq!(e.checksum, guest_can_exchange_checksum(64));
+        assert_eq!(e.delivery_log.len(), 64);
+        assert!(e.bus_utilization > 0.0, "guest traffic shows in utilization");
+        assert!(e.quanta > 1, "the scheduler actually interleaved the nodes");
+        assert!(e.to_string().contains("multi-ECU exchange"));
+    }
+
+    #[test]
+    fn multi_ecu_schedule_is_deterministic() {
+        // The same system under different quantum sizes and node
+        // service orders must produce bit-identical per-node cycle
+        // counts, checksums and delivery logs. Quanta above the wire
+        // lookahead are clamped, so the oversized request is safe too.
+        let baseline = multi_ecu_exchange(24).expect("completes");
+        for (quantum, rotate) in [
+            (None, true),
+            (Some(40), false),
+            (Some(40), true),
+            (Some(97), false),
+            (Some(188), true),
+            (Some(1_000_000), false),
+        ] {
+            let run = multi_ecu_exchange_with(24, SystemConfig { quantum, rotate_order: rotate })
+                .expect("completes");
+            assert_eq!(run.checksum, baseline.checksum, "q={quantum:?} r={rotate}");
+            assert_eq!(
+                run.producer_cycles, baseline.producer_cycles,
+                "q={quantum:?} r={rotate}"
+            );
+            assert_eq!(
+                run.consumer_cycles, baseline.consumer_cycles,
+                "q={quantum:?} r={rotate}"
+            );
+            assert_eq!(run.delivery_log, baseline.delivery_log, "q={quantum:?} r={rotate}");
+            assert_eq!(run.frames_received, baseline.frames_received);
+        }
+    }
+
+    #[test]
+    fn watchdog_detects_a_stalled_producer() {
+        let w = multi_ecu_watchdog(32, 10).expect("scenario completes");
+        assert!(w.stall_detected);
+        assert_eq!(w.frames_received, 10);
+        assert_eq!(w.watchdog_bites, 1);
+        assert_eq!(w.consumer_code, 0xDEAD_0000 | 10);
+        assert!(w.to_string().contains("stall detected"));
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_when_the_producer_delivers() {
+        let w = multi_ecu_watchdog(16, 16).expect("scenario completes");
+        assert!(!w.stall_detected);
+        assert_eq!(w.frames_received, 16);
+        assert_eq!(w.watchdog_bites, 0);
+        assert_eq!(w.consumer_code, guest_can_exchange_checksum(16));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use alia_codegen::{compile, CodegenOptions, CompiledProgram};
 use alia_isa::IsaMode;
-use alia_sim::{Machine, MachineConfig, StopReason};
+use alia_sim::{Machine, MachineConfig, StopReason, System, SystemRunResult};
 use alia_workloads::Kernel;
 
 use crate::CoreError;
@@ -206,6 +206,9 @@ pub fn run_kernel_cached(
     let prog = cache.compiled(kernel, config.mode, opts)?;
     let mut m = machine_for(config, &prog, kernel, seed, elems);
     let host_start = std::time::Instant::now();
+    // Unbounded run, not `run_until`: a kernel that deadlocks in WFI
+    // should fail fast with `WfiIdle` at its true cycle count, not park
+    // until the 2e9-cycle horizon.
     let result = m.run(2_000_000_000);
     let host_nanos = host_start.elapsed().as_nanos() as u64;
     if result.reason != StopReason::Bkpt(0) {
@@ -232,6 +235,35 @@ pub fn run_kernel_cached(
         code_size: prog.code_size(),
         host_nanos,
     })
+}
+
+/// The measured outcome of driving a multi-ECU [`System`].
+///
+/// Equality deliberately ignores `host_nanos` (host measurement
+/// metadata), mirroring [`KernelRun`].
+#[derive(Debug, Clone, Copy)]
+pub struct SystemRun {
+    /// The scheduler's outcome (stop reason, global time, quanta).
+    pub result: SystemRunResult,
+    /// Wall-clock nanoseconds the host spent inside [`System::run`].
+    pub host_nanos: u64,
+}
+
+impl PartialEq for SystemRun {
+    fn eq(&self, other: &SystemRun) -> bool {
+        self.result == other.result
+    }
+}
+
+impl Eq for SystemRun {}
+
+/// Drives `system` until every node halts or `horizon` cycles elapse,
+/// timing the host — the multi-node analogue of the kernel runner's
+/// `Machine::run_until` call.
+pub fn drive_system(system: &mut System, horizon: u64) -> SystemRun {
+    let host_start = std::time::Instant::now();
+    let result = system.run(horizon);
+    SystemRun { result, host_nanos: host_start.elapsed().as_nanos() as u64 }
 }
 
 /// Geometric mean of positive values.

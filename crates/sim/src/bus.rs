@@ -238,11 +238,25 @@ pub struct AttachedDevice {
     pub dev: Box<dyn Device>,
 }
 
+/// One entry of the sorted window index: device windows ordered by base
+/// address, so per-access resolution is a binary search instead of a
+/// linear scan of the attachment list.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    base: u32,
+    size: u32,
+    /// Index into [`Bus::devices`] (attachment order, which is what
+    /// [`Region::Device`] carries).
+    device: u8,
+}
+
 /// The system bus: region table, attached devices and device signals.
 #[derive(Debug, Clone)]
 pub struct Bus {
     table: [RegionEntry; 16],
     devices: Vec<AttachedDevice>,
+    /// Device windows sorted by base address ([`Bus::resolve_device`]).
+    windows: Vec<Window>,
     /// Signals raised by devices, drained by the machine.
     pub signals: BusSignals,
     /// Cached minimum of the attached devices' [`Device::next_event`]
@@ -262,6 +276,7 @@ impl Bus {
         let mut bus = Bus {
             table: [RegionEntry { slots: [EMPTY_SLOT; 2] }; 16],
             devices: Vec::new(),
+            windows: Vec::new(),
             signals: BusSignals::default(),
             next_event: u64::MAX,
             rev_sum: 0,
@@ -332,6 +347,18 @@ impl Bus {
         }
         let idx = self.devices.len() as u8;
         self.devices.push(AttachedDevice { base, size, dev });
+        // Keep the window index sorted by base; windows must not overlap
+        // (resolution would otherwise depend on attachment order).
+        let pos = self.windows.partition_point(|w| w.base < base);
+        let no_overlap = |w: &Window| {
+            base >= w.base.saturating_add(w.size) || w.base >= base.saturating_add(size)
+        };
+        assert!(
+            self.windows.get(pos.wrapping_sub(1)).is_none_or(no_overlap)
+                && self.windows.get(pos).is_none_or(no_overlap),
+            "device windows must not overlap"
+        );
+        self.windows.insert(pos, Window { base, size, device: idx });
         self.refresh_next_event();
         idx
     }
@@ -357,20 +384,33 @@ impl Bus {
         Region::Unmapped
     }
 
+    /// Resolves `addr` against the sorted window index: a binary search
+    /// for the last window starting at or below `addr`, then one bounds
+    /// check — O(log n) in the device count instead of a linear scan.
     #[inline]
     fn resolve_device(&self, addr: u32) -> Region {
-        for (i, d) in self.devices.iter().enumerate() {
-            if addr.wrapping_sub(d.base) < d.size {
-                return Region::Device(i as u8);
-            }
+        let i = self.windows.partition_point(|w| w.base <= addr);
+        match self.windows.get(i.wrapping_sub(1)) {
+            Some(w) if addr.wrapping_sub(w.base) < w.size => Region::Device(w.device),
+            _ => Region::Unmapped,
         }
-        Region::Unmapped
     }
 
     /// The attached devices.
     #[must_use]
     pub fn devices(&self) -> &[AttachedDevice] {
         &self.devices
+    }
+
+    /// Mutable access to the attached devices themselves (multi-node
+    /// schedulers use this to notify every shared-bus controller after
+    /// a wire advance). Deliberately yields only the devices, not their
+    /// windows — window geometry is mirrored in the sorted resolution
+    /// index and must stay immutable after [`Bus::attach`]. Host-side
+    /// mutation that (re)arms timed behaviour must be followed by
+    /// [`Bus::refresh_next_event`].
+    pub fn devices_mut(&mut self) -> impl Iterator<Item = &mut dyn Device> + '_ {
+        self.devices.iter_mut().map(|d| &mut *d.dev as &mut dyn Device)
     }
 
     /// Typed access to the first attached device of type `T`.
@@ -467,6 +507,8 @@ pub const MMIO_WINDOW_BASE: u32 = MMIO_BASE;
 pub const TIMER_BASE: u32 = MMIO_BASE + 0x1000;
 /// Default window base of the memory-mapped CAN controller.
 pub const CAN_BASE: u32 = MMIO_BASE + 0x2000;
+/// Default window base of the watchdog device.
+pub const WATCHDOG_BASE: u32 = MMIO_BASE + 0x3000;
 
 #[cfg(test)]
 mod tests {
@@ -510,6 +552,44 @@ mod tests {
         assert_eq!(bus.classify(TIMER_BASE), Region::Unmapped);
         assert_eq!(bus.classify(CAN_BASE + 0x100), Region::Unmapped);
         assert_eq!(bus.classify(MMIO_BASE + 0x8000), Region::Unmapped);
+    }
+
+    #[test]
+    fn many_windows_resolve_by_binary_search() {
+        // ROADMAP item: ≥8 devices must still resolve correctly once the
+        // linear window scan becomes a sorted-base binary search. Attach
+        // out of base order to exercise the sorted insert.
+        let mut bus = Bus::new(1 << 20, 1 << 20, None, false);
+        let bases: [u32; 9] = [
+            MMIO_WINDOW_BASE,
+            MMIO_BASE + 0x7000,
+            MMIO_BASE + 0x1000,
+            MMIO_BASE + 0x5000,
+            MMIO_BASE + 0x2000,
+            MMIO_BASE + 0x8000,
+            MMIO_BASE + 0x3000,
+            MMIO_BASE + 0x6000,
+            MMIO_BASE + 0x4000,
+        ];
+        let mut indices = Vec::new();
+        for &base in &bases {
+            indices.push(bus.attach(base, 0x100, Box::new(Mmio::new())));
+        }
+        for (&base, &idx) in bases.iter().zip(&indices) {
+            assert_eq!(bus.classify(base), Region::Device(idx), "base {base:#x}");
+            assert_eq!(bus.classify(base + 0xFF), Region::Device(idx), "top {base:#x}");
+            assert_eq!(bus.classify(base + 0x100), Region::Unmapped, "past {base:#x}");
+        }
+        assert_eq!(bus.classify(MMIO_WINDOW_BASE - 4), Region::Unmapped);
+        assert_eq!(bus.classify(MMIO_BASE + 0x8100), Region::Unmapped);
+    }
+
+    #[test]
+    #[should_panic(expected = "device windows must not overlap")]
+    fn overlapping_windows_are_rejected() {
+        let mut bus = Bus::new(1 << 20, 1 << 20, None, false);
+        bus.attach(MMIO_WINDOW_BASE, 0x1000, Box::new(Mmio::new()));
+        bus.attach(MMIO_WINDOW_BASE + 0x800, 0x1000, Box::new(Mmio::new()));
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //! `ARCHITECTURE.md` for the full contract (timing, ticking, IRQ
 //! signaling, revision counters).
 //!
+//! # Multi-ECU systems
+//!
+//! [`System`] ([`system`]) scales execution from one machine to a
+//! network: N [`Node`]s (machine + devices + local clock), an optional
+//! [`SharedCanBus`] that several nodes' CAN controllers arbitrate on,
+//! and a deterministic quantum scheduler whose results are independent
+//! of quantum size and node service order. A countdown [`Watchdog`]
+//! device (NMI-style expiry IRQ, guest-kickable) covers the classic
+//! stalled-peer detection scenario.
+//!
 //! # Host performance
 //!
 //! The interpreter is built to run "as fast as the hardware allows"
@@ -96,22 +106,26 @@ mod mem;
 mod mpu;
 mod patch;
 pub mod predecode;
+pub mod system;
 mod timing;
 
 pub use bus::{
     AttachedDevice, Bus, BusSignals, Device, DeviceClone, DeviceCtx, Region, CAN_BASE,
-    MMIO_WINDOW_BASE, TIMER_BASE,
+    MMIO_WINDOW_BASE, TIMER_BASE, WATCHDOG_BASE,
 };
 pub use cache::{Cache, CacheConfig, CacheStats, Lookup};
 pub use cpu::{
     add_with_carry, barrel_shift, expand_it, Cpu, ItQueue, EXC_RETURN_HW, EXC_RETURN_SW,
 };
-pub use devices::{CanConfig, CanController, Timer, TimerConfig};
+pub use devices::{
+    CanConfig, CanController, SharedCanBus, Timer, TimerConfig, Watchdog, WatchdogConfig,
+};
 pub use irq::{IrqController, IrqStyle, IrqTiming};
 pub use machine::{
     DeviceSpec, IrqLatency, Machine, MachineConfig, RunResult, StopReason, MMIO_IRQ_ACTIVE,
 };
 pub use predecode::{Predecode, PredecodeStats};
+pub use system::{Node, System, SystemConfig, SystemRunResult, SystemStop};
 pub use mem::{
     Access, Flash, FlashConfig, FlashStats, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE,
     MMIO_BASE, MMIO_CYCLES, MMIO_EXIT, MMIO_IRQ_SET, MMIO_TRACE, SRAM_BASE, TCM_BASE,

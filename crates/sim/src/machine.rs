@@ -10,7 +10,9 @@ use alia_isa::{decode_window, Flags, Instr, IsaMode, MemSize, Offset, Operand2, 
 
 use crate::bus::{Bus, Region};
 use crate::cpu::{add_with_carry, Cpu, EXC_RETURN_HW, EXC_RETURN_SW};
-use crate::devices::{CanConfig, CanController, Timer, TimerConfig};
+use crate::devices::{
+    CanConfig, CanController, SharedCanBus, Timer, TimerConfig, Watchdog, WatchdogConfig,
+};
 use crate::mem::{
     Access, Flash, FlashConfig, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE, MMIO_BASE,
     SRAM_BASE, TCM_BASE,
@@ -79,8 +81,16 @@ pub struct IrqLatency {
 pub enum DeviceSpec {
     /// A compare-match [`Timer`].
     Timer(TimerConfig),
-    /// A memory-mapped [`CanController`].
+    /// A memory-mapped [`CanController`] owning its private bus
+    /// (loopback / host-injected traffic).
     Can(CanConfig),
+    /// A memory-mapped [`CanController`] attached to a shared wire:
+    /// several machines' controllers arbitrate on one
+    /// [`SharedCanBus`], scheduled by [`crate::System`]. The wire's
+    /// bit rate overrides the config's `cycles_per_bit`.
+    SharedCan(CanConfig, SharedCanBus),
+    /// A countdown [`Watchdog`] (NMI-style IRQ on expiry).
+    Watchdog(WatchdogConfig),
 }
 
 /// Static machine configuration.
@@ -245,6 +255,17 @@ pub struct Machine {
     /// watermark (self-modifying code); part of the cache's generation
     /// stamp.
     code_write_gen: u64,
+    /// Cycle bound of the current [`Machine::run_until`] call
+    /// (`u64::MAX` outside bounded runs). Caps the WFI fast-forward so a
+    /// bounded run never overshoots a scheduler quantum boundary.
+    run_limit: u64,
+    /// Set when a bounded run reached `run_limit` while asleep in WFI:
+    /// the instruction is still in flight, and the next
+    /// [`Machine::run`] / [`Machine::run_until`] re-enters the sleep
+    /// instead of fetching. Cycle accounting is unchanged — a parked
+    /// machine resumes exactly as if the sleep had never been split at
+    /// the boundary.
+    wfi_parked: bool,
 }
 
 impl Machine {
@@ -265,6 +286,12 @@ impl Machine {
                 }
                 DeviceSpec::Can(c) => {
                     bus.attach(c.base, 0x100, Box::new(CanController::new(*c)));
+                }
+                DeviceSpec::SharedCan(c, wire) => {
+                    bus.attach(c.base, 0x100, Box::new(CanController::attached(*c, wire)));
+                }
+                DeviceSpec::Watchdog(c) => {
+                    bus.attach(c.base, 0x100, Box::new(Watchdog::new(*c)));
                 }
             }
         }
@@ -292,6 +319,8 @@ impl Machine {
             dcache_recoveries: 0,
             predecode: Predecode::new(config.predecode, config.predecode_two_way),
             code_write_gen: 0,
+            run_limit: u64::MAX,
+            wfi_parked: false,
             config,
         }
     }
@@ -755,6 +784,31 @@ impl Machine {
         }
     }
 
+    /// Bounded run: like [`Machine::run`], but the bound is a *resumable
+    /// boundary*, not an endpoint. A WFI sleep with no event due by
+    /// `cycle_limit` parks at the bound (returning
+    /// [`StopReason::CycleLimit`]) instead of fast-forwarding past it or
+    /// declaring [`StopReason::WfiIdle`]; a later `run_until` resumes
+    /// the sleep seamlessly. This is the node entry point of the
+    /// multi-machine scheduler ([`crate::System`]): results are
+    /// bit-identical no matter where the boundaries fall.
+    pub fn run_until(&mut self, cycle_limit: u64) -> RunResult {
+        self.run_limit = cycle_limit;
+        let result = self.run(cycle_limit);
+        self.run_limit = u64::MAX;
+        result
+    }
+
+    /// Whether the machine is parked in a WFI sleep with no local
+    /// wakeup source (no scheduled interrupt, no device event): only an
+    /// externally delivered event — e.g. a frame arriving on a shared
+    /// CAN wire — could ever wake it. A multi-node scheduler uses this
+    /// to recognize system-wide quiescence.
+    #[must_use]
+    pub fn idle_parked(&self) -> bool {
+        self.wfi_parked && self.irq_schedule.is_empty() && self.bus.next_event() == u64::MAX
+    }
+
     fn result(&self, reason: StopReason) -> RunResult {
         RunResult { reason, cycles: self.cycles, instructions: self.instret }
     }
@@ -762,6 +816,13 @@ impl Machine {
     /// Executes one instruction (or takes one interrupt). Returns a stop
     /// reason when the machine halts.
     pub fn step(&mut self) -> Option<StopReason> {
+        if self.wfi_parked {
+            // A bounded run split a WFI sleep at its boundary; resume
+            // the sleep without re-fetching the instruction (no cycle
+            // cost — the machine was never architecturally awake).
+            self.wfi_parked = false;
+            return self.sleep_until_irq();
+        }
         self.drain_due_irqs(self.cycles);
         // Interrupts are taken between instructions (and never nested).
         if self.cpu.handler_depth == 0 || self.irq.nmi.is_some_and(|n| self.irq.is_pending(n)) {
@@ -1270,12 +1331,21 @@ impl Machine {
             (None, d) => Some(d),
         };
         match target {
-            Some(cycle) => {
+            Some(cycle) if cycle <= self.run_limit => {
                 self.cycles = self.cycles.max(cycle);
                 self.drain_due_irqs(self.cycles);
                 None
             }
-            None => Some(StopReason::WfiIdle),
+            None if self.run_limit == u64::MAX => Some(StopReason::WfiIdle),
+            _ => {
+                // Bounded run: the next event (if any) lies beyond the
+                // boundary. Park at the bound; the next step resumes
+                // the sleep — a scheduler may deliver new events (e.g.
+                // shared-bus frames) in between.
+                self.cycles = self.cycles.max(self.run_limit);
+                self.wfi_parked = true;
+                None
+            }
         }
     }
 

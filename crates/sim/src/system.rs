@@ -1,0 +1,614 @@
+//! Multi-ECU execution: N machines, one shared CAN wire, a
+//! deterministic quantum scheduler.
+//!
+//! A [`System`] owns a set of [`Node`]s (a [`Machine`] plus its device
+//! set and local cycle clock) and, optionally, one [`SharedCanBus`] that
+//! several nodes' CAN controllers attach to. [`System::run`] advances
+//! the nodes in bounded quanta:
+//!
+//! 1. every live node runs to the quantum boundary
+//!    ([`Machine::run_until`] — WFI sleeps park at the boundary instead
+//!    of overshooting it);
+//! 2. the shared wire arbitrates and transmits everything enqueued up
+//!    to the boundary ([`SharedCanBus::run_to_cycle`]);
+//! 3. each controller is re-armed at the arrival cycle of its next
+//!    delivery ([`CanController::note_wire_progress`]), so reception —
+//!    FIFO push and RX interrupt — happens at the exact completion
+//!    cycle inside a later quantum, through the ordinary device-tick
+//!    machinery.
+//!
+//! # Why this is deterministic
+//!
+//! The quantum never exceeds the wire's **lookahead**
+//! ([`SharedCanBus::min_quantum_cycles`]): the minimum time any CAN
+//! frame occupies the wire. A frame enqueued inside quantum *k*
+//! therefore cannot complete before the boundary of quantum *k+1* — by
+//! the time the wire arbitrates it, every node has already enqueued
+//! everything it could have contributed to that arbitration window, and
+//! same-id ties break on `(enqueue time, node id)`, not host call
+//! order. Transmission start times depend only on enqueue times and
+//! prior wire state, never on where the boundaries fall, so per-node
+//! cycle counts, checksums and the delivery log are bit-identical for
+//! *any* quantum at or below the lookahead and *any* node service
+//! order ([`SystemConfig`] exposes both knobs precisely so tests can
+//! prove it). When the wire is busy past the next boundary, the
+//! scheduler stretches the quantum to `busy_until` — no new arbitration
+//! can happen earlier, so the extra length is free.
+
+use crate::devices::{CanController, SharedCanBus};
+use crate::machine::{Machine, StopReason};
+
+/// A machine participating in a [`System`]: the machine, its name, and
+/// its halt state. The node's clock is the machine's cycle counter; the
+/// scheduler advances it in quanta via [`Node::run_until`].
+#[derive(Debug, Clone)]
+pub struct Node {
+    name: String,
+    machine: Machine,
+    halted: Option<StopReason>,
+}
+
+impl Node {
+    /// Wraps `machine` as a schedulable node.
+    #[must_use]
+    pub fn new(name: impl Into<String>, machine: Machine) -> Node {
+        Node { name: name.into(), machine, halted: None }
+    }
+
+    /// The node's name (diagnostics and reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped machine.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the wrapped machine (loading images, reading
+    /// results). Callers must not advance the machine directly while a
+    /// `System` is scheduling it.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Why the node halted, if it has ([`StopReason::CycleLimit`] never
+    /// halts a node — it only marks a quantum boundary).
+    #[must_use]
+    pub fn halted(&self) -> Option<StopReason> {
+        self.halted
+    }
+
+    /// The node's local clock (machine cycles).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// Runs the node up to `cycle` (a bounded, resumable advance).
+    /// Returns the halt reason if the node stopped for a reason other
+    /// than the bound, now or previously.
+    pub fn run_until(&mut self, cycle: u64) -> Option<StopReason> {
+        if self.halted.is_none() && self.machine.cycles() < cycle {
+            let r = self.machine.run_until(cycle);
+            if r.reason != StopReason::CycleLimit {
+                self.halted = Some(r.reason);
+            }
+        }
+        self.halted
+    }
+}
+
+/// Scheduler knobs. The defaults are always safe; both knobs exist so
+/// determinism tests can vary the schedule and assert identical results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Quantum override in cycles. Clamped to the shared wire's
+    /// lookahead ([`SharedCanBus::min_quantum_cycles`]) — larger values
+    /// could deliver frames late. `None` uses the lookahead itself
+    /// (or one whole-horizon quantum when no shared wire is attached).
+    pub quantum: Option<u64>,
+    /// Rotate the node service order every quantum instead of always
+    /// starting at node 0. Results must not change either way.
+    pub rotate_order: bool,
+}
+
+/// Why [`System::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemStop {
+    /// Every node halted: exit, breakpoint, fault, or system-wide
+    /// quiescence (all live nodes asleep in WFI with no local events
+    /// and a quiet wire — each is marked [`StopReason::WfiIdle`]).
+    AllHalted,
+    /// The horizon was reached with at least one node still live.
+    Horizon,
+}
+
+/// The outcome of [`System::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemRunResult {
+    /// Why the run returned.
+    pub reason: SystemStop,
+    /// Global time reached (cycles).
+    pub now: u64,
+    /// Quanta executed (scheduler introspection).
+    pub quanta: u64,
+}
+
+/// The shared-wire CAN node ids carried by `machine`'s controllers.
+fn shared_can_node_ids(machine: &Machine) -> impl Iterator<Item = usize> + '_ {
+    machine.bus.devices().iter().filter_map(|d| {
+        let c = d.dev.as_any().downcast_ref::<CanController>()?;
+        c.shared_bus().map(|_| c.config().node)
+    })
+}
+
+/// N nodes plus shared interconnects, advanced by a deterministic
+/// event-driven quantum scheduler. See the module docs for the
+/// scheduling contract.
+#[derive(Debug, Default)]
+pub struct System {
+    nodes: Vec<Node>,
+    wire: Option<SharedCanBus>,
+    config: SystemConfig,
+    now: u64,
+    quanta: u64,
+}
+
+impl System {
+    /// An empty system with default scheduling.
+    #[must_use]
+    pub fn new() -> System {
+        System::default()
+    }
+
+    /// An empty system with explicit scheduler knobs.
+    #[must_use]
+    pub fn with_config(config: SystemConfig) -> System {
+        System { config, ..System::default() }
+    }
+
+    /// Creates the system's shared CAN wire and returns the attachment
+    /// handle (pass it to [`crate::DeviceSpec::SharedCan`] for each
+    /// participating machine). One wire per system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system already has a wire.
+    pub fn shared_can_bus(&mut self, cycles_per_bit: u64) -> SharedCanBus {
+        assert!(self.wire.is_none(), "the system already has a shared CAN wire");
+        let wire = SharedCanBus::new(cycles_per_bit);
+        self.wire = Some(wire.clone());
+        wire
+    }
+
+    /// Adds a node and returns its index. Nodes join at the system's
+    /// current time; machines must not have been run ahead of it.
+    ///
+    /// If the machine carries shared-wire CAN controllers, their wire
+    /// becomes the system's wire (created standalone via
+    /// [`SharedCanBus::new`] or via [`System::shared_can_bus`]) — a
+    /// shared controller the scheduler does not service would never
+    /// receive a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the machine was run ahead of system time, when one
+    /// of its controllers is attached to a *different* wire than the
+    /// system's (one wire per system), or when a controller reuses a
+    /// CAN node id already present on the wire (receivers filter their
+    /// own transmissions by node id, so a duplicate would silently
+    /// drop every peer frame).
+    pub fn add_node(&mut self, name: impl Into<String>, machine: Machine) -> usize {
+        assert!(
+            machine.cycles() <= self.now,
+            "a node must not join ahead of system time"
+        );
+        let mut wire_ids: Vec<usize> =
+            self.nodes.iter().flat_map(|n| shared_can_node_ids(n.machine())).collect();
+        for d in machine.bus.devices() {
+            let Some(ctrl) = d.dev.as_any().downcast_ref::<CanController>() else {
+                continue;
+            };
+            let Some(wire) = ctrl.shared_bus() else { continue };
+            match &self.wire {
+                None => self.wire = Some(wire.clone()),
+                Some(existing) => assert!(
+                    existing.same_wire(wire),
+                    "all shared CAN controllers in a System must attach to one wire"
+                ),
+            }
+            let id = ctrl.config().node;
+            assert!(
+                !wire_ids.contains(&id),
+                "duplicate CAN node id {id} on the shared wire"
+            );
+            wire_ids.push(id);
+        }
+        self.nodes.push(Node::new(name, machine));
+        self.nodes.len() - 1
+    }
+
+    /// The nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node `i`.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Mutable node `i` (setup and result extraction).
+    pub fn node_mut(&mut self, i: usize) -> &mut Node {
+        &mut self.nodes[i]
+    }
+
+    /// The shared wire, if one was created.
+    #[must_use]
+    pub fn wire(&self) -> Option<&SharedCanBus> {
+        self.wire.as_ref()
+    }
+
+    /// Global time reached so far (cycles).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Quanta executed so far.
+    #[must_use]
+    pub fn quanta(&self) -> u64 {
+        self.quanta
+    }
+
+    /// The effective quantum in cycles: the configured override clamped
+    /// to the wire lookahead, or the lookahead itself (`u64::MAX` with
+    /// no wire — independent nodes need no boundaries).
+    #[must_use]
+    pub fn effective_quantum(&self) -> u64 {
+        let lookahead =
+            self.wire.as_ref().map_or(u64::MAX, SharedCanBus::min_quantum_cycles);
+        self.config.quantum.unwrap_or(lookahead).min(lookahead).max(1)
+    }
+
+    /// Advances the system to `horizon` (cycles) or until every node
+    /// halts, delivering cross-node CAN frames cycle-accurately.
+    pub fn run(&mut self, horizon: u64) -> SystemRunResult {
+        let quantum = self.effective_quantum();
+        while self.now < horizon && self.nodes.iter().any(|n| n.halted.is_none()) {
+            // Quantum boundary: never beyond the lookahead past `now`,
+            // but stretched across a busy wire (no new arbitration can
+            // start before `busy_until`), and clamped to the horizon.
+            let mut boundary = self.now.saturating_add(quantum);
+            if let Some(wire) = &self.wire {
+                boundary = boundary.max(wire.busy_until_cycle());
+            }
+            let boundary = boundary.min(horizon);
+            // 1. Every live node runs to the boundary. The service
+            // order is immaterial (nodes only interact through the
+            // wire, which is parked until step 2); `rotate_order`
+            // exists to prove that.
+            let n = self.nodes.len();
+            let offset = if self.config.rotate_order && n > 0 {
+                (self.quanta as usize) % n
+            } else {
+                0
+            };
+            for i in 0..n {
+                self.nodes[(i + offset) % n].run_until(boundary);
+            }
+            // 2. The wire arbitrates everything enqueued this quantum.
+            // 3. Controllers re-arm at their next delivery's arrival.
+            if let Some(wire) = &self.wire {
+                wire.run_to_cycle(boundary);
+                for node in &mut self.nodes {
+                    let bus = &mut node.machine.bus;
+                    let mut touched = false;
+                    for d in bus.devices_mut() {
+                        if let Some(c) = d.as_any_mut().downcast_mut::<CanController>() {
+                            c.note_wire_progress();
+                            touched = true;
+                        }
+                    }
+                    if touched {
+                        bus.refresh_next_event();
+                    }
+                }
+            }
+            // Quiescence: when the wire is quiet (nothing queued or in
+            // flight) and every live node is parked in a WFI sleep with
+            // no local wakeup source, no event can ever occur again —
+            // the nodes are idle exactly as a lone machine reporting
+            // `WfiIdle` would be. Without this, an all-idle system
+            // would spin one quantum at a time to the horizon.
+            let wire_quiet = self
+                .wire
+                .as_ref()
+                .is_none_or(|w| w.pending() == 0 && w.busy_until_cycle() <= boundary);
+            if wire_quiet
+                && self
+                    .nodes
+                    .iter()
+                    .all(|n| n.halted.is_some() || n.machine.idle_parked())
+            {
+                for n in &mut self.nodes {
+                    if n.halted.is_none() {
+                        n.halted = Some(StopReason::WfiIdle);
+                    }
+                }
+            }
+            self.now = boundary;
+            self.quanta += 1;
+        }
+        let reason = if self.nodes.iter().all(|n| n.halted.is_some()) {
+            SystemStop::AllHalted
+        } else {
+            SystemStop::Horizon
+        };
+        SystemRunResult { reason, now: self.now, quanta: self.quanta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{CanConfig, TimerConfig};
+    use crate::machine::{DeviceSpec, MachineConfig};
+    use crate::{CAN_BASE, SRAM_BASE, TIMER_BASE};
+    use alia_isa::{Assembler, IsaMode};
+
+    fn asm(src: &str) -> Vec<u8> {
+        Assembler::new(IsaMode::T2).assemble(src).expect("assembles").bytes
+    }
+
+    fn machine(config: MachineConfig, main: &[u8]) -> Machine {
+        let mut m = Machine::new(config);
+        m.load_flash(0x100, main);
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    }
+
+    #[test]
+    fn independent_nodes_run_to_completion() {
+        let mut sys = System::new();
+        let count = |n: u32| {
+            asm(&format!(
+                "mov r0, #0
+                 loop: add r0, r0, #1
+                 cmp r0, #{n}
+                 bne loop
+                 bkpt #0"
+            ))
+        };
+        sys.add_node("a", machine(MachineConfig::m3_like(), &count(10)));
+        sys.add_node("b", machine(MachineConfig::m3_like(), &count(200)));
+        let r = sys.run(1_000_000);
+        assert_eq!(r.reason, SystemStop::AllHalted);
+        assert_eq!(sys.node(0).halted(), Some(StopReason::Bkpt(0)));
+        assert_eq!(sys.node(1).halted(), Some(StopReason::Bkpt(0)));
+        assert_eq!(sys.node(0).machine().cpu.regs[0], 10);
+        assert_eq!(sys.node(1).machine().cpu.regs[0], 200);
+        assert!(sys.node(1).cycles() > sys.node(0).cycles());
+        assert_eq!(r.quanta, 1, "no wire: a single whole-horizon quantum");
+    }
+
+    #[test]
+    fn frames_cross_the_shared_wire_guest_to_guest() {
+        // Producer: timer-paced TX of 4 frames, then exit. Consumer:
+        // spins until its RX IRQ handler has drained 4 frames, then
+        // exits with the checksum.
+        let mut sys = System::new();
+        let wire = sys.shared_can_bus(4);
+        let mut pconf = MachineConfig::m3_like();
+        pconf.devices = vec![
+            DeviceSpec::Timer(TimerConfig { base: TIMER_BASE, irq: 0, compare: 800 }),
+            DeviceSpec::SharedCan(
+                CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+                wire.clone(),
+            ),
+        ];
+        let main_p = asm(
+            "movw r0, #0x1000
+             movt r0, #0x4000
+             movw r1, #800
+             str r1, [r0, #4]
+             mov r1, #3
+             str r1, [r0, #0]
+             spin: cmp r4, #4
+             bne spin
+             movw r0, #0
+             movt r0, #0x4000
+             str r4, [r0, #0]
+             halt: b halt",
+        );
+        let tx_handler = asm(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             cmp r4, #4
+             bge done
+             movw r1, #0x100
+             add r1, r1, r4
+             str r1, [r0, #0]
+             mov r1, #4
+             str r1, [r0, #4]
+             str r4, [r0, #8]
+             mov r1, #0
+             str r1, [r0, #12]
+             str r1, [r0, #16]
+             add r4, r4, #1
+             done: bx lr",
+        );
+        let mut p = machine(pconf, &main_p);
+        p.load_flash(0x200, &tx_handler);
+        p.load_flash(0, &0x200u32.to_le_bytes());
+        sys.add_node("producer", p);
+
+        let mut cconf = MachineConfig::m3_like();
+        cconf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 1, ..CanConfig::default() },
+            wire.clone(),
+        )];
+        let main_c = asm(
+            "spin: cmp r7, #4
+             bne spin
+             movw r0, #0
+             movt r0, #0x4000
+             str r6, [r0, #0]
+             halt: b halt",
+        );
+        let rx_handler = asm(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             rxloop: ldr r1, [r0, #20]
+             cmp r1, #0
+             beq rxdone
+             ldr r1, [r0, #24]
+             add r6, r6, r1
+             ldr r1, [r0, #32]
+             add r6, r6, r1
+             str r1, [r0, #40]
+             add r7, r7, #1
+             b rxloop
+             rxdone: bx lr",
+        );
+        let mut c = machine(cconf, &main_c);
+        c.load_flash(0x200, &rx_handler);
+        c.load_flash(4, &0x200u32.to_le_bytes());
+        sys.add_node("consumer", c);
+
+        let r = sys.run(10_000_000);
+        assert_eq!(r.reason, SystemStop::AllHalted);
+        let expected: u32 = (0..4).map(|k| 0x100 + k + k).sum();
+        assert_eq!(sys.node(0).halted(), Some(StopReason::MmioExit(4)));
+        assert_eq!(sys.node(1).halted(), Some(StopReason::MmioExit(expected)));
+        assert_eq!(wire.deliveries_len(), 4);
+        // RX interrupts were stamped at frame-completion cycles: the
+        // consumer's observed latencies are the entry overhead, not a
+        // quantum-boundary artifact.
+        let lats = sys.node(1).machine().latencies();
+        assert_eq!(lats.len(), 4);
+        assert!(lats.iter().all(|l| l.entry_cycle - l.pend_cycle < 100));
+    }
+
+    #[test]
+    fn quiescent_wfi_system_halts_as_idle() {
+        // Every live node asleep with no local events and a quiet wire:
+        // the system must settle to AllHalted/WfiIdle, not spin one
+        // quantum at a time until the horizon.
+        let mut sys = System::new();
+        let wire = sys.shared_can_bus(4);
+        let mut conf = MachineConfig::m3_like();
+        conf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+            wire.clone(),
+        )];
+        sys.add_node("sleeper", machine(conf, &asm("wfi\n bkpt #0")));
+        sys.add_node("done", machine(MachineConfig::m3_like(), &asm("bkpt #0")));
+        let r = sys.run(100_000_000);
+        assert_eq!(r.reason, SystemStop::AllHalted);
+        assert_eq!(sys.node(0).halted(), Some(StopReason::WfiIdle));
+        assert_eq!(sys.node(1).halted(), Some(StopReason::Bkpt(0)));
+        assert!(r.quanta < 4, "settled immediately, not at the horizon");
+    }
+
+    #[test]
+    fn standalone_wire_is_adopted_at_add_node() {
+        // A SharedCanBus built outside System::shared_can_bus must
+        // still be serviced by the scheduler.
+        let wire = SharedCanBus::new(4);
+        let mut conf = MachineConfig::m3_like();
+        conf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+            wire.clone(),
+        )];
+        let mut sys = System::new();
+        sys.add_node("n0", machine(conf, &asm("bkpt #0")));
+        assert!(sys.wire().is_some_and(|w| w.same_wire(&wire)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate CAN node id")]
+    fn duplicate_node_ids_are_rejected() {
+        // Receivers filter their own transmissions by node id; two
+        // controllers sharing an id would silently drop peer frames.
+        let mut sys = System::new();
+        let wire = sys.shared_can_bus(4);
+        let conf = |node| {
+            let mut c = MachineConfig::m3_like();
+            c.devices = vec![DeviceSpec::SharedCan(
+                CanConfig { base: CAN_BASE, irq: 1, node, ..CanConfig::default() },
+                wire.clone(),
+            )];
+            c
+        };
+        sys.add_node("a", machine(conf(0), &asm("bkpt #0")));
+        sys.add_node("b", machine(conf(0), &asm("bkpt #0")));
+    }
+
+    #[test]
+    #[should_panic(expected = "must attach to one wire")]
+    fn mismatched_wires_are_rejected() {
+        let mut sys = System::new();
+        let _wire = sys.shared_can_bus(4);
+        let other = SharedCanBus::new(4);
+        let mut conf = MachineConfig::m3_like();
+        conf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+            other,
+        )];
+        sys.add_node("stray", machine(conf, &asm("bkpt #0")));
+    }
+
+    #[test]
+    fn parked_wfi_node_wakes_on_shared_frame() {
+        // The consumer sleeps in WFI with no local events: only a frame
+        // from the producer can wake it. The bounded scheduler must
+        // park the sleep at quantum boundaries, then wake it at the
+        // exact arrival cycle.
+        let mut sys = System::new();
+        let wire = sys.shared_can_bus(4);
+        let mut pconf = MachineConfig::m3_like();
+        pconf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+            wire.clone(),
+        )];
+        let main_p = asm(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             movw r1, #0x77
+             str r1, [r0, #0]
+             mov r1, #1
+             str r1, [r0, #4]
+             str r1, [r0, #8]
+             str r1, [r0, #16]
+             bkpt #0",
+        );
+        sys.add_node("producer", machine(pconf, &main_p));
+
+        let mut cconf = MachineConfig::m3_like();
+        cconf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 1, ..CanConfig::default() },
+            wire.clone(),
+        )];
+        let main_c = asm("wfi\n bkpt #1");
+        let rx_handler = asm("bx lr");
+        let mut c = machine(cconf, &main_c);
+        c.load_flash(0x200, &rx_handler);
+        c.load_flash(4, &0x200u32.to_le_bytes());
+        sys.add_node("consumer", c);
+
+        let r = sys.run(1_000_000);
+        assert_eq!(r.reason, SystemStop::AllHalted);
+        assert_eq!(sys.node(1).halted(), Some(StopReason::Bkpt(1)));
+        let d = wire.delivery(0).expect("frame crossed");
+        let arrival = d.completed_at * 4;
+        let lat = sys.node(1).machine().latencies()[0];
+        assert_eq!(lat.pend_cycle, arrival, "woken at the exact arrival cycle");
+    }
+}

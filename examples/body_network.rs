@@ -3,8 +3,10 @@
 //! The paper's low-cost end: window lifts, seats and mirrors on
 //! M3-class nodes. This example plans MPU isolation for the module set
 //! (Figure 2), processes CAN traffic with the `canrdr` kernel, runs the
-//! bus simulator against the analytic bounds, and finishes with the
-//! §1/§4 "virtual multi-core" allocation comparison.
+//! bus simulator against the analytic bounds, boots two real ECUs on a
+//! shared CAN wire (producer/consumer plus a watchdog stall detector),
+//! and finishes with the §1/§4 "virtual multi-core" allocation
+//! comparison.
 //!
 //! Run with: `cargo run -p alia-core --example body_network`
 
@@ -74,7 +76,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x = alia_core::experiments::guest_can_exchange(8)?;
     println!("\n{x}");
 
-    // --- 5. The harmonized virtual multi-core. -----------------------
+    // --- 5. Two real ECUs on one shared wire. ------------------------
+    // A producer ECU samples its timer and ships frames; a consumer ECU
+    // checksums them — two `Machine`s under the deterministic
+    // multi-node scheduler (`alia_sim::System`), frames arbitrated on a
+    // `SharedCanBus`.
+    let m = alia_core::experiments::multi_ecu_exchange(64)?;
+    println!("\n{m}");
+    assert_eq!(
+        m.checksum,
+        alia_core::experiments::guest_can_exchange_checksum(64),
+        "the consumer's checksum is deterministic"
+    );
+
+    // And the classic failure mode: the producer goes silent after 10
+    // of 32 frames, and the consumer's watchdog (NMI) detects it.
+    let w = alia_core::experiments::multi_ecu_watchdog(32, 10)?;
+    println!("{w}");
+
+    // --- 6. The harmonized virtual multi-core. -----------------------
     let e = alia_core::experiments::network_experiment(8, 4)?;
     println!("\n{e}");
     Ok(())
