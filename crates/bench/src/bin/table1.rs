@@ -17,14 +17,34 @@ fn main() {
     println!("per-kernel cycle detail:");
     for r in &t.rows {
         for k in &r.kernels {
+            let p = &k.predecode;
             println!(
-                "  {:<6} {:<8} {:>9} cycles {:>6} bytes  {:>7.1} host MIPS",
-                r.mode, k.kernel, k.cycles, k.code_size, k.host_mips()
+                "  {:<6} {:<8} {:>9} cycles {:>6} bytes  {:>7.1} host MIPS  \
+                 blocks {}/{} hits, {} chained, {} splits (l1 {}/{})",
+                r.mode,
+                k.kernel,
+                k.cycles,
+                k.code_size,
+                k.host_mips(),
+                p.blocks_built,
+                p.block_hits,
+                p.chain_follows,
+                p.budget_splits,
+                p.hits,
+                p.misses,
             );
         }
     }
     println!(
         "\nhost simulation throughput: {:.1} guest MIPS (instructions / wall second inside Machine::run)",
         t.host_mips()
+    );
+    let mut agg = alia_core::prelude::sim::PredecodeStats::default();
+    for k in t.rows.iter().flat_map(|r| &r.kernels) {
+        agg.merge(&k.predecode);
+    }
+    println!(
+        "block engine over the suite: {} blocks built, {} dispatched ({} via chain links), {} budget splits",
+        agg.blocks_built, agg.block_hits, agg.chain_follows, agg.budget_splits
     );
 }

@@ -655,7 +655,10 @@ mod tests {
             (Some(188), true),
             (Some(1_000_000), false),
         ] {
-            let run = multi_ecu_exchange_with(24, SystemConfig { quantum, rotate_order: rotate })
+            let run = multi_ecu_exchange_with(
+                24,
+                SystemConfig { quantum, rotate_order: rotate, ..SystemConfig::default() },
+            )
                 .expect("completes");
             assert_eq!(run.checksum, baseline.checksum, "q={quantum:?} r={rotate}");
             assert_eq!(

@@ -26,6 +26,8 @@ pub struct KernelMeasurement {
     pub code_size: u32,
     /// Host wall-clock nanoseconds spent simulating.
     pub host_nanos: u64,
+    /// Predecode / block-engine counters of the run.
+    pub predecode: alia_sim::PredecodeStats,
 }
 
 impl KernelMeasurement {
@@ -138,6 +140,7 @@ pub fn table1(seed: u64, elems: u32) -> Result<Table1, CoreError> {
                 elems,
                 code_size: run.code_size,
                 host_nanos: run.host_nanos,
+                predecode: run.predecode,
             });
         }
         rows.push(Table1Row {

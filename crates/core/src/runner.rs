@@ -35,6 +35,9 @@ pub struct KernelRun {
     /// Wall-clock nanoseconds the host spent inside `Machine::run`
     /// (simulation only — compile and interpreter verification excluded).
     pub host_nanos: u64,
+    /// Predecode / block-engine counters of the run (host metadata,
+    /// ignored by equality like `host_nanos`).
+    pub predecode: alia_sim::PredecodeStats,
 }
 
 impl PartialEq for KernelRun {
@@ -234,6 +237,7 @@ pub fn run_kernel_cached(
         instructions: result.instructions,
         code_size: prog.code_size(),
         host_nanos,
+        predecode: m.predecode_stats(),
     })
 }
 

@@ -467,6 +467,22 @@ impl CanController {
         }
     }
 
+    /// Whether this controller could put traffic on the wire (or pull a
+    /// delivery off it) soon: frames are queued awaiting arbitration, or
+    /// completed deliveries have not been examined yet. The quantum
+    /// scheduler's idle-stretch uses this as the cheap "could transmit
+    /// soon" veto — while any controller is armed, quanta stay at the
+    /// conservative wire lookahead.
+    #[must_use]
+    pub fn tx_armed(&self) -> bool {
+        match &self.wire {
+            Wire::Owned(bus) => bus.pending() > 0,
+            Wire::Shared(s) => {
+                s.pending() > 0 || s.deliveries_len() > self.deliveries_seen
+            }
+        }
+    }
+
     /// Host-side traffic injection: enqueues `frame` from remote node
     /// `node` at bus bit-time `at_bits`. Call
     /// [`crate::Bus::refresh_next_event`] afterwards if the machine is

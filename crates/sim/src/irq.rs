@@ -149,6 +149,19 @@ impl IrqController {
         self.pending.get(irq as usize).copied().unwrap_or(false)
     }
 
+    /// Whether *any* line is pending, eligible or not — one load. The
+    /// machine's block engine polls this after every instruction: a
+    /// pending line (even masked or held off by `handler_depth`) sends
+    /// execution back to the per-step path, which owns interrupt entry
+    /// and samples eligibility in full. That keeps block-boundary IRQ
+    /// sampling bit-identical to per-step sampling without replicating
+    /// the priority/NMI/mask logic in the hot loop.
+    #[must_use]
+    #[inline]
+    pub fn any_pending(&self) -> bool {
+        self.pending_count != 0
+    }
+
     /// Whether any eligible interrupt is pending. `masked` is the core's
     /// global interrupt-disable (PRIMASK / `cpsid`); the NMI line ignores
     /// it.

@@ -17,7 +17,9 @@ use crate::mem::{
     Access, Flash, FlashConfig, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE, MMIO_BASE,
     SRAM_BASE, TCM_BASE,
 };
-use crate::predecode::{Entry, Predecode, PredecodeStats};
+use std::rc::Rc;
+
+use crate::predecode::{BlockCache, Entry, Predecode, PredecodeStats, MAX_BLOCK_LEN};
 use crate::{Cache, CacheConfig, CoreTiming, FlashPatch, IrqController, IrqStyle, Lookup, Mpu,
     MpuKind};
 
@@ -131,6 +133,13 @@ pub struct MachineConfig {
     /// layout for the bench ablation. Host-only; cycle counts are
     /// identical either way.
     pub predecode_two_way: bool,
+    /// Whether the basic-block engine is enabled: decoded straight-line
+    /// runs are cached whole and dispatched block-at-a-time by
+    /// [`Machine::run`], with the per-step dispatch tax (IRQ drain,
+    /// stamp check, cache probe) hoisted to block boundaries and block
+    /// exits chained. Host-only; results are bit-identical either way
+    /// (`false` selects the per-step path for the bench ablation).
+    pub block_cache: bool,
     /// Bus devices to attach beyond the always-present instrumentation
     /// MMIO block (index 0).
     pub devices: Vec<DeviceSpec>,
@@ -156,6 +165,7 @@ impl MachineConfig {
             vector_base: 0,
             predecode: true,
             predecode_two_way: true,
+            block_cache: true,
             devices: Vec::new(),
         }
     }
@@ -178,6 +188,7 @@ impl MachineConfig {
             vector_base: 0,
             predecode: true,
             predecode_two_way: true,
+            block_cache: true,
             devices: Vec::new(),
         }
     }
@@ -200,6 +211,7 @@ impl MachineConfig {
             vector_base: 0,
             predecode: true,
             predecode_two_way: true,
+            block_cache: true,
             devices: Vec::new(),
         }
     }
@@ -210,6 +222,49 @@ struct SwFrame {
     ret_pc: u32,
     flags: Flags,
     primask: bool,
+}
+
+/// A basic block being recorded by the per-step path. Recording aborts
+/// (the partial run is discarded) whenever execution leaves the
+/// straight line — an interrupt, a generation-stamp change, a stop.
+#[derive(Debug, Clone)]
+struct BlockRec {
+    start: u32,
+    stamp: u64,
+    /// Where the straight line must continue for the next entry to
+    /// belong to this block.
+    next_pc: u32,
+    entries: Vec<Entry>,
+}
+
+/// Whether `instr` ends a basic block: control transfers (including
+/// anything that *could* write the PC) and IT headers. The classifier
+/// is a recording heuristic, not a safety boundary — the block executor
+/// independently verifies after every instruction that the PC advanced
+/// to the next entry, so a misclassified transfer exits the block
+/// rather than corrupting it.
+fn ends_block(instr: &Instr) -> bool {
+    match instr {
+        Instr::B { .. }
+        | Instr::Bl { .. }
+        | Instr::Bx { .. }
+        | Instr::Cbz { .. }
+        | Instr::Tbb { .. }
+        | Instr::Tbh { .. }
+        | Instr::It { .. } => true,
+        Instr::Dp { rd, .. } | Instr::Mov { rd, .. } => *rd == Reg::PC,
+        Instr::Ldr { rt, .. } | Instr::LdrLit { rt, .. } => *rt == Reg::PC,
+        Instr::Ldm { regs, .. } | Instr::Pop { regs, .. } => regs.contains(Reg::PC),
+        _ => false,
+    }
+}
+
+/// Instructions that never join a block and always run on the per-step
+/// path: `wfi` fast-forwards the clock past scheduled events (the block
+/// executor's cached interrupt horizon would go stale), and `bkpt`
+/// always stops.
+fn never_in_block(instr: &Instr) -> bool {
+    matches!(instr, Instr::Wfi | Instr::Bkpt { .. })
 }
 
 /// A complete simulated machine.
@@ -251,9 +306,19 @@ pub struct Machine {
     icache_recoveries: u64,
     dcache_recoveries: u64,
     predecode: Predecode,
-    /// Bumped whenever a simulated store lands inside the predecode
-    /// watermark (self-modifying code); part of the cache's generation
-    /// stamp.
+    /// The basic-block cache: decoded straight-line runs dispatched
+    /// whole by the block engine ([`Machine::run`]'s fast path).
+    blocks: BlockCache,
+    /// Block under construction: per-step execution records the entries
+    /// it retires until the run ends at a control transfer (see
+    /// [`Machine::record_entry`]).
+    block_rec: Option<BlockRec>,
+    /// Recycled staging buffer for block recording (keeps repeated
+    /// record attempts allocation-free).
+    rec_spare: Vec<Entry>,
+    /// Bumped whenever a simulated store lands inside the predecode or
+    /// block-cache watermark (self-modifying code); part of the caches'
+    /// shared generation stamp.
     code_write_gen: u64,
     /// Cycle bound of the current [`Machine::run_until`] call
     /// (`u64::MAX` outside bounded runs). Caps the WFI fast-forward so a
@@ -318,6 +383,9 @@ impl Machine {
             icache_recoveries: 0,
             dcache_recoveries: 0,
             predecode: Predecode::new(config.predecode, config.predecode_two_way),
+            blocks: BlockCache::new(config.block_cache),
+            block_rec: None,
+            rec_spare: Vec::new(),
             code_write_gen: 0,
             run_limit: u64::MAX,
             wfi_parked: false,
@@ -411,10 +479,32 @@ impl Machine {
         self.predecode.set_two_way(two_way);
     }
 
-    /// Predecode cache hit/miss/invalidation counters.
+    /// Enables or disables the basic-block engine at runtime. Disabling
+    /// drops all cached blocks and falls back to per-step execution;
+    /// results are bit-identical either way (the block engine is a pure
+    /// host optimization — the bench ablation's knob).
+    pub fn set_block_cache_enabled(&mut self, enabled: bool) {
+        self.blocks.set_enabled(enabled);
+        self.block_rec = None;
+    }
+
+    /// Whether the basic-block engine is currently enabled.
+    #[must_use]
+    pub fn block_cache_enabled(&self) -> bool {
+        self.blocks.enabled()
+    }
+
+    /// Predecode cache hit/miss/invalidation counters, including the
+    /// block-level counters (blocks built/dispatched, chain follows,
+    /// budget splits).
     #[must_use]
     pub fn predecode_stats(&self) -> PredecodeStats {
-        self.predecode.stats()
+        let mut stats = self.predecode.stats();
+        stats.blocks_built = self.blocks.stats.built;
+        stats.block_hits = self.blocks.stats.hits;
+        stats.chain_follows = self.blocks.stats.chain_follows;
+        stats.budget_splits = self.blocks.stats.budget_splits;
+        stats
     }
 
     /// Loads bytes into flash at `addr` (must be inside flash).
@@ -737,10 +827,14 @@ impl Machine {
     }
 
     /// Self-modifying-code hook on the store path: a write that lands
-    /// inside the predecode watermark invalidates the cache (by bumping
-    /// the machine's code-write generation).
+    /// inside the predecode or block-cache watermark invalidates both
+    /// caches (by bumping the machine's code-write generation). The
+    /// block executor additionally re-checks this generation after
+    /// every instruction, so a store that rewrites code *later in the
+    /// currently executing block* splits back to the per-step path
+    /// before the stale entry could issue.
     fn note_code_write(&mut self, addr: u32, len: u32) {
-        if self.predecode.covers(addr, len) {
+        if self.predecode.covers(addr, len) || self.blocks.covers(addr, len) {
             self.code_write_gen = self.code_write_gen.wrapping_add(1);
         }
     }
@@ -777,11 +871,194 @@ impl Machine {
             if self.cycles >= cycle_limit {
                 return self.result(StopReason::CycleLimit);
             }
-            match self.step() {
+            match self.advance(cycle_limit) {
                 None => {}
                 Some(reason) => return self.result(reason),
             }
         }
+    }
+
+    /// One unit of forward progress: a whole cached block (plus chained
+    /// successors) when the block fast path is safe, otherwise one
+    /// [`Machine::step`]. Results are bit-identical to stepping — see
+    /// [`Machine::exec_blocks`] for the boundary contract.
+    fn advance(&mut self, cycle_limit: u64) -> Option<StopReason> {
+        if self.blocks.enabled() && self.predecode.enabled() && !self.wfi_parked {
+            // Block-boundary IRQ sampling: drain once at block entry.
+            // Inside a block the executor only bounds-checks — nothing
+            // can become pending before one of its split conditions
+            // trips (see exec_blocks). A fall-through to the per-step
+            // path reuses this drain instead of repeating it.
+            self.drain_due_irqs(self.cycles);
+            if !self.irq.any_pending() {
+                let pc = self.cpu.pc;
+                let stamp = self.code_stamp();
+                if let Some(slot) = self.blocks.lookup(pc, stamp) {
+                    return self.exec_blocks(slot, stamp, cycle_limit);
+                }
+                self.ensure_record(pc, stamp);
+            }
+            // Interrupt entry (or a masked pending line) and block
+            // recording are the per-step path's business.
+            return self.step_predrained();
+        }
+        self.step()
+    }
+
+    /// The block engine: executes the cached block in `slot`, then
+    /// chains through successors, until a stop, an exit with no cached
+    /// successor, or a split back to the per-step path.
+    ///
+    /// # Why this is bit-identical to stepping
+    ///
+    /// Per instruction it runs exactly the per-step predecode-hit
+    /// sequence (fetch-timing replay, live predication, `exec`), and
+    /// after every instruction it re-checks everything the per-step
+    /// dispatch could have reacted to at that boundary:
+    ///
+    /// * a pending interrupt (uncovered by `cpsie`, raised mid-`ldm`,
+    ///   left by an exception return) — split; the slow path owns
+    ///   interrupt entry;
+    /// * undrained device signals (a store/load that made a device
+    ///   raise an IRQ) — split; the next step's drain pends them at the
+    ///   same boundary stepping would;
+    /// * a guest-reachable generation-stamp change (a store inside a
+    ///   cache watermark, a device revision bump) — split before the
+    ///   next, possibly stale, entry could issue;
+    /// * the cycle budget: a due scheduled interrupt, a due device
+    ///   event ([`crate::Bus::next_event`], read live because a guest
+    ///   store can re-arm a timer mid-block), or the `run_until` bound
+    ///   — split, so interrupt latency and quantum boundaries land on
+    ///   the same instruction boundary stepping would put them on.
+    ///
+    /// Chained dispatch (block exit straight into the successor block)
+    /// is gated on the same checks, so a chain hop is exactly a block
+    /// entry whose drain would have been a no-op.
+    fn exec_blocks(
+        &mut self,
+        mut slot: usize,
+        stamp: u64,
+        cycle_limit: u64,
+    ) -> Option<StopReason> {
+        // Bounds stable for the whole chain: the earliest scheduled
+        // interrupt only changes through `drain_due_irqs` (not called in
+        // here — `wfi` never joins a block), and host-side stamp
+        // components cannot move while the guest runs.
+        let sched_due = self.irq_schedule.last().map_or(u64::MAX, |&(c, _)| c);
+        let cwg = self.code_write_gen;
+        let revs = self.bus.device_revisions();
+        loop {
+            let insts = self.blocks.insts(slot);
+            self.blocks.stats.hits += 1;
+            let mut pc = self.cpu.pc;
+            for e in insts.iter() {
+                // The per-step predecode-hit path, verbatim: timing
+                // replay plus the shared issue sequence.
+                let fetch_cycles = match self.replay_fetch(pc, e) {
+                    Ok(c) => c,
+                    Err(stop) => return Some(stop),
+                };
+                let next_pc = pc.wrapping_add(e.size);
+                if let Some(stop) = self.issue(e, pc, fetch_cycles) {
+                    return Some(stop);
+                }
+                // Safety splits (see the method docs).
+                if self.irq.any_pending()
+                    || !self.bus.signals.irq_requests.is_empty()
+                    || !self.bus.signals.timed_irqs.is_empty()
+                    || self.code_write_gen != cwg
+                    || self.bus.device_revisions() != revs
+                {
+                    return None;
+                }
+                // Budget splits.
+                if self.cycles >= cycle_limit
+                    || self.cycles >= sched_due
+                    || self.cycles >= self.bus.next_event()
+                {
+                    self.blocks.stats.budget_splits += 1;
+                    return None;
+                }
+                if self.cpu.pc != next_pc {
+                    break; // control transfer: chain below
+                }
+                pc = next_pc;
+            }
+            // Block exit (taken branch or fall-through): follow the
+            // chain hint, or probe-and-link, or record the successor.
+            let target = self.cpu.pc;
+            if let Some(next) = self.blocks.follow(slot, target) {
+                self.blocks.stats.chain_follows += 1;
+                slot = next;
+            } else if let Some(next) = self.blocks.probe(target) {
+                self.blocks.link(slot, target, next);
+                slot = next;
+            } else {
+                self.ensure_record(target, stamp);
+                return None;
+            }
+        }
+    }
+
+    /// Starts recording a block at `pc` under generation `stamp` —
+    /// unless a recording already in progress is about to continue
+    /// through `pc` (a multi-instruction run reaches the recorder one
+    /// step at a time; restarting here would cap every block at one
+    /// entry). The per-step path feeds the recorder through
+    /// [`Machine::record_entry`].
+    fn ensure_record(&mut self, pc: u32, stamp: u64) {
+        if let Some(rec) = &self.block_rec {
+            if rec.next_pc == pc && rec.stamp == stamp {
+                return;
+            }
+        }
+        self.discard_record();
+        let entries = std::mem::take(&mut self.rec_spare);
+        self.block_rec = Some(BlockRec { start: pc, stamp, next_pc: pc, entries });
+    }
+
+    /// Feeds one fetched entry to the block recorder. Entries must
+    /// arrive on the straight line (`pc == next_pc`) under the same
+    /// generation stamp; anything else (an interrupt diverted
+    /// execution, the stamp moved) discards the partial run.
+    fn record_entry(&mut self, pc: u32, stamp: u64, entry: &Entry) {
+        let Some(rec) = &mut self.block_rec else { return };
+        if rec.next_pc != pc || rec.stamp != stamp {
+            self.discard_record();
+            return;
+        }
+        if never_in_block(&entry.instr) {
+            self.finish_record();
+            return;
+        }
+        rec.entries.push(*entry);
+        rec.next_pc = pc.wrapping_add(entry.size);
+        let done = ends_block(&entry.instr) || rec.entries.len() >= MAX_BLOCK_LEN;
+        if done {
+            self.finish_record();
+        }
+    }
+
+    fn discard_record(&mut self) {
+        if let Some(mut rec) = self.block_rec.take() {
+            // Recycle the staging buffer: repeated record attempts stay
+            // allocation-free.
+            rec.entries.clear();
+            self.rec_spare = rec.entries;
+        }
+    }
+
+    /// Installs the recorded run (if any) into the block cache and
+    /// recycles the staging buffer either way.
+    fn finish_record(&mut self) {
+        let Some(mut rec) = self.block_rec.take() else { return };
+        if !rec.entries.is_empty() {
+            let end = rec.next_pc.wrapping_sub(1);
+            self.blocks
+                .insert(rec.start, end, rec.stamp, Rc::from(rec.entries.as_slice()));
+        }
+        rec.entries.clear();
+        self.rec_spare = rec.entries;
     }
 
     /// Bounded run: like [`Machine::run`], but the bound is a *resumable
@@ -799,6 +1076,27 @@ impl Machine {
         result
     }
 
+    /// Whether the machine is parked in a WFI sleep at a bounded-run
+    /// boundary (see [`Machine::run_until`]): architecturally still
+    /// inside the sleep, resumable, and unable to execute anything —
+    /// in particular unable to enqueue CAN frames — before its next
+    /// wakeup.
+    #[must_use]
+    pub fn wfi_parked(&self) -> bool {
+        self.wfi_parked
+    }
+
+    /// The next cycle at which a *local* event is due: the earliest
+    /// scheduled interrupt or device event (`u64::MAX` when none). For
+    /// a parked machine ([`Machine::wfi_parked`]) this is the earliest
+    /// cycle it could wake by itself — a multi-node scheduler uses it
+    /// to stretch quanta across all-asleep stretches.
+    #[must_use]
+    pub fn next_local_event(&self) -> u64 {
+        let sched = self.irq_schedule.last().map_or(u64::MAX, |&(c, _)| c);
+        sched.min(self.bus.next_event())
+    }
+
     /// Whether the machine is parked in a WFI sleep with no local
     /// wakeup source (no scheduled interrupt, no device event): only an
     /// externally delivered event — e.g. a frame arriving on a shared
@@ -806,7 +1104,7 @@ impl Machine {
     /// to recognize system-wide quiescence.
     #[must_use]
     pub fn idle_parked(&self) -> bool {
-        self.wfi_parked && self.irq_schedule.is_empty() && self.bus.next_event() == u64::MAX
+        self.wfi_parked && self.next_local_event() == u64::MAX
     }
 
     fn result(&self, reason: StopReason) -> RunResult {
@@ -824,6 +1122,13 @@ impl Machine {
             return self.sleep_until_irq();
         }
         self.drain_due_irqs(self.cycles);
+        self.step_predrained()
+    }
+
+    /// [`Machine::step`] after the WFI-resume check and IRQ drain —
+    /// the entry point for callers (the block engine's `advance`) that
+    /// have just drained at this same cycle.
+    fn step_predrained(&mut self) -> Option<StopReason> {
         // Interrupts are taken between instructions (and never nested).
         if self.cpu.handler_depth == 0 || self.irq.nmi.is_some_and(|n| self.irq.is_pending(n)) {
             if let Some(irq) = self.irq.highest_pending(self.cpu.primask) {
@@ -849,6 +1154,19 @@ impl Machine {
                 Err(stop) => return Some(stop),
             }
         };
+        if self.block_rec.is_some() {
+            self.record_entry(pc, stamp, &entry);
+        }
+        self.issue(&entry, pc, fetch_cycles)
+    }
+
+    /// Issues one fetched entry: charges the fetch-overlap cycles,
+    /// retires the instruction, evaluates live predication and executes.
+    /// The single issue sequence shared by [`Machine::step`] and the
+    /// block engine — the bit-identity contract lives here, so a change
+    /// to issue semantics cannot drift between the two paths.
+    #[inline]
+    fn issue(&mut self, entry: &Entry, pc: u32, fetch_cycles: u32) -> Option<StopReason> {
         // Fetch overlaps execution in the pipeline: only the stall beyond
         // one cycle is charged (an ARM7 data-processing op is 1S total).
         self.cycles += u64::from(fetch_cycles.saturating_sub(1));

@@ -10,6 +10,16 @@
 //! interaction, consulted by `Machine::step` before falling back to
 //! `alia_isa::decode_window`.
 //!
+//! On top of it sits a second level, the `BlockCache`: decoded
+//! *basic blocks* — straight-line runs of `Entry`s up to the next
+//! branch, IT header or other control transfer — recorded as a side
+//! effect of per-step execution and replayed whole by the machine's
+//! block engine (`Machine::run`), which hoists the per-step dispatch
+//! tax (IRQ drain, generation-stamp recomputation, cache probe) to
+//! block boundaries and chains block exits so hot loops run
+//! cache-to-cache without re-probing. The instruction-level cache stays
+//! as the fill path: blocks are built from the entries it produced.
+//!
 //! # Semantics preservation
 //!
 //! The cache changes *host* cost only. Everything the cycle model
@@ -44,6 +54,8 @@
 //! deliberately coarse: correct first, cheap second — invalidation events
 //! are rare compared to steps, and a full clear makes the consistency
 //! argument one sentence long.
+
+use std::rc::Rc;
 
 use alia_isa::{Cond, Instr};
 
@@ -113,15 +125,52 @@ impl Entry {
     }
 }
 
-/// Hit/miss/invalidation counters for the predecode cache.
+/// Hit/miss/invalidation counters for the predecode cache, plus the
+/// block-level counters of the block cache that sits on top of it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredecodeStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the instruction-level cache.
     pub hits: u64,
     /// Lookups that fell back to the full fetch + decode path.
     pub misses: u64,
     /// Whole-cache invalidations (generation-stamp changes).
     pub invalidations: u64,
+    /// Basic blocks recorded into the block cache.
+    pub blocks_built: u64,
+    /// Blocks executed from the block cache (entry probes and chain
+    /// follows both count — one per block dispatched).
+    pub block_hits: u64,
+    /// Block exits that entered their successor through a verified
+    /// chain link instead of a fresh cache probe.
+    pub chain_follows: u64,
+    /// Mid-block splits back to the per-step slow path because the
+    /// cycle budget ran out (a due scheduled interrupt, a device event
+    /// from `next_event`, or a `run_until` bound).
+    pub budget_splits: u64,
+}
+
+impl PredecodeStats {
+    /// Accumulates `other` into `self`, field by field — the one place
+    /// that knows every counter, so aggregated reports cannot silently
+    /// drop a newly added field.
+    pub fn merge(&mut self, other: &PredecodeStats) {
+        let PredecodeStats {
+            hits,
+            misses,
+            invalidations,
+            blocks_built,
+            block_hits,
+            chain_follows,
+            budget_splits,
+        } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.invalidations += invalidations;
+        self.blocks_built += blocks_built;
+        self.block_hits += block_hits;
+        self.chain_follows += chain_follows;
+        self.budget_splits += budget_splits;
+    }
 }
 
 /// The predecoded-instruction cache. See the module docs.
@@ -324,6 +373,203 @@ impl Predecode {
     }
 }
 
+// ---------------------------------------------------------------------
+// Block cache
+// ---------------------------------------------------------------------
+
+/// Slot count of the block cache (direct-mapped on the block's start
+/// address).
+const BLOCK_SLOTS: usize = 512;
+
+/// Longest recorded block, in instructions. Blocks need not end in a
+/// branch: a run that reaches this cap is installed as-is and chains to
+/// its fall-through successor.
+pub(crate) const MAX_BLOCK_LEN: usize = 64;
+
+/// Chain links kept per block: `(exit pc, successor slot)` hints. Two
+/// cover the common conditional-branch shape (taken target and
+/// fall-through).
+const BLOCK_LINKS: usize = 2;
+
+/// Marker for an unset chain link.
+const LINK_EMPTY: (u32, u16) = (TAG_EMPTY, u16::MAX);
+
+/// Block-level counters (merged into [`PredecodeStats`] by the machine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct BlockStats {
+    pub built: u64,
+    pub hits: u64,
+    pub chain_follows: u64,
+    pub budget_splits: u64,
+}
+
+/// One cached basic block: a straight-line run of predecoded entries.
+#[derive(Debug, Clone)]
+struct Block {
+    /// Start address (`TAG_EMPTY` = empty slot).
+    start: u32,
+    /// The decoded run. Shared (`Rc`) so the executor can iterate the
+    /// slice while the machine is mutably borrowed.
+    insts: Rc<[Entry]>,
+    /// Chain hints: `(exit pc, successor slot)`. A hint is only a
+    /// shortcut — the executor re-verifies the successor's start tag,
+    /// so stale hints (evicted or cleared successors) fail safe.
+    links: [(u32, u16); BLOCK_LINKS],
+}
+
+/// The basic-block cache. Invalidation mirrors [`Predecode`]: the same
+/// generation stamp guards all blocks (a mismatch clears the table),
+/// and a watermark over every cached block's byte range feeds the
+/// store-path self-modifying-code check. See the module docs.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockCache {
+    /// Slot storage, allocated lazily on the first insert.
+    blocks: Vec<Block>,
+    /// Shared empty run (cleared slots point here so their old entries
+    /// are freed).
+    empty: Rc<[Entry]>,
+    stamp: u64,
+    /// Watermark over cached block bytes (inclusive; `lo > hi` = empty).
+    /// Kept separately from the instruction cache's watermark because
+    /// the two levels clear independently.
+    lo: u32,
+    hi: u32,
+    enabled: bool,
+    pub(crate) stats: BlockStats,
+}
+
+impl BlockCache {
+    pub(crate) fn new(enabled: bool) -> BlockCache {
+        BlockCache {
+            blocks: Vec::new(),
+            empty: Rc::from(Vec::new().into_boxed_slice()),
+            stamp: 0,
+            lo: u32::MAX,
+            hi: 0,
+            enabled,
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// Whether block recording and dispatch are enabled.
+    #[must_use]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.drop_blocks();
+    }
+
+    fn slot(pc: u32) -> usize {
+        (pc >> 1) as usize & (BLOCK_SLOTS - 1)
+    }
+
+    fn drop_blocks(&mut self) {
+        for b in &mut self.blocks {
+            b.start = TAG_EMPTY;
+            b.insts = Rc::clone(&self.empty);
+            b.links = [LINK_EMPTY; BLOCK_LINKS];
+        }
+        self.lo = u32::MAX;
+        self.hi = 0;
+    }
+
+    /// Looks up the block starting at `pc` under generation `stamp`,
+    /// returning its slot. A stamp change clears the table first.
+    #[inline]
+    pub(crate) fn lookup(&mut self, pc: u32, stamp: u64) -> Option<usize> {
+        if !self.enabled {
+            return None;
+        }
+        if self.stamp != stamp {
+            self.drop_blocks();
+            self.stamp = stamp;
+            return None;
+        }
+        self.probe(pc)
+    }
+
+    /// Probes for the block starting at `pc` without stamp validation
+    /// (the caller has already validated this pass's stamp).
+    #[inline]
+    pub(crate) fn probe(&self, pc: u32) -> Option<usize> {
+        let slot = BlockCache::slot(pc);
+        match self.blocks.get(slot) {
+            Some(b) if b.start == pc => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// The block's decoded run (cheap `Rc` clone).
+    #[inline]
+    pub(crate) fn insts(&self, slot: usize) -> Rc<[Entry]> {
+        Rc::clone(&self.blocks[slot].insts)
+    }
+
+    /// Installs a block recorded under generation `stamp`, covering the
+    /// byte range `[pc, end]` (inclusive). Returns its slot.
+    pub(crate) fn insert(&mut self, pc: u32, end: u32, stamp: u64, insts: Rc<[Entry]>) {
+        if !self.enabled || self.stamp != stamp || insts.is_empty() {
+            return;
+        }
+        if self.blocks.is_empty() {
+            self.blocks = vec![
+                Block {
+                    start: TAG_EMPTY,
+                    insts: Rc::clone(&self.empty),
+                    links: [LINK_EMPTY; BLOCK_LINKS],
+                };
+                BLOCK_SLOTS
+            ];
+        }
+        self.lo = self.lo.min(pc);
+        self.hi = self.hi.max(end);
+        let slot = BlockCache::slot(pc);
+        self.blocks[slot] = Block { start: pc, insts, links: [LINK_EMPTY; BLOCK_LINKS] };
+        self.stats.built += 1;
+    }
+
+    /// Follows `slot`'s chain hint for an exit at `pc`, verifying that
+    /// the hinted successor still starts there.
+    #[inline]
+    pub(crate) fn follow(&self, slot: usize, pc: u32) -> Option<usize> {
+        for &(exit, succ) in &self.blocks[slot].links {
+            if exit == pc {
+                let s = succ as usize;
+                if self.blocks.get(s).is_some_and(|b| b.start == pc) {
+                    return Some(s);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Records the chain hint `exit pc -> successor slot` on `slot`,
+    /// evicting the older hint when both are taken.
+    pub(crate) fn link(&mut self, slot: usize, pc: u32, succ: usize) {
+        let links = &mut self.blocks[slot].links;
+        let pos = links
+            .iter()
+            .position(|&(exit, _)| exit == pc || exit == TAG_EMPTY)
+            .unwrap_or(BLOCK_LINKS - 1);
+        // Keep the most recent hint in front so `follow` finds the hot
+        // exit first.
+        links[pos] = links[0];
+        links[0] = (pc, succ as u16);
+    }
+
+    /// Whether a write of `len` bytes at `addr` overlaps any cached
+    /// block (the store-path self-modifying-code check, alongside
+    /// [`Predecode::covers`]).
+    #[must_use]
+    pub(crate) fn covers(&self, addr: u32, len: u32) -> bool {
+        addr <= self.hi && addr.saturating_add(len.max(1) - 1) >= self.lo
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +680,92 @@ mod tests {
         assert!(p.lookup(0x100, 1).is_none(), "layout change invalidates");
         p.insert(0x100, 1, entry(0x100, 2));
         assert!(p.lookup(0x100, 1).is_some());
+    }
+
+    fn run(pcs: &[(u32, u32)]) -> Rc<[Entry]> {
+        pcs.iter().map(|&(pc, size)| entry(pc, size)).collect::<Vec<_>>().into()
+    }
+
+    #[test]
+    fn block_miss_insert_hit() {
+        let mut b = BlockCache::new(true);
+        assert!(b.lookup(0x100, 5).is_none());
+        b.insert(0x100, 0x105, 5, run(&[(0x100, 2), (0x102, 4)]));
+        let slot = b.lookup(0x100, 5).expect("block cached");
+        assert_eq!(b.insts(slot).len(), 2);
+        assert_eq!(b.stats.built, 1);
+    }
+
+    #[test]
+    fn block_stamp_change_clears() {
+        let mut b = BlockCache::new(true);
+        b.lookup(0x100, 1);
+        b.insert(0x100, 0x101, 1, run(&[(0x100, 2)]));
+        assert!(b.lookup(0x100, 2).is_none(), "new stamp invalidates");
+        assert!(b.lookup(0x100, 2).is_none(), "block really gone");
+        assert!(!b.covers(0x100, 2), "watermark cleared with the blocks");
+    }
+
+    #[test]
+    fn block_empty_runs_are_rejected() {
+        let mut b = BlockCache::new(true);
+        b.lookup(0x100, 1);
+        b.insert(0x100, 0x100, 1, run(&[]));
+        assert!(b.lookup(0x100, 1).is_none(), "empty blocks would never advance");
+    }
+
+    #[test]
+    fn block_watermark_covers_cached_ranges() {
+        let mut b = BlockCache::new(true);
+        b.lookup(0x100, 1);
+        assert!(!b.covers(0x100, 4));
+        b.insert(0x100, 0x107, 1, run(&[(0x100, 4), (0x104, 4)]));
+        assert!(b.covers(0x106, 1));
+        assert!(b.covers(0xFE, 8), "straddling write detected");
+        assert!(!b.covers(0x108, 4));
+    }
+
+    #[test]
+    fn block_chain_links_verify_their_successor() {
+        let mut b = BlockCache::new(true);
+        b.lookup(0x100, 1);
+        b.insert(0x100, 0x103, 1, run(&[(0x100, 4)]));
+        b.insert(0x200, 0x203, 1, run(&[(0x200, 4)]));
+        let a = b.probe(0x100).unwrap();
+        let c = b.probe(0x200).unwrap();
+        assert!(b.follow(a, 0x200).is_none(), "no hint yet");
+        b.link(a, 0x200, c);
+        assert_eq!(b.follow(a, 0x200), Some(c));
+        // Evict the successor's slot with an aliasing block: the stale
+        // hint must fail the start-tag verify instead of dispatching it.
+        let alias = 0x200 + 2 * BLOCK_SLOTS as u32;
+        b.insert(alias, alias + 3, 1, run(&[(alias, 4)]));
+        assert!(b.follow(a, 0x200).is_none(), "stale link fails safe");
+    }
+
+    #[test]
+    fn block_links_keep_the_two_hottest_exits() {
+        let mut b = BlockCache::new(true);
+        b.lookup(0x100, 1);
+        b.insert(0x100, 0x103, 1, run(&[(0x100, 4)]));
+        b.insert(0x200, 0x203, 1, run(&[(0x200, 4)]));
+        b.insert(0x300, 0x303, 1, run(&[(0x300, 4)]));
+        b.insert(0x400, 0x403, 1, run(&[(0x400, 4)]));
+        let a = b.probe(0x100).unwrap();
+        b.link(a, 0x200, b.probe(0x200).unwrap());
+        b.link(a, 0x300, b.probe(0x300).unwrap());
+        assert!(b.follow(a, 0x200).is_some());
+        assert!(b.follow(a, 0x300).is_some());
+        b.link(a, 0x400, b.probe(0x400).unwrap());
+        assert!(b.follow(a, 0x400).is_some(), "newest hint kept");
+        assert!(b.follow(a, 0x300).is_some(), "previous front demoted, kept");
+        assert!(b.follow(a, 0x200).is_none(), "oldest hint evicted");
+    }
+
+    #[test]
+    fn disabled_block_cache_never_hits() {
+        let mut b = BlockCache::new(false);
+        b.insert(0x100, 0x101, 0, run(&[(0x100, 2)]));
+        assert!(b.lookup(0x100, 0).is_none());
     }
 }

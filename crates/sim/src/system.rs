@@ -101,9 +101,9 @@ impl Node {
     }
 }
 
-/// Scheduler knobs. The defaults are always safe; both knobs exist so
+/// Scheduler knobs. The defaults are always safe; the knobs exist so
 /// determinism tests can vary the schedule and assert identical results.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemConfig {
     /// Quantum override in cycles. Clamped to the shared wire's
     /// lookahead ([`SharedCanBus::min_quantum_cycles`]) — larger values
@@ -113,6 +113,20 @@ pub struct SystemConfig {
     /// Rotate the node service order every quantum instead of always
     /// starting at node 0. Results must not change either way.
     pub rotate_order: bool,
+    /// Stretch quanta past the wire lookahead while the wire is idle,
+    /// no controller holds armed TX state and every live node is parked
+    /// in a WFI sleep — the system skips straight to the earliest local
+    /// wakeup in one quantum instead of pacing the gap at lookahead
+    /// granularity. Results must not change either way (no node can
+    /// execute — let alone transmit — inside the stretch). `false`
+    /// keeps conservative quanta for determinism comparisons.
+    pub idle_stretch: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig { quantum: None, rotate_order: false, idle_stretch: true }
+    }
 }
 
 /// Why [`System::run`] returned.
@@ -276,6 +290,39 @@ impl System {
         self.config.quantum.unwrap_or(lookahead).min(lookahead).max(1)
     }
 
+    /// The idle-stretch boundary, when the system is eligible: the wire
+    /// is idle, no controller holds armed TX state
+    /// ([`CanController::tx_armed`]) and every live node is parked in a
+    /// WFI sleep — so nothing can execute (let alone transmit) before
+    /// the earliest local wakeup, and the quantum may stretch straight
+    /// to it. `None` when ineligible or no finite wakeup exists (the
+    /// quiescence check below handles the latter).
+    fn idle_stretch_boundary(&self) -> Option<u64> {
+        if let Some(wire) = &self.wire {
+            if wire.pending() > 0 || wire.busy_until_cycle() > self.now {
+                return None;
+            }
+        }
+        let mut wake = u64::MAX;
+        for node in &self.nodes {
+            let m = node.machine();
+            if node.halted.is_none() {
+                if !m.wfi_parked() {
+                    return None;
+                }
+                wake = wake.min(m.next_local_event());
+            }
+            for d in m.bus.devices() {
+                if let Some(c) = d.dev.as_any().downcast_ref::<CanController>() {
+                    if c.tx_armed() {
+                        return None;
+                    }
+                }
+            }
+        }
+        (wake != u64::MAX).then_some(wake)
+    }
+
     /// Advances the system to `horizon` (cycles) or until every node
     /// halts, delivering cross-node CAN frames cycle-accurately.
     pub fn run(&mut self, horizon: u64) -> SystemRunResult {
@@ -283,10 +330,17 @@ impl System {
         while self.now < horizon && self.nodes.iter().any(|n| n.halted.is_none()) {
             // Quantum boundary: never beyond the lookahead past `now`,
             // but stretched across a busy wire (no new arbitration can
-            // start before `busy_until`), and clamped to the horizon.
+            // start before `busy_until`), across an all-asleep system
+            // (ROADMAP's scheduler idle-stretch), and clamped to the
+            // horizon.
             let mut boundary = self.now.saturating_add(quantum);
             if let Some(wire) = &self.wire {
                 boundary = boundary.max(wire.busy_until_cycle());
+            }
+            if self.config.idle_stretch {
+                if let Some(wake) = self.idle_stretch_boundary() {
+                    boundary = boundary.max(wake);
+                }
             }
             let boundary = boundary.min(horizon);
             // 1. Every live node runs to the boundary. The service
@@ -563,6 +617,135 @@ mod tests {
             other,
         )];
         sys.add_node("stray", machine(conf, &asm("bkpt #0")));
+    }
+
+    /// A WFI-paced exchange: the producer sleeps between timer ticks
+    /// and ships one frame per wakeup; the consumer sleeps until its RX
+    /// interrupt has counted `frames`. Between events the whole system
+    /// is asleep, so the idle-stretch has real gaps to skip.
+    fn sleepy_exchange(config: SystemConfig, frames: u32) -> System {
+        let mut sys = System::with_config(config);
+        let wire = sys.shared_can_bus(4);
+        let mut pconf = MachineConfig::m3_like();
+        pconf.devices = vec![
+            DeviceSpec::Timer(TimerConfig { base: TIMER_BASE, irq: 0, compare: 2_000 }),
+            DeviceSpec::SharedCan(
+                CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+                wire.clone(),
+            ),
+        ];
+        let main_p = asm(&format!(
+            "movw r0, #0x1000
+             movt r0, #0x4000
+             movw r1, #2000
+             str r1, [r0, #4]
+             mov r1, #3
+             str r1, [r0, #0]
+             sleep: wfi
+             cmp r4, #{frames}
+             blt sleep
+             bkpt #0"
+        ));
+        let tick_handler = asm(&format!(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             cmp r4, #{frames}
+             bge done
+             movw r1, #0x60
+             add r1, r1, r4
+             str r1, [r0, #0]
+             mov r1, #2
+             str r1, [r0, #4]
+             str r4, [r0, #8]
+             mov r1, #0
+             str r1, [r0, #16]
+             add r4, r4, #1
+             done: bx lr"
+        ));
+        let mut p = machine(pconf, &main_p);
+        p.load_flash(0x200, &tick_handler);
+        p.load_flash(0, &0x200u32.to_le_bytes());
+        sys.add_node("producer", p);
+
+        let mut cconf = MachineConfig::m3_like();
+        cconf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 1, ..CanConfig::default() },
+            wire.clone(),
+        )];
+        let main_c = asm(&format!(
+            "sleep: wfi
+             cmp r7, #{frames}
+             blt sleep
+             movw r0, #0
+             movt r0, #0x4000
+             str r6, [r0, #0]
+             halt: b halt"
+        ));
+        let rx_handler = asm(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             rxloop: ldr r1, [r0, #20]
+             cmp r1, #0
+             beq rxdone
+             ldr r1, [r0, #24]
+             add r6, r6, r1
+             str r1, [r0, #40]
+             add r7, r7, #1
+             b rxloop
+             rxdone: bx lr",
+        );
+        let mut c = machine(cconf, &main_c);
+        c.load_flash(0x200, &rx_handler);
+        c.load_flash(4, &0x200u32.to_le_bytes());
+        sys.add_node("consumer", c);
+        sys
+    }
+
+    #[test]
+    fn idle_stretch_matches_conservative_quanta() {
+        // ROADMAP's scheduler idle-stretch: while every live node
+        // sleeps, the wire is idle and no controller is armed, quanta
+        // stretch to the next local wakeup — with bit-identical per-node
+        // cycles, registers and delivery logs, in far fewer quanta.
+        let frames = 6u32;
+        let mut base = sleepy_exchange(
+            SystemConfig { idle_stretch: false, ..SystemConfig::default() },
+            frames,
+        );
+        let rb = base.run(10_000_000);
+        let mut fast = sleepy_exchange(SystemConfig::default(), frames);
+        let rf = fast.run(10_000_000);
+        assert_eq!(rb.reason, SystemStop::AllHalted);
+        assert_eq!(rf.reason, rb.reason);
+        for i in 0..2 {
+            assert_eq!(fast.node(i).halted(), base.node(i).halted(), "node {i}");
+            assert_eq!(fast.node(i).cycles(), base.node(i).cycles(), "node {i} cycles");
+            assert_eq!(
+                fast.node(i).machine().cpu.regs,
+                base.node(i).machine().cpu.regs,
+                "node {i} registers"
+            );
+            assert_eq!(
+                fast.node(i).machine().latencies(),
+                base.node(i).machine().latencies(),
+                "node {i} IRQ stamps"
+            );
+        }
+        assert_eq!(
+            fast.wire().unwrap().delivery_log(),
+            base.wire().unwrap().delivery_log()
+        );
+        assert_eq!(
+            fast.node(1).halted(),
+            Some(StopReason::MmioExit((0..frames).map(|k| 0x60 + k).sum())),
+            "checksum of the delivered ids"
+        );
+        assert!(
+            fast.quanta() * 2 < base.quanta(),
+            "stretch must skip the all-asleep gaps ({} vs {} quanta)",
+            fast.quanta(),
+            base.quanta()
+        );
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! flash-patch hit accounting. Scenarios cover all three machine presets,
 //! IRQs (both schemes), IT blocks, literal pools, flash-patch programming
 //! mid-run, self-modifying SRAM code and randomized ALU programs.
+//!
+//! The second half (`blocks_*`) differentials the *block engine*: the
+//! same machine with blocks enabled vs per-step execution (blocks off),
+//! over branchy control flow, mid-block self-modifying code, flash-patch
+//! toggles landing mid-block via a `run_until` split, and an IRQ storm
+//! paced by a precise-cycle timer device — cycles, registers, stop
+//! reasons and exact IRQ pend/entry stamps all bit-identical.
 
 use alia_isa::{encode, Assembler, Instr, IsaMode, Operand2, Reg};
 use alia_sim::{Machine, MachineConfig, PatchKind, StopReason, RunResult, SRAM_BASE};
@@ -42,11 +49,14 @@ fn run_both(mut on: Machine, mut off: Machine, limit: u64, what: &str) -> RunRes
     let b = off.run(limit);
     assert_eq!(a, b, "{what}: RunResult diverged");
     assert_state_eq(&on, &off, what);
+    let stats = on.predecode_stats();
     assert!(
-        on.predecode_stats().hits > 0 || a.instructions < 2,
+        stats.hits > 0 || stats.block_hits > 0 || a.instructions < 2,
         "{what}: cache never hit — the differential exercised nothing"
     );
-    assert_eq!(off.predecode_stats().hits, 0, "{what}: disabled cache must not hit");
+    let off_stats = off.predecode_stats();
+    assert_eq!(off_stats.hits, 0, "{what}: disabled cache must not hit");
+    assert_eq!(off_stats.block_hits, 0, "{what}: disabled cache must not dispatch blocks");
     a
 }
 
@@ -532,6 +542,285 @@ fn randomized_alu_programs_identical() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Block engine vs per-step execution
+// ---------------------------------------------------------------------
+
+/// Builds the pair: identical machines except the block engine (the
+/// per-instruction predecode cache stays on for both — this isolates
+/// block dispatch + chaining, not predecoding).
+fn pair_blocks(build: impl Fn() -> Machine) -> (Machine, Machine) {
+    let on = build();
+    let mut off = build();
+    off.set_block_cache_enabled(false);
+    (on, off)
+}
+
+/// Runs both machines to completion and asserts bit-identical outcomes,
+/// including the exact per-interrupt pend/entry cycle stamps.
+fn run_both_blocks(mut on: Machine, mut off: Machine, limit: u64, what: &str) -> RunResult {
+    let a = on.run(limit);
+    let b = off.run(limit);
+    assert_eq!(a, b, "{what}: RunResult diverged");
+    assert_state_eq(&on, &off, what);
+    assert_eq!(on.latencies(), off.latencies(), "{what}: IRQ stamps diverged");
+    assert!(
+        on.predecode_stats().block_hits > 0 || a.instructions < 2,
+        "{what}: block engine never dispatched — the differential exercised nothing"
+    );
+    assert_eq!(
+        off.predecode_stats().block_hits,
+        0,
+        "{what}: disabled block engine must not dispatch"
+    );
+    a
+}
+
+#[test]
+fn blocks_branchy_programs_identical_across_presets() {
+    // Nested loops, calls and returns, conditional forward branches:
+    // plenty of block exits, chain links and partial blocks.
+    let src = "mov r0, #0
+         mov r5, #8
+         outer: mov r6, #6
+         inner: bl helper
+         cmp r0, #40
+         bgt skip
+         add r0, r0, #2
+         skip: sub r6, r6, #1
+         cmp r6, #0
+         bne inner
+         sub r5, r5, #1
+         cmp r5, #0
+         bne outer
+         bkpt #0
+         helper: add r0, r0, #1
+         bx lr";
+    for (name, config) in presets() {
+        if config.mode == alia_isa::IsaMode::T16 {
+            continue; // bl/bx helper shape assembles for A32/T2 here
+        }
+        let (on, off) = pair_blocks(|| machine_with(&config, src));
+        let r = run_both_blocks(on, off, 1_000_000, name);
+        assert_eq!(r.reason, StopReason::Bkpt(0), "{name}");
+    }
+}
+
+#[test]
+fn blocks_mid_block_smc_identical() {
+    // Mid-block self-modifying code: every pass, SRAM code stores a new
+    // encoding over an instruction that sits *later in the same basic
+    // block* as the store (the stored halfword alternates between
+    // `add r6, r6, #1` and `add r6, r6, #5` via an xor mask). Pass 0
+    // records the block — the store lands on not-yet-decoded code, so
+    // the recording survives and caches the *new* encoding, which is
+    // exactly what pass 0 then executes. Pass 1 *dispatches* that
+    // block: now the store hits the watermark, the generation stamp
+    // moves mid-block, and the engine must split before the (stale)
+    // cached target entry issues. The alternating checksum in r6 would
+    // expose a single stale execution.
+    let code_base = SRAM_BASE + 0x400;
+    let mode = alia_isa::IsaMode::T2;
+    let enc = |src: &str| {
+        let out = Assembler::new(mode).assemble(&format!("{src}\n nop")).unwrap();
+        u32::from(u16::from_le_bytes([out.bytes[0], out.bytes[1]]))
+    };
+    let h0 = enc("add r6, r6, #1"); // the assembled original
+    let h1 = enc("add r6, r6, #5");
+    let passes = 16u32;
+    let template = |target: u32| {
+        format!(
+            "movw r1, #{}
+             movt r1, #{}
+             movw r2, #{h1}
+             movw r4, #{}
+             mov r0, #0
+             b mloop
+             mloop: strh r2, [r1, #0]
+             eor r2, r2, r4
+             target: add r6, r6, #1
+             add r0, r0, #1
+             cmp r0, #{passes}
+             bne mloop
+             bkpt #0",
+            target & 0xFFFF,
+            target >> 16,
+            h0 ^ h1
+        )
+    };
+    let probe = Assembler::new(mode).assemble(&template(0)).unwrap();
+    let target = code_base + probe.symbols["target"];
+    let out = Assembler::new(mode).assemble(&template(target)).unwrap();
+    assert_eq!(out.symbols, probe.symbols, "layout must be immediate-independent");
+    let build = || {
+        let mut m = Machine::new(MachineConfig::m3_like());
+        m.load_sram(code_base, &out.bytes);
+        m.set_pc(code_base);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    let (on, off) = pair_blocks(build);
+    let r = run_both_blocks(on, off, 1_000_000, "mid_block_smc");
+    assert_eq!(r.reason, StopReason::Bkpt(0));
+    // Alternating +5 / +1, starting with the freshly stored +5.
+    let expect = (passes / 2) * 5 + (passes / 2);
+    let mut check = build();
+    let rc = check.run(1_000_000);
+    assert_eq!(rc.reason, StopReason::Bkpt(0));
+    assert_eq!(check.cpu.regs[6], expect, "stale block served an old encoding");
+}
+
+#[test]
+fn blocks_flash_patch_toggle_mid_block_identical() {
+    // Host toggles a flash-patch remap while execution is split
+    // mid-block by a `run_until` bound: resuming must refetch under the
+    // new generation, with cycles identical to per-step execution. The
+    // odd bounds deliberately land inside the loop body's block.
+    let template = |addr: u32| {
+        format!(
+            "movw r2, #{}
+             movt r2, #{}
+             mov r0, #0
+             mov r6, #0
+             loop: ldr r1, [r2, #0]
+             add r6, r6, r1
+             add r0, r0, #1
+             cmp r0, #60
+             bne loop
+             bkpt #0
+             .align 4
+             lit: .word 0x00000001",
+            addr & 0xFFFF,
+            addr >> 16
+        )
+    };
+    let config = MachineConfig::m3_like();
+    let probe = Assembler::new(config.mode).assemble(&template(0)).unwrap();
+    let lit_addr = 0x100 + probe.symbols["lit"];
+    let out = Assembler::new(config.mode).assemble(&template(lit_addr)).unwrap();
+    let build = || {
+        let mut m = Machine::new(config.clone());
+        m.load_flash(0x100, &out.bytes);
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    let (mut on, mut off) = pair_blocks(build);
+    for (i, bound) in [137u64, 421, 703, 997].iter().enumerate() {
+        let a = on.run_until(*bound);
+        let b = off.run_until(*bound);
+        assert_eq!(a, b, "bounded run {i} diverged");
+        assert_state_eq(&on, &off, &format!("bound {bound}"));
+        if i % 2 == 0 {
+            on.patch.set(0, lit_addr, PatchKind::Remap(0x40)).unwrap();
+            off.patch.set(0, lit_addr, PatchKind::Remap(0x40)).unwrap();
+        } else {
+            on.patch.clear(0).unwrap();
+            off.patch.clear(0).unwrap();
+        }
+    }
+    let a = on.run(1_000_000);
+    let b = off.run(1_000_000);
+    assert_eq!(a, b, "final run diverged");
+    assert_state_eq(&on, &off, "final");
+    assert_eq!(a.reason, StopReason::Bkpt(0));
+    assert!(on.cpu.regs[6] > 60, "some loads must have seen the remapped value");
+}
+
+#[test]
+fn blocks_irq_storm_with_precise_timer_identical() {
+    // A periodic compare-match timer hammers the hot loop with
+    // interrupts stamped at exact cycles; the handler pops frames of
+    // work. Block dispatch must split at every due compare match and
+    // reproduce identical pend/entry stamps for all of them.
+    use alia_sim::{DeviceSpec, TimerConfig, TIMER_BASE};
+    let build = || {
+        let mut config = MachineConfig::m3_like();
+        config.devices = vec![DeviceSpec::Timer(TimerConfig {
+            base: TIMER_BASE,
+            irq: 0,
+            compare: 97, // prime, so boundaries wander through the block
+        })];
+        let main = Assembler::new(config.mode)
+            .assemble(
+                "movw r0, #0x1000
+                 movt r0, #0x4000
+                 movw r1, #97
+                 str r1, [r0, #4]
+                 mov r1, #3
+                 str r1, [r0, #0]
+                 loop: add r2, r2, #1
+                 add r3, r3, r2
+                 eor r4, r4, r3
+                 cmp r5, #50
+                 blt loop
+                 bkpt #0",
+            )
+            .unwrap();
+        let handler = Assembler::new(config.mode)
+            .assemble("add r5, r5, #1\n bx lr")
+            .unwrap();
+        let mut m = Machine::new(config);
+        m.load_flash(0x100, &main.bytes);
+        m.load_flash(0x300, &handler.bytes);
+        m.load_flash(0, &0x300u32.to_le_bytes());
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    };
+    let (on, off) = pair_blocks(build);
+    let (mut on2, _) = pair_blocks(build);
+    let r = run_both_blocks(on, off, 10_000_000, "irq_storm");
+    assert_eq!(r.reason, StopReason::Bkpt(0));
+    // The storm really interacted with block dispatch: re-run the
+    // blocks-on machine and check budget splits fired.
+    let r2 = on2.run(10_000_000);
+    assert_eq!(r2, r);
+    assert!(
+        on2.predecode_stats().budget_splits > 10,
+        "timer events must split blocks at their exact cycles"
+    );
+}
+
+#[test]
+fn blocks_randomized_programs_identical() {
+    // The randomized straight-line ALU corpus from the predecode
+    // differential, replayed against the block engine.
+    let mut state = 0xFEED_FACE_CAFE_BEEFu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let ops = ["add", "sub", "and", "orr", "eor"];
+    for trial in 0..6 {
+        let mut src = String::from(
+            "mov r0, #1\nmov r1, #2\nmov r2, #3\nmov r3, #4\nmov r7, #4\nloop:\n",
+        );
+        for _ in 0..90 {
+            let op = ops[(next() % ops.len() as u64) as usize];
+            let rd = next() % 7;
+            let rn = next() % 7;
+            if next() % 2 == 0 {
+                let imm = next() % 256;
+                let imm_op = if next() % 2 == 0 { "add" } else { "sub" };
+                src.push_str(&format!("{imm_op} r{rd}, r{rd}, #{imm}\n"));
+                let _ = (op, rn);
+            } else {
+                src.push_str(&format!("{op} r{rd}, r{rd}, r{rn}\n"));
+            }
+        }
+        src.push_str("sub r7, r7, #1\ncmp r7, #0\nbne loop\nbkpt #0");
+        for (name, config) in presets() {
+            let (on, off) = pair_blocks(|| machine_with(&config, &src));
+            let what = format!("blocks random[{trial}] on {name}");
+            let r = run_both_blocks(on, off, 1_000_000, &what);
+            assert_eq!(r.reason, StopReason::Bkpt(0), "{what}");
+        }
+    }
+}
+
 #[test]
 fn predecode_stats_report_hits() {
     let src = "mov r0, #0
@@ -542,7 +831,11 @@ fn predecode_stats_report_hits() {
          bne loop
          bkpt #0";
     let config = MachineConfig::m3_like();
+
+    // Blocks off: every retired instruction consults the instruction
+    // cache, and the steady-state loop mostly hits.
     let mut m = machine_with(&config, src);
+    m.set_block_cache_enabled(false);
     let r = m.run(1_000_000);
     assert_eq!(r.reason, StopReason::Bkpt(0));
     let stats = m.predecode_stats();
@@ -550,5 +843,24 @@ fn predecode_stats_report_hits() {
     assert!(
         stats.hits + stats.misses >= r.instructions,
         "every retired instruction consults the cache"
+    );
+    assert_eq!(stats.block_hits, 0, "disabled block engine must not dispatch");
+
+    // Blocks on: the loop body is recorded once, then dispatched
+    // block-to-block through its chain link; the instruction cache only
+    // serves the recording prefix.
+    let mut m = machine_with(&config, src);
+    let r2 = m.run(1_000_000);
+    assert_eq!(r2, r, "block engine changed the run result");
+    let stats = m.predecode_stats();
+    assert!(stats.blocks_built >= 1, "loop body never recorded");
+    assert!(stats.block_hits > 2, "steady-state loop must dispatch blocks");
+    assert!(
+        stats.chain_follows > 0,
+        "the loop's back edge must chain cache-to-cache"
+    );
+    assert!(
+        stats.hits + stats.misses < r.instructions,
+        "block dispatch must bypass per-instruction probes"
     );
 }

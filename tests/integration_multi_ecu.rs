@@ -28,6 +28,168 @@ fn two_ecus_exchange_64_frames_guest_to_guest() {
 // `alia_core::experiments::network::tests::multi_ecu_schedule_is_deterministic`.
 
 #[test]
+fn block_engine_keeps_quantum_size_independence() {
+    // The block engine must never execute past a quantum boundary: with
+    // chaining on (the default), per-node cycles, registers, IRQ stamps
+    // and the delivery log must stay bit-identical across quantum sizes
+    // — and identical to per-step execution (blocks disabled on every
+    // node). The quantum sweep moves the `run_until` bounds through the
+    // middle of the guests' hot blocks.
+    use alia_core::prelude::sim::{
+        CanConfig, DeviceSpec, Machine, MachineConfig, SharedCanBus, System, SystemConfig,
+        SystemStop, TimerConfig, CAN_BASE, SRAM_BASE, TIMER_BASE,
+    };
+    use isa::{Assembler, IsaMode};
+
+    let asm = |src: &str| Assembler::new(IsaMode::T2).assemble(src).unwrap().bytes;
+    let build = |quantum: Option<u64>, blocks: bool| -> System {
+        let mut sys = System::with_config(SystemConfig {
+            quantum,
+            ..SystemConfig::default()
+        });
+        let wire: SharedCanBus = sys.shared_can_bus(4);
+        let mut pconf = MachineConfig::m3_like();
+        pconf.block_cache = blocks;
+        pconf.devices = vec![
+            DeviceSpec::Timer(TimerConfig { base: TIMER_BASE, irq: 0, compare: 700 }),
+            DeviceSpec::SharedCan(
+                CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+                wire.clone(),
+            ),
+        ];
+        let main_p = asm(
+            "movw r0, #0x1000
+             movt r0, #0x4000
+             movw r1, #700
+             str r1, [r0, #4]
+             mov r1, #3
+             str r1, [r0, #0]
+             spin: add r3, r3, #1
+             eor r5, r5, r3
+             cmp r4, #8
+             blt spin
+             movw r0, #0
+             movt r0, #0x4000
+             str r4, [r0, #0]
+             halt: b halt",
+        );
+        let tx_handler = asm(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             cmp r4, #8
+             bge done
+             movw r1, #0x80
+             add r1, r1, r4
+             str r1, [r0, #0]
+             mov r1, #4
+             str r1, [r0, #4]
+             str r3, [r0, #8]
+             mov r1, #0
+             str r1, [r0, #16]
+             add r4, r4, #1
+             done: bx lr",
+        );
+        let mut p = Machine::new(pconf);
+        p.load_flash(0x100, &main_p);
+        p.load_flash(0x200, &tx_handler);
+        p.load_flash(0, &0x200u32.to_le_bytes());
+        p.set_pc(0x100);
+        p.cpu.set_sp(SRAM_BASE + 0x8000);
+        sys.add_node("producer", p);
+
+        let mut cconf = MachineConfig::m3_like();
+        cconf.block_cache = blocks;
+        cconf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 1, ..CanConfig::default() },
+            wire.clone(),
+        )];
+        let main_c = asm(
+            "spin: add r3, r3, #1
+             cmp r7, #8
+             blt spin
+             movw r0, #0
+             movt r0, #0x4000
+             str r6, [r0, #0]
+             halt: b halt",
+        );
+        let rx_handler = asm(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             rxloop: ldr r1, [r0, #20]
+             cmp r1, #0
+             beq rxdone
+             ldr r1, [r0, #24]
+             add r6, r6, r1
+             ldr r1, [r0, #32]
+             add r6, r6, r1
+             str r1, [r0, #40]
+             add r7, r7, #1
+             b rxloop
+             rxdone: bx lr",
+        );
+        let mut c = Machine::new(cconf);
+        c.load_flash(0x100, &main_c);
+        c.load_flash(0x200, &rx_handler);
+        c.load_flash(4, &0x200u32.to_le_bytes());
+        c.set_pc(0x100);
+        c.cpu.set_sp(SRAM_BASE + 0x8000);
+        sys.add_node("consumer", c);
+        sys
+    };
+
+    let mut baseline = build(None, false); // per-step, default quanta
+    let rb = baseline.run(10_000_000);
+    assert_eq!(rb.reason, SystemStop::AllHalted);
+    for (quantum, blocks) in [
+        (None, true),
+        (Some(41), true),
+        (Some(97), true),
+        (Some(150), true),
+        (Some(1_000_000), true), // clamped to the wire lookahead
+        (Some(97), false),
+    ] {
+        let mut sys = build(quantum, blocks);
+        let r = sys.run(10_000_000);
+        let what = format!("quantum={quantum:?} blocks={blocks}");
+        assert_eq!(r.reason, rb.reason, "{what}");
+        for i in 0..2 {
+            assert_eq!(
+                sys.node(i).halted(),
+                baseline.node(i).halted(),
+                "{what}: node {i} verdict"
+            );
+            assert_eq!(
+                sys.node(i).cycles(),
+                baseline.node(i).cycles(),
+                "{what}: node {i} cycles"
+            );
+            assert_eq!(
+                sys.node(i).machine().cpu.regs,
+                baseline.node(i).machine().cpu.regs,
+                "{what}: node {i} registers"
+            );
+            assert_eq!(
+                sys.node(i).machine().latencies(),
+                baseline.node(i).machine().latencies(),
+                "{what}: node {i} IRQ stamps"
+            );
+        }
+        assert_eq!(
+            sys.wire().unwrap().delivery_log(),
+            baseline.wire().unwrap().delivery_log(),
+            "{what}: delivery log"
+        );
+        if blocks {
+            let stats = sys.node(0).machine().predecode_stats();
+            assert!(
+                stats.block_hits > 0,
+                "{what}: the producer's spin must dispatch blocks"
+            );
+        }
+    }
+}
+
+#[test]
 fn exchange_traffic_stays_within_its_analytic_bound() {
     // The producer ships one 4-byte frame every 600 cycles = 150 bit
     // times; CAN RTA for that single stream must bound the worst
