@@ -1,5 +1,6 @@
-//! Criterion bench for E8: allocation study + §1/§4 table, plus the
-//! executable multi-ECU exchange over the shared CAN wire.
+//! Criterion bench for E8/E10: allocation study + §1/§4 table, the
+//! executable multi-ECU exchange over the shared CAN wire, and the
+//! 3-wire gateway topology (multi-wire scheduling + DMA forwarding).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -10,10 +11,20 @@ fn bench_network(c: &mut Criterion) {
     c.bench_function("multi_ecu_64_frames", |b| {
         b.iter(|| alia_core::experiments::multi_ecu_exchange(64).unwrap())
     });
+    c.bench_function("gateway_3wire_16_frames", |b| {
+        b.iter(|| alia_core::experiments::gateway_experiment(16).unwrap())
+    });
     let e = alia_core::experiments::network_experiment(8, 4).expect("experiment");
     println!("\n{e}");
     let m = alia_core::experiments::multi_ecu_exchange(64).expect("exchange");
     println!("\n{m}");
+    let g = alia_core::experiments::gateway_experiment(16).expect("gateway topology");
+    println!("\n{g}");
+    assert_eq!(
+        g.checksum,
+        alia_core::experiments::gateway_checksum(16),
+        "multi-wire scheduling must stay deterministic under the bench smoke"
+    );
 }
 
 criterion_group! {

@@ -197,6 +197,40 @@ impl CanBus {
     pub fn worst_latency(&self, id: CanId) -> Option<u64> {
         self.deliveries.iter().filter(|d| d.frame.id == id).map(Delivery::latency).max()
     }
+
+    /// Worst observed latency for every distinct id, in first-delivery
+    /// order — the per-wire snapshot a multi-wire validation compares
+    /// against analytic response-time bounds.
+    #[must_use]
+    pub fn worst_latencies(&self) -> Vec<(CanId, u64)> {
+        let mut out: Vec<(CanId, u64)> = Vec::new();
+        for d in &self.deliveries {
+            match out.iter_mut().find(|(id, _)| *id == d.frame.id) {
+                Some((_, worst)) => *worst = (*worst).max(d.latency()),
+                None => out.push((d.frame.id, d.latency())),
+            }
+        }
+        out
+    }
+
+    /// Deliveries completed for a given id.
+    #[must_use]
+    pub fn delivery_count(&self, id: CanId) -> usize {
+        self.deliveries.iter().filter(|d| d.frame.id == id).count()
+    }
+
+    /// Utilization over the *active* window — total busy bits divided by
+    /// the span from the first enqueue to the last completion. Unlike
+    /// [`CanBus::utilization`] (which divides by elapsed bus time and so
+    /// dilutes under startup or drain idle), this matches the analytic
+    /// steady-state [`crate::can_utilization`] of the offered load, up to
+    /// edge effects of one period. `None` before the first delivery.
+    #[must_use]
+    pub fn span_utilization(&self) -> Option<f64> {
+        let first = self.deliveries.iter().map(|d| d.enqueued_at).min()?;
+        let last = self.deliveries.iter().map(|d| d.completed_at).max()?;
+        (last > first).then(|| self.busy_bits as f64 / (last - first) as f64)
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +331,25 @@ mod tests {
         b.enqueue(0, 0, f);
         b.run(10_000);
         assert_eq!(b.deliveries()[0].node, 0, "equal times: lower node id wins");
+    }
+
+    #[test]
+    fn per_id_snapshots_and_span_utilization() {
+        let mut bus = CanBus::new();
+        bus.enqueue(0, 0, frame(0x100, 4));
+        bus.enqueue(0, 1, frame(0x200, 2));
+        bus.enqueue(500, 0, frame(0x100, 4));
+        assert_eq!(bus.span_utilization(), None, "no deliveries yet");
+        bus.run(10_000);
+        let worst = bus.worst_latencies();
+        assert_eq!(worst.len(), 2, "one entry per distinct id");
+        assert_eq!(worst[0].0, CanId::Standard(0x100), "first-delivery order");
+        assert_eq!(worst[0].1, bus.worst_latency(CanId::Standard(0x100)).unwrap());
+        assert_eq!(worst[1].1, bus.worst_latency(CanId::Standard(0x200)).unwrap());
+        assert_eq!(bus.delivery_count(CanId::Standard(0x100)), 2);
+        assert_eq!(bus.delivery_count(CanId::Standard(0x200)), 1);
+        let u = bus.span_utilization().unwrap();
+        assert!(u > 0.0 && u <= 1.0, "{u}");
     }
 
     #[test]

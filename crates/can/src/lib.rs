@@ -40,7 +40,7 @@ pub use bus::{CanBus, Delivery};
 pub use frame::{
     count_stuff_bits, crc15, worst_case_wire_bits, CanFrame, CanId, MIN_WIRE_BITS, TRAILER_BITS,
 };
-pub use rta::{can_response_times, can_utilization, CanMessage, CanResponse};
+pub use rta::{can_response_times, can_utilization, response_bound, CanMessage, CanResponse};
 pub use vision::{
     allocate, body_task_set, fleet, AllocationReport, DistTask, Node, NodeIsa, Placement,
 };

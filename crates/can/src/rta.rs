@@ -84,6 +84,18 @@ pub fn can_utilization(msgs: &[CanMessage]) -> f64 {
     msgs.iter().map(|m| m.c() as f64 / m.period as f64).sum()
 }
 
+/// The analytic worst-case response bound (bit times) for the stream
+/// with identifier `id` within `msgs`, or `None` when the id is not in
+/// the set or its analysis diverged. Convenience for per-wire
+/// executed-vs-analytic cross-checks: the caller matches each observed
+/// worst latency ([`crate::CanBus::worst_latencies`]) against the bound
+/// of its stream.
+#[must_use]
+pub fn response_bound(msgs: &[CanMessage], id: u32) -> Option<u64> {
+    let m = msgs.iter().find(|m| m.id == id)?;
+    analyse_one(msgs, m).response
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +129,14 @@ mod tests {
         assert!(can_utilization(&set) > 1.0);
         let r = can_response_times(&set);
         assert!(!r[2].schedulable);
+    }
+
+    #[test]
+    fn response_bound_matches_per_stream_analysis() {
+        let set = [msg(0x10, 4, 2000), msg(0x20, 6, 3000)];
+        let r = can_response_times(&set);
+        assert_eq!(response_bound(&set, 0x20), r[1].response);
+        assert_eq!(response_bound(&set, 0x99), None, "unknown id");
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //! | E7 | §3.1.3 | [`soft_error_experiment`] |
 //! | E8 | §1/§4 | [`network_experiment`] |
 //! | E9 | §3.2.2 | [`flash_patch_experiment`] |
+//! | E10 | §1/§4 (executed) | [`gateway_experiment`] |
 
 pub mod ablations;
 pub mod bitband;
 pub mod flash;
 pub mod flash_patch;
+pub mod gateway;
 pub mod interrupt;
 pub mod ldm;
 pub mod mpu;
@@ -27,6 +29,9 @@ pub use ablations::{predication_ablation, PredicationAblation};
 pub use bitband::{bitband_experiment, BitbandExperiment};
 pub use flash::{flash_experiment, FlashExperiment, FlashPoint};
 pub use flash_patch::{flash_patch_experiment, FlashPatchExperiment};
+pub use gateway::{
+    gateway_checksum, gateway_experiment, gateway_experiment_with, GatewayExperiment, WireReport,
+};
 pub use interrupt::{interrupt_experiment, InterruptExperiment, SchemeLatency};
 pub use ldm::{ldm_experiment, LdmExperiment};
 pub use mpu::{mpu_experiment, GranularityPoint, MpuExperiment};

@@ -153,6 +153,7 @@ pub fn guest_can_exchange(frames: u32) -> Result<GuestCanExchange, CoreError> {
             node: 0,
             cycles_per_bit: 4,
             loopback: true,
+            ..CanConfig::default()
         }),
     ];
     let asm = |src: &str| {

@@ -509,6 +509,8 @@ pub const TIMER_BASE: u32 = MMIO_BASE + 0x1000;
 pub const CAN_BASE: u32 = MMIO_BASE + 0x2000;
 /// Default window base of the watchdog device.
 pub const WATCHDOG_BASE: u32 = MMIO_BASE + 0x3000;
+/// Default window base of the DMA frame-forwarding gateway engine.
+pub const DMA_BASE: u32 = MMIO_BASE + 0x4000;
 
 #[cfg(test)]
 mod tests {

@@ -37,6 +37,7 @@
 //! | 32  | `RX_DATA0`| head bytes 0–3        | —                           |
 //! | 36  | `RX_DATA1`| head bytes 4–7        | —                           |
 //! | 40  | `RX_POP`  | frames received       | any value pops the head     |
+//! | 44  | `RX_OVERFLOW` | deliveries dropped at a full FIFO (drop-newest) | — |
 
 use std::any::Any;
 use std::cell::RefCell;
@@ -199,16 +200,32 @@ impl Device for Timer {
 pub struct SharedCanBus {
     inner: Rc<RefCell<CanBus>>,
     cycles_per_bit: u64,
+    name: Rc<str>,
 }
 
 impl SharedCanBus {
-    /// A new idle wire with the given core-cycles-per-bit ratio.
+    /// A new idle wire with the given core-cycles-per-bit ratio and the
+    /// default name `"can"`.
     #[must_use]
     pub fn new(cycles_per_bit: u64) -> SharedCanBus {
+        SharedCanBus::named("can", cycles_per_bit)
+    }
+
+    /// A new idle wire with an explicit name (multi-wire topologies name
+    /// their wires — `"sensor"`, `"backbone"` — and reports key on it).
+    #[must_use]
+    pub fn named(name: impl Into<String>, cycles_per_bit: u64) -> SharedCanBus {
         SharedCanBus {
             inner: Rc::new(RefCell::new(CanBus::new())),
             cycles_per_bit: cycles_per_bit.max(1),
+            name: name.into().into(),
         }
+    }
+
+    /// The wire's name (shared by every handle clone).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Core cycles per CAN bit time on this wire.
@@ -285,6 +302,22 @@ impl SharedCanBus {
         self.inner.borrow().worst_latency(id)
     }
 
+    /// Worst observed latency for every distinct id on the wire (bit
+    /// times, first-delivery order) — the per-wire snapshot an
+    /// executed-vs-analytic validation feeds to `alia_can::response_bound`.
+    #[must_use]
+    pub fn worst_latencies(&self) -> Vec<(CanId, u64)> {
+        self.inner.borrow().worst_latencies()
+    }
+
+    /// Utilization over the active window (first enqueue to last
+    /// completion) — comparable to the analytic steady-state utilization
+    /// of the offered load. `None` before the first delivery.
+    #[must_use]
+    pub fn span_utilization(&self) -> Option<f64> {
+        self.inner.borrow().span_utilization()
+    }
+
     /// Transmits everything still queued ([`CanBus::settle`]) so
     /// utilization and latency reports account for every guest-enqueued
     /// frame, even ones submitted just before a machine halted.
@@ -292,7 +325,7 @@ impl SharedCanBus {
         self.inner.borrow_mut().settle();
     }
 
-    fn enqueue(&self, at_bits: u64, node: usize, frame: CanFrame) {
+    pub(crate) fn enqueue(&self, at_bits: u64, node: usize, frame: CanFrame) {
         self.inner.borrow_mut().enqueue(at_bits, node, frame);
     }
 }
@@ -327,6 +360,12 @@ pub struct CanConfig {
     /// Whether the controller receives its own transmissions (loopback
     /// test mode — lets a single machine exchange frames with itself).
     pub loopback: bool,
+    /// RX FIFO depth in frames. The overflow policy is **drop-newest**:
+    /// a delivery arriving at a full FIFO is discarded (the FIFO's
+    /// oldest frames are preserved — the guest drains in arrival order)
+    /// and counted in the `RX_OVERFLOW` register; no RX interrupt is
+    /// raised for a dropped frame.
+    pub rx_capacity: usize,
 }
 
 impl Default for CanConfig {
@@ -337,6 +376,7 @@ impl Default for CanConfig {
             node: 0,
             cycles_per_bit: 40,
             loopback: false,
+            rx_capacity: 16,
         }
     }
 }
@@ -355,6 +395,7 @@ pub struct CanController {
     tx_count: u64,
     rx_fifo: VecDeque<CanFrame>,
     rx_count: u64,
+    rx_overflows: u64,
     deliveries_seen: usize,
     /// Next cycle the controller wants a tick (`u64::MAX` = idle).
     poll_at: u64,
@@ -386,6 +427,7 @@ impl CanController {
             tx_count: 0,
             rx_fifo: VecDeque::new(),
             rx_count: 0,
+            rx_overflows: 0,
             deliveries_seen: 0,
             poll_at: u64::MAX,
         }
@@ -407,6 +449,13 @@ impl CanController {
     #[must_use]
     pub fn rx_count(&self) -> u64 {
         self.rx_count
+    }
+
+    /// Deliveries dropped because the RX FIFO was full (drop-newest
+    /// overflow policy — see [`CanConfig::rx_capacity`]).
+    #[must_use]
+    pub fn rx_overflows(&self) -> u64 {
+        self.rx_overflows
     }
 
     /// Whether this controller transmits on a shared wire.
@@ -565,9 +614,16 @@ impl CanController {
             }
             self.deliveries_seen += 1;
             if self.config.loopback || d.node != self.config.node {
-                self.rx_fifo.push_back(d.frame);
-                self.rx_count += 1;
-                ctx.signals.raise_irq_at(self.config.irq, arrival);
+                if self.rx_fifo.len() >= self.config.rx_capacity.max(1) {
+                    // Drop-newest: the FIFO keeps its oldest frames (the
+                    // guest drains in arrival order); the new delivery is
+                    // lost, counted, and raises no RX interrupt.
+                    self.rx_overflows += 1;
+                } else {
+                    self.rx_fifo.push_back(d.frame);
+                    self.rx_count += 1;
+                    ctx.signals.raise_irq_at(self.config.irq, arrival);
+                }
             }
         }
         if self.poll_at == u64::MAX {
@@ -603,6 +659,7 @@ impl Device for CanController {
             32 => self.head_data_word(0),
             36 => self.head_data_word(1),
             40 => self.rx_count as u32,
+            44 => self.rx_overflows as u32,
             _ => 0,
         }
     }
@@ -919,6 +976,37 @@ mod tests {
         }
         assert_eq!(w.bites(), 0);
         assert!(s.timed_irqs.is_empty());
+    }
+
+    #[test]
+    fn rx_fifo_overflow_drops_newest_and_counts() {
+        // Four host-injected frames against a 2-deep FIFO: the first two
+        // land (oldest preserved), the last two are dropped and counted,
+        // and only the landed frames raise RX interrupts. Draining one
+        // slot then makes the next delivery land again.
+        let mut c = CanController::new(CanConfig {
+            cycles_per_bit: 1,
+            rx_capacity: 2,
+            ..CanConfig::default()
+        });
+        let mut s = BusSignals::default();
+        for k in 0..4u16 {
+            c.host_enqueue(u64::from(k) * 200, 7, CanFrame::new(CanId::Standard(0x40 + k), &[k as u8]));
+        }
+        c.tick(&mut ctx(10_000, &mut s));
+        assert_eq!(c.read32(20, &mut ctx(10_000, &mut s)), 2, "RX_STATUS capped at capacity");
+        assert_eq!(c.rx_count(), 2, "only the landed frames count as received");
+        assert_eq!(c.rx_overflows(), 2);
+        assert_eq!(c.read32(44, &mut ctx(10_000, &mut s)), 2, "RX_OVERFLOW register");
+        assert_eq!(s.timed_irqs.len(), 2, "dropped frames raise no RX IRQ");
+        assert_eq!(c.read32(24, &mut ctx(10_000, &mut s)), 0x40, "oldest frame preserved at the head");
+        c.write32(40, 1, &mut ctx(10_000, &mut s)); // RX_POP
+        assert_eq!(c.read32(24, &mut ctx(10_000, &mut s)), 0x41, "FIFO order intact");
+        // Room again: a fifth frame lands instead of overflowing.
+        c.host_enqueue(10_100, 7, CanFrame::new(CanId::Standard(0x50), &[9]));
+        c.tick(&mut ctx(20_000, &mut s));
+        assert_eq!(c.rx_count(), 3);
+        assert_eq!(c.rx_overflows(), 2, "no further drops once drained");
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! DMA frame-forwarding engine: a gateway between two CAN wires.
+//!
+//! A [`Dma`] device bridges two [`SharedCanBus`] wires without per-frame
+//! CPU work: the guest programs a routing table once (id-range match,
+//! optional id rewrite, direction, optional IRQ on forward) and the
+//! engine then examines every delivery completing on either wire and
+//! re-enqueues matches on the other wire after a store-and-forward
+//! latency — all from device ticks, never from guest instructions. A
+//! gateway ECU is typically a machine that programs its routes and
+//! parks in a `wfi` loop; its core sleeps while the engine forwards.
+//!
+//! # Register map (offsets from [`crate::DMA_BASE`])
+//!
+//! Global registers:
+//!
+//! | off  | name          | read                    | write                  |
+//! |------|---------------|-------------------------|------------------------|
+//! | 0x00 | CTRL          | bit0 enable             | same                   |
+//! | 0x04 | `FWD_LATENCY` | store-and-forward cycles| same                   |
+//! | 0x08 | FORWARDED     | total frames forwarded  | —                      |
+//! | 0x0C | DROPPED       | frames no route matched | —                      |
+//!
+//! [`DMA_ROUTES`] route slots at `0x40 + i * 0x20`:
+//!
+//! | off  | name    | read               | write                           |
+//! |------|---------|--------------------|---------------------------------|
+//! | +0x00| CTRL    | bits as written    | bit0 enable, bit1 direction (0 = A→B, 1 = B→A), bit2 IRQ on forward |
+//! | +0x04| LO      | id-range low       | same (raw id, inclusive)        |
+//! | +0x08| HI      | id-range high      | same (raw id, inclusive)        |
+//! | +0x0C| REWRITE | as written         | bit31 enable; low 29 bits: forwarded id = base + (id − LO) |
+//! | +0x10| COUNT   | frames via route   | —                               |
+//!
+//! # Timing and determinism
+//!
+//! A delivery completing on wire A at core cycle `T` is examined by the
+//! engine's tick at exactly `T` (the scheduler re-arms the tick through
+//! [`Dma::note_wire_progress`], like a CAN controller's RX path) and, on
+//! a route match, enqueued on wire B at `T + FWD_LATENCY` — an exact
+//! cycle stamp, never "whenever the tick ran". Because deliveries
+//! materialized at a scheduler boundary always complete at or after that
+//! boundary, the forward's enqueue time is never in the past of the
+//! target wire, so multi-hop timing is bit-identical for any quantum
+//! size or node order. The engine stops when its host machine halts
+//! (devices of a halted node are no longer ticked) — a powered-off
+//! gateway forwards nothing.
+
+use std::any::Any;
+
+use alia_can::{CanFrame, CanId};
+
+use crate::bus::{Device, DeviceCtx};
+use crate::devices::SharedCanBus;
+
+/// Number of route slots in a [`Dma`] engine's table.
+pub const DMA_ROUTES: usize = 8;
+
+/// Static configuration of a [`Dma`] gateway device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaConfig {
+    /// Window base address (default [`crate::DMA_BASE`]).
+    pub base: u32,
+    /// IRQ line raised when a route with the IRQ-on-forward bit
+    /// forwards a frame (stamped at the forward's enqueue cycle).
+    pub irq: u32,
+    /// The engine's CAN node id on wire A (must be unique there).
+    pub node_a: usize,
+    /// The engine's CAN node id on wire B (must be unique there).
+    pub node_b: usize,
+    /// Reset value of the `FWD_LATENCY` register: store-and-forward
+    /// latency in core cycles between a frame completing on one wire
+    /// and its forward being enqueued on the other.
+    pub latency: u64,
+}
+
+impl Default for DmaConfig {
+    fn default() -> DmaConfig {
+        DmaConfig { base: crate::DMA_BASE, irq: 3, node_a: 0, node_b: 0, latency: 64 }
+    }
+}
+
+/// One slot of the routing table.
+#[derive(Debug, Clone, Copy, Default)]
+struct Route {
+    enabled: bool,
+    /// `false`: matches deliveries on wire A, forwards to wire B.
+    /// `true`: the reverse.
+    b_to_a: bool,
+    irq_on_forward: bool,
+    lo: u32,
+    hi: u32,
+    /// Raw REWRITE register (bit31 = rewrite enable).
+    rewrite: u32,
+    count: u64,
+}
+
+impl Route {
+    fn ctrl_word(self) -> u32 {
+        u32::from(self.enabled)
+            | u32::from(self.b_to_a) << 1
+            | u32::from(self.irq_on_forward) << 2
+    }
+}
+
+/// The DMA frame-forwarding engine (see the module docs for the
+/// register map and the timing contract).
+#[derive(Debug, Clone)]
+pub struct Dma {
+    config: DmaConfig,
+    wires: [SharedCanBus; 2],
+    enabled: bool,
+    latency: u64,
+    routes: [Route; DMA_ROUTES],
+    /// Deliveries examined so far on each wire (including its own
+    /// forwards completing, which are skipped but must be consumed).
+    seen: [usize; 2],
+    forwarded: u64,
+    dropped: u64,
+    /// Next cycle the engine wants a tick (`u64::MAX` = idle).
+    poll_at: u64,
+}
+
+impl Dma {
+    /// Builds a gateway engine between `wire_a` and `wire_b`. The engine
+    /// starts disabled with an empty routing table; the guest (or host)
+    /// programs and enables it through the register file.
+    #[must_use]
+    pub fn new(config: DmaConfig, wire_a: &SharedCanBus, wire_b: &SharedCanBus) -> Dma {
+        assert!(
+            !wire_a.same_wire(wire_b),
+            "a DMA gateway must bridge two distinct wires"
+        );
+        Dma {
+            latency: config.latency,
+            config,
+            wires: [wire_a.clone(), wire_b.clone()],
+            enabled: false,
+            routes: [Route::default(); DMA_ROUTES],
+            seen: [0; 2],
+            forwarded: 0,
+            dropped: 0,
+            poll_at: u64::MAX,
+        }
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> DmaConfig {
+        self.config
+    }
+
+    /// Wire A's handle.
+    #[must_use]
+    pub fn wire_a(&self) -> &SharedCanBus {
+        &self.wires[0]
+    }
+
+    /// Wire B's handle.
+    #[must_use]
+    pub fn wire_b(&self) -> &SharedCanBus {
+        &self.wires[1]
+    }
+
+    /// The engine's node id on the given side (0 = wire A, 1 = wire B).
+    #[must_use]
+    pub fn node_on(&self, side: usize) -> usize {
+        if side == 0 { self.config.node_a } else { self.config.node_b }
+    }
+
+    /// Total frames forwarded across all routes.
+    #[must_use]
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Frames examined while enabled that matched no route.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames forwarded through route `i`.
+    #[must_use]
+    pub fn route_count(&self, i: usize) -> u64 {
+        self.routes[i].count
+    }
+
+    /// Whether the engine still has unexamined deliveries on either
+    /// wire — the scheduler's "could put traffic on a wire soon" veto,
+    /// the analogue of [`crate::CanController::tx_armed`].
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.wires[0].deliveries_len() > self.seen[0]
+            || self.wires[1].deliveries_len() > self.seen[1]
+    }
+
+    /// Called by the system scheduler after it advanced the wires:
+    /// re-arms the engine's tick at the arrival cycle of the first
+    /// delivery it has not yet examined on either side. The caller must
+    /// follow up with [`crate::Bus::refresh_next_event`].
+    pub fn note_wire_progress(&mut self) {
+        for (side, wire) in self.wires.iter().enumerate() {
+            if let Some(d) = wire.delivery(self.seen[side]) {
+                let arrival = d.completed_at.saturating_mul(wire.cycles_per_bit().max(1));
+                self.poll_at = self.poll_at.min(arrival);
+            }
+        }
+    }
+
+    /// Examines deliveries on both wires up to core cycle `now`,
+    /// forwarding route matches onto the opposite wire at their exact
+    /// `arrival + FWD_LATENCY` cycle.
+    fn advance(&mut self, now: u64, ctx: &mut DeviceCtx<'_>) {
+        self.poll_at = u64::MAX;
+        for side in 0..2 {
+            loop {
+                let wire = &self.wires[side];
+                let Some(d) = wire.delivery(self.seen[side]) else { break };
+                let arrival = d.completed_at.saturating_mul(wire.cycles_per_bit().max(1));
+                if arrival > now {
+                    // Completion still in the future of the core clock;
+                    // re-tick exactly then.
+                    self.poll_at = self.poll_at.min(arrival);
+                    break;
+                }
+                self.seen[side] += 1;
+                if d.node == self.node_on(side) {
+                    // The engine's own forward completing: never routed
+                    // back (the gateway does not echo).
+                    continue;
+                }
+                if self.enabled {
+                    self.forward(side, d.frame, arrival, ctx);
+                }
+            }
+        }
+    }
+
+    /// Routes one delivery that completed on `side` at core cycle
+    /// `arrival`: first matching route wins; no match counts as dropped.
+    fn forward(&mut self, side: usize, frame: CanFrame, arrival: u64, ctx: &mut DeviceCtx<'_>) {
+        let raw = frame.id.raw();
+        let matches = |r: &Route| {
+            r.enabled && r.b_to_a == (side == 1) && r.lo <= raw && raw <= r.hi
+        };
+        let Some(i) = self.routes.iter().position(matches) else {
+            self.dropped += 1;
+            return;
+        };
+        let route = &mut self.routes[i];
+        let out_raw = if route.rewrite & 1 << 31 != 0 {
+            (route.rewrite & 0x1FFF_FFFF).wrapping_add(raw - route.lo)
+        } else {
+            raw
+        };
+        let id = match frame.id {
+            CanId::Standard(_) => CanId::Standard((out_raw & 0x7FF) as u16),
+            CanId::Extended(_) => CanId::Extended(out_raw & 0x1FFF_FFFF),
+        };
+        let out = CanFrame::new(id, &frame.data[..usize::from(frame.dlc.min(8))]);
+        route.count += 1;
+        let irq_on_forward = route.irq_on_forward;
+        self.forwarded += 1;
+        let at = arrival.saturating_add(self.latency);
+        let target = &self.wires[1 - side];
+        target.enqueue(at / target.cycles_per_bit().max(1), self.node_on(1 - side), out);
+        if irq_on_forward {
+            ctx.signals.raise_irq_at(self.config.irq, at);
+        }
+    }
+}
+
+impl Device for Dma {
+    fn name(&self) -> &'static str {
+        "dma"
+    }
+
+    fn read32(&mut self, off: u32, ctx: &mut DeviceCtx<'_>) -> u32 {
+        let _ = ctx;
+        match off & !3 {
+            0x00 => u32::from(self.enabled),
+            0x04 => self.latency as u32,
+            0x08 => self.forwarded as u32,
+            0x0C => self.dropped as u32,
+            o if (0x40..0x40 + 0x20 * DMA_ROUTES as u32).contains(&o) => {
+                let r = &self.routes[((o - 0x40) / 0x20) as usize];
+                match o & 0x1C {
+                    0x00 => r.ctrl_word(),
+                    0x04 => r.lo,
+                    0x08 => r.hi,
+                    0x0C => r.rewrite,
+                    0x10 => r.count as u32,
+                    _ => 0,
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    fn write32(&mut self, off: u32, value: u32, ctx: &mut DeviceCtx<'_>) {
+        let _ = ctx;
+        match off & !3 {
+            0x00 => self.enabled = value & 1 != 0,
+            0x04 => self.latency = u64::from(value),
+            o if (0x40..0x40 + 0x20 * DMA_ROUTES as u32).contains(&o) => {
+                let r = &mut self.routes[((o - 0x40) / 0x20) as usize];
+                match o & 0x1C {
+                    0x00 => {
+                        r.enabled = value & 1 != 0;
+                        r.b_to_a = value & 2 != 0;
+                        r.irq_on_forward = value & 4 != 0;
+                    }
+                    0x04 => r.lo = value,
+                    0x08 => r.hi = value,
+                    0x0C => r.rewrite = value,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut DeviceCtx<'_>) {
+        let now = ctx.now;
+        self.advance(now, ctx);
+    }
+
+    fn next_event(&self) -> Option<u64> {
+        (self.poll_at != u64::MAX).then_some(self.poll_at)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::BusSignals;
+    use crate::devices::{CanConfig, CanController};
+
+    fn ctx(now: u64, signals: &mut BusSignals) -> DeviceCtx<'_> {
+        DeviceCtx { now, active_irq: 0, signals }
+    }
+
+    /// Programs route `i` host-side through the register file.
+    fn program_route(d: &mut Dma, i: u32, ctrl: u32, lo: u32, hi: u32, rewrite: u32) {
+        let mut s = BusSignals::default();
+        let base = 0x40 + i * 0x20;
+        d.write32(base + 0x04, lo, &mut ctx(0, &mut s));
+        d.write32(base + 0x08, hi, &mut ctx(0, &mut s));
+        d.write32(base + 0x0C, rewrite, &mut ctx(0, &mut s));
+        d.write32(base, ctrl, &mut ctx(0, &mut s));
+    }
+
+    #[test]
+    fn forwards_and_rewrites_across_wires() {
+        // A source controller on wire A, a sink on wire B, the engine
+        // bridging them. The test plays the scheduler: run the wires,
+        // note progress, tick at the armed cycles.
+        let wa = SharedCanBus::named("a", 4);
+        let wb = SharedCanBus::named("b", 2);
+        let mut src =
+            CanController::attached(CanConfig { node: 0, ..CanConfig::default() }, &wa);
+        let mut sink =
+            CanController::attached(CanConfig { node: 1, ..CanConfig::default() }, &wb);
+        let mut dma = Dma::new(
+            DmaConfig { node_a: 5, node_b: 6, latency: 100, ..DmaConfig::default() },
+            &wa,
+            &wb,
+        );
+        let mut s = BusSignals::default();
+        // Route 0: ids 0x100..=0x17F from A to B, rewritten to 0x300+.
+        program_route(&mut dma, 0, 0b001, 0x100, 0x17F, 1 << 31 | 0x300);
+        dma.write32(0, 1, &mut ctx(0, &mut s)); // global enable
+        src.write32(0, 0x105, &mut ctx(0, &mut s)); // TX_ID
+        src.write32(4, 2, &mut ctx(0, &mut s)); // TX_DLC
+        src.write32(8, 0xBEEF, &mut ctx(0, &mut s)); // TX_DATA0
+        src.write32(16, 1, &mut ctx(0, &mut s)); // TX_GO
+        // Scheduler boundary: wire A arbitrates, the engine is armed at
+        // the delivery's arrival cycle.
+        wa.run_to_cycle(wa.min_quantum_cycles());
+        dma.note_wire_progress();
+        let arrival = dma.next_event().expect("delivery to examine");
+        dma.tick(&mut ctx(arrival, &mut s));
+        assert_eq!(dma.forwarded(), 1);
+        assert_eq!(dma.route_count(0), 1);
+        assert_eq!(dma.dropped(), 0);
+        assert_eq!(wb.pending(), 1, "forward enqueued on wire B");
+        // Next boundary: wire B transmits the forward.
+        wb.run_to_cycle(arrival + 100 + wb.min_quantum_cycles() + wb.cycles_per_bit());
+        let fwd = wb.delivery(0).expect("forward transmitted");
+        assert_eq!(fwd.frame.id.raw(), 0x305, "rewritten: 0x300 + (0x105 - 0x100)");
+        assert_eq!(fwd.node, 6, "sent as the engine's wire-B node");
+        assert!(
+            fwd.enqueued_at >= (arrival + 100) / wb.cycles_per_bit(),
+            "store-and-forward latency respected"
+        );
+        // The sink receives it; the engine sees its own forward complete
+        // on wire B and does not route it back.
+        sink.note_wire_progress();
+        let at = sink.next_event().expect("sink armed");
+        sink.tick(&mut ctx(at, &mut s));
+        assert_eq!(sink.rx_count(), 1);
+        assert_eq!(sink.read32(24, &mut ctx(at, &mut s)), 0x305);
+        assert_eq!(sink.read32(32, &mut ctx(at, &mut s)), 0xBEEF);
+        dma.note_wire_progress();
+        let own = dma.next_event().expect("own forward to consume");
+        dma.tick(&mut ctx(own, &mut s));
+        assert_eq!(dma.forwarded(), 1, "no echo of its own forward");
+        assert!(!dma.armed(), "everything examined");
+    }
+
+    #[test]
+    fn unmatched_frames_drop_and_direction_is_honoured() {
+        let wa = SharedCanBus::named("a", 1);
+        let wb = SharedCanBus::named("b", 1);
+        let mut dma = Dma::new(
+            DmaConfig { node_a: 5, node_b: 6, latency: 0, ..DmaConfig::default() },
+            &wa,
+            &wb,
+        );
+        let mut s = BusSignals::default();
+        // Route 0 only matches B->A traffic in 0x200..=0x2FF.
+        program_route(&mut dma, 0, 0b011, 0x200, 0x2FF, 0);
+        dma.write32(0, 1, &mut ctx(0, &mut s));
+        // An A-side frame in that range matches nothing (wrong side).
+        wa.enqueue(0, 0, CanFrame::new(CanId::Standard(0x210), &[1]));
+        wa.run_to_cycle(200);
+        dma.note_wire_progress();
+        dma.tick(&mut ctx(dma.next_event().unwrap(), &mut s));
+        assert_eq!(dma.dropped(), 1);
+        assert_eq!(dma.forwarded(), 0);
+        // A B-side frame in range forwards to A without rewrite.
+        wb.enqueue(0, 0, CanFrame::new(CanId::Standard(0x210), &[2]));
+        wb.run_to_cycle(200);
+        dma.note_wire_progress();
+        dma.tick(&mut ctx(dma.next_event().unwrap(), &mut s));
+        assert_eq!(dma.forwarded(), 1);
+        assert_eq!(wa.pending(), 1);
+        wa.run_to_cycle(400);
+        let fwd = wa.delivery(1).expect("forwarded onto wire A");
+        assert_eq!(fwd.frame.id.raw(), 0x210, "no rewrite configured");
+        assert_eq!(fwd.node, 5);
+    }
+
+    #[test]
+    fn disabled_engine_consumes_but_never_forwards() {
+        let wa = SharedCanBus::named("a", 1);
+        let wb = SharedCanBus::named("b", 1);
+        let mut dma = Dma::new(DmaConfig::default(), &wa, &wb);
+        let mut s = BusSignals::default();
+        program_route(&mut dma, 0, 0b001, 0, 0x7FF, 0);
+        // Global enable left off.
+        wa.enqueue(0, 1, CanFrame::new(CanId::Standard(0x100), &[3]));
+        wa.run_to_cycle(200);
+        dma.note_wire_progress();
+        dma.tick(&mut ctx(dma.next_event().unwrap(), &mut s));
+        assert_eq!(dma.forwarded(), 0);
+        assert_eq!(dma.dropped(), 0, "disabled: not even counted as dropped");
+        assert_eq!(wb.pending(), 0);
+        assert!(!dma.armed(), "deliveries are still consumed while disabled");
+    }
+
+    #[test]
+    fn irq_on_forward_is_stamped_at_the_forward_cycle() {
+        let wa = SharedCanBus::named("a", 1);
+        let wb = SharedCanBus::named("b", 1);
+        let mut dma = Dma::new(
+            DmaConfig { irq: 7, node_a: 5, node_b: 6, latency: 250, ..DmaConfig::default() },
+            &wa,
+            &wb,
+        );
+        let mut s = BusSignals::default();
+        program_route(&mut dma, 0, 0b101, 0, 0x7FF, 0); // enable | A->B | irq
+        dma.write32(0, 1, &mut ctx(0, &mut s));
+        wa.enqueue(0, 1, CanFrame::new(CanId::Standard(0x42), &[4]));
+        wa.run_to_cycle(200);
+        dma.note_wire_progress();
+        let arrival = dma.next_event().unwrap();
+        dma.tick(&mut ctx(arrival, &mut s));
+        assert_eq!(s.timed_irqs, vec![(7, arrival + 250)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct wires")]
+    fn same_wire_on_both_sides_is_rejected() {
+        let w = SharedCanBus::new(4);
+        let _ = Dma::new(DmaConfig::default(), &w, &w.clone());
+    }
+}

@@ -30,14 +30,18 @@
 //! `ARCHITECTURE.md` for the full contract (timing, ticking, IRQ
 //! signaling, revision counters).
 //!
-//! # Multi-ECU systems
+//! # Multi-ECU systems and the network subsystem
 //!
 //! [`System`] ([`system`]) scales execution from one machine to a
-//! network: N [`Node`]s (machine + devices + local clock), an optional
-//! [`SharedCanBus`] that several nodes' CAN controllers arbitrate on,
-//! and a deterministic quantum scheduler whose results are independent
-//! of quantum size and node service order. A countdown [`Watchdog`]
-//! device (NMI-style expiry IRQ, guest-kickable) covers the classic
+//! network topology: N [`Node`]s (machine + devices + local clock), a
+//! set of named [`SharedCanBus`] wires ([`System::add_wire`]) that
+//! nodes' CAN controllers arbitrate on, [`Dma`] gateway engines
+//! ([`dma`]) that forward frames between wires by guest-programmed
+//! routing tables (id-range match, rewrite, store-and-forward latency —
+//! no per-frame CPU work), and a deterministic quantum scheduler whose
+//! results are independent of quantum size and node service order even
+//! across multi-hop gateway paths. A countdown [`Watchdog`] device
+//! (NMI-style expiry IRQ, guest-kickable) covers the classic
 //! stalled-peer detection scenario.
 //!
 //! # Host performance
@@ -100,6 +104,7 @@ pub mod bus;
 mod cache;
 mod cpu;
 pub mod devices;
+pub mod dma;
 mod irq;
 mod machine;
 mod mem;
@@ -111,7 +116,7 @@ mod timing;
 
 pub use bus::{
     AttachedDevice, Bus, BusSignals, Device, DeviceClone, DeviceCtx, Region, CAN_BASE,
-    MMIO_WINDOW_BASE, TIMER_BASE, WATCHDOG_BASE,
+    DMA_BASE, MMIO_WINDOW_BASE, TIMER_BASE, WATCHDOG_BASE,
 };
 pub use cache::{Cache, CacheConfig, CacheStats, Lookup};
 pub use cpu::{
@@ -120,6 +125,7 @@ pub use cpu::{
 pub use devices::{
     CanConfig, CanController, SharedCanBus, Timer, TimerConfig, Watchdog, WatchdogConfig,
 };
+pub use dma::{Dma, DmaConfig, DMA_ROUTES};
 pub use irq::{IrqController, IrqStyle, IrqTiming};
 pub use machine::{
     DeviceSpec, IrqLatency, Machine, MachineConfig, RunResult, StopReason, MMIO_IRQ_ACTIVE,

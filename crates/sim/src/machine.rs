@@ -13,6 +13,7 @@ use crate::cpu::{add_with_carry, Cpu, EXC_RETURN_HW, EXC_RETURN_SW};
 use crate::devices::{
     CanConfig, CanController, SharedCanBus, Timer, TimerConfig, Watchdog, WatchdogConfig,
 };
+use crate::dma::{Dma, DmaConfig};
 use crate::mem::{
     Access, Flash, FlashConfig, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE, MMIO_BASE,
     SRAM_BASE, TCM_BASE,
@@ -93,6 +94,10 @@ pub enum DeviceSpec {
     SharedCan(CanConfig, SharedCanBus),
     /// A countdown [`Watchdog`] (NMI-style IRQ on expiry).
     Watchdog(WatchdogConfig),
+    /// A [`Dma`] frame-forwarding gateway engine bridging two shared
+    /// wires (wire A, then wire B) — the machine becomes a gateway ECU
+    /// that forwards by routing table, without per-frame CPU work.
+    Dma(DmaConfig, SharedCanBus, SharedCanBus),
 }
 
 /// Static machine configuration.
@@ -357,6 +362,10 @@ impl Machine {
                 }
                 DeviceSpec::Watchdog(c) => {
                     bus.attach(c.base, 0x100, Box::new(Watchdog::new(*c)));
+                }
+                DeviceSpec::Dma(c, wire_a, wire_b) => {
+                    // The route file spans 0x40 + DMA_ROUTES * 0x20.
+                    bus.attach(c.base, 0x200, Box::new(Dma::new(*c, wire_a, wire_b)));
                 }
             }
         }

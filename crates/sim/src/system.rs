@@ -1,41 +1,59 @@
-//! Multi-ECU execution: N machines, one shared CAN wire, a
-//! deterministic quantum scheduler.
+//! Multi-ECU execution: N machines, N shared CAN wires, a deterministic
+//! quantum scheduler.
 //!
 //! A [`System`] owns a set of [`Node`]s (a [`Machine`] plus its device
-//! set and local cycle clock) and, optionally, one [`SharedCanBus`] that
-//! several nodes' CAN controllers attach to. [`System::run`] advances
-//! the nodes in bounded quanta:
+//! set and local cycle clock) and a set of named [`SharedCanBus`]
+//! **wires** ([`System::add_wire`]) that nodes' CAN controllers attach
+//! to ([`crate::DeviceSpec::SharedCan`]) and [`crate::Dma`] gateway
+//! engines bridge ([`crate::DeviceSpec::Dma`]) — a network topology,
+//! not just one bus. [`System::run`] advances the nodes in bounded
+//! quanta:
 //!
 //! 1. every live node runs to the quantum boundary
 //!    ([`Machine::run_until`] — WFI sleeps park at the boundary instead
 //!    of overshooting it);
-//! 2. the shared wire arbitrates and transmits everything enqueued up
+//! 2. every wire arbitrates and transmits everything enqueued up
 //!    to the boundary ([`SharedCanBus::run_to_cycle`]);
-//! 3. each controller is re-armed at the arrival cycle of its next
-//!    delivery ([`CanController::note_wire_progress`]), so reception —
-//!    FIFO push and RX interrupt — happens at the exact completion
+//! 3. each wire client — CAN controller or DMA gateway — is re-armed at
+//!    the arrival cycle of its next delivery
+//!    ([`CanController::note_wire_progress`] /
+//!    [`crate::Dma::note_wire_progress`]), so reception — FIFO push, RX
+//!    interrupt, gateway forward — happens at the exact completion
 //!    cycle inside a later quantum, through the ordinary device-tick
 //!    machinery.
 //!
 //! # Why this is deterministic
 //!
-//! The quantum never exceeds the wire's **lookahead**
+//! The quantum never exceeds any wire's **lookahead**
 //! ([`SharedCanBus::min_quantum_cycles`]): the minimum time any CAN
-//! frame occupies the wire. A frame enqueued inside quantum *k*
-//! therefore cannot complete before the boundary of quantum *k+1* — by
-//! the time the wire arbitrates it, every node has already enqueued
+//! frame occupies a wire. The effective quantum is the minimum
+//! lookahead over all wires, so a frame enqueued on *any* wire inside
+//! quantum *k* cannot complete before the boundary of quantum *k+1* —
+//! by the time that wire arbitrates it, every node has already enqueued
 //! everything it could have contributed to that arbitration window, and
 //! same-id ties break on `(enqueue time, node id)`, not host call
 //! order. Transmission start times depend only on enqueue times and
 //! prior wire state, never on where the boundaries fall, so per-node
-//! cycle counts, checksums and the delivery log are bit-identical for
-//! *any* quantum at or below the lookahead and *any* node service
-//! order ([`SystemConfig`] exposes both knobs precisely so tests can
-//! prove it). When the wire is busy past the next boundary, the
-//! scheduler stretches the quantum to `busy_until` — no new arbitration
-//! can happen earlier, so the extra length is free.
+//! cycle counts, checksums and every wire's delivery log are
+//! bit-identical for *any* quantum at or below the lookahead and *any*
+//! node service order ([`SystemConfig`] exposes both knobs precisely so
+//! tests can prove it). When a wire is busy past the next boundary the
+//! quantum may stretch to its `busy_until` — but only as far as the
+//! *earliest* such point over all wires (`min` over wires of
+//! `max(boundary, busy_until)`): an idle wire can start a new
+//! arbitration at any moment, so no wire's stretch may leap over
+//! another wire's decision point.
+//!
+//! Gateway forwarding composes with the same argument: a delivery
+//! materialized at a boundary always completes at or after that
+//! boundary, the gateway's tick examines it at exactly its completion
+//! cycle, and the forward is enqueued on the far wire at an exact
+//! `completion + latency` stamp — never earlier than the far wire has
+//! been advanced. Multi-hop (wire → gateway → wire → gateway → wire)
+//! timing is therefore boundary-independent end to end.
 
 use crate::devices::{CanController, SharedCanBus};
+use crate::dma::Dma;
 use crate::machine::{Machine, StopReason};
 
 /// A machine participating in a [`System`]: the machine, its name, and
@@ -82,6 +100,13 @@ impl Node {
     }
 
     /// The node's local clock (machine cycles).
+    ///
+    /// For a node that settled as parked-idle
+    /// ([`StopReason::WfiIdle`]) the clock rests at the last quantum
+    /// boundary the scheduler used before detecting quiescence — a
+    /// scheduler artifact, not architectural state (the core slept
+    /// through it), so determinism comparisons should exclude
+    /// parked-idle nodes' clocks.
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.machine.cycles()
@@ -151,12 +176,23 @@ pub struct SystemRunResult {
     pub quanta: u64,
 }
 
-/// The shared-wire CAN node ids carried by `machine`'s controllers.
-fn shared_can_node_ids(machine: &Machine) -> impl Iterator<Item = usize> + '_ {
-    machine.bus.devices().iter().filter_map(|d| {
-        let c = d.dev.as_any().downcast_ref::<CanController>()?;
-        c.shared_bus().map(|_| c.config().node)
-    })
+/// The `(wire, node id)` attachments carried by `machine`'s devices:
+/// one entry per shared CAN controller, two per DMA gateway engine
+/// (each side). The scheduler uses these to adopt wires and enforce
+/// per-wire node-id uniqueness.
+fn wire_clients(machine: &Machine) -> Vec<(SharedCanBus, usize)> {
+    let mut out = Vec::new();
+    for d in machine.bus.devices() {
+        if let Some(c) = d.dev.as_any().downcast_ref::<CanController>() {
+            if let Some(w) = c.shared_bus() {
+                out.push((w.clone(), c.config().node));
+            }
+        } else if let Some(g) = d.dev.as_any().downcast_ref::<Dma>() {
+            out.push((g.wire_a().clone(), g.config().node_a));
+            out.push((g.wire_b().clone(), g.config().node_b));
+        }
+    }
+    out
 }
 
 /// N nodes plus shared interconnects, advanced by a deterministic
@@ -165,7 +201,7 @@ fn shared_can_node_ids(machine: &Machine) -> impl Iterator<Item = usize> + '_ {
 #[derive(Debug, Default)]
 pub struct System {
     nodes: Vec<Node>,
-    wire: Option<SharedCanBus>,
+    wires: Vec<SharedCanBus>,
     config: SystemConfig,
     now: u64,
     quanta: u64,
@@ -184,62 +220,97 @@ impl System {
         System { config, ..System::default() }
     }
 
-    /// Creates the system's shared CAN wire and returns the attachment
-    /// handle (pass it to [`crate::DeviceSpec::SharedCan`] for each
-    /// participating machine). One wire per system.
+    /// Creates a named shared CAN wire, registers it with the scheduler
+    /// and returns the attachment handle (pass it to
+    /// [`crate::DeviceSpec::SharedCan`] for each participating
+    /// controller, or to [`crate::DeviceSpec::Dma`] for a gateway
+    /// engine). A system may carry any number of wires; the effective
+    /// quantum is the minimum lookahead over all of them.
     ///
     /// # Panics
     ///
-    /// Panics if the system already has a wire.
-    pub fn shared_can_bus(&mut self, cycles_per_bit: u64) -> SharedCanBus {
-        assert!(self.wire.is_none(), "the system already has a shared CAN wire");
-        let wire = SharedCanBus::new(cycles_per_bit);
-        self.wire = Some(wire.clone());
+    /// Panics when a registered wire already carries `name` (reports key
+    /// on wire names).
+    pub fn add_wire(&mut self, name: impl Into<String>, cycles_per_bit: u64) -> SharedCanBus {
+        let name = name.into();
+        assert!(
+            self.wires.iter().all(|w| w.name() != name),
+            "duplicate wire name {name:?}"
+        );
+        let wire = SharedCanBus::named(name, cycles_per_bit);
+        self.wires.push(wire.clone());
         wire
+    }
+
+    /// Creates the system's shared CAN wire with the default name
+    /// `"can0"` — the single-wire convenience kept from the one-bus
+    /// era; topologies with several wires use [`System::add_wire`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system already has a wire (a second call almost
+    /// certainly wanted the *same* wire — two controllers on separate
+    /// wires would silently never exchange a frame; multi-wire
+    /// topologies name their wires via [`System::add_wire`]).
+    pub fn shared_can_bus(&mut self, cycles_per_bit: u64) -> SharedCanBus {
+        assert!(
+            self.wires.is_empty(),
+            "the system already has a shared CAN wire; use add_wire for multi-wire topologies"
+        );
+        self.add_wire("can0", cycles_per_bit)
     }
 
     /// Adds a node and returns its index. Nodes join at the system's
     /// current time; machines must not have been run ahead of it.
     ///
-    /// If the machine carries shared-wire CAN controllers, their wire
-    /// becomes the system's wire (created standalone via
-    /// [`SharedCanBus::new`] or via [`System::shared_can_bus`]) — a
-    /// shared controller the scheduler does not service would never
-    /// receive a frame.
+    /// Every wire the machine's devices attach to — through shared CAN
+    /// controllers or DMA gateway engines — is adopted into the
+    /// system's wire set if not already registered (wires created
+    /// standalone via [`SharedCanBus::named`] work exactly like ones
+    /// from [`System::add_wire`]): a wire the scheduler does not
+    /// service would never deliver a frame.
     ///
     /// # Panics
     ///
-    /// Panics when the machine was run ahead of system time, when one
-    /// of its controllers is attached to a *different* wire than the
-    /// system's (one wire per system), or when a controller reuses a
-    /// CAN node id already present on the wire (receivers filter their
-    /// own transmissions by node id, so a duplicate would silently
-    /// drop every peer frame).
+    /// Panics when the machine was run ahead of system time, or when an
+    /// attachment reuses a CAN node id already present **on the same
+    /// wire** (receivers filter their own transmissions by node id, so
+    /// a duplicate would silently drop every peer frame; the same id on
+    /// *different* wires is fine).
     pub fn add_node(&mut self, name: impl Into<String>, machine: Machine) -> usize {
         assert!(
             machine.cycles() <= self.now,
             "a node must not join ahead of system time"
         );
-        let mut wire_ids: Vec<usize> =
-            self.nodes.iter().flat_map(|n| shared_can_node_ids(n.machine())).collect();
-        for d in machine.bus.devices() {
-            let Some(ctrl) = d.dev.as_any().downcast_ref::<CanController>() else {
-                continue;
-            };
-            let Some(wire) = ctrl.shared_bus() else { continue };
-            match &self.wire {
-                None => self.wire = Some(wire.clone()),
-                Some(existing) => assert!(
-                    existing.same_wire(wire),
-                    "all shared CAN controllers in a System must attach to one wire"
-                ),
+        let mut taken: Vec<(usize, usize)> = Vec::new();
+        for n in &self.nodes {
+            for (w, id) in wire_clients(n.machine()) {
+                if let Some(wi) = self.wires.iter().position(|x| x.same_wire(&w)) {
+                    taken.push((wi, id));
+                }
             }
-            let id = ctrl.config().node;
+        }
+        for (w, id) in wire_clients(&machine) {
+            let wi = match self.wires.iter().position(|x| x.same_wire(&w)) {
+                Some(wi) => wi,
+                None => {
+                    // Adoption must uphold the same invariant add_wire
+                    // asserts: reports key on wire names.
+                    assert!(
+                        self.wires.iter().all(|x| x.name() != w.name()),
+                        "adopted wire duplicates the name {:?} of a registered wire",
+                        w.name()
+                    );
+                    self.wires.push(w.clone());
+                    self.wires.len() - 1
+                }
+            };
             assert!(
-                !wire_ids.contains(&id),
-                "duplicate CAN node id {id} on the shared wire"
+                !taken.contains(&(wi, id)),
+                "duplicate CAN node id {id} on wire {:?}",
+                w.name()
             );
-            wire_ids.push(id);
+            taken.push((wi, id));
         }
         self.nodes.push(Node::new(name, machine));
         self.nodes.len() - 1
@@ -262,10 +333,24 @@ impl System {
         &mut self.nodes[i]
     }
 
-    /// The shared wire, if one was created.
+    /// The first registered wire, if any — the single-wire convenience
+    /// accessor; topologies use [`System::wires`] /
+    /// [`System::wire_named`].
     #[must_use]
     pub fn wire(&self) -> Option<&SharedCanBus> {
-        self.wire.as_ref()
+        self.wires.first()
+    }
+
+    /// Every wire the scheduler services, in registration order.
+    #[must_use]
+    pub fn wires(&self) -> &[SharedCanBus] {
+        &self.wires
+    }
+
+    /// The registered wire named `name`, if any.
+    #[must_use]
+    pub fn wire_named(&self, name: &str) -> Option<&SharedCanBus> {
+        self.wires.iter().find(|w| w.name() == name)
     }
 
     /// Global time reached so far (cycles).
@@ -280,41 +365,66 @@ impl System {
         self.quanta
     }
 
+    /// Transmits everything still queued on every wire
+    /// ([`SharedCanBus::settle`]) so per-wire utilization and latency
+    /// reports account for frames enqueued just before the run ended.
+    pub fn settle_wires(&self) {
+        for w in &self.wires {
+            w.settle();
+        }
+    }
+
     /// The effective quantum in cycles: the configured override clamped
-    /// to the wire lookahead, or the lookahead itself (`u64::MAX` with
-    /// no wire — independent nodes need no boundaries).
+    /// to the **minimum lookahead over all wires** (a frame on the
+    /// fastest-lookahead wire is the earliest anything enqueued this
+    /// quantum could complete), or that minimum itself (`u64::MAX` with
+    /// no wires — independent nodes need no boundaries).
     #[must_use]
     pub fn effective_quantum(&self) -> u64 {
-        let lookahead =
-            self.wire.as_ref().map_or(u64::MAX, SharedCanBus::min_quantum_cycles);
+        let lookahead = self
+            .wires
+            .iter()
+            .map(SharedCanBus::min_quantum_cycles)
+            .min()
+            .unwrap_or(u64::MAX);
         self.config.quantum.unwrap_or(lookahead).min(lookahead).max(1)
     }
 
-    /// The idle-stretch boundary, when the system is eligible: the wire
-    /// is idle, no controller holds armed TX state
-    /// ([`CanController::tx_armed`]) and every live node is parked in a
-    /// WFI sleep — so nothing can execute (let alone transmit) before
-    /// the earliest local wakeup, and the quantum may stretch straight
-    /// to it. `None` when ineligible or no finite wakeup exists (the
-    /// quiescence check below handles the latter).
+    /// The idle-stretch boundary, when the system is eligible: every
+    /// wire is idle, no wire client holds armed state
+    /// ([`CanController::tx_armed`] / [`Dma::armed`]) and every live
+    /// node is parked in a WFI sleep — so nothing can execute (let
+    /// alone transmit or forward) before the earliest local wakeup, and
+    /// the quantum may stretch straight to it. `None` when ineligible
+    /// or no finite wakeup exists (the quiescence check below handles
+    /// the latter).
     fn idle_stretch_boundary(&self) -> Option<u64> {
-        if let Some(wire) = &self.wire {
+        for wire in &self.wires {
             if wire.pending() > 0 || wire.busy_until_cycle() > self.now {
                 return None;
             }
         }
         let mut wake = u64::MAX;
         for node in &self.nodes {
-            let m = node.machine();
-            if node.halted.is_none() {
-                if !m.wfi_parked() {
-                    return None;
-                }
-                wake = wake.min(m.next_local_event());
+            // A halted node's devices never tick again, so even armed
+            // state there can't put traffic on a wire (a frame it
+            // already enqueued shows up in the wire's own pending/busy
+            // check above) — only live nodes' devices veto the stretch.
+            if node.halted.is_some() {
+                continue;
             }
+            let m = node.machine();
+            if !m.wfi_parked() {
+                return None;
+            }
+            wake = wake.min(m.next_local_event());
             for d in m.bus.devices() {
                 if let Some(c) = d.dev.as_any().downcast_ref::<CanController>() {
                     if c.tx_armed() {
+                        return None;
+                    }
+                } else if let Some(g) = d.dev.as_any().downcast_ref::<Dma>() {
+                    if g.armed() {
                         return None;
                     }
                 }
@@ -329,14 +439,21 @@ impl System {
         let quantum = self.effective_quantum();
         while self.now < horizon && self.nodes.iter().any(|n| n.halted.is_none()) {
             // Quantum boundary: never beyond the lookahead past `now`,
-            // but stretched across a busy wire (no new arbitration can
-            // start before `busy_until`), across an all-asleep system
-            // (ROADMAP's scheduler idle-stretch), and clamped to the
+            // but stretched across busy wires — only to the *earliest*
+            // per-wire decision point (`min` over wires of
+            // `max(base, busy_until)`): a busy wire admits no new
+            // arbitration before its `busy_until`, but an idle wire can
+            // start one at any moment, so no single wire's stretch may
+            // leap over another's. Also stretched across an all-asleep
+            // system (the scheduler idle-stretch) and clamped to the
             // horizon.
-            let mut boundary = self.now.saturating_add(quantum);
-            if let Some(wire) = &self.wire {
-                boundary = boundary.max(wire.busy_until_cycle());
-            }
+            let base = self.now.saturating_add(quantum);
+            let mut boundary = self
+                .wires
+                .iter()
+                .map(|w| base.max(w.busy_until_cycle()))
+                .min()
+                .unwrap_or(base);
             if self.config.idle_stretch {
                 if let Some(wake) = self.idle_stretch_boundary() {
                     boundary = boundary.max(wake);
@@ -345,7 +462,7 @@ impl System {
             let boundary = boundary.min(horizon);
             // 1. Every live node runs to the boundary. The service
             // order is immaterial (nodes only interact through the
-            // wire, which is parked until step 2); `rotate_order`
+            // wires, which are parked until step 2); `rotate_order`
             // exists to prove that.
             let n = self.nodes.len();
             let offset = if self.config.rotate_order && n > 0 {
@@ -356,16 +473,22 @@ impl System {
             for i in 0..n {
                 self.nodes[(i + offset) % n].run_until(boundary);
             }
-            // 2. The wire arbitrates everything enqueued this quantum.
-            // 3. Controllers re-arm at their next delivery's arrival.
-            if let Some(wire) = &self.wire {
-                wire.run_to_cycle(boundary);
+            // 2. Every wire arbitrates everything enqueued this quantum.
+            // 3. Wire clients (controllers, gateways) re-arm at their
+            //    next delivery's arrival.
+            if !self.wires.is_empty() {
+                for wire in &self.wires {
+                    wire.run_to_cycle(boundary);
+                }
                 for node in &mut self.nodes {
                     let bus = &mut node.machine.bus;
                     let mut touched = false;
                     for d in bus.devices_mut() {
                         if let Some(c) = d.as_any_mut().downcast_mut::<CanController>() {
                             c.note_wire_progress();
+                            touched = true;
+                        } else if let Some(g) = d.as_any_mut().downcast_mut::<Dma>() {
+                            g.note_wire_progress();
                             touched = true;
                         }
                     }
@@ -374,16 +497,16 @@ impl System {
                     }
                 }
             }
-            // Quiescence: when the wire is quiet (nothing queued or in
+            // Quiescence: when every wire is quiet (nothing queued or in
             // flight) and every live node is parked in a WFI sleep with
             // no local wakeup source, no event can ever occur again —
             // the nodes are idle exactly as a lone machine reporting
             // `WfiIdle` would be. Without this, an all-idle system
             // would spin one quantum at a time to the horizon.
             let wire_quiet = self
-                .wire
-                .as_ref()
-                .is_none_or(|w| w.pending() == 0 && w.busy_until_cycle() <= boundary);
+                .wires
+                .iter()
+                .all(|w| w.pending() == 0 && w.busy_until_cycle() <= boundary);
             if wire_quiet
                 && self
                     .nodes
@@ -606,17 +729,150 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must attach to one wire")]
-    fn mismatched_wires_are_rejected() {
+    fn second_wire_is_adopted_and_ids_are_per_wire() {
+        // Multi-bus: a controller on a wire the system has never seen
+        // joins the wire set, and node ids only collide *within* a
+        // wire — the same id on two different wires is two different
+        // stations.
         let mut sys = System::new();
-        let _wire = sys.shared_can_bus(4);
-        let other = SharedCanBus::new(4);
+        let w0 = sys.add_wire("body", 4);
+        let other = SharedCanBus::named("powertrain", 8);
+        let conf = |wire: &SharedCanBus| {
+            let mut c = MachineConfig::m3_like();
+            c.devices = vec![DeviceSpec::SharedCan(
+                CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+                wire.clone(),
+            )];
+            c
+        };
+        sys.add_node("a", machine(conf(&w0), &asm("bkpt #0")));
+        sys.add_node("b", machine(conf(&other), &asm("bkpt #0")));
+        assert_eq!(sys.wires().len(), 2);
+        assert!(sys.wire_named("powertrain").is_some_and(|w| w.same_wire(&other)));
+        assert_eq!(sys.wire_named("body").unwrap().cycles_per_bit(), 4);
+        // The effective quantum is governed by the tightest wire.
+        assert_eq!(
+            sys.effective_quantum(),
+            w0.min_quantum_cycles().min(other.min_quantum_cycles())
+        );
+        assert_eq!(sys.effective_quantum(), w0.min_quantum_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate wire name")]
+    fn duplicate_wire_names_are_rejected() {
+        let mut sys = System::new();
+        let _ = sys.add_wire("body", 4);
+        let _ = sys.add_wire("body", 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "adopted wire duplicates the name")]
+    fn adoption_upholds_the_wire_name_invariant() {
+        // A standalone wire (default name "can") arriving via add_node
+        // must not slip past the name-uniqueness check add_wire enforces.
+        let mut sys = System::new();
+        let _registered = sys.add_wire("can", 4);
         let mut conf = MachineConfig::m3_like();
         conf.devices = vec![DeviceSpec::SharedCan(
             CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
-            other,
+            SharedCanBus::new(4),
         )];
         sys.add_node("stray", machine(conf, &asm("bkpt #0")));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a shared CAN wire")]
+    fn second_shared_can_bus_call_is_rejected() {
+        // The one-wire convenience keeps its old contract: a second
+        // call wanted the same wire, not a disconnected new one.
+        let mut sys = System::new();
+        let _ = sys.shared_can_bus(4);
+        let _ = sys.shared_can_bus(4);
+    }
+
+    #[test]
+    fn dma_gateway_bridges_two_wires_guest_to_guest() {
+        // Producer ECU on the sensor wire, consumer ECU on the backbone,
+        // a gateway ECU bridging them with a guest-programmed DMA route
+        // (0x100..=0x1FF rewritten to 0x400+) — the gateway core parks
+        // in WFI while the engine forwards.
+        use crate::dma::DmaConfig;
+        use crate::DMA_BASE;
+        let mut sys = System::new();
+        let wa = sys.add_wire("sensor", 4);
+        let wb = sys.add_wire("backbone", 4);
+
+        let mut pconf = MachineConfig::m3_like();
+        pconf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+            wa.clone(),
+        )];
+        let main_p = asm(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             movw r1, #0x123
+             str r1, [r0, #0]
+             mov r1, #1
+             str r1, [r0, #4]
+             mov r1, #0x55
+             str r1, [r0, #8]
+             str r1, [r0, #16]
+             bkpt #0",
+        );
+        sys.add_node("producer", machine(pconf, &main_p));
+
+        let mut gconf = MachineConfig::m3_like();
+        gconf.devices = vec![DeviceSpec::Dma(
+            DmaConfig { base: DMA_BASE, irq: 3, node_a: 7, node_b: 7, latency: 32 },
+            wa.clone(),
+            wb.clone(),
+        )];
+        let main_g = asm(
+            "movw r0, #0x4000
+             movt r0, #0x4000
+             movw r1, #0x100
+             str r1, [r0, #0x44]
+             movw r1, #0x1FF
+             str r1, [r0, #0x48]
+             movw r1, #0x400
+             movt r1, #0x8000
+             str r1, [r0, #0x4C]
+             mov r1, #1
+             str r1, [r0, #0x40]
+             str r1, [r0, #0]
+             sleep: wfi
+             b sleep",
+        );
+        sys.add_node("gateway", machine(gconf, &main_g));
+
+        let mut cconf = MachineConfig::m3_like();
+        cconf.devices = vec![DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: 1, ..CanConfig::default() },
+            wb.clone(),
+        )];
+        let mut c = machine(cconf, &asm("wfi\n bkpt #1"));
+        c.load_flash(0x200, &asm("bx lr"));
+        c.load_flash(4, &0x200u32.to_le_bytes());
+        sys.add_node("consumer", c);
+
+        let r = sys.run(1_000_000);
+        assert_eq!(r.reason, SystemStop::AllHalted);
+        assert_eq!(sys.node(0).halted(), Some(StopReason::Bkpt(0)));
+        assert_eq!(sys.node(1).halted(), Some(StopReason::WfiIdle), "gateway parks");
+        assert_eq!(sys.node(2).halted(), Some(StopReason::Bkpt(1)));
+        let gw = sys.node(1).machine().bus.device::<crate::Dma>().expect("engine");
+        assert_eq!(gw.forwarded(), 1);
+        assert_eq!(gw.route_count(0), 1);
+        let d = wb.delivery(0).expect("forward crossed the backbone");
+        assert_eq!(d.frame.id.raw(), 0x423, "rewritten: 0x400 + (0x123 - 0x100)");
+        assert_eq!(d.frame.data[0], 0x55, "payload preserved");
+        // The forward's enqueue respects the store-and-forward latency
+        // after the sensor-wire completion.
+        let src = wa.delivery(0).expect("sensor delivery");
+        assert!(d.enqueued_at * 4 >= src.completed_at * 4 + 32);
+        let rx = sys.node(2).machine().bus.device::<CanController>().unwrap();
+        assert_eq!(rx.rx_count(), 1);
     }
 
     /// A WFI-paced exchange: the producer sleeps between timer ticks

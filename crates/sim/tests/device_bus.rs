@@ -109,6 +109,7 @@ fn guest_loopback_can_frame_round_trip() {
             node: 0,
             cycles_per_bit: 3,
             loopback: true,
+            ..CanConfig::default()
         })],
         src,
     );
@@ -144,6 +145,7 @@ fn host_injected_remote_frame_interrupts_the_guest() {
             node: 0,
             cycles_per_bit: 5,
             loopback: false,
+            ..CanConfig::default()
         })],
         src,
     );

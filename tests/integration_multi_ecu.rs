@@ -4,7 +4,8 @@
 //! traffic the exchange actually produced).
 
 use alia_core::experiments::{
-    guest_can_exchange_checksum, multi_ecu_exchange, multi_ecu_watchdog,
+    gateway_checksum, gateway_experiment, gateway_experiment_with, guest_can_exchange_checksum,
+    multi_ecu_exchange, multi_ecu_watchdog,
 };
 use alia_core::prelude::*;
 use can::{can_response_times, CanMessage};
@@ -215,6 +216,101 @@ fn exchange_traffic_stays_within_its_analytic_bound() {
             "delivery gap {gap_bits} exceeds bound {bound} + period"
         );
     }
+}
+
+#[test]
+fn gateway_topology_crosses_three_wires_cycle_exactly() {
+    // The multi-bus acceptance scenario: frames originate on the sensor
+    // wire and arrive on the actuator wire, DMA-forwarded twice and
+    // id-rewritten per hop, with cycle-exact delivery stamps on every
+    // wire.
+    let e = gateway_experiment(12).expect("topology completes");
+    assert_eq!(e.frames_delivered, 24);
+    assert_eq!(e.checksum, gateway_checksum(12));
+    assert_eq!(e.forwards, [24, 24], "both gateways forwarded every frame");
+    assert_eq!(e.delivery_logs.len(), 3);
+    // Per-wire id bands prove the rewrite happened at each hop.
+    for (log, band) in e.delivery_logs.iter().zip([0x100u32, 0x300, 0x500]) {
+        assert_eq!(log.len(), 24);
+        assert!(
+            log.iter().all(|(id, _)| *id == band || *id == band + 0x40),
+            "wire band {band:#x}: {log:?}"
+        );
+        // Stamps are strictly increasing on one non-preemptive wire.
+        assert!(log.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+    // Causality: each hop's completion stamps trail the previous wire's.
+    for k in 0..24 {
+        assert!(e.delivery_logs[0][k].1 < e.delivery_logs[1][k].1);
+        assert!(e.delivery_logs[1][k].1 < e.delivery_logs[2][k].1);
+    }
+}
+
+#[test]
+fn gateway_topology_is_deterministic_across_schedules() {
+    // Per-node clocks, the sink checksum, every wire's delivery log,
+    // the forward counters and the end-to-end latencies must be
+    // bit-identical across quantum sizes, node service orders and the
+    // idle-stretch — the multi-wire extension of the single-wire
+    // determinism sweep.
+    use alia_core::prelude::sim::SystemConfig;
+    let baseline = gateway_experiment(10).expect("completes");
+    assert_eq!(baseline.checksum, gateway_checksum(10));
+    // Sensors and sink halt architecturally (their clocks are part of
+    // the signature); the gateways settle as parked-idle, whose clocks
+    // are a scheduler artifact and are recorded as None.
+    assert!(baseline.node_cycles[0].is_some() && baseline.node_cycles[4].is_some());
+    assert!(baseline.node_cycles[2].is_none() && baseline.node_cycles[3].is_none());
+    for (quantum, rotate, stretch) in [
+        (None, true, true),
+        (None, false, false),
+        (Some(41), false, true),
+        (Some(97), true, false),
+        (Some(131), false, true),
+        (Some(1_000_000), false, true), // clamped to the min wire lookahead
+    ] {
+        let run = gateway_experiment_with(
+            10,
+            SystemConfig { quantum, rotate_order: rotate, idle_stretch: stretch },
+        )
+        .expect("completes");
+        let what = format!("q={quantum:?} r={rotate} s={stretch}");
+        assert_eq!(run.checksum, baseline.checksum, "{what}");
+        assert_eq!(run.node_cycles, baseline.node_cycles, "{what}: node clocks");
+        assert_eq!(run.delivery_logs, baseline.delivery_logs, "{what}: wire logs");
+        assert_eq!(run.forwards, baseline.forwards, "{what}: forward counters");
+        assert_eq!(run.end_to_end, baseline.end_to_end, "{what}: end-to-end");
+        assert_eq!(run.frames_delivered, baseline.frames_delivered, "{what}");
+    }
+}
+
+#[test]
+fn gateway_traffic_stays_within_rta_bounds_on_every_wire() {
+    // Executed worst latencies never exceed the per-wire analytic
+    // response bounds (jitter inherited hop by hop), and executed
+    // utilization lands within tolerance of the analytic offered load.
+    let e = gateway_experiment(16).expect("completes");
+    for w in &e.wires {
+        assert!(w.schedulable, "wire {}: analytic set must be schedulable", w.name);
+        assert!(
+            w.within_bounds(),
+            "wire {}: executed latency exceeded its bound: {:?}",
+            w.name,
+            w.worst_latencies
+        );
+        assert_eq!(w.worst_latencies.len(), 2, "wire {}: both streams observed", w.name);
+        assert!(
+            w.utilization >= 0.4 * w.analytic_utilization
+                && w.utilization <= 1.5 * w.analytic_utilization,
+            "wire {}: executed utilization {:.3} vs analytic {:.3}",
+            w.name,
+            w.utilization,
+            w.analytic_utilization
+        );
+    }
+    // The backbone runs twice as fast: its analytic utilization must be
+    // about half the edge wires'.
+    assert!(e.wires[1].analytic_utilization < e.wires[0].analytic_utilization);
 }
 
 #[test]
