@@ -1,6 +1,9 @@
-//! Criterion bench for E8/E10: allocation study + §1/§4 table, the
-//! executable multi-ECU exchange over the shared CAN wire, and the
-//! 3-wire gateway topology (multi-wire scheduling + DMA forwarding).
+//! Criterion bench for E8/E10/E11: allocation study + §1/§4 table, the
+//! executable multi-ECU exchange over the shared CAN wire, the 3-wire
+//! gateway topology (multi-wire scheduling + DMA forwarding), and the
+//! fault-injection degradation studies (error burst, babbling idiot).
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -14,6 +17,12 @@ fn bench_network(c: &mut Criterion) {
     c.bench_function("gateway_3wire_16_frames", |b| {
         b.iter(|| alia_core::experiments::gateway_experiment(16).unwrap())
     });
+    c.bench_function("error_burst_8_frames", |b| {
+        b.iter(|| alia_core::experiments::error_burst_experiment(8, 11).unwrap())
+    });
+    c.bench_function("babbling_idiot_4_frames", |b| {
+        b.iter(|| alia_core::experiments::babbling_idiot_experiment(4).unwrap())
+    });
     let e = alia_core::experiments::network_experiment(8, 4).expect("experiment");
     println!("\n{e}");
     let m = alia_core::experiments::multi_ecu_exchange(64).expect("exchange");
@@ -24,6 +33,38 @@ fn bench_network(c: &mut Criterion) {
         g.checksum,
         alia_core::experiments::gateway_checksum(16),
         "multi-wire scheduling must stay deterministic under the bench smoke"
+    );
+
+    // One timed pass per experiment into the machine-readable summary,
+    // plus the fault-layer headline facts.
+    let timed_ms = |f: &dyn Fn()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let gateway_ms =
+        timed_ms(&|| drop(alia_core::experiments::gateway_experiment(16).unwrap()));
+    let burst = alia_core::experiments::error_burst_experiment(8, 11).expect("burst");
+    println!("\n{burst}");
+    assert!(burst.graceful(), "fault smoke: burst degradation must stay graceful");
+    let burst_ms =
+        timed_ms(&|| drop(alia_core::experiments::error_burst_experiment(8, 11).unwrap()));
+    let babble = alia_core::experiments::babbling_idiot_experiment(4).expect("babble");
+    println!("\n{babble}");
+    assert!(babble.contained(), "fault smoke: the babbler must be contained");
+    let babble_ms =
+        timed_ms(&|| drop(alia_core::experiments::babbling_idiot_experiment(4).unwrap()));
+    alia_bench::record_bench_json(
+        "network",
+        &[
+            ("gateway_3wire_16_frames_ms", gateway_ms),
+            ("error_burst_8_frames_ms", burst_ms),
+            ("babbling_idiot_4_frames_ms", babble_ms),
+            ("error_burst_error_frames", burst.error_frames as f64),
+            ("error_burst_retransmissions", burst.retransmissions as f64),
+            ("babbling_idiot_error_frames", babble.error_frames as f64),
+            ("babbling_idiot_purged", babble.purged as f64),
+        ],
     );
 }
 

@@ -113,7 +113,8 @@ fn bench_sim_throughput(c: &mut Criterion) {
     });
     g.finish();
 
-    // Host-MIPS summary: one long timed run per case.
+    // Host-MIPS summary: one long timed run per case, recorded to the
+    // machine-readable BENCH_6.json for CI display/diffing.
     println!("\nhost throughput (guest MIPS = retired instructions / wall second):");
     let timed = |name: &str, m: Machine| -> f64 {
         let start = Instant::now();
@@ -126,8 +127,10 @@ fn bench_sim_throughput(c: &mut Criterion) {
         );
         mips
     };
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     for (name, config, src) in &cases {
-        timed(name, machine_with(config.clone(), src));
+        let mips = timed(name, machine_with(config.clone(), src));
+        metrics.push((format!("{name}_mips"), mips));
     }
     // The block-engine headline: the ALU probe with blocks on vs off,
     // both measured explicitly here.
@@ -135,12 +138,17 @@ fn bench_sim_throughput(c: &mut Criterion) {
     let mut off = machine_with(MachineConfig::m3_like(), ALU_SRC);
     off.set_block_cache_enabled(false);
     let off_mips = timed("alu_t2_m3_blocks_off", off);
+    metrics.push(("alu_t2_m3_blocks_on_mips".into(), on_mips));
+    metrics.push(("alu_t2_m3_blocks_off_mips".into(), off_mips));
     if off_mips > 0.0 {
         println!(
             "  block engine speedup on the ALU probe: {:.2}x",
             on_mips / off_mips
         );
+        metrics.push(("block_engine_speedup".into(), on_mips / off_mips));
     }
+    let flat: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    alia_bench::record_bench_json("sim_throughput", &flat);
 }
 
 criterion_group! {

@@ -1,0 +1,264 @@
+//! The CAN fault model: error counters, the error-state machine, and
+//! deterministic fault plans.
+//!
+//! CAN 2.0 fault confinement gives every station two counters — the
+//! transmit error counter (TEC) and the receive error counter (REC) —
+//! and a three-state machine derived from them:
+//!
+//! ```text
+//! error-active ── TEC > 127 or REC > 127 ──▶ error-passive
+//! error-passive ── TEC > 255 ──▶ bus-off
+//! bus-off ── 128 × 11 recessive bits after a recovery request ──▶ error-active
+//! ```
+//!
+//! A transmitter whose frame is corrupted signals an **error frame**
+//! (the aborted frame's bits plus the error flag, delimiter and
+//! interframe space occupy the wire), bumps its TEC by 8, and
+//! retransmits; every other station bumps its REC by 1. Successful
+//! transmissions and receptions decrement the respective counter.
+//! `error-passive` stations signal with recessive flags and pay a
+//! suspend-transmission penalty; `bus-off` stations are removed from
+//! the wire until a recovery is requested and the recovery interval
+//! elapses.
+//!
+//! Faults themselves come from a [`FaultPlan`]: **scheduled bit
+//! errors** keyed by wire bit time (a transmission in flight over an
+//! injection instant is corrupted), and **babbling-idiot arms** — a
+//! rogue station flooding high-priority identifiers straight from the
+//! plan, with an optional `corrupt` mode whose every attempt fails (the
+//! classic path to bus-off). Both are plain data, seedable and
+//! deterministic: the same plan on the same traffic produces the same
+//! error frames, the same counter trajectories and the same state
+//! transitions, bit for bit, regardless of how a scheduler slices wire
+//! time (see [`crate::CanBus`]'s module docs).
+
+use crate::frame::{CanFrame, CanId};
+
+/// The CAN fault-confinement state of one station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorState {
+    /// TEC ≤ 127 and REC ≤ 127: errors are signalled with dominant
+    /// flags (every station starts here).
+    #[default]
+    Active,
+    /// TEC > 127 or REC > 127: errors are signalled with recessive
+    /// flags and transmissions pay a suspend penalty.
+    Passive,
+    /// TEC > 255: the station is removed from the wire until a
+    /// recovery request completes.
+    BusOff,
+}
+
+impl ErrorState {
+    /// The register encoding used by the MMIO controller (`ERR_STATE`).
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        match self {
+            ErrorState::Active => 0,
+            ErrorState::Passive => 1,
+            ErrorState::BusOff => 2,
+        }
+    }
+
+    /// The state implied by a counter pair.
+    #[must_use]
+    pub fn from_counters(tec: u32, rec: u32) -> ErrorState {
+        if tec > 255 {
+            ErrorState::BusOff
+        } else if tec > 127 || rec > 127 {
+            ErrorState::Passive
+        } else {
+            ErrorState::Active
+        }
+    }
+}
+
+/// One error-state transition of one station, stamped in wire bit
+/// times. The bus appends these to its state log in a deterministic
+/// order (see [`crate::CanBus::state_log`]); determinism sweeps compare
+/// the logs verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateChange {
+    /// Wire bit time of the transition.
+    pub at: u64,
+    /// The station.
+    pub node: usize,
+    /// State before.
+    pub from: ErrorState,
+    /// State after.
+    pub to: ErrorState,
+}
+
+/// Bits of an active error frame beyond the aborted data bits: 6-bit
+/// dominant error flag + 8-bit delimiter + 3-bit interframe space.
+pub const ERROR_FRAME_BITS_ACTIVE: u32 = 6 + 8 + 3;
+
+/// Bits of a passive error frame: the active cost plus the 8-bit
+/// suspend-transmission penalty an error-passive station pays before
+/// competing again.
+pub const ERROR_FRAME_BITS_PASSIVE: u32 = ERROR_FRAME_BITS_ACTIVE + 8;
+
+/// Bus-off recovery interval: 128 occurrences of 11 recessive bits
+/// between the recovery request and rejoining as error-active.
+pub const BUS_OFF_RECOVERY_BITS: u64 = 128 * 11;
+
+/// A babbling-idiot arm: a rogue station flooding the wire with
+/// `frames` frames of a (typically high-priority) identifier, starting
+/// at `start` and enqueued every `period` bit times.
+///
+/// With `corrupt` set, every transmission attempt of the arm's frames
+/// suffers a bit error — the babbler's TEC climbs by 8 per attempt
+/// while the wire burns error frames, marching the station through
+/// error-passive to bus-off, where the bus purges its queue and
+/// suspends the arm for good. With `corrupt` clear the garbage frames
+/// deliver; containment is then the receivers' acceptance filters and
+/// the gateways' routing tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BabbleArm {
+    /// The rogue station's node id (must not collide with a real
+    /// controller's id on the wire).
+    pub node: usize,
+    /// The flooded identifier.
+    pub id: CanId,
+    /// Payload length of each babble frame (0..=8).
+    pub dlc: u8,
+    /// Wire bit time of the first enqueue.
+    pub start: u64,
+    /// Bit times between enqueues (min 1).
+    pub period: u64,
+    /// Total frames the arm enqueues before going quiet.
+    pub frames: u32,
+    /// Whether every transmission attempt is corrupted.
+    pub corrupt: bool,
+}
+
+impl BabbleArm {
+    /// The `k`-th babble frame: deterministic payload derived from the
+    /// arm identity and sequence number, so delivered garbage is
+    /// recognisable in logs.
+    #[must_use]
+    pub fn frame(&self, k: u32) -> CanFrame {
+        let mut data = [0u8; 8];
+        for (i, b) in data.iter_mut().enumerate().take(usize::from(self.dlc.min(8))) {
+            *b = (k as u8).wrapping_add(i as u8).wrapping_mul(0x5B) ^ 0xB0;
+        }
+        CanFrame::new(self.id, &data[..usize::from(self.dlc.min(8))])
+    }
+}
+
+/// A deterministic, seedable fault plan for one wire: scheduled bit
+/// errors plus babbling-idiot arms. Install with
+/// [`crate::CanBus::set_fault_plan`]; the plan is consumed as wire time
+/// advances.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Scheduled bit-error instants in wire bit times, kept sorted. A
+    /// transmission whose stuffed data bits are in flight over an
+    /// instant is corrupted (all instants under one frame are consumed
+    /// by its single error frame); an instant no transmission covers
+    /// expires unused.
+    bit_errors: Vec<u64>,
+    /// Babbling-idiot arms.
+    babble: Vec<BabbleArm>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules one bit error at wire bit time `at`.
+    pub fn inject_bit_error(&mut self, at: u64) {
+        let pos = self.bit_errors.partition_point(|&t| t <= at);
+        self.bit_errors.insert(pos, at);
+    }
+
+    /// Schedules a seeded burst of `count` bit errors uniformly drawn
+    /// from `[start, end)` wire bit times — the transient-interference
+    /// model of the degradation study. Deterministic in `(seed, start,
+    /// end, count)`.
+    pub fn add_error_burst(&mut self, seed: u64, start: u64, end: u64, count: usize) {
+        assert!(end > start, "burst window must be non-empty");
+        let mut x = (seed << 1) | 1; // nonzero, and distinct per seed
+        for _ in 0..count {
+            // xorshift64* — tiny, seedable, good enough for fault
+            // placement (no crate deps, no host RNG state).
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            self.inject_bit_error(start + r % (end - start));
+        }
+    }
+
+    /// Adds a babbling-idiot arm.
+    pub fn add_babbler(&mut self, arm: BabbleArm) {
+        self.babble.push(arm);
+    }
+
+    /// The scheduled bit-error instants (sorted).
+    #[must_use]
+    pub fn bit_errors(&self) -> &[u64] {
+        &self.bit_errors
+    }
+
+    /// The babble arms.
+    #[must_use]
+    pub fn babble(&self) -> &[BabbleArm] {
+        &self.babble
+    }
+
+    /// Whether the plan schedules anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bit_errors.is_empty() && self.babble.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_follows_counters() {
+        assert_eq!(ErrorState::from_counters(0, 0), ErrorState::Active);
+        assert_eq!(ErrorState::from_counters(127, 127), ErrorState::Active);
+        assert_eq!(ErrorState::from_counters(128, 0), ErrorState::Passive);
+        assert_eq!(ErrorState::from_counters(0, 128), ErrorState::Passive);
+        assert_eq!(ErrorState::from_counters(255, 0), ErrorState::Passive);
+        assert_eq!(ErrorState::from_counters(256, 0), ErrorState::BusOff);
+    }
+
+    #[test]
+    fn burst_is_seeded_and_sorted() {
+        let mut a = FaultPlan::new();
+        a.add_error_burst(42, 1_000, 5_000, 16);
+        let mut b = FaultPlan::new();
+        b.add_error_burst(42, 1_000, 5_000, 16);
+        assert_eq!(a, b, "same seed, same burst");
+        assert_eq!(a.bit_errors().len(), 16);
+        assert!(a.bit_errors().windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(a.bit_errors().iter().all(|&t| (1_000..5_000).contains(&t)));
+        let mut c = FaultPlan::new();
+        c.add_error_burst(43, 1_000, 5_000, 16);
+        assert_ne!(a, c, "different seed, different burst");
+    }
+
+    #[test]
+    fn babble_frames_are_deterministic() {
+        let arm = BabbleArm {
+            node: 9,
+            id: CanId::Standard(0x008),
+            dlc: 4,
+            start: 0,
+            period: 100,
+            frames: 3,
+            corrupt: false,
+        };
+        assert_eq!(arm.frame(0), arm.frame(0));
+        assert_ne!(arm.frame(0).data, arm.frame(1).data);
+        assert_eq!(arm.frame(2).dlc, 4);
+    }
+}

@@ -10,8 +10,12 @@
 //!   ordering ([`CanFrame`]);
 //! * an event-driven **bus simulator** with non-preemptive priority
 //!   arbitration ([`CanBus`]);
+//! * the **fault axis** ([`FaultPlan`], [`ErrorState`]): error frames,
+//!   TEC/REC fault confinement, bus-off and recovery, driven by
+//!   deterministic seeded bit-error bursts and babbling-idiot arms;
 //! * Tindell/Davis-style **CAN response-time analysis**
-//!   ([`can_response_times`]), cross-validated against the simulator;
+//!   ([`can_response_times`]), cross-validated against the simulator —
+//!   including the error-recovery term ([`response_bound_with_errors`]);
 //! * the **virtual multi-core allocation study** ([`allocate`]):
 //!   dedicated-per-ECU vs. ISA-harmonized distributed placement, with
 //!   induced bus traffic checked for schedulability.
@@ -32,15 +36,23 @@
 #![warn(missing_debug_implementations)]
 
 mod bus;
+mod error;
 mod frame;
 mod rta;
 mod vision;
 
-pub use bus::{CanBus, Delivery};
+pub use bus::{CanBus, Delivery, DeliveryKind};
+pub use error::{
+    BabbleArm, ErrorState, FaultPlan, StateChange, BUS_OFF_RECOVERY_BITS,
+    ERROR_FRAME_BITS_ACTIVE, ERROR_FRAME_BITS_PASSIVE,
+};
 pub use frame::{
     count_stuff_bits, crc15, worst_case_wire_bits, CanFrame, CanId, MIN_WIRE_BITS, TRAILER_BITS,
 };
-pub use rta::{can_response_times, can_utilization, response_bound, CanMessage, CanResponse};
+pub use rta::{
+    can_response_times, can_utilization, response_bound, response_bound_with_errors, CanMessage,
+    CanResponse,
+};
 pub use vision::{
     allocate, body_task_set, fleet, AllocationReport, DistTask, Node, NodeIsa, Placement,
 };

@@ -54,6 +54,10 @@ pub fn can_response_times(msgs: &[CanMessage]) -> Vec<CanResponse> {
 }
 
 fn analyse_one(msgs: &[CanMessage], m: &CanMessage) -> CanResponse {
+    analyse_one_with_errors(msgs, m, 0)
+}
+
+fn analyse_one_with_errors(msgs: &[CanMessage], m: &CanMessage, n_errors: u64) -> CanResponse {
     let blocking = msgs
         .iter()
         .filter(|k| k.id > m.id)
@@ -61,12 +65,20 @@ fn analyse_one(msgs: &[CanMessage], m: &CanMessage) -> CanResponse {
         .max()
         .unwrap_or(0);
     let hp: Vec<&CanMessage> = msgs.iter().filter(|k| k.id < m.id).collect();
-    let limit = m.deadline.saturating_mul(8).max(1_000_000);
-    let mut w = blocking;
+    // Tindell's error-recovery term: each of the `n` errors charged to
+    // the busy period costs at most the longest frame's retransmission
+    // plus the 31-bit worst-case error-frame overhead. The simulator's
+    // per-error cost (aborted stuffed bits + 17/25-bit error signalling,
+    // then a retransmission the interference terms already cover) is
+    // strictly below this, so the bound stays safe.
+    let c_max = msgs.iter().map(CanMessage::c).max().unwrap_or(0);
+    let error_term = n_errors * (31 + c_max);
+    let limit = m.deadline.saturating_mul(8).max(1_000_000).saturating_add(error_term);
+    let mut w = blocking + error_term;
     loop {
         let interference: u64 =
             hp.iter().map(|k| (w + k.jitter + 1).div_ceil(k.period.max(1)) * k.c()).sum();
-        let next = blocking + interference;
+        let next = blocking + error_term + interference;
         if next == w {
             let r = m.jitter + w + m.c();
             return CanResponse { response: Some(r), blocking, schedulable: r <= m.deadline };
@@ -94,6 +106,22 @@ pub fn can_utilization(msgs: &[CanMessage]) -> f64 {
 pub fn response_bound(msgs: &[CanMessage], id: u32) -> Option<u64> {
     let m = msgs.iter().find(|m| m.id == id)?;
     analyse_one(msgs, m).response
+}
+
+/// The error-extended response bound: [`response_bound`] with up to
+/// `n_errors` corrupted transmissions charged to the stream's busy
+/// period (Tindell's recovery term — each error costs at most the
+/// 31-bit error-frame overhead plus one retransmission of the longest
+/// frame in the set). With `n_errors = 0` this is exactly
+/// [`response_bound`]. The degradation study checks executed
+/// worst latencies under a seeded error burst against this bound with
+/// `n_errors` set to the burst size — a conservative charge, since not
+/// every burst instant lands under a frame of this stream's busy
+/// period.
+#[must_use]
+pub fn response_bound_with_errors(msgs: &[CanMessage], id: u32, n_errors: u64) -> Option<u64> {
+    let m = msgs.iter().find(|m| m.id == id)?;
+    analyse_one_with_errors(msgs, m, n_errors).response
 }
 
 #[cfg(test)]
@@ -137,6 +165,49 @@ mod tests {
         let r = can_response_times(&set);
         assert_eq!(response_bound(&set, 0x20), r[1].response);
         assert_eq!(response_bound(&set, 0x99), None, "unknown id");
+    }
+
+    #[test]
+    fn error_term_extends_the_bound_monotonically() {
+        let set = [msg(0x10, 4, 2000), msg(0x20, 6, 3000), msg(0x30, 8, 5000)];
+        let clean = response_bound(&set, 0x30).unwrap();
+        assert_eq!(response_bound_with_errors(&set, 0x30, 0), Some(clean));
+        let c_max = set.iter().map(CanMessage::c).max().unwrap();
+        let one = response_bound_with_errors(&set, 0x30, 1).unwrap();
+        assert!(one >= clean + 31 + c_max, "at least the direct error cost");
+        let four = response_bound_with_errors(&set, 0x30, 4).unwrap();
+        assert!(four > one, "more errors, larger bound");
+    }
+
+    #[test]
+    fn simulation_with_errors_within_extended_bound() {
+        // Same cross-validation as `simulation_within_analytic_bound`,
+        // but with a seeded error burst on the wire: executed worst
+        // latencies must respect the bound extended by the burst size.
+        use crate::error::FaultPlan;
+        let set = [msg(0x10, 4, 2000), msg(0x20, 6, 3000), msg(0x30, 8, 5000)];
+        let mut plan = FaultPlan::new();
+        let burst = 6usize;
+        plan.add_error_burst(11, 40_000, 80_000, burst);
+        let mut bus = CanBus::new();
+        bus.set_fault_plan(plan);
+        let horizon = 600_000u64;
+        for (ni, m) in set.iter().enumerate() {
+            let frame =
+                CanFrame::new(CanId::Standard(m.id as u16), &vec![0x00; m.dlc as usize]);
+            let mut t = 0;
+            while t < horizon {
+                bus.enqueue(t, ni, frame);
+                t += m.period;
+            }
+        }
+        bus.run(horizon);
+        assert!(bus.injections_consumed() >= 1, "the burst hit live traffic");
+        for m in &set {
+            let worst = bus.worst_latency(CanId::Standard(m.id as u16)).unwrap();
+            let bound = response_bound_with_errors(&set, m.id, burst as u64).unwrap();
+            assert!(worst <= bound, "id {:#x}: {worst} > extended bound {bound}", m.id);
+        }
     }
 
     #[test]

@@ -38,16 +38,16 @@ use alia_sim::{
 use crate::{drive_system, CoreError};
 
 /// Cycles per CAN bit on the sensor and actuator wires.
-const EDGE_CPB: u64 = 4;
+pub(crate) const EDGE_CPB: u64 = 4;
 /// Cycles per CAN bit on the backbone (a faster wire).
-const BACKBONE_CPB: u64 = 2;
+pub(crate) const BACKBONE_CPB: u64 = 2;
 /// Timer period of each sensor ECU, cycles.
-const PERIOD_CYCLES: u64 = 2_000;
+pub(crate) const PERIOD_CYCLES: u64 = 2_000;
 /// Store-and-forward latency of each gateway engine, cycles.
-const FWD_LATENCY: u64 = 200;
+pub(crate) const FWD_LATENCY: u64 = 200;
 /// The two sensor streams' ids on each wire (sensor, backbone,
 /// actuator) — gateways rewrite by `+0x200` per hop.
-const SENSOR_IDS: [u32; 2] = [0x100, 0x140];
+pub(crate) const SENSOR_IDS: [u32; 2] = [0x100, 0x140];
 
 /// One wire of the topology: executed traffic vs the analytic oracle.
 #[derive(Debug, Clone, PartialEq)]
@@ -188,7 +188,9 @@ pub fn gateway_checksum(frames: u32) -> u32 {
         .sum()
 }
 
-fn asm_err(mode: alia_isa::IsaMode) -> impl Fn(&str) -> Result<Vec<u8>, CoreError> {
+pub(crate) fn asm_err(
+    mode: alia_isa::IsaMode,
+) -> impl Fn(&str) -> Result<Vec<u8>, CoreError> {
     move |src: &str| {
         Assembler::new(mode)
             .assemble(src)
@@ -197,39 +199,62 @@ fn asm_err(mode: alia_isa::IsaMode) -> impl Fn(&str) -> Result<Vec<u8>, CoreErro
     }
 }
 
-fn boot(mut m: Machine, main: &[u8]) -> Machine {
+pub(crate) fn boot(mut m: Machine, main: &[u8]) -> Machine {
     m.load_flash(0x100, main);
     m.set_pc(0x100);
     m.cpu.set_sp(SRAM_BASE + 0x8000);
     m
 }
 
+/// The guest prologue programming a controller's acceptance filter
+/// (`ACC_ID`/`ACC_MASK` at offsets 64/68) — empty with no filter.
+pub(crate) fn filter_prologue(filter: Option<(u32, u32)>) -> String {
+    filter.map_or_else(String::new, |(fid, fmask)| {
+        format!(
+            "movw r0, #0x2000
+             movt r0, #0x4000
+             movw r1, #{fid}
+             str r1, [r0, #64]
+             movw r1, #{fmask}
+             str r1, [r0, #68]
+             "
+        )
+    })
+}
+
 /// A sensor ECU: a periodic timer (IRQ 0) paces one 4-byte frame with
 /// fixed `id` and payload word `k` per compare match; the core sleeps
-/// between ticks and exits with the sent count.
-fn sensor_machine(
+/// between ticks and exits with the sent count. An acceptance `filter`
+/// (`(id, mask)` — guest-programmed before the timer starts) gates
+/// what the RX path ever sees; `period_cycles` must fit a `movw`
+/// immediate (< 65 536).
+pub(crate) fn sensor_machine(
     frames: u32,
     id: u32,
     node: usize,
+    period_cycles: u64,
+    filter: Option<(u32, u32)>,
     wire: &SharedCanBus,
     asm: &impl Fn(&str) -> Result<Vec<u8>, CoreError>,
 ) -> Result<Machine, CoreError> {
+    assert!(period_cycles < 65_536, "period must fit a movw immediate");
     let mut config = MachineConfig::m3_like();
     config.devices = vec![
         DeviceSpec::Timer(alia_sim::TimerConfig {
             base: TIMER_BASE,
             irq: 0,
-            compare: PERIOD_CYCLES as u32,
+            compare: period_cycles as u32,
         }),
         DeviceSpec::SharedCan(
             CanConfig { base: CAN_BASE, irq: 1, node, ..CanConfig::default() },
             wire.clone(),
         ),
     ];
+    let acc = filter_prologue(filter);
     let main = asm(&format!(
-        "movw r0, #0x1000
+        "{acc}movw r0, #0x1000
          movt r0, #0x4000
-         movw r1, #{PERIOD_CYCLES}
+         movw r1, #{period_cycles}
          str r1, [r0, #4]
          mov r1, #3
          str r1, [r0, #0]
@@ -281,7 +306,7 @@ fn sensor_machine(
 /// A gateway ECU: its guest programs one DMA route (`lo..=hi` from wire
 /// A rewritten to `rewrite +`, store-and-forward [`FWD_LATENCY`]) and
 /// parks in a WFI loop — the engine forwards while the core sleeps.
-fn gateway_machine(
+pub(crate) fn gateway_machine(
     lo: u32,
     hi: u32,
     rewrite: u32,
@@ -319,10 +344,12 @@ fn gateway_machine(
 
 /// The sink ECU: the RX handler (IRQ 1) drains the FIFO, checksumming
 /// id + first payload word; the main loop sleeps until `total` frames
-/// arrived, then exits with the checksum.
-fn sink_machine(
+/// arrived, then exits with the checksum. An acceptance `filter` is
+/// guest-programmed before the first sleep.
+pub(crate) fn sink_machine(
     total: u32,
     node: usize,
+    filter: Option<(u32, u32)>,
     wire: &SharedCanBus,
     asm: &impl Fn(&str) -> Result<Vec<u8>, CoreError>,
 ) -> Result<Machine, CoreError> {
@@ -331,8 +358,9 @@ fn sink_machine(
         CanConfig { base: CAN_BASE, irq: 1, node, ..CanConfig::default() },
         wire.clone(),
     )];
+    let acc = filter_prologue(filter);
     let main = asm(&format!(
-        "sleep: wfi
+        "{acc}sleep: wfi
          cmp r7, #{total}
          blt sleep
          movw r0, #0
@@ -363,13 +391,19 @@ fn sink_machine(
 
 /// The analytic stream set offered to one wire of the topology: both
 /// sensor streams at the wire's bit rate, with release jitter inherited
-/// from the upstream hops (`jitter_cycles`, holistic composition).
-fn wire_streams(id_base_offset: u32, cpb: u64, jitter_cycles: [u64; 2]) -> Vec<CanMessage> {
+/// from the upstream hops (`jitter_cycles`, holistic composition) and
+/// the sensors' pacing period in cycles.
+pub(crate) fn wire_streams(
+    id_base_offset: u32,
+    cpb: u64,
+    jitter_cycles: [u64; 2],
+    period_cycles: u64,
+) -> Vec<CanMessage> {
     SENSOR_IDS
         .iter()
         .zip(jitter_cycles)
         .map(|(id, j)| {
-            let period = PERIOD_CYCLES / cpb;
+            let period = period_cycles / cpb;
             let jitter = j.div_ceil(cpb);
             CanMessage {
                 id: id + id_base_offset,
@@ -383,7 +417,7 @@ fn wire_streams(id_base_offset: u32, cpb: u64, jitter_cycles: [u64; 2]) -> Vec<C
         .collect()
 }
 
-fn wire_report(wire: &SharedCanBus, streams: &[CanMessage]) -> WireReport {
+pub(crate) fn wire_report(wire: &SharedCanBus, streams: &[CanMessage]) -> WireReport {
     // One RTA pass serves both the schedulability verdict and the
     // per-id bounds (the result vector is parallel to `streams`).
     let rta = alia_can::can_response_times(streams);
@@ -405,6 +439,72 @@ fn wire_report(wire: &SharedCanBus, streams: &[CanMessage]) -> WireReport {
     }
 }
 
+/// The 3-wire / 5-node topology, built but not yet run — the fault
+/// experiments ([`crate::experiments::faulty_network`]) install a
+/// `FaultPlan` on a wire before driving the system.
+pub(crate) struct GatewayTopology {
+    /// The scheduler holding all five nodes.
+    pub(crate) system: System,
+    /// The sensor wire (cpb [`EDGE_CPB`]).
+    pub(crate) sensor: SharedCanBus,
+    /// The backbone wire (cpb [`BACKBONE_CPB`]).
+    pub(crate) backbone: SharedCanBus,
+    /// The actuator wire (cpb [`EDGE_CPB`]).
+    pub(crate) actuator: SharedCanBus,
+    /// Node index of gateway 1 (sensor → backbone).
+    pub(crate) gw1: usize,
+    /// Node index of gateway 2 (backbone → actuator).
+    pub(crate) gw2: usize,
+    /// Node index of the sink ECU.
+    pub(crate) sink: usize,
+}
+
+/// Builds the gateway topology: sensors paced at `period_cycles`,
+/// optional guest-programmed acceptance filters on the sensor ECUs and
+/// the sink.
+///
+/// # Panics
+///
+/// Panics when `frames` is 0 or exceeds 100 (the sink compares
+/// `2 * frames` against an 8-bit immediate).
+pub(crate) fn build_gateway_topology(
+    frames: u32,
+    period_cycles: u64,
+    sensor_filter: Option<(u32, u32)>,
+    sink_filter: Option<(u32, u32)>,
+    scheduler: SystemConfig,
+) -> Result<GatewayTopology, CoreError> {
+    assert!(
+        frames > 0 && frames <= 100,
+        "2 * frames must fit an 8-bit compare immediate"
+    );
+    let asm = asm_err(MachineConfig::m3_like().mode);
+    let mut system = System::with_config(scheduler);
+    let sensor = system.add_wire("sensor", EDGE_CPB);
+    let backbone = system.add_wire("backbone", BACKBONE_CPB);
+    let actuator = system.add_wire("actuator", EDGE_CPB);
+
+    system.add_node(
+        "sensor0",
+        sensor_machine(frames, SENSOR_IDS[0], 0, period_cycles, sensor_filter, &sensor, &asm)?,
+    );
+    system.add_node(
+        "sensor1",
+        sensor_machine(frames, SENSOR_IDS[1], 1, period_cycles, sensor_filter, &sensor, &asm)?,
+    );
+    let gw1 = system.add_node(
+        "gw1",
+        gateway_machine(0x100, 0x17F, 0x300, 6, &sensor, &backbone, &asm)?,
+    );
+    let gw2 = system.add_node(
+        "gw2",
+        gateway_machine(0x300, 0x37F, 0x500, 7, &backbone, &actuator, &asm)?,
+    );
+    let sink =
+        system.add_node("sink", sink_machine(2 * frames, 0, sink_filter, &actuator, &asm)?);
+    Ok(GatewayTopology { system, sensor, backbone, actuator, gw1, gw2, sink })
+}
+
 /// Runs the 3-wire / 5-node gateway topology with explicit scheduler
 /// knobs — determinism tests sweep quantum sizes, node orderings and
 /// the idle-stretch and assert bit-identical results.
@@ -422,27 +522,8 @@ pub fn gateway_experiment_with(
     frames: u32,
     scheduler: SystemConfig,
 ) -> Result<GatewayExperiment, CoreError> {
-    assert!(
-        frames > 0 && frames <= 100,
-        "2 * frames must fit an 8-bit compare immediate"
-    );
-    let asm = asm_err(MachineConfig::m3_like().mode);
-    let mut system = System::with_config(scheduler);
-    let sensor = system.add_wire("sensor", EDGE_CPB);
-    let backbone = system.add_wire("backbone", BACKBONE_CPB);
-    let actuator = system.add_wire("actuator", EDGE_CPB);
-
-    system.add_node("sensor0", sensor_machine(frames, SENSOR_IDS[0], 0, &sensor, &asm)?);
-    system.add_node("sensor1", sensor_machine(frames, SENSOR_IDS[1], 1, &sensor, &asm)?);
-    let gw1 = system.add_node(
-        "gw1",
-        gateway_machine(0x100, 0x17F, 0x300, 6, &sensor, &backbone, &asm)?,
-    );
-    let gw2 = system.add_node(
-        "gw2",
-        gateway_machine(0x300, 0x37F, 0x500, 7, &backbone, &actuator, &asm)?,
-    );
-    let sink = system.add_node("sink", sink_machine(2 * frames, 0, &actuator, &asm)?);
+    let GatewayTopology { mut system, sensor, backbone, actuator, gw1, gw2, sink } =
+        build_gateway_topology(frames, PERIOD_CYCLES, None, None, scheduler)?;
 
     let run = drive_system(&mut system, 50_000_000);
     if run.result.reason != SystemStop::AllHalted {
@@ -462,18 +543,18 @@ pub fn gateway_experiment_with(
 
     // Analytic oracles, hop by hop: downstream streams inherit the
     // upstream response bound (+ forwarding latency) as release jitter.
-    let s_streams = wire_streams(0, EDGE_CPB, [0, 0]);
+    let s_streams = wire_streams(0, EDGE_CPB, [0, 0], PERIOD_CYCLES);
     let s_bound = |i: usize| {
         response_bound(&s_streams, SENSOR_IDS[i]).unwrap_or(0) * EDGE_CPB + FWD_LATENCY
     };
     let b_jitter = [s_bound(0), s_bound(1)];
-    let b_streams = wire_streams(0x200, BACKBONE_CPB, b_jitter);
+    let b_streams = wire_streams(0x200, BACKBONE_CPB, b_jitter, PERIOD_CYCLES);
     let b_bound = |i: usize| {
         b_jitter[i]
             + response_bound(&b_streams, SENSOR_IDS[i] + 0x200).unwrap_or(0) * BACKBONE_CPB
             + FWD_LATENCY
     };
-    let a_streams = wire_streams(0x400, EDGE_CPB, [b_bound(0), b_bound(1)]);
+    let a_streams = wire_streams(0x400, EDGE_CPB, [b_bound(0), b_bound(1)], PERIOD_CYCLES);
 
     // End-to-end: correlate each actuator delivery back to its
     // sensor-wire enqueue by (stream, payload word).

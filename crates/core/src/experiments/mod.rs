@@ -12,9 +12,11 @@
 //! | E8 | §1/§4 | [`network_experiment`] |
 //! | E9 | §3.2.2 | [`flash_patch_experiment`] |
 //! | E10 | §1/§4 (executed) | [`gateway_experiment`] |
+//! | E11 | §1/§4 (faults) | [`error_burst_experiment`] / [`babbling_idiot_experiment`] |
 
 pub mod ablations;
 pub mod bitband;
+pub mod faulty_network;
 pub mod flash;
 pub mod flash_patch;
 pub mod gateway;
@@ -27,6 +29,10 @@ pub mod table1;
 
 pub use ablations::{predication_ablation, PredicationAblation};
 pub use bitband::{bitband_experiment, BitbandExperiment};
+pub use faulty_network::{
+    babbling_idiot_experiment, babbling_idiot_experiment_with, error_burst_experiment,
+    error_burst_experiment_with, BabbleReport, ErrorBurstReport, LatencyVsBound,
+};
 pub use flash::{flash_experiment, FlashExperiment, FlashPoint};
 pub use flash_patch::{flash_patch_experiment, FlashPatchExperiment};
 pub use gateway::{

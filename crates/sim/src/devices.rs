@@ -38,13 +38,31 @@
 //! | 36  | `RX_DATA1`| head bytes 4–7        | —                           |
 //! | 40  | `RX_POP`  | frames received       | any value pops the head     |
 //! | 44  | `RX_OVERFLOW` | deliveries dropped at a full FIFO (drop-newest) | — |
+//! | 48  | `ERR_STATE` | 0 active / 1 passive / 2 bus-off | —            |
+//! | 52  | `TEC`     | transmit error counter | —                          |
+//! | 56  | `REC`     | receive error counter | —                           |
+//! | 60  | `ERR_RECOVER` | 0                 | any value requests bus-off recovery |
+//! | 64  | `ACC_ID`  | acceptance filter id  | sets the filter id          |
+//! | 68  | `ACC_MASK`| acceptance filter mask| sets the mask (0 = accept all) |
+//! | 72  | `RX_FILTERED` | deliveries rejected by the acceptance filter | — |
+//!
+//! The error registers (48–60) mirror the wire's fault-confinement state
+//! **at guest time**: the controller derives TEC/REC/state by walking the
+//! wire's delivery and state logs up to the current cycle, never by
+//! reading the live bus counters (which may have been processed ahead of
+//! the guest clock) — so a guest's reads are bit-identical across
+//! scheduler quantum sizes. A state transition of this controller's node
+//! raises `err_irq` at its exact wire stamp.
 
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use alia_can::{CanBus, CanFrame, CanId, Delivery, MIN_WIRE_BITS};
+use alia_can::{
+    CanBus, CanFrame, CanId, Delivery, DeliveryKind, ErrorState, FaultPlan, StateChange,
+    MIN_WIRE_BITS,
+};
 
 use crate::bus::{Device, DeviceCtx};
 
@@ -325,6 +343,104 @@ impl SharedCanBus {
         self.inner.borrow_mut().settle();
     }
 
+    /// Installs a [`FaultPlan`] on the wire: scheduled bit errors and
+    /// babbling-idiot arms take effect as wire time advances.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.borrow_mut().set_fault_plan(plan);
+    }
+
+    /// Registers a station on the wire (attached controllers do this
+    /// automatically) so its REC observes errors before it transmits.
+    pub fn register_node(&self, node: usize) {
+        self.inner.borrow_mut().register_node(node);
+    }
+
+    /// Requests bus-off recovery for `node` at core cycle `at_cycle`.
+    pub fn request_recovery(&self, node: usize, at_cycle: u64) {
+        self.inner.borrow_mut().request_recovery(node, at_cycle / self.cycles_per_bit);
+    }
+
+    /// The station's error state as of processed wire time.
+    #[must_use]
+    pub fn error_state(&self, node: usize) -> ErrorState {
+        self.inner.borrow().error_state(node)
+    }
+
+    /// The station's transmit error counter.
+    #[must_use]
+    pub fn tec(&self, node: usize) -> u32 {
+        self.inner.borrow().tec(node)
+    }
+
+    /// The station's receive error counter.
+    #[must_use]
+    pub fn rec(&self, node: usize) -> u32 {
+        self.inner.borrow().rec(node)
+    }
+
+    /// Number of error-state transitions logged so far.
+    #[must_use]
+    pub fn state_log_len(&self) -> usize {
+        self.inner.borrow().state_log().len()
+    }
+
+    /// The `i`-th error-state transition, if logged.
+    #[must_use]
+    pub fn state_change(&self, i: usize) -> Option<StateChange> {
+        self.inner.borrow().state_log().get(i).copied()
+    }
+
+    /// A snapshot of the error-state transition log (determinism sweeps
+    /// compare these across scheduler configurations, like the delivery
+    /// log).
+    #[must_use]
+    pub fn state_log(&self) -> Vec<StateChange> {
+        self.inner.borrow().state_log().to_vec()
+    }
+
+    /// Error frames signalled on the wire so far.
+    #[must_use]
+    pub fn error_frames(&self) -> u64 {
+        self.inner.borrow().error_frames()
+    }
+
+    /// Scheduled bit errors consumed by transmissions.
+    #[must_use]
+    pub fn injections_consumed(&self) -> u64 {
+        self.inner.borrow().injections_consumed()
+    }
+
+    /// Scheduled bit errors that expired on an idle wire.
+    #[must_use]
+    pub fn injections_expired(&self) -> u64 {
+        self.inner.borrow().injections_expired()
+    }
+
+    /// Enqueues rejected because the submitting node was bus-off.
+    #[must_use]
+    pub fn rejected_tx(&self) -> u64 {
+        self.inner.borrow().rejected_tx()
+    }
+
+    /// Queued frames purged when their node went bus-off.
+    #[must_use]
+    pub fn purged_tx(&self) -> u64 {
+        self.inner.borrow().purged_tx()
+    }
+
+    /// The next core cycle at which the wire's fault plan generates
+    /// activity by itself — a babble enqueue or a bus-off recovery
+    /// completion — or `None` when the plan is quiet. The scheduler's
+    /// idle-stretch must not skip past this cycle, and a system with a
+    /// pending fault event is not quiescent.
+    #[must_use]
+    pub fn next_fault_cycle(&self) -> Option<u64> {
+        self.inner
+            .borrow()
+            .next_fault_event()
+            .map(|at| at.saturating_mul(self.cycles_per_bit))
+    }
+
     pub(crate) fn enqueue(&self, at_bits: u64, node: usize, frame: CanFrame) {
         self.inner.borrow_mut().enqueue(at_bits, node, frame);
     }
@@ -339,8 +455,10 @@ impl SharedCanBus {
 #[derive(Debug, Clone)]
 enum Wire {
     /// The controller owns its bus: loopback plus host-injected remote
-    /// traffic. The controller runs the bus itself when ticked.
-    Owned(CanBus),
+    /// traffic. The controller runs the bus itself when ticked. Boxed:
+    /// [`CanBus`] carries the fault-confinement state (stations, logs,
+    /// fault plan) and dwarfs the shared-wire handle.
+    Owned(Box<CanBus>),
     /// Several controllers share one arbitrating wire; only the system
     /// scheduler advances it.
     Shared(SharedCanBus),
@@ -366,6 +484,17 @@ pub struct CanConfig {
     /// and counted in the `RX_OVERFLOW` register; no RX interrupt is
     /// raised for a dropped frame.
     pub rx_capacity: usize,
+    /// IRQ line raised when this node's error state changes
+    /// (active ⇄ passive, → bus-off, recovery → active), stamped at the
+    /// exact wire bit of the transition.
+    pub err_irq: u32,
+    /// Reset value of the `ACC_ID` acceptance-filter register
+    /// (guest-writable at offset 64).
+    pub filter_id: u32,
+    /// Reset value of the `ACC_MASK` register (offset 68). A delivery is
+    /// accepted when `(id & mask) == (filter_id & mask)`; a mask of 0
+    /// accepts everything (the reset default).
+    pub filter_mask: u32,
 }
 
 impl Default for CanConfig {
@@ -377,6 +506,9 @@ impl Default for CanConfig {
             cycles_per_bit: 40,
             loopback: false,
             rx_capacity: 16,
+            err_irq: 4,
+            filter_id: 0,
+            filter_mask: 0,
         }
     }
 }
@@ -399,13 +531,25 @@ pub struct CanController {
     deliveries_seen: usize,
     /// Next cycle the controller wants a tick (`u64::MAX` = idle).
     poll_at: u64,
+    /// Guest-writable acceptance filter (ACC_ID / ACC_MASK).
+    filter_id: u32,
+    filter_mask: u32,
+    rx_filtered: u64,
+    /// Wire state-log entries absorbed so far (mirror cursor).
+    state_seen: usize,
+    /// Guest-time mirrors of the wire's fault-confinement registers —
+    /// rebuilt from the delivery and state logs up to the current cycle,
+    /// never read from the live bus (which may be ahead of guest time).
+    tec_mirror: u32,
+    rec_mirror: u32,
+    err_state_mirror: ErrorState,
 }
 
 impl CanController {
     /// Builds an idle controller with its own bus instance.
     #[must_use]
     pub fn new(config: CanConfig) -> CanController {
-        CanController::with_wire(config, Wire::Owned(CanBus::new()))
+        CanController::with_wire(config, Wire::Owned(Box::new(CanBus::new())))
     }
 
     /// Builds a controller attached to a shared wire. The wire's bit
@@ -417,7 +561,13 @@ impl CanController {
         CanController::with_wire(config, Wire::Shared(wire.clone()))
     }
 
-    fn with_wire(config: CanConfig, wire: Wire) -> CanController {
+    fn with_wire(config: CanConfig, mut wire: Wire) -> CanController {
+        // Register the station on its wire so REC tracks observed errors
+        // from time zero (mirrors then agree with the bus counters).
+        match &mut wire {
+            Wire::Owned(bus) => bus.register_node(config.node),
+            Wire::Shared(s) => s.register_node(config.node),
+        }
         CanController {
             config,
             wire,
@@ -430,6 +580,13 @@ impl CanController {
             rx_overflows: 0,
             deliveries_seen: 0,
             poll_at: u64::MAX,
+            filter_id: config.filter_id,
+            filter_mask: config.filter_mask,
+            rx_filtered: 0,
+            state_seen: 0,
+            tec_mirror: 0,
+            rec_mirror: 0,
+            err_state_mirror: ErrorState::Active,
         }
     }
 
@@ -458,6 +615,31 @@ impl CanController {
         self.rx_overflows
     }
 
+    /// Deliveries rejected by the acceptance filter (they never entered
+    /// the FIFO and raised no RX interrupt).
+    #[must_use]
+    pub fn rx_filtered(&self) -> u64 {
+        self.rx_filtered
+    }
+
+    /// The node's error state as mirrored at guest time (`ERR_STATE`).
+    #[must_use]
+    pub fn error_state(&self) -> ErrorState {
+        self.err_state_mirror
+    }
+
+    /// The guest-time TEC mirror (`TEC` register).
+    #[must_use]
+    pub fn tec(&self) -> u32 {
+        self.tec_mirror
+    }
+
+    /// The guest-time REC mirror (`REC` register).
+    #[must_use]
+    pub fn rec(&self) -> u32 {
+        self.rec_mirror
+    }
+
     /// Whether this controller transmits on a shared wire.
     #[must_use]
     pub fn is_shared(&self) -> bool {
@@ -471,7 +653,7 @@ impl CanController {
     #[must_use]
     pub fn can_bus(&self) -> Option<&CanBus> {
         match &self.wire {
-            Wire::Owned(bus) => Some(bus),
+            Wire::Owned(bus) => Some(bus.as_ref()),
             Wire::Shared(_) => None,
         }
     }
@@ -525,10 +707,23 @@ impl CanController {
     #[must_use]
     pub fn tx_armed(&self) -> bool {
         match &self.wire {
-            Wire::Owned(bus) => bus.pending() > 0,
-            Wire::Shared(s) => {
-                s.pending() > 0 || s.deliveries_len() > self.deliveries_seen
+            Wire::Owned(bus) => {
+                bus.pending() > 0 || bus.state_log().len() > self.state_seen
             }
+            Wire::Shared(s) => {
+                s.pending() > 0
+                    || s.deliveries_len() > self.deliveries_seen
+                    || s.state_log_len() > self.state_seen
+            }
+        }
+    }
+
+    /// Installs a [`FaultPlan`] on this controller's wire (owned or
+    /// shared — on a shared wire every attached controller sees it).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        match &mut self.wire {
+            Wire::Owned(bus) => bus.set_fault_plan(plan),
+            Wire::Shared(s) => s.set_fault_plan(plan),
         }
     }
 
@@ -546,15 +741,55 @@ impl CanController {
 
     /// Called by the system scheduler after it advanced a shared wire:
     /// re-arms the controller's tick at the arrival cycle of the first
-    /// delivery it has not yet examined, so frame reception stays
-    /// cycle-accurate without the controller ever running the wire. The
-    /// caller must follow up with [`crate::Bus::refresh_next_event`].
+    /// delivery — or own-node error-state transition — it has not yet
+    /// examined, so frame reception and error IRQs stay cycle-accurate
+    /// without the controller ever running the wire. The caller must
+    /// follow up with [`crate::Bus::refresh_next_event`].
     pub fn note_wire_progress(&mut self) {
         if let Wire::Shared(s) = &self.wire {
+            let cpb = self.config.cycles_per_bit.max(1);
             if let Some(d) = s.delivery(self.deliveries_seen) {
-                let arrival = d.completed_at.saturating_mul(self.config.cycles_per_bit.max(1));
+                let arrival = d.completed_at.saturating_mul(cpb);
                 self.poll_at = self.poll_at.min(arrival);
             }
+            let mut i = self.state_seen;
+            while let Some(c) = s.state_change(i) {
+                if c.node == self.config.node {
+                    self.poll_at = self.poll_at.min(c.at.saturating_mul(cpb));
+                    break;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Absorbs wire state-log entries stamped at or before `up_to`
+    /// core cycles into the guest-time mirrors; a transition of this
+    /// node raises the error IRQ at its exact stamp, and a bus-off →
+    /// active recovery clears the counter mirrors (the wire cleared the
+    /// real ones at the same stamp).
+    fn absorb_state_changes(&mut self, up_to: u64, ctx: &mut DeviceCtx<'_>) {
+        let cpb = self.config.cycles_per_bit.max(1);
+        loop {
+            let c = match &self.wire {
+                Wire::Owned(bus) => bus.state_log().get(self.state_seen).copied(),
+                Wire::Shared(s) => s.state_change(self.state_seen),
+            };
+            let Some(c) = c else { break };
+            let at = c.at.saturating_mul(cpb);
+            if at > up_to {
+                break;
+            }
+            self.state_seen += 1;
+            if c.node != self.config.node {
+                continue;
+            }
+            self.err_state_mirror = c.to;
+            if c.from == ErrorState::BusOff && c.to == ErrorState::Active {
+                self.tec_mirror = 0;
+                self.rec_mirror = 0;
+            }
+            ctx.signals.raise_irq_at(self.config.err_irq, at);
         }
     }
 
@@ -612,9 +847,37 @@ impl CanController {
                 self.poll_at = arrival;
                 break;
             }
+            // Keep the mirrors in event order: state transitions stamped
+            // before this delivery (e.g. a recovery reset) apply first.
+            self.absorb_state_changes(arrival, ctx);
             self.deliveries_seen += 1;
+            match d.kind {
+                DeliveryKind::Error => {
+                    // Mirror the wire's fault-confinement arithmetic at
+                    // guest time: transmitter +8, every observer +1.
+                    if d.node == self.config.node {
+                        self.tec_mirror += 8;
+                    } else {
+                        self.rec_mirror += 1;
+                    }
+                    continue;
+                }
+                DeliveryKind::Data => {
+                    if d.node == self.config.node {
+                        self.tec_mirror = self.tec_mirror.saturating_sub(1);
+                    } else {
+                        self.rec_mirror = self.rec_mirror.saturating_sub(1);
+                    }
+                }
+            }
             if self.config.loopback || d.node != self.config.node {
-                if self.rx_fifo.len() >= self.config.rx_capacity.max(1) {
+                let raw = Self::frame_id_word(&d.frame);
+                if raw & self.filter_mask != self.filter_id & self.filter_mask {
+                    // Acceptance filter: the frame never reaches the FIFO
+                    // and raises no RX interrupt (but the REC mirror above
+                    // still saw the reception, like real silicon).
+                    self.rx_filtered += 1;
+                } else if self.rx_fifo.len() >= self.config.rx_capacity.max(1) {
                     // Drop-newest: the FIFO keeps its oldest frames (the
                     // guest drains in arrival order); the new delivery is
                     // lost, counted, and raises no RX interrupt.
@@ -626,6 +889,7 @@ impl CanController {
                 }
             }
         }
+        self.absorb_state_changes(now, ctx);
         if self.poll_at == u64::MAX {
             if let Wire::Owned(bus) = &self.wire {
                 if bus.pending() > 0 {
@@ -660,6 +924,12 @@ impl Device for CanController {
             36 => self.head_data_word(1),
             40 => self.rx_count as u32,
             44 => self.rx_overflows as u32,
+            48 => self.err_state_mirror.as_u32(),
+            52 => self.tec_mirror,
+            56 => self.rec_mirror,
+            64 => self.filter_id,
+            68 => self.filter_mask,
+            72 => self.rx_filtered as u32,
             _ => 0,
         }
     }
@@ -690,6 +960,20 @@ impl Device for CanController {
             40 => {
                 self.rx_fifo.pop_front();
             }
+            60 => {
+                // ERR_RECOVER: request bus-off recovery at the current
+                // cycle; the wire rejoins the node (counters cleared,
+                // error IRQ raised) once the recovery interval elapses.
+                let at_bits = ctx.now / self.config.cycles_per_bit.max(1);
+                match &mut self.wire {
+                    Wire::Owned(bus) => bus.request_recovery(self.config.node, at_bits),
+                    Wire::Shared(s) => {
+                        s.request_recovery(self.config.node, ctx.now);
+                    }
+                }
+            }
+            64 => self.filter_id = value,
+            68 => self.filter_mask = value,
             _ => {}
         }
     }
@@ -1007,6 +1291,57 @@ mod tests {
         c.tick(&mut ctx(20_000, &mut s));
         assert_eq!(c.rx_count(), 3);
         assert_eq!(c.rx_overflows(), 2, "no further drops once drained");
+    }
+
+    #[test]
+    fn acceptance_filter_rejects_and_counts() {
+        let mut c = CanController::new(CanConfig {
+            cycles_per_bit: 1,
+            ..CanConfig::default()
+        });
+        let mut s = BusSignals::default();
+        // Accept only ids matching 0x100 under mask 0x700.
+        c.write32(64, 0x100, &mut ctx(0, &mut s)); // ACC_ID
+        c.write32(68, 0x700, &mut ctx(0, &mut s)); // ACC_MASK
+        c.host_enqueue(0, 7, CanFrame::new(CanId::Standard(0x123), &[1]));
+        c.host_enqueue(200, 7, CanFrame::new(CanId::Standard(0x300), &[2]));
+        c.host_enqueue(400, 7, CanFrame::new(CanId::Standard(0x155), &[3]));
+        c.tick(&mut ctx(10_000, &mut s));
+        assert_eq!(c.rx_count(), 2, "0x123 and 0x155 match the filter");
+        assert_eq!(c.rx_filtered(), 1, "0x300 was rejected");
+        assert_eq!(c.read32(72, &mut ctx(10_000, &mut s)), 1, "RX_FILTERED");
+        assert_eq!(s.timed_irqs.len(), 2, "filtered frames raise no RX IRQ");
+        // Clearing the mask accepts everything again.
+        c.write32(68, 0, &mut ctx(10_000, &mut s));
+        c.host_enqueue(10_100, 7, CanFrame::new(CanId::Standard(0x300), &[4]));
+        c.tick(&mut ctx(20_000, &mut s));
+        assert_eq!(c.rx_count(), 3);
+        assert_eq!(c.rx_filtered(), 1);
+    }
+
+    #[test]
+    fn error_registers_mirror_the_wire_at_guest_time() {
+        use alia_can::FaultPlan;
+        let mut c = CanController::new(CanConfig {
+            cycles_per_bit: 1,
+            ..CanConfig::default()
+        });
+        let mut plan = FaultPlan::new();
+        plan.inject_bit_error(10); // corrupts the guest's first TX
+        c.set_fault_plan(plan);
+        let mut s = BusSignals::default();
+        c.write32(0, 0x123, &mut ctx(0, &mut s)); // TX_ID
+        c.write32(4, 1, &mut ctx(0, &mut s)); // TX_DLC
+        c.write32(16, 1, &mut ctx(0, &mut s)); // TX_GO
+        c.tick(&mut ctx(5, &mut s));
+        assert_eq!(c.read32(52, &mut ctx(5, &mut s)), 0, "error still ahead");
+        c.tick(&mut ctx(10_000, &mut s));
+        // One error (+8) then the successful retransmission (−1).
+        assert_eq!(c.read32(52, &mut ctx(10_000, &mut s)), 7, "TEC");
+        assert_eq!(c.read32(56, &mut ctx(10_000, &mut s)), 0, "REC");
+        assert_eq!(c.read32(48, &mut ctx(10_000, &mut s)), 0, "still error-active");
+        assert_eq!(c.tec(), 7);
+        assert_eq!(c.error_state(), ErrorState::Active);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! | 0x00 | CTRL          | bit0 enable             | same                   |
 //! | 0x04 | `FWD_LATENCY` | store-and-forward cycles| same                   |
 //! | 0x08 | FORWARDED     | total frames forwarded  | —                      |
-//! | 0x0C | DROPPED       | frames no route matched | —                      |
+//! | 0x0C | DROPPED       | `NO_ROUTE` + `QUEUE_OVERFLOW` (legacy sum) | —   |
+//! | 0x10 | `NO_ROUTE`    | frames no route matched | —                      |
+//! | 0x14 | `QUEUE_OVERFLOW` | frames lost to a full forward queue | —       |
+//! | 0x18 | `FWD_CAPACITY`| per-direction queue depth (reset 8) | same (min 1) |
+//! | 0x1C | `FWD_POLICY`  | 0 drop-newest / 1 drop-lowest-priority | same    |
 //!
 //! [`DMA_ROUTES`] route slots at `0x40 + i * 0x20`:
 //!
@@ -30,23 +34,43 @@
 //! | +0x0C| REWRITE | as written         | bit31 enable; low 29 bits: forwarded id = base + (id − LO) |
 //! | +0x10| COUNT   | frames via route   | —                               |
 //!
-//! # Timing and determinism
+//! # Timing, the forward queue, and determinism
 //!
 //! A delivery completing on wire A at core cycle `T` is examined by the
 //! engine's tick at exactly `T` (the scheduler re-arms the tick through
 //! [`Dma::note_wire_progress`], like a CAN controller's RX path) and, on
-//! a route match, enqueued on wire B at `T + FWD_LATENCY` — an exact
-//! cycle stamp, never "whenever the tick ran". Because deliveries
-//! materialized at a scheduler boundary always complete at or after that
-//! boundary, the forward's enqueue time is never in the past of the
-//! target wire, so multi-hop timing is bit-identical for any quantum
-//! size or node order. The engine stops when its host machine halts
-//! (devices of a halted node are no longer ticked) — a powered-off
-//! gateway forwards nothing.
+//! a route match, handed to that direction's **bounded forward queue**.
+//! The engine keeps at most one forward in flight per direction: the
+//! head of an idle direction's queue is enqueued on the target wire
+//! immediately at `T + FWD_LATENCY`, and each subsequent forward is
+//! dispatched when the engine observes its previous forward complete on
+//! the target wire (at `max(arrival + FWD_LATENCY, completion)` — both
+//! exact wire stamps, never "whenever the tick ran"). A route match
+//! arriving at a full queue is resolved by the `FWD_POLICY` register:
+//! **drop-newest** (0, reset) discards the arriving frame;
+//! **drop-lowest-priority** (1) evicts whichever frame — queued or
+//! arriving — would lose CAN arbitration to all the others. Either way
+//! the loss is counted in `QUEUE_OVERFLOW`, separately from the
+//! `NO_ROUTE` count of frames no route matched (the legacy `DROPPED`
+//! register reads their sum).
+//!
+//! Because deliveries materialized at a scheduler boundary always
+//! complete at or after that boundary, a forward's enqueue time is never
+//! in the past of the target wire, so multi-hop timing — including
+//! queue occupancy and overflow decisions — is bit-identical for any
+//! quantum size or node order. Error frames are protocol signalling,
+//! not payloads: the engine never routes them, and an *own* forward
+//! aborted by an error frame stays in flight (the wire retransmits it
+//! automatically; the next queued forward waits its turn). The engine
+//! stops when its host machine halts (devices of a halted node are no
+//! longer ticked) — a powered-off gateway forwards nothing; and a
+//! gateway node driven to bus-off stalls its direction until recovery
+//! (its in-flight forward was purged with the node's queue).
 
 use std::any::Any;
+use std::collections::VecDeque;
 
-use alia_can::{CanFrame, CanId};
+use alia_can::{CanFrame, CanId, DeliveryKind};
 
 use crate::bus::{Device, DeviceCtx};
 use crate::devices::SharedCanBus;
@@ -101,6 +125,16 @@ impl Route {
     }
 }
 
+/// One frame waiting in a direction's forward queue.
+#[derive(Debug, Clone, Copy)]
+struct QueuedForward {
+    /// Earliest dispatch cycle: the source delivery's completion plus
+    /// the store-and-forward latency.
+    ready_at: u64,
+    frame: CanFrame,
+    irq_on_forward: bool,
+}
+
 /// The DMA frame-forwarding engine (see the module docs for the
 /// register map and the timing contract).
 #[derive(Debug, Clone)]
@@ -113,8 +147,16 @@ pub struct Dma {
     /// Deliveries examined so far on each wire (including its own
     /// forwards completing, which are skipped but must be consumed).
     seen: [usize; 2],
+    /// Bounded forward queue per direction, indexed by *target* side.
+    fwd_queue: [VecDeque<QueuedForward>; 2],
+    /// Whether a forward is on (or queued for) the target wire and not
+    /// yet observed complete, per target side.
+    in_flight: [bool; 2],
+    fwd_capacity: u32,
+    fwd_policy: u32,
     forwarded: u64,
-    dropped: u64,
+    no_route: u64,
+    queue_overflows: u64,
     /// Next cycle the engine wants a tick (`u64::MAX` = idle).
     poll_at: u64,
 }
@@ -136,8 +178,13 @@ impl Dma {
             enabled: false,
             routes: [Route::default(); DMA_ROUTES],
             seen: [0; 2],
+            fwd_queue: [VecDeque::new(), VecDeque::new()],
+            in_flight: [false; 2],
+            fwd_capacity: 8,
+            fwd_policy: 0,
             forwarded: 0,
-            dropped: 0,
+            no_route: 0,
+            queue_overflows: 0,
             poll_at: u64::MAX,
         }
     }
@@ -172,10 +219,24 @@ impl Dma {
         self.forwarded
     }
 
-    /// Frames examined while enabled that matched no route.
+    /// Total frames lost: no matching route plus forward-queue overflow
+    /// (the legacy `DROPPED` register reads this sum).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.no_route + self.queue_overflows
+    }
+
+    /// Frames examined while enabled that matched no route.
+    #[must_use]
+    pub fn no_route(&self) -> u64 {
+        self.no_route
+    }
+
+    /// Frames lost because a direction's forward queue was full (under
+    /// either overflow policy, exactly one frame is lost per overflow).
+    #[must_use]
+    pub fn queue_overflows(&self) -> u64 {
+        self.queue_overflows
     }
 
     /// Frames forwarded through route `i`.
@@ -191,6 +252,8 @@ impl Dma {
     pub fn armed(&self) -> bool {
         self.wires[0].deliveries_len() > self.seen[0]
             || self.wires[1].deliveries_len() > self.seen[1]
+            || !self.fwd_queue[0].is_empty()
+            || !self.fwd_queue[1].is_empty()
     }
 
     /// Called by the system scheduler after it advanced the wires:
@@ -224,8 +287,20 @@ impl Dma {
                 }
                 self.seen[side] += 1;
                 if d.node == self.node_on(side) {
-                    // The engine's own forward completing: never routed
-                    // back (the gateway does not echo).
+                    // The engine's own forward: never routed back (the
+                    // gateway does not echo). A completed *data* frame
+                    // frees the direction for the next queued forward; an
+                    // error frame keeps it in flight (the wire is already
+                    // retransmitting the aborted forward).
+                    if d.kind == DeliveryKind::Data {
+                        self.in_flight[side] = false;
+                        self.dispatch(side, arrival, ctx);
+                    }
+                    continue;
+                }
+                if d.kind != DeliveryKind::Data {
+                    // Foreign error frames are protocol signalling, not
+                    // payloads: consumed, never forwarded.
                     continue;
                 }
                 if self.enabled {
@@ -236,14 +311,16 @@ impl Dma {
     }
 
     /// Routes one delivery that completed on `side` at core cycle
-    /// `arrival`: first matching route wins; no match counts as dropped.
+    /// `arrival`: first matching route wins (no match counts as
+    /// `NO_ROUTE`); the match joins the target direction's bounded
+    /// forward queue, subject to the overflow policy.
     fn forward(&mut self, side: usize, frame: CanFrame, arrival: u64, ctx: &mut DeviceCtx<'_>) {
         let raw = frame.id.raw();
         let matches = |r: &Route| {
             r.enabled && r.b_to_a == (side == 1) && r.lo <= raw && raw <= r.hi
         };
         let Some(i) = self.routes.iter().position(matches) else {
-            self.dropped += 1;
+            self.no_route += 1;
             return;
         };
         let route = &mut self.routes[i];
@@ -258,12 +335,61 @@ impl Dma {
         };
         let out = CanFrame::new(id, &frame.data[..usize::from(frame.dlc.min(8))]);
         route.count += 1;
-        let irq_on_forward = route.irq_on_forward;
+        let entry = QueuedForward {
+            ready_at: arrival.saturating_add(self.latency),
+            frame: out,
+            irq_on_forward: route.irq_on_forward,
+        };
+        let target = 1 - side;
+        let cap = self.fwd_capacity.max(1) as usize;
+        if self.fwd_queue[target].len() >= cap {
+            self.queue_overflows += 1;
+            if self.fwd_policy == 1 {
+                // Drop-lowest-priority: evict whichever frame — queued
+                // or arriving — loses CAN arbitration to all the others.
+                let worst = self.fwd_queue[target]
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        if a.frame.id.wins_over(b.frame.id) {
+                            std::cmp::Ordering::Less
+                        } else {
+                            std::cmp::Ordering::Greater
+                        }
+                    })
+                    .map(|(i, f)| (i, f.frame.id));
+                if let Some((wi, wid)) = worst {
+                    if entry.frame.id.wins_over(wid) {
+                        self.fwd_queue[target].remove(wi);
+                        self.fwd_queue[target].push_back(entry);
+                    }
+                }
+                // else: the arriving frame is itself the lowest priority
+                // (or ties) — it is the one dropped.
+            }
+            // Drop-newest (policy 0): the arriving frame is discarded.
+        } else {
+            self.fwd_queue[target].push_back(entry);
+        }
+        self.dispatch(target, arrival, ctx);
+    }
+
+    /// Puts the head of `target`'s forward queue on the wire, if the
+    /// direction is idle: enqueued at `max(ready_at, floor)` — `floor`
+    /// is a deterministic wire stamp (the completion that freed the
+    /// direction, or the arrival that filled an empty queue), so
+    /// dispatch cycles never depend on when the tick happened to run.
+    fn dispatch(&mut self, target: usize, floor: u64, ctx: &mut DeviceCtx<'_>) {
+        if self.in_flight[target] {
+            return;
+        }
+        let Some(f) = self.fwd_queue[target].pop_front() else { return };
+        let at = f.ready_at.max(floor);
+        let wire = &self.wires[target];
+        wire.enqueue(at / wire.cycles_per_bit().max(1), self.node_on(target), f.frame);
+        self.in_flight[target] = true;
         self.forwarded += 1;
-        let at = arrival.saturating_add(self.latency);
-        let target = &self.wires[1 - side];
-        target.enqueue(at / target.cycles_per_bit().max(1), self.node_on(1 - side), out);
-        if irq_on_forward {
+        if f.irq_on_forward {
             ctx.signals.raise_irq_at(self.config.irq, at);
         }
     }
@@ -280,7 +406,11 @@ impl Device for Dma {
             0x00 => u32::from(self.enabled),
             0x04 => self.latency as u32,
             0x08 => self.forwarded as u32,
-            0x0C => self.dropped as u32,
+            0x0C => self.dropped() as u32,
+            0x10 => self.no_route as u32,
+            0x14 => self.queue_overflows as u32,
+            0x18 => self.fwd_capacity,
+            0x1C => self.fwd_policy,
             o if (0x40..0x40 + 0x20 * DMA_ROUTES as u32).contains(&o) => {
                 let r = &self.routes[((o - 0x40) / 0x20) as usize];
                 match o & 0x1C {
@@ -301,6 +431,8 @@ impl Device for Dma {
         match off & !3 {
             0x00 => self.enabled = value & 1 != 0,
             0x04 => self.latency = u64::from(value),
+            0x18 => self.fwd_capacity = value.max(1),
+            0x1C => self.fwd_policy = value & 1,
             o if (0x40..0x40 + 0x20 * DMA_ROUTES as u32).contains(&o) => {
                 let r = &mut self.routes[((o - 0x40) / 0x20) as usize];
                 match o & 0x1C {
@@ -484,6 +616,81 @@ mod tests {
         let arrival = dma.next_event().unwrap();
         dma.tick(&mut ctx(arrival, &mut s));
         assert_eq!(s.timed_irqs, vec![(7, arrival + 250)]);
+    }
+
+    #[test]
+    fn drop_counters_split_no_route_vs_queue_overflow() {
+        // Regression for the DROPPED split: NO_ROUTE and QUEUE_OVERFLOW
+        // count separately, and the legacy 0x0C register reads their sum.
+        let wa = SharedCanBus::named("a", 1);
+        let wb = SharedCanBus::named("b", 1);
+        let mut dma = Dma::new(
+            DmaConfig { node_a: 5, node_b: 6, latency: 0, ..DmaConfig::default() },
+            &wa,
+            &wb,
+        );
+        let mut s = BusSignals::default();
+        program_route(&mut dma, 0, 0b001, 0x100, 0x1FF, 0);
+        dma.write32(0, 1, &mut ctx(0, &mut s));
+        dma.write32(0x18, 1, &mut ctx(0, &mut s)); // FWD_CAPACITY = 1
+        assert_eq!(dma.read32(0x18, &mut ctx(0, &mut s)), 1);
+        // Three route matches back to back (dispatch one, queue one,
+        // overflow one — drop-newest) plus one unroutable id.
+        for (k, id) in [0x100u16, 0x101, 0x102, 0x400].iter().enumerate() {
+            wa.enqueue(k as u64 * 200, 0, CanFrame::new(CanId::Standard(*id), &[k as u8]));
+        }
+        wa.run_to_cycle(2_000);
+        dma.note_wire_progress();
+        dma.tick(&mut ctx(2_000, &mut s));
+        assert_eq!(dma.forwarded(), 1, "one in flight");
+        assert_eq!(dma.no_route(), 1, "0x400 matched no route");
+        assert_eq!(dma.queue_overflows(), 1, "0x102 hit the full queue");
+        assert_eq!(dma.dropped(), 2);
+        assert_eq!(dma.read32(0x10, &mut ctx(2_000, &mut s)), 1, "NO_ROUTE");
+        assert_eq!(dma.read32(0x14, &mut ctx(2_000, &mut s)), 1, "QUEUE_OVERFLOW");
+        assert_eq!(dma.read32(0x0C, &mut ctx(2_000, &mut s)), 2, "legacy DROPPED = sum");
+        assert!(dma.armed(), "a queued forward keeps the engine armed");
+        // The in-flight forward completes on B; the queued one follows.
+        wb.run_to_cycle(4_000);
+        dma.note_wire_progress();
+        dma.tick(&mut ctx(4_000, &mut s));
+        wb.run_to_cycle(8_000);
+        assert_eq!(dma.forwarded(), 2, "queued forward dispatched after the first");
+        let ids: Vec<u32> = (0..2).map(|i| wb.delivery(i).unwrap().frame.id.raw()).collect();
+        assert_eq!(ids, vec![0x100, 0x101], "0x102 was the one lost");
+    }
+
+    #[test]
+    fn drop_lowest_priority_policy_evicts_the_weakest() {
+        let wa = SharedCanBus::named("a", 1);
+        let wb = SharedCanBus::named("b", 1);
+        let mut dma = Dma::new(
+            DmaConfig { node_a: 5, node_b: 6, latency: 0, ..DmaConfig::default() },
+            &wa,
+            &wb,
+        );
+        let mut s = BusSignals::default();
+        program_route(&mut dma, 0, 0b001, 0x000, 0x7FF, 0);
+        dma.write32(0, 1, &mut ctx(0, &mut s));
+        dma.write32(0x18, 1, &mut ctx(0, &mut s)); // FWD_CAPACITY = 1
+        dma.write32(0x1C, 1, &mut ctx(0, &mut s)); // drop-lowest-priority
+        // 0x300 dispatches; 0x180 queues; 0x110 (highest priority)
+        // arrives at the full queue and evicts 0x180; then 0x200 arrives
+        // and is itself the weakest — dropped.
+        for (k, id) in [0x300u16, 0x180, 0x110, 0x200].iter().enumerate() {
+            wa.enqueue(k as u64 * 200, 0, CanFrame::new(CanId::Standard(*id), &[k as u8]));
+        }
+        wa.run_to_cycle(2_000);
+        dma.note_wire_progress();
+        dma.tick(&mut ctx(2_000, &mut s));
+        assert_eq!(dma.queue_overflows(), 2, "0x180 evicted, 0x200 rejected");
+        wb.run_to_cycle(4_000);
+        dma.note_wire_progress();
+        dma.tick(&mut ctx(4_000, &mut s));
+        wb.run_to_cycle(8_000);
+        assert_eq!(dma.forwarded(), 2);
+        let ids: Vec<u32> = (0..2).map(|i| wb.delivery(i).unwrap().frame.id.raw()).collect();
+        assert_eq!(ids, vec![0x300, 0x110], "the high-priority newcomer survived");
     }
 
     #[test]

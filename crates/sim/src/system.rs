@@ -51,6 +51,32 @@
 //! `completion + latency` stamp — never earlier than the far wire has
 //! been advanced. Multi-hop (wire → gateway → wire → gateway → wire)
 //! timing is therefore boundary-independent end to end.
+//!
+//! # Determinism under faults
+//!
+//! An active [`alia_can::FaultPlan`] adds three event sources, each
+//! keyed to wire bit time and none able to outrun the lookahead:
+//!
+//! * **error frames** occupy at least `34 + 17` bits from the aborted
+//!   transmission's start — strictly more than a clean minimal frame —
+//!   so an error's completion stamp (the observable event: TEC/REC
+//!   bumps, state transitions, the retransmission's requeue) obeys the
+//!   same "enqueued in quantum *k*, completes after boundary *k+1*"
+//!   contract as any delivery;
+//! * **babble arms** enqueue at plan-fixed bit times, pumped by the
+//!   wire itself in wire-time order — host call order and boundary
+//!   placement never enter;
+//! * **bus-off recoveries** complete at request-fixed bit times,
+//!   applied by the wire before any transmission that starts later.
+//!
+//! Because an idle wire with a live arm or pending recovery can
+//! generate traffic (and guest-visible IRQs) without any node acting,
+//! the idle-stretch may not leap past a wire's
+//! [`SharedCanBus::next_fault_cycle`], and a system with one pending is
+//! not quiescent. With that veto in place, delivery logs, error-state
+//! logs, retransmission stamps and guest checksums are bit-identical
+//! across quantum sizes, node orderings and idle-stretch — the fault
+//! determinism sweep in `tests/integration_faults.rs` proves it.
 
 use crate::devices::{CanController, SharedCanBus};
 use crate::dma::Dma;
@@ -395,9 +421,13 @@ impl System {
     /// ([`CanController::tx_armed`] / [`Dma::armed`]) and every live
     /// node is parked in a WFI sleep — so nothing can execute (let
     /// alone transmit or forward) before the earliest local wakeup, and
-    /// the quantum may stretch straight to it. `None` when ineligible
-    /// or no finite wakeup exists (the quiescence check below handles
-    /// the latter).
+    /// the quantum may stretch straight to it. A wire with a pending
+    /// fault event (a babble arm's next enqueue or a bus-off recovery
+    /// completion — [`SharedCanBus::next_fault_cycle`]) can generate
+    /// traffic and IRQs with every node asleep, so the stretch is
+    /// capped at the earliest such event. `None` when ineligible or no
+    /// finite wakeup exists (the quiescence check below handles the
+    /// latter).
     fn idle_stretch_boundary(&self) -> Option<u64> {
         for wire in &self.wires {
             if wire.pending() > 0 || wire.busy_until_cycle() > self.now {
@@ -405,6 +435,11 @@ impl System {
             }
         }
         let mut wake = u64::MAX;
+        for wire in &self.wires {
+            if let Some(fault) = wire.next_fault_cycle() {
+                wake = wake.min(fault);
+            }
+        }
         for node in &self.nodes {
             // A halted node's devices never tick again, so even armed
             // state there can't put traffic on a wire (a frame it
@@ -497,16 +532,20 @@ impl System {
                     }
                 }
             }
-            // Quiescence: when every wire is quiet (nothing queued or in
-            // flight) and every live node is parked in a WFI sleep with
-            // no local wakeup source, no event can ever occur again —
-            // the nodes are idle exactly as a lone machine reporting
-            // `WfiIdle` would be. Without this, an all-idle system
-            // would spin one quantum at a time to the horizon.
-            let wire_quiet = self
-                .wires
-                .iter()
-                .all(|w| w.pending() == 0 && w.busy_until_cycle() <= boundary);
+            // Quiescence: when every wire is quiet (nothing queued, in
+            // flight, or scheduled by a fault plan) and every live node
+            // is parked in a WFI sleep with no local wakeup source, no
+            // event can ever occur again — the nodes are idle exactly
+            // as a lone machine reporting `WfiIdle` would be. Without
+            // this, an all-idle system would spin one quantum at a time
+            // to the horizon. A live babble arm or pending bus-off
+            // recovery vetoes: the wire will act (and may raise IRQs)
+            // without any node doing anything.
+            let wire_quiet = self.wires.iter().all(|w| {
+                w.pending() == 0
+                    && w.busy_until_cycle() <= boundary
+                    && w.next_fault_cycle().is_none()
+            });
             if wire_quiet
                 && self
                     .nodes
@@ -692,6 +731,80 @@ mod tests {
         assert_eq!(sys.node(0).halted(), Some(StopReason::WfiIdle));
         assert_eq!(sys.node(1).halted(), Some(StopReason::Bkpt(0)));
         assert!(r.quanta < 4, "settled immediately, not at the horizon");
+    }
+
+    #[test]
+    fn babble_arm_wakes_a_parked_system_and_vetoes_quiescence() {
+        // A wire with a live babble arm generates traffic (and RX
+        // IRQs) while every node sleeps: the idle-stretch must land on
+        // the arm's enqueues instead of leaping past them, quiescence
+        // must not fire, and results are identical stretch on or off.
+        let run = |idle_stretch: bool| {
+            let mut sys = System::with_config(SystemConfig {
+                idle_stretch,
+                ..SystemConfig::default()
+            });
+            let wire = sys.shared_can_bus(4);
+            let mut plan = alia_can::FaultPlan::new();
+            plan.add_babbler(alia_can::BabbleArm {
+                node: 9,
+                id: alia_can::CanId::Standard(0x010),
+                dlc: 2,
+                start: 2_000,
+                period: 1_000,
+                frames: 3,
+                corrupt: false,
+            });
+            wire.set_fault_plan(plan);
+            let mut conf = MachineConfig::m3_like();
+            conf.devices = vec![DeviceSpec::SharedCan(
+                CanConfig { base: CAN_BASE, irq: 1, node: 0, ..CanConfig::default() },
+                wire.clone(),
+            )];
+            let main = asm(
+                "sleep: wfi
+                 cmp r7, #3
+                 bne sleep
+                 movw r0, #0
+                 movt r0, #0x4000
+                 str r7, [r0, #0]
+                 halt: b halt",
+            );
+            let rx_handler = asm(
+                "movw r0, #0x2000
+                 movt r0, #0x4000
+                 rxloop: ldr r1, [r0, #20]
+                 cmp r1, #0
+                 beq rxdone
+                 ldr r1, [r0, #24]
+                 add r6, r6, r1
+                 str r1, [r0, #40]
+                 add r7, r7, #1
+                 b rxloop
+                 rxdone: bx lr",
+            );
+            let mut m = machine(conf, &main);
+            m.load_flash(0x200, &rx_handler);
+            m.load_flash(4, &0x200u32.to_le_bytes());
+            sys.add_node("victim", m);
+            let r = sys.run(1_000_000);
+            let stamps: Vec<u64> =
+                (0..wire.deliveries_len()).map(|i| wire.delivery(i).unwrap().completed_at).collect();
+            (r, sys.node(0).halted(), stamps)
+        };
+        let (r_on, halt_on, stamps_on) = run(true);
+        let (r_off, halt_off, stamps_off) = run(false);
+        for (r, halt, stamps) in [(&r_on, halt_on, &stamps_on), (&r_off, halt_off, &stamps_off)] {
+            assert_eq!(r.reason, SystemStop::AllHalted);
+            assert_eq!(
+                halt,
+                Some(StopReason::MmioExit(3)),
+                "woken by babble frames, not parked idle"
+            );
+            assert_eq!(stamps.len(), 3);
+        }
+        assert_eq!(stamps_on, stamps_off, "delivery stamps are stretch-independent");
+        assert!(r_on.quanta < r_off.quanta, "the stretch engaged between babble frames");
     }
 
     #[test]
