@@ -15,6 +15,7 @@
 //! cargo run -p alia-bench --bin soft_error
 //! cargo run -p alia-bench --bin virtual_multicore
 //! cargo run -p alia-bench --bin flash_patch
+//! cargo run -p alia-bench --bin bench_diff
 //! ```
 
 use std::collections::BTreeMap;
@@ -28,7 +29,19 @@ pub fn header(experiment: &str, paper_ref: &str) {
 /// The machine-readable bench summary at the repository root. Flat,
 /// line-oriented JSON — one `"section.metric": value` pair per line —
 /// so CI can display and diff it without a JSON parser.
-pub const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+pub const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+
+/// The previous PR's committed summary — the baseline the `bench_diff`
+/// binary compares a fresh [`BENCH_JSON`] against.
+pub const BENCH_BASELINE_JSON: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+
+/// Loads a flat bench summary from `path`, or an empty map when the
+/// file is missing or unreadable.
+#[must_use]
+pub fn load_bench_json(path: &str) -> BTreeMap<String, f64> {
+    fs::read_to_string(path).map(|t| parse_flat_json(&t)).unwrap_or_default()
+}
 
 /// Parses the flat JSON produced by [`record_bench_json`] (own format
 /// only: one `"key": number` pair per line).
@@ -73,7 +86,7 @@ pub fn record_bench_json(section: &str, metrics: &[(&str, f64)]) {
     out.push_str("\n}\n");
     match fs::write(BENCH_JSON, &out) {
         Ok(()) => println!("\nrecorded {} metric(s) under '{section}' in {BENCH_JSON}", metrics.len()),
-        Err(e) => println!("\nBENCH_6.json not written ({e}) — continuing"),
+        Err(e) => println!("\nBENCH_7.json not written ({e}) — continuing"),
     }
 }
 

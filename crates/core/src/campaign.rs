@@ -1,0 +1,112 @@
+//! Deterministic parallel campaign runner — the simulation farm's top
+//! layer.
+//!
+//! A campaign fans N parameterized runs (typically each working on a
+//! [`alia_sim::System::fork`] of one prepared snapshot) over a pool of
+//! worker threads and merges the results into a summary **sorted by
+//! run key**. The work queue is a single atomic index over the key
+//! vector: workers race for keys, but every run is keyed, every result
+//! is slotted back at its key's position, and the merged vector is
+//! returned in key order — so the summary is bit-identical no matter
+//! how many workers ran or how the host interleaved them. Each run
+//! must itself be a deterministic function of its key (a forked
+//! `System` run to a fixed horizon is: see the thread-sweep tests in
+//! `alia-sim`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(&keys[i])` for every key on `threads` workers and returns
+/// the results **in key order**.
+///
+/// `threads` is clamped to `1..=keys.len()`. With one worker (or one
+/// key) the campaign runs inline on the caller's thread; otherwise the
+/// workers drain a shared atomic work queue, so long and short runs
+/// load-balance without any per-run thread spawn.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the campaign never swallows a failed
+/// run).
+pub fn run_campaign<K, R, F>(keys: &[K], threads: usize, f: F) -> Vec<R>
+where
+    K: Sync,
+    R: Send,
+    F: Fn(&K) -> R + Sync,
+{
+    let threads = threads.clamp(1, keys.len().max(1));
+    if threads == 1 {
+        return keys.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut done: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= keys.len() {
+                            break;
+                        }
+                        out.push((i, f(&keys[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    done.sort_by_key(|&(i, _)| i);
+    done.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_key_order() {
+        let keys: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = run_campaign(&keys, threads, |&k| k * k);
+            assert_eq!(out, keys.iter().map(|&k| k * k).collect::<Vec<_>>(), "t={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_count_exceeding_keys_is_clamped() {
+        let out = run_campaign(&[1u32, 2, 3], 64, |&k| k + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_campaign_is_empty() {
+        let out: Vec<u32> = run_campaign(&[] as &[u32], 4, |&k| k);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_run_lengths_still_merge_deterministically() {
+        // Longer runs for early keys force late keys to finish first on
+        // a multi-worker queue — order must still come out by key.
+        let keys: Vec<u64> = (0..40).collect();
+        let slow = run_campaign(&keys, 4, |&k| {
+            let mut acc = k;
+            for _ in 0..(40 - k) * 1_000 {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            (k, acc)
+        });
+        let inline = run_campaign(&keys, 1, |&k| {
+            let mut acc = k;
+            for _ in 0..(40 - k) * 1_000 {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            (k, acc)
+        });
+        assert_eq!(slow, inline);
+    }
+}

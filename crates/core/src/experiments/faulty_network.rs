@@ -25,20 +25,32 @@
 //!   routing table (counted, never forwarded), and once the wire is
 //!   clean again the sensor streams meet their clean-traffic bounds
 //!   end to end.
+//!
+//! * **Mid-mission recovery** ([`recovery_experiment`]): an executed
+//!   station's own transmitter is marched to bus-off by a corrupt
+//!   babble arm carrying its station id. The guest notices through its
+//!   error IRQ and the `ERR_STATE` mirror, requests recovery through
+//!   `ERR_RECOVER`, waits out the 128 × 11 recessive-bit interval,
+//!   rejoins as error-active and only then flies its mission — every
+//!   mission frame delivers, and post-rejoin latencies meet the
+//!   clean-traffic response bounds.
 
 use std::fmt;
 
 use alia_can::{
-    response_bound, response_bound_with_errors, BabbleArm, CanId, ErrorState, FaultPlan,
-    StateChange,
+    response_bound, response_bound_with_errors, BabbleArm, CanId, CanMessage, Delivery,
+    ErrorState, FaultPlan, StateChange,
 };
-use alia_sim::{CanController, Dma, StopReason, SystemConfig, SystemStop};
+use alia_sim::{
+    CanConfig, CanController, DeviceSpec, Dma, Machine, MachineConfig, StopReason, System,
+    SystemConfig, SystemStop, TimerConfig, CAN_BASE, TIMER_BASE,
+};
 
 use crate::{drive_system, CoreError};
 
 use super::gateway::{
-    build_gateway_topology, gateway_checksum, wire_streams, GatewayTopology, EDGE_CPB,
-    PERIOD_CYCLES, SENSOR_IDS,
+    asm_err, boot, build_gateway_topology, gateway_checksum, sink_machine, wire_streams,
+    GatewayTopology, EDGE_CPB, PERIOD_CYCLES, SENSOR_IDS,
 };
 
 /// Bit errors scheduled per burst.
@@ -485,6 +497,281 @@ pub fn babbling_idiot_experiment(frames: u32) -> Result<BabbleReport, CoreError>
     babbling_idiot_experiment_with(frames, SystemConfig::default())
 }
 
+/// The recovering station's id on the mission wire.
+const VICTIM_NODE: usize = 0;
+/// The mission sink's station id.
+const RECOVERY_SINK_NODE: usize = 1;
+/// The mission stream's identifier.
+const MISSION_ID: u32 = 0x123;
+/// Mission pacing, cycles.
+const MISSION_PERIOD_CYCLES: u64 = 2_000;
+
+/// The mid-mission bus-off-recovery report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Mission frames the victim shipped after rejoining.
+    pub frames: u32,
+    /// The victim's final error state (must be [`ErrorState::Active`]).
+    pub victim_final: ErrorState,
+    /// The victim's error-state transitions, in wire order — the full
+    /// arc active → passive → bus-off → active.
+    pub transitions: Vec<StateChange>,
+    /// Error frames the fault storm burned on the wire.
+    pub error_frames: u64,
+    /// Bit time at which the victim rejoined as error-active (the
+    /// bus-off → active stamp).
+    pub rejoined_at: u64,
+    /// Earliest mission-frame enqueue, bit times — at or after
+    /// [`RecoveryReport::rejoined_at`]: the guest held its mission
+    /// until the wire took it back.
+    pub first_mission_enqueue: u64,
+    /// Whether the sink checksum matched the closed form (every
+    /// mission frame delivered exactly once).
+    pub checksum_ok: bool,
+    /// Worst mission latency vs the clean-traffic response bound —
+    /// a recovered station flies at full service.
+    pub mission: LatencyVsBound,
+    /// The wire's full delivery log as `(raw id, completion bit time,
+    /// attempt, is_data)` — the determinism signature.
+    pub wire_log: Vec<(u32, u64, u32, bool)>,
+}
+
+impl RecoveryReport {
+    /// Whether the station recovered cleanly: the full error-state arc
+    /// observed, the mission held until rejoin, every frame delivered,
+    /// latencies within the clean bound.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.victim_final == ErrorState::Active
+            && self.checksum_ok
+            && self.mission.ok()
+            && self.rejoined_at > 0
+            && self.first_mission_enqueue >= self.rejoined_at
+            && self
+                .transitions
+                .iter()
+                .map(|c| (c.from, c.to))
+                .eq([
+                    (ErrorState::Active, ErrorState::Passive),
+                    (ErrorState::Passive, ErrorState::BusOff),
+                    (ErrorState::BusOff, ErrorState::Active),
+                ])
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "recovery: node {VICTIM_NODE} ended {:?} after {} error frames, rejoined at bit \
+             {}, first mission enqueue at bit {}, checksum {}",
+            self.victim_final,
+            self.error_frames,
+            self.rejoined_at,
+            self.first_mission_enqueue,
+            if self.checksum_ok { "ok" } else { "BROKEN" }
+        )?;
+        for t in &self.transitions {
+            writeln!(f, "  bit {:>6}: {:?} -> {:?}", t.at, t.from, t.to)?;
+        }
+        write!(
+            f,
+            "  mission {:#x}: worst {} <= clean bound {} bits{}",
+            self.mission.id,
+            self.mission.worst,
+            self.mission.bound,
+            if self.mission.ok() { "" } else { "  VIOLATED" }
+        )
+    }
+}
+
+/// The recovery sink's expected checksum: id plus payload `k` for each
+/// mission frame.
+fn recovery_checksum(frames: u32) -> u32 {
+    (0..frames).map(|k| MISSION_ID + k).sum()
+}
+
+/// Builds the victim: a station whose guest sleeps through the fault
+/// storm (woken by its error IRQ), requests `ERR_RECOVER` once the
+/// `ERR_STATE` mirror reads bus-off, waits for error-active, and only
+/// then starts its mission timer and ships `frames` frames.
+fn victim_machine(
+    frames: u32,
+    wire: &alia_sim::SharedCanBus,
+    asm: &impl Fn(&str) -> Result<Vec<u8>, CoreError>,
+) -> Result<Machine, CoreError> {
+    let mut config = MachineConfig::m3_like();
+    config.devices = vec![
+        DeviceSpec::Timer(TimerConfig {
+            base: TIMER_BASE,
+            irq: 0,
+            compare: MISSION_PERIOD_CYCLES as u32,
+        }),
+        DeviceSpec::SharedCan(
+            CanConfig { base: CAN_BASE, irq: 1, node: VICTIM_NODE, ..CanConfig::default() },
+            wire.clone(),
+        ),
+    ];
+    // ERR_STATE (offset 48) mirrors 0 active / 1 passive / 2 bus-off;
+    // any write to ERR_RECOVER (offset 60) requests recovery. The
+    // error IRQ (line 4) wakes each WFI at the exact transition stamp.
+    let main = asm(&format!(
+        "movw r0, #0x2000
+         movt r0, #0x4000
+         offwait: wfi
+         ldr r1, [r0, #48]
+         cmp r1, #2
+         bne offwait
+         str r1, [r0, #60]
+         onwait: wfi
+         ldr r1, [r0, #48]
+         cmp r1, #0
+         bne onwait
+         movw r0, #0x1000
+         movt r0, #0x4000
+         movw r1, #{MISSION_PERIOD_CYCLES}
+         str r1, [r0, #4]
+         mov r1, #3
+         str r1, [r0, #0]
+         sleep: wfi
+         cmp r4, #{frames}
+         blt sleep
+         bkpt #0"
+    ))?;
+    let tick = asm(&format!(
+        "movw r0, #0x2000
+         movt r0, #0x4000
+         cmp r4, #{frames}
+         bge done
+         movw r1, #{MISSION_ID}
+         str r1, [r0, #0]
+         mov r1, #4
+         str r1, [r0, #4]
+         str r4, [r0, #8]
+         mov r1, #0
+         str r1, [r0, #12]
+         str r1, [r0, #16]
+         add r4, r4, #1
+         done: bx lr"
+    ))?;
+    let err_stub = asm("bx lr")?;
+    let mut m = Machine::new(config);
+    m.load_flash(0x200, &tick);
+    m.load_flash(0x300, &err_stub);
+    m.load_flash(0, &0x200u32.to_le_bytes()); // vector: timer (irq 0)
+    m.load_flash(16, &0x300u32.to_le_bytes()); // vector: error state (irq 4)
+    Ok(boot(m, &main))
+}
+
+/// Runs the mid-mission bus-off-recovery study with explicit scheduler
+/// knobs (the determinism sweep relies on bit-identical reports).
+///
+/// # Errors
+///
+/// Fails when the system does not complete or a node halts abnormally.
+///
+/// # Panics
+///
+/// Panics when `frames` is not in `1..=100` (the guests compare it
+/// against an 8-bit immediate).
+pub fn recovery_experiment_with(
+    frames: u32,
+    scheduler: SystemConfig,
+) -> Result<RecoveryReport, CoreError> {
+    assert!((1..=100).contains(&frames), "frames must fit an 8-bit compare immediate");
+    let asm = asm_err(MachineConfig::m3_like().mode);
+    let mut system = System::with_config(scheduler);
+    let wire = system.add_wire("mission", EDGE_CPB);
+    system.add_node("victim", victim_machine(frames, &wire, &asm)?);
+    let sink = system
+        .add_node("sink", sink_machine(frames, RECOVERY_SINK_NODE, None, &wire, &asm)?);
+
+    // The fault storm poses as the victim's own transmitter: every
+    // corrupt attempt charges the victim's TEC (+8 each, 32 attempts
+    // to bus-off); attempts past bus-off are confined.
+    let mut plan = FaultPlan::new();
+    plan.add_babbler(BabbleArm {
+        node: VICTIM_NODE,
+        id: CanId::Standard(0x008),
+        dlc: 1,
+        start: 40,
+        period: 10,
+        frames: 40,
+        corrupt: true,
+    });
+    wire.set_fault_plan(plan);
+
+    let run = drive_system(&mut system, 50_000_000);
+    if run.result.reason != SystemStop::AllHalted {
+        return Err(CoreError::Run {
+            what: format!(
+                "recovery mission hit the horizon: {:?}",
+                system
+                    .nodes()
+                    .iter()
+                    .map(|n| (n.name().to_string(), n.halted()))
+                    .collect::<Vec<_>>()
+            ),
+        });
+    }
+    let Some(StopReason::MmioExit(checksum)) = system.node(sink).halted() else {
+        return Err(CoreError::Run {
+            what: format!("sink stopped with {:?}", system.node(sink).halted()),
+        });
+    };
+    system.settle_wires();
+
+    let transitions: Vec<StateChange> = wire
+        .state_log()
+        .into_iter()
+        .filter(|c| c.node == VICTIM_NODE)
+        .collect();
+    let rejoined_at = transitions
+        .iter()
+        .find(|c| c.from == ErrorState::BusOff && c.to == ErrorState::Active)
+        .map_or(0, |c| c.at);
+    let deliveries = wire.delivery_log();
+    let mission: Vec<&Delivery> = deliveries
+        .iter()
+        .filter(|d| d.is_data() && d.frame.id.raw() == MISSION_ID)
+        .collect();
+    let streams = vec![CanMessage {
+        id: MISSION_ID,
+        dlc: 4,
+        extended: false,
+        period: MISSION_PERIOD_CYCLES / EDGE_CPB,
+        jitter: 0,
+        deadline: MISSION_PERIOD_CYCLES / EDGE_CPB,
+    }];
+    Ok(RecoveryReport {
+        frames,
+        victim_final: wire.error_state(VICTIM_NODE),
+        transitions,
+        error_frames: wire.error_frames(),
+        rejoined_at,
+        first_mission_enqueue: mission.iter().map(|d| d.enqueued_at).min().unwrap_or(0),
+        checksum_ok: checksum == recovery_checksum(frames),
+        mission: LatencyVsBound {
+            id: MISSION_ID,
+            worst: mission.iter().map(|d| d.latency()).max().unwrap_or(0),
+            bound: response_bound(&streams, MISSION_ID).unwrap_or(0),
+        },
+        wire_log: deliveries
+            .iter()
+            .map(|d| (d.frame.id.raw(), d.completed_at, d.attempt, d.is_data()))
+            .collect(),
+    })
+}
+
+/// Runs the mid-mission bus-off-recovery study with default scheduling.
+///
+/// # Errors
+///
+/// Same contract as [`recovery_experiment_with`].
+pub fn recovery_experiment(frames: u32) -> Result<RecoveryReport, CoreError> {
+    recovery_experiment_with(frames, SystemConfig::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,5 +810,21 @@ mod tests {
         assert_eq!(r.rx_filtered, [u64::from(GARBAGE_FRAMES); 2]);
         assert_eq!(r.gateway_no_route, u64::from(GARBAGE_FRAMES));
         assert!(r.contained(), "containment failed: {r}");
+    }
+
+    #[test]
+    fn bus_off_station_recovers_and_flies_its_mission() {
+        let r = recovery_experiment(6).expect("completes");
+        assert_eq!(r.victim_final, ErrorState::Active, "the victim rejoined: {r}");
+        assert_eq!(r.error_frames, 32, "8 TEC per corrupt attempt, bus-off past 255");
+        assert_eq!(r.transitions.len(), 3, "active -> passive -> bus-off -> active: {r}");
+        assert!(
+            r.first_mission_enqueue > r.rejoined_at,
+            "the guest held its mission until the wire took it back: {r}"
+        );
+        assert!(r.checksum_ok, "every mission frame delivered exactly once: {r}");
+        assert!(r.mission.ok(), "a recovered station flies at full service: {r}");
+        assert!(r.recovered(), "recovery failed: {r}");
+        assert!(r.to_string().contains("recovery"));
     }
 }

@@ -30,7 +30,7 @@ use std::fmt;
 use alia_can::{can_utilization, response_bound, CanMessage};
 use alia_isa::Assembler;
 use alia_sim::{
-    CanConfig, CanController, DeviceSpec, Dma, DmaConfig, Machine, MachineConfig,
+    CanConfig, CanController, DeviceSpec, Dma, DmaConfig, Machine, MachineConfig, Node,
     SharedCanBus, StopReason, System, SystemConfig, SystemStop, CAN_BASE, DMA_BASE,
     SRAM_BASE, TIMER_BASE,
 };
@@ -101,12 +101,12 @@ pub struct GatewayExperiment {
     /// (stream, payload).
     pub end_to_end: Vec<u64>,
     /// Per-node local clocks at halt, in `add_node` order (the
-    /// determinism signature together with the delivery logs). `None`
-    /// for nodes that settled as parked-idle (`WfiIdle`): a parked
-    /// machine's clock rests at the last quantum boundary the scheduler
-    /// happened to use — a scheduler artifact, not architectural state
-    /// (the core never woke there).
-    pub node_cycles: Vec<Option<u64>>,
+    /// determinism signature together with the delivery logs).
+    /// Parked-idle nodes (`WfiIdle`) report the architectural
+    /// sleep-entry cycle of their final WFI sleep — the scheduler
+    /// normalizes parked clocks at quiescence, so every entry here is
+    /// schedule-independent; no exclusions.
+    pub node_cycles: Vec<u64>,
     /// Per-wire delivery logs as `(raw id, completion cycle)`.
     pub delivery_logs: Vec<Vec<(u32, u64)>>,
     /// Scheduler quanta executed.
@@ -610,14 +610,7 @@ pub fn gateway_experiment_with(
         forwards,
         wires,
         end_to_end,
-        node_cycles: system
-            .nodes()
-            .iter()
-            .map(|n| match n.halted() {
-                Some(StopReason::WfiIdle) => None,
-                _ => Some(n.cycles()),
-            })
-            .collect(),
+        node_cycles: system.nodes().iter().map(Node::cycles).collect(),
         delivery_logs,
         quanta: run.result.quanta,
     })

@@ -12,10 +12,12 @@
 //! | E8 | §1/§4 | [`network_experiment`] |
 //! | E9 | §3.2.2 | [`flash_patch_experiment`] |
 //! | E10 | §1/§4 (executed) | [`gateway_experiment`] |
-//! | E11 | §1/§4 (faults) | [`error_burst_experiment`] / [`babbling_idiot_experiment`] |
+//! | E11 | §1/§4 (faults) | [`error_burst_experiment`] / [`babbling_idiot_experiment`] / [`recovery_experiment`] |
+//! | E12 | §1/§4 (campaigns) | [`farm_experiment`] |
 
 pub mod ablations;
 pub mod bitband;
+pub mod farm;
 pub mod faulty_network;
 pub mod flash;
 pub mod flash_patch;
@@ -29,9 +31,11 @@ pub mod table1;
 
 pub use ablations::{predication_ablation, PredicationAblation};
 pub use bitband::{bitband_experiment, BitbandExperiment};
+pub use farm::{farm_experiment, FarmExperiment, FlipCounts};
 pub use faulty_network::{
     babbling_idiot_experiment, babbling_idiot_experiment_with, error_burst_experiment,
-    error_burst_experiment_with, BabbleReport, ErrorBurstReport, LatencyVsBound,
+    error_burst_experiment_with, recovery_experiment, recovery_experiment_with, BabbleReport,
+    ErrorBurstReport, LatencyVsBound, RecoveryReport,
 };
 pub use flash::{flash_experiment, FlashExperiment, FlashPoint};
 pub use flash_patch::{flash_patch_experiment, FlashPatchExperiment};

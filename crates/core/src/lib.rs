@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod experiments;
 mod runner;
 

@@ -154,7 +154,15 @@ impl Clone for Box<dyn Device> {
 
 /// A memory-mapped bus device. See the module docs for the contract
 /// (timing, ticking, IRQ signaling, revision counters).
-pub trait Device: fmt::Debug + DeviceClone {
+///
+/// `Send + Sync` are supertraits so a whole [`crate::Machine`] —
+/// devices included — can migrate to a worker thread (the parallel
+/// quantum scheduler, [`crate::SystemConfig::threads`]) and a prepared
+/// [`crate::System`] snapshot can be *shared by reference* across
+/// campaign workers that each [`crate::System::fork`] it. Mutation
+/// always happens through `&mut` (one worker owns one fork); shared
+/// state such as [`crate::SharedCanBus`] sits behind `Arc<Mutex<..>>`.
+pub trait Device: fmt::Debug + DeviceClone + Send + Sync {
     /// Short device name (diagnostics).
     fn name(&self) -> &'static str;
 

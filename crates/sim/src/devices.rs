@@ -55,9 +55,8 @@
 //! raises `err_irq` at its exact wire stamp.
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use alia_can::{
     CanBus, CanFrame, CanId, Delivery, DeliveryKind, ErrorState, FaultPlan, StateChange,
@@ -214,11 +213,21 @@ impl Device for Timer {
 /// Cloning the handle shares the wire (it is the attachment handle, not
 /// a deep copy) — which also means cloning a `Machine` carrying a shared
 /// controller yields a machine on the *same* wire.
+/// [`crate::System::fork`] deep-copies wires with
+/// [`SharedCanBus::fork_detached`] and rebinds the forked machines'
+/// controllers so a forked system is fully independent of the original.
+///
+/// The wire state sits behind a `Mutex` so nodes advanced on worker
+/// threads ([`crate::SystemConfig::threads`]) can enqueue concurrently;
+/// determinism is unaffected because arbitration orders the pending
+/// queue by `(id, enqueue time, node, per-node sequence)` — a total
+/// order independent of host insertion order — and the wire itself is
+/// only advanced in the scheduler's sequential boundary phase.
 #[derive(Debug, Clone)]
 pub struct SharedCanBus {
-    inner: Rc<RefCell<CanBus>>,
+    inner: Arc<Mutex<CanBus>>,
     cycles_per_bit: u64,
-    name: Rc<str>,
+    name: Arc<str>,
 }
 
 impl SharedCanBus {
@@ -234,9 +243,24 @@ impl SharedCanBus {
     #[must_use]
     pub fn named(name: impl Into<String>, cycles_per_bit: u64) -> SharedCanBus {
         SharedCanBus {
-            inner: Rc::new(RefCell::new(CanBus::new())),
+            inner: Arc::new(Mutex::new(CanBus::new())),
             cycles_per_bit: cycles_per_bit.max(1),
             name: name.into().into(),
+        }
+    }
+
+    /// A deep copy of the wire on a **new** identity: same name, same
+    /// bit rate, and a byte-for-byte clone of the current bus state
+    /// (pending queue, logs, stations, fault plan), but
+    /// [`SharedCanBus::same_wire`] is false against the original —
+    /// traffic on one never appears on the other. This is the wire half
+    /// of [`crate::System::fork`].
+    #[must_use]
+    pub fn fork_detached(&self) -> SharedCanBus {
+        SharedCanBus {
+            inner: Arc::new(Mutex::new(self.inner.lock().unwrap().clone())),
+            cycles_per_bit: self.cycles_per_bit,
+            name: Arc::clone(&self.name),
         }
     }
 
@@ -255,7 +279,7 @@ impl SharedCanBus {
     /// Whether two handles refer to the same physical wire.
     #[must_use]
     pub fn same_wire(&self, other: &SharedCanBus) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// The scheduler lookahead in core cycles: no frame enqueued at
@@ -273,51 +297,51 @@ impl SharedCanBus {
 
     /// Runs arbitration/transmission up to core cycle `cycle`.
     pub fn run_to_cycle(&self, cycle: u64) {
-        self.inner.borrow_mut().run(cycle / self.cycles_per_bit);
+        self.inner.lock().unwrap().run(cycle / self.cycles_per_bit);
     }
 
     /// The core cycle at which the frame currently on the wire
     /// completes (a scheduler may extend its quantum to this point).
     #[must_use]
     pub fn busy_until_cycle(&self) -> u64 {
-        self.inner.borrow().busy_until().saturating_mul(self.cycles_per_bit)
+        self.inner.lock().unwrap().busy_until().saturating_mul(self.cycles_per_bit)
     }
 
     /// Frames queued but not yet transmitted.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.inner.borrow().pending()
+        self.inner.lock().unwrap().pending()
     }
 
     /// Number of deliveries completed so far.
     #[must_use]
     pub fn deliveries_len(&self) -> usize {
-        self.inner.borrow().deliveries().len()
+        self.inner.lock().unwrap().deliveries().len()
     }
 
     /// The `i`-th delivery, if completed.
     #[must_use]
     pub fn delivery(&self, i: usize) -> Option<Delivery> {
-        self.inner.borrow().deliveries().get(i).copied()
+        self.inner.lock().unwrap().deliveries().get(i).copied()
     }
 
     /// A snapshot of the full delivery log (determinism tests compare
     /// these across scheduler configurations).
     #[must_use]
     pub fn delivery_log(&self) -> Vec<Delivery> {
-        self.inner.borrow().deliveries().to_vec()
+        self.inner.lock().unwrap().deliveries().to_vec()
     }
 
     /// Wire utilization over elapsed bus time.
     #[must_use]
     pub fn utilization(&self) -> f64 {
-        self.inner.borrow().utilization()
+        self.inner.lock().unwrap().utilization()
     }
 
     /// Worst observed queue-to-completion latency for `id`, bit times.
     #[must_use]
     pub fn worst_latency(&self, id: CanId) -> Option<u64> {
-        self.inner.borrow().worst_latency(id)
+        self.inner.lock().unwrap().worst_latency(id)
     }
 
     /// Worst observed latency for every distinct id on the wire (bit
@@ -325,7 +349,7 @@ impl SharedCanBus {
     /// executed-vs-analytic validation feeds to `alia_can::response_bound`.
     #[must_use]
     pub fn worst_latencies(&self) -> Vec<(CanId, u64)> {
-        self.inner.borrow().worst_latencies()
+        self.inner.lock().unwrap().worst_latencies()
     }
 
     /// Utilization over the active window (first enqueue to last
@@ -333,61 +357,61 @@ impl SharedCanBus {
     /// of the offered load. `None` before the first delivery.
     #[must_use]
     pub fn span_utilization(&self) -> Option<f64> {
-        self.inner.borrow().span_utilization()
+        self.inner.lock().unwrap().span_utilization()
     }
 
     /// Transmits everything still queued ([`CanBus::settle`]) so
     /// utilization and latency reports account for every guest-enqueued
     /// frame, even ones submitted just before a machine halted.
     pub fn settle(&self) {
-        self.inner.borrow_mut().settle();
+        self.inner.lock().unwrap().settle();
     }
 
     /// Installs a [`FaultPlan`] on the wire: scheduled bit errors and
     /// babbling-idiot arms take effect as wire time advances.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
-        self.inner.borrow_mut().set_fault_plan(plan);
+        self.inner.lock().unwrap().set_fault_plan(plan);
     }
 
     /// Registers a station on the wire (attached controllers do this
     /// automatically) so its REC observes errors before it transmits.
     pub fn register_node(&self, node: usize) {
-        self.inner.borrow_mut().register_node(node);
+        self.inner.lock().unwrap().register_node(node);
     }
 
     /// Requests bus-off recovery for `node` at core cycle `at_cycle`.
     pub fn request_recovery(&self, node: usize, at_cycle: u64) {
-        self.inner.borrow_mut().request_recovery(node, at_cycle / self.cycles_per_bit);
+        self.inner.lock().unwrap().request_recovery(node, at_cycle / self.cycles_per_bit);
     }
 
     /// The station's error state as of processed wire time.
     #[must_use]
     pub fn error_state(&self, node: usize) -> ErrorState {
-        self.inner.borrow().error_state(node)
+        self.inner.lock().unwrap().error_state(node)
     }
 
     /// The station's transmit error counter.
     #[must_use]
     pub fn tec(&self, node: usize) -> u32 {
-        self.inner.borrow().tec(node)
+        self.inner.lock().unwrap().tec(node)
     }
 
     /// The station's receive error counter.
     #[must_use]
     pub fn rec(&self, node: usize) -> u32 {
-        self.inner.borrow().rec(node)
+        self.inner.lock().unwrap().rec(node)
     }
 
     /// Number of error-state transitions logged so far.
     #[must_use]
     pub fn state_log_len(&self) -> usize {
-        self.inner.borrow().state_log().len()
+        self.inner.lock().unwrap().state_log().len()
     }
 
     /// The `i`-th error-state transition, if logged.
     #[must_use]
     pub fn state_change(&self, i: usize) -> Option<StateChange> {
-        self.inner.borrow().state_log().get(i).copied()
+        self.inner.lock().unwrap().state_log().get(i).copied()
     }
 
     /// A snapshot of the error-state transition log (determinism sweeps
@@ -395,37 +419,37 @@ impl SharedCanBus {
     /// log).
     #[must_use]
     pub fn state_log(&self) -> Vec<StateChange> {
-        self.inner.borrow().state_log().to_vec()
+        self.inner.lock().unwrap().state_log().to_vec()
     }
 
     /// Error frames signalled on the wire so far.
     #[must_use]
     pub fn error_frames(&self) -> u64 {
-        self.inner.borrow().error_frames()
+        self.inner.lock().unwrap().error_frames()
     }
 
     /// Scheduled bit errors consumed by transmissions.
     #[must_use]
     pub fn injections_consumed(&self) -> u64 {
-        self.inner.borrow().injections_consumed()
+        self.inner.lock().unwrap().injections_consumed()
     }
 
     /// Scheduled bit errors that expired on an idle wire.
     #[must_use]
     pub fn injections_expired(&self) -> u64 {
-        self.inner.borrow().injections_expired()
+        self.inner.lock().unwrap().injections_expired()
     }
 
     /// Enqueues rejected because the submitting node was bus-off.
     #[must_use]
     pub fn rejected_tx(&self) -> u64 {
-        self.inner.borrow().rejected_tx()
+        self.inner.lock().unwrap().rejected_tx()
     }
 
     /// Queued frames purged when their node went bus-off.
     #[must_use]
     pub fn purged_tx(&self) -> u64 {
-        self.inner.borrow().purged_tx()
+        self.inner.lock().unwrap().purged_tx()
     }
 
     /// The next core cycle at which the wire's fault plan generates
@@ -436,13 +460,14 @@ impl SharedCanBus {
     #[must_use]
     pub fn next_fault_cycle(&self) -> Option<u64> {
         self.inner
-            .borrow()
+            .lock()
+            .unwrap()
             .next_fault_event()
             .map(|at| at.saturating_mul(self.cycles_per_bit))
     }
 
     pub(crate) fn enqueue(&self, at_bits: u64, node: usize, frame: CanFrame) {
-        self.inner.borrow_mut().enqueue(at_bits, node, frame);
+        self.inner.lock().unwrap().enqueue(at_bits, node, frame);
     }
 }
 
@@ -724,6 +749,20 @@ impl CanController {
         match &mut self.wire {
             Wire::Owned(bus) => bus.set_fault_plan(plan),
             Wire::Shared(s) => s.set_fault_plan(plan),
+        }
+    }
+
+    /// Rebinds a shared-wire attachment onto the forked copy of its
+    /// wire: `from` and `to` are parallel wire sets (the original
+    /// system's and the fork's), and the controller's wire is matched
+    /// against `from` by identity. Owned wires (already deep-copied
+    /// with the controller) and wires outside `from` are untouched.
+    /// This is [`crate::System::fork`]'s device walk.
+    pub(crate) fn rebind_shared_wire(&mut self, from: &[SharedCanBus], to: &[SharedCanBus]) {
+        if let Wire::Shared(s) = &mut self.wire {
+            if let Some(i) = from.iter().position(|w| w.same_wire(s)) {
+                *s = to[i].clone();
+            }
         }
     }
 

@@ -207,6 +207,18 @@ impl Dma {
         &self.wires[1]
     }
 
+    /// Rebinds both wire attachments onto their forked copies: `from`
+    /// and `to` are parallel wire sets (the original system's and the
+    /// fork's), matched by identity. [`crate::System::fork`]'s device
+    /// walk for gateway engines.
+    pub(crate) fn rebind_wires(&mut self, from: &[SharedCanBus], to: &[SharedCanBus]) {
+        for w in &mut self.wires {
+            if let Some(i) = from.iter().position(|x| x.same_wire(w)) {
+                *w = to[i].clone();
+            }
+        }
+    }
+
     /// The engine's node id on the given side (0 = wire A, 1 = wire B).
     #[must_use]
     pub fn node_on(&self, side: usize) -> usize {

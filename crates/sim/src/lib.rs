@@ -128,7 +128,8 @@ pub use devices::{
 pub use dma::{Dma, DmaConfig, DMA_ROUTES};
 pub use irq::{IrqController, IrqStyle, IrqTiming};
 pub use machine::{
-    DeviceSpec, IrqLatency, Machine, MachineConfig, RunResult, StopReason, MMIO_IRQ_ACTIVE,
+    DeviceSpec, IrqLatency, Machine, MachineConfig, MachineSnapshot, RunResult, StopReason,
+    MMIO_IRQ_ACTIVE,
 };
 pub use predecode::{Predecode, PredecodeStats};
 pub use system::{Node, System, SystemConfig, SystemRunResult, SystemStop};

@@ -18,7 +18,7 @@ use crate::mem::{
     Access, Flash, FlashConfig, MemFault, Mmio, Sram, Tcm, BITBAND_BASE, FLASH_BASE, MMIO_BASE,
     SRAM_BASE, TCM_BASE,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::predecode::{BlockCache, Entry, Predecode, PredecodeStats, MAX_BLOCK_LEN};
 use crate::{Cache, CacheConfig, CoreTiming, FlashPatch, IrqController, IrqStyle, Lookup, Mpu,
@@ -272,6 +272,26 @@ fn never_in_block(instr: &Instr) -> bool {
     matches!(instr, Instr::Wfi | Instr::Bkpt { .. })
 }
 
+/// A frozen copy of a [`Machine`] taken by [`Machine::snapshot`]:
+/// restore it into the source machine ([`Machine::restore`]) or fork
+/// any number of independent machines from it
+/// ([`MachineSnapshot::to_machine`]). Cloning a snapshot is a dirty-page
+/// copy, so fanning a warmed-up machine across a campaign costs
+/// microseconds per fork, not memsets of the address space.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    state: Box<Machine>,
+}
+
+impl MachineSnapshot {
+    /// Materializes an independent machine from the snapshot. Each call
+    /// yields a fresh fork; the snapshot is unchanged.
+    #[must_use]
+    pub fn to_machine(&self) -> Machine {
+        self.state.as_ref().clone()
+    }
+}
+
 /// A complete simulated machine.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -336,6 +356,12 @@ pub struct Machine {
     /// machine resumes exactly as if the sleep had never been split at
     /// the boundary.
     wfi_parked: bool,
+    /// Cycle at which the current (or most recent) WFI sleep began —
+    /// the architectural sleep-entry moment. A sleep that turns out to
+    /// be terminal ([`StopReason::WfiIdle`], or a parked node in a
+    /// quiescent [`crate::System`]) reports its clock here, so WfiIdle
+    /// clocks never depend on where scheduler boundaries fell.
+    wfi_entry: u64,
 }
 
 impl Machine {
@@ -398,6 +424,7 @@ impl Machine {
             code_write_gen: 0,
             run_limit: u64::MAX,
             wfi_parked: false,
+            wfi_entry: 0,
             config,
         }
     }
@@ -429,6 +456,29 @@ impl Machine {
     #[must_use]
     pub fn high_end_like() -> Machine {
         Machine::new(MachineConfig::high_end_like())
+    }
+
+    /// A point-in-time copy of the whole machine: CPU, memories
+    /// (dirty-page copies — cost proportional to the touched footprint,
+    /// not the address-space size), devices, IRQ state, predecode and
+    /// block caches, WFI-park state. Restoring ([`Machine::restore`]) or
+    /// materializing ([`MachineSnapshot::to_machine`]) yields a machine
+    /// that runs bit-identically to the original from the snapshot
+    /// point — including snapshots taken mid-block or inside a parked
+    /// WFI sleep.
+    ///
+    /// A controller on a [`crate::SharedCanBus`] keeps its binding to
+    /// the *same* wire (the handle is the attachment, not the state);
+    /// use [`crate::System::fork`] to fork a whole topology onto
+    /// detached wire copies.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot { state: Box::new(self.clone()) }
+    }
+
+    /// Restores the machine to `snapshot` (see [`Machine::snapshot`]).
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        *self = snapshot.state.as_ref().clone();
     }
 
     /// Cycles consumed so far.
@@ -1064,7 +1114,7 @@ impl Machine {
         if !rec.entries.is_empty() {
             let end = rec.next_pc.wrapping_sub(1);
             self.blocks
-                .insert(rec.start, end, rec.stamp, Rc::from(rec.entries.as_slice()));
+                .insert(rec.start, end, rec.stamp, Arc::from(rec.entries.as_slice()));
         }
         rec.entries.clear();
         self.rec_spare = rec.entries;
@@ -1114,6 +1164,20 @@ impl Machine {
     #[must_use]
     pub fn idle_parked(&self) -> bool {
         self.wfi_parked && self.next_local_event() == u64::MAX
+    }
+
+    /// Rewinds a parked machine's clock to the architectural
+    /// sleep-entry cycle. Called by [`crate::System`] when it declares
+    /// quiescence: the park point was a scheduler boundary (a schedule
+    /// artifact), while the sleep-entry cycle is determined purely by
+    /// the guest's execution — so normalized WfiIdle clocks are
+    /// bit-identical across quantum sizes, orderings, idle-stretch and
+    /// thread counts. Must only be used on a terminal park (the node is
+    /// being halted and will never resume).
+    pub(crate) fn normalize_parked_clock(&mut self) {
+        if self.wfi_parked {
+            self.cycles = self.wfi_entry;
+        }
     }
 
     fn result(&self, reason: StopReason) -> RunResult {
@@ -1591,6 +1655,10 @@ impl Machine {
             Instr::Wfi => {
                 self.cycles += cost;
                 self.cpu.pc = next_pc;
+                // The architectural moment the core goes to sleep; kept
+                // so a sleep that never ends can report its clock here
+                // instead of wherever a bounded run parked it.
+                self.wfi_entry = self.cycles;
                 return self.sleep_until_irq();
             }
             // `Instr` is non_exhaustive; anything added later is a nop
@@ -1663,7 +1731,14 @@ impl Machine {
                 self.drain_due_irqs(self.cycles);
                 None
             }
-            None if self.run_limit == u64::MAX => Some(StopReason::WfiIdle),
+            None if self.run_limit == u64::MAX => {
+                // The sleep never ends: report the clock at the
+                // architectural sleep-entry cycle, not wherever an
+                // earlier bounded run happened to park it — WfiIdle
+                // clocks are then schedule-independent everywhere.
+                self.cycles = self.wfi_entry;
+                Some(StopReason::WfiIdle)
+            }
             _ => {
                 // Bounded run: the next event (if any) lies beyond the
                 // boundary. Park at the bound; the next step resumes
@@ -2027,6 +2102,116 @@ mod tests {
         let mut m = asm_machine(IsaMode::T2, "wfi");
         let r = m.run(1000);
         assert_eq!(r.reason, StopReason::WfiIdle);
+    }
+
+    #[test]
+    fn snapshot_mid_block_restores_bit_identically() {
+        // Snapshot taken at a bound landing inside the hot loop's basic
+        // block (warm predecode + block caches, recording in flight):
+        // the original, a restored machine, and a materialized fork
+        // must all finish with identical cycles/instret/registers.
+        let src = "mov r0, #0
+             movw r1, #40000
+             loop: add r0, r0, #1
+             sub r1, r1, #1
+             cmp r1, #0
+             bne loop
+             bkpt #0";
+        let mut m = asm_machine(IsaMode::T2, src);
+        let r = m.run_until(12_345);
+        assert_eq!(r.reason, StopReason::CycleLimit, "snapshot point is mid-run");
+        let snap = m.snapshot();
+        let mut fork = snap.to_machine();
+        let r_orig = m.run(10_000_000);
+        let r_fork = fork.run(10_000_000);
+        assert_eq!(r_orig.reason, StopReason::Bkpt(0));
+        assert_eq!(r_fork, r_orig);
+        assert_eq!(fork.cycles(), m.cycles());
+        assert_eq!(fork.instructions(), m.instructions());
+        assert_eq!(fork.cpu.regs, m.cpu.regs);
+        // Restoring rewinds the finished machine to the snapshot point
+        // and the rerun is bit-identical again.
+        m.restore(&snap);
+        assert_eq!(m.cycles(), snap.to_machine().cycles());
+        let r_again = m.run(10_000_000);
+        assert_eq!(r_again, r_orig);
+        assert_eq!(m.cpu.regs, fork.cpu.regs);
+    }
+
+    #[test]
+    fn snapshot_forks_diverge_on_divergent_inputs() {
+        // Two forks of one snapshot, one of them with a poked SRAM cell
+        // the guest reads *after* the fork point: results must differ —
+        // the forks share no storage (the dirty-page copy is a real
+        // copy).
+        let src = "movw r0, #0x0040
+             movt r0, #0x2000
+             movw r1, #2000
+             loop: sub r1, r1, #1
+             cmp r1, #0
+             bne loop
+             ldr r2, [r0]
+             movw r3, #2000
+             add r2, r2, r3
+             bkpt #0";
+        let mut m = asm_machine(IsaMode::T2, src);
+        m.run_until(500);
+        let snap = m.snapshot();
+        let mut a = snap.to_machine();
+        let mut b = snap.to_machine();
+        b.sram.write(0x40, 4, 1000);
+        a.run(1_000_000);
+        b.run(1_000_000);
+        assert_eq!(a.cpu.regs[2], 2000);
+        assert_eq!(b.cpu.regs[2], 3000, "fork b saw its own poked input");
+        // The original is unaffected by either fork.
+        m.run(1_000_000);
+        assert_eq!(m.cpu.regs[2], 2000);
+    }
+
+    #[test]
+    fn snapshot_of_wfi_parked_machine_resumes_exactly() {
+        // Park a timer-paced sleep at a bounded-run boundary, snapshot
+        // the parked machine, and check the fork wakes at the same
+        // cycle with the same IRQ latency stamps as the original.
+        let main = "movw r0, #0x1000
+             movt r0, #0x4000
+             movw r1, #5000
+             str r1, [r0, #4]
+             mov r1, #1
+             str r1, [r0, #0]
+             wfi
+             bkpt #0";
+        let build = || {
+            let mut config = MachineConfig::m3_like();
+            config.devices = vec![DeviceSpec::Timer(crate::TimerConfig {
+                base: crate::TIMER_BASE,
+                irq: 0,
+                compare: 5000,
+            })];
+            let out = Assembler::new(IsaMode::T2).assemble(main).expect("assembles");
+            let handler = Assembler::new(IsaMode::T2).assemble("bx lr").expect("assembles");
+            let mut m = Machine::new(config);
+            m.load_flash(0x100, &out.bytes);
+            m.load_flash(0x200, &handler.bytes);
+            m.load_flash(0, &0x200u32.to_le_bytes());
+            m.set_pc(0x100);
+            m.cpu.set_sp(SRAM_BASE + 0x8000);
+            m
+        };
+        let mut m = build();
+        let r = m.run_until(1_000);
+        assert_eq!(r.reason, StopReason::CycleLimit);
+        assert!(m.wfi_parked(), "the bound split the sleep");
+        let snap = m.snapshot();
+        let mut fork = snap.to_machine();
+        assert!(fork.wfi_parked(), "park state travels with the snapshot");
+        let r_orig = m.run(1_000_000);
+        let r_fork = fork.run(1_000_000);
+        assert_eq!(r_orig.reason, StopReason::Bkpt(0));
+        assert_eq!(r_fork, r_orig);
+        assert_eq!(fork.latencies(), m.latencies());
+        assert_eq!(fork.cycles(), m.cycles());
     }
 
     #[test]

@@ -48,10 +48,39 @@ mod zeroed {
     /// A zero-initialized byte array with page-granular dirty tracking.
     ///
     /// Invariant: every byte outside a dirty page is zero.
-    #[derive(Debug, Clone)]
+    #[derive(Debug)]
     pub struct ZeroedBytes {
         buf: Vec<u8>,
         dirty: Vec<u64>,
+    }
+
+    /// Dirty-page copy: the clone takes a pooled pre-zeroed buffer and
+    /// copies only the pages the original has written — the same-content
+    /// guarantee follows from the all-zero-outside-dirty invariant. This
+    /// is what makes `Machine::snapshot`/`System::fork` cost
+    /// proportional to the *touched* footprint (typically a few pages),
+    /// not the address-space size.
+    impl Clone for ZeroedBytes {
+        fn clone(&self) -> ZeroedBytes {
+            let mut out = ZeroedBytes::new(self.buf.len());
+            let page = 1usize << PAGE_SHIFT;
+            for (w, &bits) in self.dirty.iter().enumerate() {
+                if bits == 0 {
+                    continue;
+                }
+                for b in 0..64 {
+                    if bits & 1 << b != 0 {
+                        let start = (w * 64 + b) * page;
+                        if start < self.buf.len() {
+                            let end = (start + page).min(self.buf.len());
+                            out.buf[start..end].copy_from_slice(&self.buf[start..end]);
+                        }
+                    }
+                }
+            }
+            out.dirty.copy_from_slice(&self.dirty);
+            out
+        }
     }
 
     impl ZeroedBytes {

@@ -55,7 +55,7 @@
 //! are rare compared to steps, and a full clear makes the consistency
 //! argument one sentence long.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use alia_isa::{Cond, Instr};
 
@@ -408,9 +408,9 @@ pub(crate) struct BlockStats {
 struct Block {
     /// Start address (`TAG_EMPTY` = empty slot).
     start: u32,
-    /// The decoded run. Shared (`Rc`) so the executor can iterate the
+    /// The decoded run. Shared (`Arc`) so the executor can iterate the
     /// slice while the machine is mutably borrowed.
-    insts: Rc<[Entry]>,
+    insts: Arc<[Entry]>,
     /// Chain hints: `(exit pc, successor slot)`. A hint is only a
     /// shortcut — the executor re-verifies the successor's start tag,
     /// so stale hints (evicted or cleared successors) fail safe.
@@ -427,7 +427,7 @@ pub(crate) struct BlockCache {
     blocks: Vec<Block>,
     /// Shared empty run (cleared slots point here so their old entries
     /// are freed).
-    empty: Rc<[Entry]>,
+    empty: Arc<[Entry]>,
     stamp: u64,
     /// Watermark over cached block bytes (inclusive; `lo > hi` = empty).
     /// Kept separately from the instruction cache's watermark because
@@ -442,7 +442,7 @@ impl BlockCache {
     pub(crate) fn new(enabled: bool) -> BlockCache {
         BlockCache {
             blocks: Vec::new(),
-            empty: Rc::from(Vec::new().into_boxed_slice()),
+            empty: Arc::from(Vec::new().into_boxed_slice()),
             stamp: 0,
             lo: u32::MAX,
             hi: 0,
@@ -469,7 +469,7 @@ impl BlockCache {
     fn drop_blocks(&mut self) {
         for b in &mut self.blocks {
             b.start = TAG_EMPTY;
-            b.insts = Rc::clone(&self.empty);
+            b.insts = Arc::clone(&self.empty);
             b.links = [LINK_EMPTY; BLOCK_LINKS];
         }
         self.lo = u32::MAX;
@@ -502,15 +502,15 @@ impl BlockCache {
         }
     }
 
-    /// The block's decoded run (cheap `Rc` clone).
+    /// The block's decoded run (cheap `Arc` clone).
     #[inline]
-    pub(crate) fn insts(&self, slot: usize) -> Rc<[Entry]> {
-        Rc::clone(&self.blocks[slot].insts)
+    pub(crate) fn insts(&self, slot: usize) -> Arc<[Entry]> {
+        Arc::clone(&self.blocks[slot].insts)
     }
 
     /// Installs a block recorded under generation `stamp`, covering the
     /// byte range `[pc, end]` (inclusive). Returns its slot.
-    pub(crate) fn insert(&mut self, pc: u32, end: u32, stamp: u64, insts: Rc<[Entry]>) {
+    pub(crate) fn insert(&mut self, pc: u32, end: u32, stamp: u64, insts: Arc<[Entry]>) {
         if !self.enabled || self.stamp != stamp || insts.is_empty() {
             return;
         }
@@ -518,7 +518,7 @@ impl BlockCache {
             self.blocks = vec![
                 Block {
                     start: TAG_EMPTY,
-                    insts: Rc::clone(&self.empty),
+                    insts: Arc::clone(&self.empty),
                     links: [LINK_EMPTY; BLOCK_LINKS],
                 };
                 BLOCK_SLOTS
@@ -682,7 +682,7 @@ mod tests {
         assert!(p.lookup(0x100, 1).is_some());
     }
 
-    fn run(pcs: &[(u32, u32)]) -> Rc<[Entry]> {
+    fn run(pcs: &[(u32, u32)]) -> Arc<[Entry]> {
         pcs.iter().map(|&(pc, size)| entry(pc, size)).collect::<Vec<_>>().into()
     }
 

@@ -127,12 +127,12 @@ impl Node {
 
     /// The node's local clock (machine cycles).
     ///
-    /// For a node that settled as parked-idle
-    /// ([`StopReason::WfiIdle`]) the clock rests at the last quantum
-    /// boundary the scheduler used before detecting quiescence — a
-    /// scheduler artifact, not architectural state (the core slept
-    /// through it), so determinism comparisons should exclude
-    /// parked-idle nodes' clocks.
+    /// A node that settled as parked-idle ([`StopReason::WfiIdle`])
+    /// reports the architectural sleep-entry cycle of its final WFI
+    /// sleep — the scheduler normalizes the parked clock when it
+    /// declares quiescence, so *every* node's clock (parked-idle ones
+    /// included) is bit-identical across quantum sizes, node orderings,
+    /// idle-stretch and thread counts.
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.machine.cycles()
@@ -172,11 +172,19 @@ pub struct SystemConfig {
     /// execute — let alone transmit — inside the stretch). `false`
     /// keeps conservative quanta for determinism comparisons.
     pub idle_stretch: bool,
+    /// Worker threads for the node-advance phase of each quantum
+    /// (clamped to at least 1; 1 = the sequential scheduler). Inside a
+    /// quantum nodes only *read* frozen wire state and *append* to
+    /// pending queues whose arbitration order is a total order over
+    /// `(id, enqueue time, node, per-node seq)` — independent of host
+    /// interleaving — so results are bit-identical at any thread count;
+    /// the thread-sweep tests prove it, faults included.
+    pub threads: usize,
 }
 
 impl Default for SystemConfig {
     fn default() -> SystemConfig {
-        SystemConfig { quantum: None, rotate_order: false, idle_stretch: true }
+        SystemConfig { quantum: None, rotate_order: false, idle_stretch: true, threads: 1 }
     }
 }
 
@@ -201,6 +209,14 @@ pub struct SystemRunResult {
     /// Quanta executed (scheduler introspection).
     pub quanta: u64,
 }
+
+// The parallel quantum scheduler migrates whole nodes to scoped worker
+// threads; this must keep compiling if anyone adds non-Send state to
+// the machine stack.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Node>();
+};
 
 /// The `(wire, node id)` attachments carried by `machine`'s devices:
 /// one entry per shared CAN controller, two per DMA gateway engine
@@ -400,6 +416,56 @@ impl System {
         }
     }
 
+    /// The scheduler configuration.
+    #[must_use]
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// Replaces the scheduler configuration. Any configuration yields
+    /// bit-identical results (that is the scheduling contract), so a
+    /// forked system may freely change quantum, ordering, idle-stretch
+    /// or thread count between runs.
+    pub fn set_config(&mut self, config: SystemConfig) {
+        self.config = config;
+    }
+
+    /// A fully independent deep copy of the whole topology: every node
+    /// is forked (dirty-page machine copies — see [`Machine::snapshot`]),
+    /// every wire is deep-copied onto a new identity
+    /// ([`SharedCanBus::fork_detached`]), and each forked node's shared
+    /// CAN controllers and DMA gateway engines are rebound to the
+    /// forked wires — matched by wire identity, so multi-wire
+    /// topologies fork correctly. Traffic in the fork never appears on
+    /// the original's wires or vice versa, and both systems continue
+    /// bit-identically from the fork point given identical inputs.
+    ///
+    /// Forking a warmed-up topology costs microseconds (proportional to
+    /// the touched memory footprint), which is what makes campaign
+    /// fan-out cheap: build and warm one system, fork it per run.
+    #[must_use]
+    pub fn fork(&self) -> System {
+        let wires: Vec<SharedCanBus> =
+            self.wires.iter().map(SharedCanBus::fork_detached).collect();
+        let mut nodes = self.nodes.clone();
+        for node in &mut nodes {
+            for d in node.machine.bus.devices_mut() {
+                if let Some(c) = d.as_any_mut().downcast_mut::<CanController>() {
+                    c.rebind_shared_wire(&self.wires, &wires);
+                } else if let Some(g) = d.as_any_mut().downcast_mut::<Dma>() {
+                    g.rebind_wires(&self.wires, &wires);
+                }
+            }
+        }
+        System {
+            nodes,
+            wires,
+            config: self.config,
+            now: self.now,
+            quanta: self.quanta,
+        }
+    }
+
     /// The effective quantum in cycles: the configured override clamped
     /// to the **minimum lookahead over all wires** (a frame on the
     /// fastest-lookahead wire is the earliest anything enqueued this
@@ -494,19 +560,59 @@ impl System {
                     boundary = boundary.max(wake);
                 }
             }
-            let boundary = boundary.min(horizon);
+            let mut boundary = boundary.min(horizon);
+            // Never leap over a wire's scheduled fault event (a babble
+            // arm's next enqueue or a bus-off recovery completion).
+            // Busy wires already pin boundaries to their completion
+            // stamps (above), but a fault event can fire on an *idle*
+            // wire — landing the boundary exactly on its stamp keeps
+            // the IRQs it raises (and so parked nodes' wake cycles)
+            // bit-identical across quantum sizes and the idle-stretch.
+            for wire in &self.wires {
+                if let Some(fault) = wire.next_fault_cycle() {
+                    if fault > self.now && fault < boundary {
+                        boundary = fault;
+                    }
+                }
+            }
+            let boundary = boundary;
             // 1. Every live node runs to the boundary. The service
             // order is immaterial (nodes only interact through the
             // wires, which are parked until step 2); `rotate_order`
-            // exists to prove that.
+            // exists to prove that, and the same argument is what lets
+            // the worker pool run nodes concurrently: within a quantum
+            // a node only appends to pending wire queues (arbitrated by
+            // a host-order-independent total order at step 2) and reads
+            // delivery/state log prefixes frozen since the last
+            // boundary.
             let n = self.nodes.len();
-            let offset = if self.config.rotate_order && n > 0 {
-                (self.quanta as usize) % n
+            let workers = self.config.threads.max(1).min(n.max(1));
+            if workers > 1 {
+                let chunk = n.div_ceil(workers);
+                std::thread::scope(|scope| {
+                    let mut chunks = self.nodes.chunks_mut(chunk);
+                    let first = chunks.next();
+                    for rest in chunks {
+                        scope.spawn(move || {
+                            for node in rest {
+                                node.run_until(boundary);
+                            }
+                        });
+                    }
+                    // The scheduler thread takes the first chunk itself.
+                    for node in first.into_iter().flatten() {
+                        node.run_until(boundary);
+                    }
+                });
             } else {
-                0
-            };
-            for i in 0..n {
-                self.nodes[(i + offset) % n].run_until(boundary);
+                let offset = if self.config.rotate_order && n > 0 {
+                    (self.quanta as usize) % n
+                } else {
+                    0
+                };
+                for i in 0..n {
+                    self.nodes[(i + offset) % n].run_until(boundary);
+                }
             }
             // 2. Every wire arbitrates everything enqueued this quantum.
             // 3. Wire clients (controllers, gateways) re-arm at their
@@ -554,6 +660,11 @@ impl System {
             {
                 for n in &mut self.nodes {
                     if n.halted.is_none() {
+                        // The park point was a scheduler boundary; the
+                        // architectural sleep-entry cycle is what the
+                        // node's clock reports from here on (see
+                        // `Node::cycles`).
+                        n.machine.normalize_parked_clock();
                         n.halted = Some(StopReason::WfiIdle);
                     }
                 }
@@ -1115,6 +1226,127 @@ mod tests {
             fast.quanta(),
             base.quanta()
         );
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        // The parallel node-advance phase must not move a single bit:
+        // clocks, registers, IRQ stamps and the wire log at 2/4/8
+        // worker threads all equal the sequential scheduler's.
+        let frames = 6u32;
+        let mut base = sleepy_exchange(SystemConfig::default(), frames);
+        let rb = base.run(10_000_000);
+        assert_eq!(rb.reason, SystemStop::AllHalted);
+        for threads in [2, 4, 8] {
+            let mut par = sleepy_exchange(
+                SystemConfig { threads, ..SystemConfig::default() },
+                frames,
+            );
+            let rp = par.run(10_000_000);
+            assert_eq!(rp.reason, rb.reason, "threads={threads}");
+            for i in 0..2 {
+                assert_eq!(par.node(i).halted(), base.node(i).halted(), "t={threads} node {i}");
+                assert_eq!(par.node(i).cycles(), base.node(i).cycles(), "t={threads} node {i}");
+                assert_eq!(
+                    par.node(i).machine().cpu.regs,
+                    base.node(i).machine().cpu.regs,
+                    "t={threads} node {i} registers"
+                );
+                assert_eq!(
+                    par.node(i).machine().latencies(),
+                    base.node(i).machine().latencies(),
+                    "t={threads} node {i} IRQ stamps"
+                );
+            }
+            assert_eq!(
+                par.wire().unwrap().delivery_log(),
+                base.wire().unwrap().delivery_log(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_mid_mission_is_independent_and_bit_identical() {
+        let frames = 6u32;
+        let mut sys = sleepy_exchange(SystemConfig::default(), frames);
+        let r = sys.run(5_000);
+        assert_eq!(r.reason, SystemStop::Horizon, "fork point is mid-mission");
+        let mut clean = sys.fork();
+        let mut dirty = sys.fork();
+        // The forks live on their own wires: identical names, new
+        // identities.
+        assert_eq!(clean.wire().unwrap().name(), sys.wire().unwrap().name());
+        assert!(!clean.wire().unwrap().same_wire(sys.wire().unwrap()));
+        assert!(!clean.wire().unwrap().same_wire(dirty.wire().unwrap()));
+        // Fork state starts where the original is.
+        assert_eq!(clean.now(), sys.now());
+        assert_eq!(clean.node(0).cycles(), sys.node(0).cycles());
+        // An extra frame injected on the dirty fork's wire must never
+        // leak into the original or the clean fork. It poses as the
+        // producer (station 0) so only the consumer receives it.
+        dirty.wire().unwrap().enqueue(
+            dirty.now() / 4 + 100,
+            0,
+            alia_can::CanFrame::new(alia_can::CanId::Standard(0x0F), &[0xEE]),
+        );
+        let r0 = sys.run(10_000_000);
+        let r1 = clean.run(10_000_000);
+        let r2 = dirty.run(10_000_000);
+        assert_eq!(r0.reason, SystemStop::AllHalted);
+        assert_eq!(r1, r0, "clean fork replays the original bit-identically");
+        for i in 0..2 {
+            assert_eq!(clean.node(i).halted(), sys.node(i).halted(), "node {i}");
+            assert_eq!(clean.node(i).cycles(), sys.node(i).cycles(), "node {i} cycles");
+            assert_eq!(
+                clean.node(i).machine().cpu.regs,
+                sys.node(i).machine().cpu.regs,
+                "node {i} registers"
+            );
+        }
+        assert_eq!(
+            clean.wire().unwrap().delivery_log(),
+            sys.wire().unwrap().delivery_log()
+        );
+        // The dirty fork saw one more delivery (its injected frame) and
+        // a different consumer checksum — inputs diverged, so results
+        // diverged; the original's log is unchanged.
+        assert_eq!(r2.reason, SystemStop::AllHalted);
+        assert_eq!(
+            dirty.wire().unwrap().deliveries_len(),
+            sys.wire().unwrap().deliveries_len() + 1
+        );
+        assert_ne!(
+            dirty.node(1).machine().cpu.regs[6],
+            sys.node(1).machine().cpu.regs[6],
+            "the consumer checksum absorbed the injected frame"
+        );
+    }
+
+    #[test]
+    fn fork_rebinds_gateway_engine_wires() {
+        // A forked multi-wire topology: the Dma engine's two wire
+        // handles must point at the fork's wires, not the original's.
+        use crate::dma::DmaConfig;
+        use crate::DMA_BASE;
+        let mut sys = System::new();
+        let wa = sys.add_wire("sensor", 4);
+        let wb = sys.add_wire("backbone", 4);
+        let mut gconf = MachineConfig::m3_like();
+        gconf.devices = vec![DeviceSpec::Dma(
+            DmaConfig { base: DMA_BASE, irq: 3, node_a: 7, node_b: 7, latency: 32 },
+            wa.clone(),
+            wb.clone(),
+        )];
+        sys.add_node("gateway", machine(gconf, &asm("wfi\n bkpt #0")));
+        let fork = sys.fork();
+        let g = fork.node(0).machine().bus.device::<Dma>().expect("engine");
+        assert!(g.wire_a().same_wire(fork.wire_named("sensor").unwrap()));
+        assert!(g.wire_b().same_wire(fork.wire_named("backbone").unwrap()));
+        assert!(!g.wire_a().same_wire(&wa), "fork left the original wire");
+        assert!(!g.wire_b().same_wire(&wb));
+        let orig = sys.node(0).machine().bus.device::<Dma>().expect("engine");
+        assert!(orig.wire_a().same_wire(&wa), "original untouched");
     }
 
     #[test]

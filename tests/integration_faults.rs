@@ -8,19 +8,21 @@
 use alia_can::ErrorState;
 use alia_core::experiments::{
     babbling_idiot_experiment, babbling_idiot_experiment_with, error_burst_experiment,
-    error_burst_experiment_with,
+    error_burst_experiment_with, recovery_experiment, recovery_experiment_with,
 };
 use alia_core::prelude::sim::SystemConfig;
 
 /// The scheduler sweep: quantum sizes through the middle of guest hot
-/// loops, rotated service orders, idle-stretch on and off.
-const SWEEP: [(Option<u64>, bool, bool); 6] = [
-    (None, true, true),
-    (None, false, false),
-    (Some(41), false, true),
-    (Some(97), true, false),
-    (Some(131), false, true),
-    (Some(1_000_000), false, true), // clamped to the min wire lookahead
+/// loops, rotated service orders, idle-stretch on and off, and worker
+/// thread counts for the parallel node-advance phase — fault artifacts
+/// must be bit-identical across all of it.
+const SWEEP: [(Option<u64>, bool, bool, usize); 6] = [
+    (None, true, true, 1),
+    (None, false, false, 4),
+    (Some(41), false, true, 2),
+    (Some(97), true, false, 8),
+    (Some(131), false, true, 3),
+    (Some(1_000_000), false, true, 2), // clamped to the min wire lookahead
 ];
 
 #[test]
@@ -33,14 +35,14 @@ fn error_burst_is_deterministic_across_schedules() {
     assert!(baseline.consumed >= 1, "the sweep must exercise real error frames");
     assert!(baseline.sensor_log.iter().any(|(_, _, _, data)| !data), "log shows error frames");
     assert!(baseline.sensor_log.iter().any(|(_, _, attempt, data)| *data && *attempt > 1));
-    for (quantum, rotate, stretch) in SWEEP {
+    for (quantum, rotate, stretch, threads) in SWEEP {
         let run = error_burst_experiment_with(
             8,
             11,
-            SystemConfig { quantum, rotate_order: rotate, idle_stretch: stretch },
+            SystemConfig { quantum, rotate_order: rotate, idle_stretch: stretch, threads },
         )
         .expect("completes");
-        assert_eq!(run, baseline, "q={quantum:?} r={rotate} s={stretch}");
+        assert_eq!(run, baseline, "q={quantum:?} r={rotate} s={stretch} t={threads}");
     }
 }
 
@@ -52,13 +54,31 @@ fn babbling_idiot_is_deterministic_across_schedules() {
     let baseline = babbling_idiot_experiment(4).expect("completes");
     assert_eq!(baseline.babbler_state, ErrorState::BusOff);
     assert_eq!(baseline.transitions.len(), 2);
-    for (quantum, rotate, stretch) in SWEEP {
+    for (quantum, rotate, stretch, threads) in SWEEP {
         let run = babbling_idiot_experiment_with(
             4,
-            SystemConfig { quantum, rotate_order: rotate, idle_stretch: stretch },
+            SystemConfig { quantum, rotate_order: rotate, idle_stretch: stretch, threads },
         )
         .expect("completes");
-        assert_eq!(run, baseline, "q={quantum:?} r={rotate} s={stretch}");
+        assert_eq!(run, baseline, "q={quantum:?} r={rotate} s={stretch} t={threads}");
+    }
+}
+
+#[test]
+fn mid_mission_recovery_is_deterministic_across_schedules() {
+    // The recovery arc — error IRQ wakes, the guest's ERR_RECOVER
+    // write, the 128 x 11-bit rejoin stamp, the held-back mission —
+    // involves guest time, wire time and the scheduler at once; the
+    // whole report must still be schedule-independent.
+    let baseline = recovery_experiment(6).expect("completes");
+    assert!(baseline.recovered(), "baseline must recover: {baseline}");
+    for (quantum, rotate, stretch, threads) in SWEEP {
+        let run = recovery_experiment_with(
+            6,
+            SystemConfig { quantum, rotate_order: rotate, idle_stretch: stretch, threads },
+        )
+        .expect("completes");
+        assert_eq!(run, baseline, "q={quantum:?} r={rotate} s={stretch} t={threads}");
     }
 }
 

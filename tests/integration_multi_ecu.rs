@@ -256,25 +256,26 @@ fn gateway_topology_is_deterministic_across_schedules() {
     use alia_core::prelude::sim::SystemConfig;
     let baseline = gateway_experiment(10).expect("completes");
     assert_eq!(baseline.checksum, gateway_checksum(10));
-    // Sensors and sink halt architecturally (their clocks are part of
-    // the signature); the gateways settle as parked-idle, whose clocks
-    // are a scheduler artifact and are recorded as None.
-    assert!(baseline.node_cycles[0].is_some() && baseline.node_cycles[4].is_some());
-    assert!(baseline.node_cycles[2].is_none() && baseline.node_cycles[3].is_none());
-    for (quantum, rotate, stretch) in [
-        (None, true, true),
-        (None, false, false),
-        (Some(41), false, true),
-        (Some(97), true, false),
-        (Some(131), false, true),
-        (Some(1_000_000), false, true), // clamped to the min wire lookahead
+    // Every node's clock is part of the signature — including the
+    // gateways, which settle as parked-idle: the scheduler normalizes
+    // parked clocks to the architectural sleep-entry cycle at
+    // quiescence, so no exclusions are needed.
+    assert_eq!(baseline.node_cycles.len(), 5);
+    assert!(baseline.node_cycles.iter().all(|&c| c > 0), "all clocks architectural");
+    for (quantum, rotate, stretch, threads) in [
+        (None, true, true, 1),
+        (None, false, false, 4),
+        (Some(41), false, true, 2),
+        (Some(97), true, false, 8),
+        (Some(131), false, true, 5),
+        (Some(1_000_000), false, true, 2), // clamped to the min wire lookahead
     ] {
         let run = gateway_experiment_with(
             10,
-            SystemConfig { quantum, rotate_order: rotate, idle_stretch: stretch },
+            SystemConfig { quantum, rotate_order: rotate, idle_stretch: stretch, threads },
         )
         .expect("completes");
-        let what = format!("q={quantum:?} r={rotate} s={stretch}");
+        let what = format!("q={quantum:?} r={rotate} s={stretch} t={threads}");
         assert_eq!(run.checksum, baseline.checksum, "{what}");
         assert_eq!(run.node_cycles, baseline.node_cycles, "{what}: node clocks");
         assert_eq!(run.delivery_logs, baseline.delivery_logs, "{what}: wire logs");
