@@ -14,6 +14,7 @@
 //! | E10 | §1/§4 (executed) | [`gateway_experiment`] |
 //! | E11 | §1/§4 (faults) | [`error_burst_experiment`] / [`babbling_idiot_experiment`] / [`recovery_experiment`] |
 //! | E12 | §1/§4 (campaigns) | [`farm_experiment`] |
+//! | E13 | §1/§4 (executed RTOS) | [`rtos_exec_experiment`] |
 
 pub mod ablations;
 pub mod bitband;
@@ -26,6 +27,7 @@ pub mod interrupt;
 pub mod ldm;
 pub mod mpu;
 pub mod network;
+pub mod rtos_exec;
 pub mod soft_error;
 pub mod table1;
 
@@ -49,6 +51,11 @@ pub use network::{
     guest_can_exchange, guest_can_exchange_checksum, multi_ecu_exchange, multi_ecu_exchange_with,
     multi_ecu_watchdog, network_experiment, GuestCanExchange, MultiEcuExchange, MultiEcuWatchdog,
     NetworkExperiment,
+};
+pub use rtos_exec::{
+    mission_tasks, rtos_exec_checksum, rtos_exec_experiment, rtos_exec_experiment_with,
+    rtos_jitter_point, rtos_jitter_study, JitterPoint, RtosExecExperiment, RtosJitterStudy,
+    TaskJitterRow,
 };
 pub use soft_error::{soft_error_experiment, CampaignArm, InjectTarget, SoftErrorExperiment};
 pub use table1::{

@@ -140,16 +140,18 @@ impl Assembler {
             items.push(Item::Instr { line, instr, target });
         }
 
-        // Pass 1: layout.
-        let mut offsets = Vec::with_capacity(items.len());
-        let mut pc = 0u32;
+        // Pass 1: layout, iterated to a fixed point. A T2 branch is
+        // narrow (2 bytes) or wide (4 bytes) depending on the resolved
+        // distance, and the distance depends on every earlier size, so
+        // start from the optimistic placeholder sizing and re-size with
+        // resolved offsets until nothing changes (sizes only grow, so
+        // this converges).
+        let mut sizes = Vec::with_capacity(items.len());
         for item in &items {
-            offsets.push(pc);
-            pc += match item {
+            sizes.push(match item {
                 Item::Instr { line, instr, target } => {
-                    // Size with a valid placeholder offset while the label
-                    // is unresolved (CBZ rejects offset 0; the size does
-                    // not depend on the offset for any branch form here).
+                    // Size with a valid placeholder offset while the
+                    // label is unresolved (CBZ rejects offset 0).
                     let mut sized = *instr;
                     if target.is_some() {
                         if let Instr::Cbz { offset, .. } = &mut sized {
@@ -159,18 +161,56 @@ impl Assembler {
                     sized.size(self.mode).map_err(|e| aerr(*line, e.to_string()))?
                 }
                 Item::Word(_) => 4,
-                Item::Align(a) => {
+                Item::Align(_) => 0, // recomputed per iteration below
+            });
+        }
+        let mut offsets = vec![0u32; items.len()];
+        let mut symbols = HashMap::new();
+        let mut pc;
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > 64 {
+                return Err(aerr(0, "branch layout did not converge"));
+            }
+            pc = 0u32;
+            for (idx, item) in items.iter().enumerate() {
+                if let Item::Align(a) = item {
                     if !a.is_power_of_two() {
                         return Err(aerr(0, "alignment must be a power of two"));
                     }
-                    (a - pc % a) % a
+                    sizes[idx] = (a - pc % a) % a;
                 }
-            };
-        }
-        let mut symbols = HashMap::new();
-        for (name, idx) in labels {
-            let off = offsets.get(idx).copied().unwrap_or(pc);
-            symbols.insert(name, off);
+                offsets[idx] = pc;
+                pc += sizes[idx];
+            }
+            symbols.clear();
+            for (name, idx) in &labels {
+                let off = offsets.get(*idx).copied().unwrap_or(pc);
+                symbols.insert(name.clone(), off);
+            }
+            let mut changed = false;
+            for (idx, item) in items.iter().enumerate() {
+                let Item::Instr { line, instr, target: Some(t) } = item else { continue };
+                let Some(dest) = symbols.get(t) else { continue }; // pass 2 reports it
+                let rel = *dest as i64 - i64::from(offsets[idx]);
+                let rel = i32::try_from(rel)
+                    .map_err(|_| aerr(*line, "branch distance overflow"))?;
+                let mut sized = *instr;
+                match &mut sized {
+                    Instr::B { offset, .. } | Instr::Bl { offset } => *offset = rel,
+                    Instr::Cbz { offset, .. } => *offset = if rel == 0 { 4 } else { rel },
+                    _ => unreachable!("only branches carry targets"),
+                }
+                let size = sized.size(self.mode).map_err(|e| aerr(*line, e.to_string()))?;
+                if size != sizes[idx] {
+                    sizes[idx] = size;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
         }
 
         // Pass 2: patch branch targets and emit.

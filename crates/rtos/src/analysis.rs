@@ -55,15 +55,68 @@ impl AnalysisTask {
 }
 
 /// Result of analysing one task.
+///
+/// Beyond the final bound the per-term decomposition is exposed, so an
+/// executed-vs-analytic comparison can report *which* term dominates:
+/// for a converged recurrence,
+/// `response = wcet + blocking + interference + jitter` holds exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskResponse {
     /// Worst-case response time, or `None` when the recurrence diverged
     /// past the deadline ceiling (unschedulable).
     pub response: Option<u64>,
-    /// Blocking term used.
+    /// The task's own execution term (`C_i`, echoed from the input).
+    pub wcet: u64,
+    /// Blocking term used (`B_i`).
     pub blocking: u64,
+    /// Total higher/equal-priority interference at the fixed point
+    /// (`Σ_j ceil((R_i + J_j)/T_j)·C_j`); the diverged value when
+    /// `response` is `None`.
+    pub interference: u64,
+    /// Release jitter added on top of the converged recurrence (`J_i`).
+    pub jitter: u64,
     /// Whether `response <= deadline`.
     pub schedulable: bool,
+}
+
+/// Which term of the response-time recurrence is largest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseTerm {
+    /// The task's own execution time dominates.
+    Execution,
+    /// Lower-priority blocking dominates.
+    Blocking,
+    /// Higher-priority interference dominates.
+    Interference,
+}
+
+impl TaskResponse {
+    /// The largest term of the decomposition (ties break toward
+    /// `Execution`, then `Blocking` — the more "intrinsic" causes).
+    #[must_use]
+    pub fn dominant_term(&self) -> ResponseTerm {
+        if self.wcet >= self.blocking && self.wcet >= self.interference {
+            ResponseTerm::Execution
+        } else if self.blocking >= self.interference {
+            ResponseTerm::Blocking
+        } else {
+            ResponseTerm::Interference
+        }
+    }
+}
+
+/// Per-interfering-task breakdown of task `i`'s interference at response
+/// `r`: one `(task index, ceil((r + J_j)/T_j)·C_j)` entry per
+/// higher/equal-priority task, in task-set order. Summing the entries at
+/// the converged response reproduces [`TaskResponse::interference`].
+#[must_use]
+pub fn interference_breakdown(tasks: &[AnalysisTask], i: usize, r: u64) -> Vec<(usize, u64)> {
+    tasks
+        .iter()
+        .enumerate()
+        .filter(|(j, o)| *j != i && o.priority >= tasks[i].priority)
+        .map(|(j, o)| (j, (r + o.jitter).div_ceil(o.period.max(1)) * o.wcet))
+        .collect()
 }
 
 /// Analyses the task set; returns one entry per task, same order.
@@ -113,12 +166,22 @@ fn analyse_one(tasks: &[AnalysisTask], i: usize, t: &AnalysisTask) -> TaskRespon
         if next == r {
             return TaskResponse {
                 response: Some(r + t.jitter),
+                wcet: t.wcet,
                 blocking,
+                interference,
+                jitter: t.jitter,
                 schedulable: r + t.jitter <= t.deadline,
             };
         }
         if next > limit {
-            return TaskResponse { response: None, blocking, schedulable: false };
+            return TaskResponse {
+                response: None,
+                wcet: t.wcet,
+                blocking,
+                interference,
+                jitter: t.jitter,
+                schedulable: false,
+            };
         }
         r = next;
     }
@@ -247,6 +310,77 @@ mod tests {
         }
         // The synchronous release is the critical instant: bounds are tight.
         assert_eq!(k.task_stats(ids[2]).worst_response, rta[2].response.unwrap());
+    }
+
+    #[test]
+    fn response_decomposes_into_terms() {
+        // The exposed terms must reconstruct the bound exactly.
+        let mut low = AnalysisTask::new(1, 3, 40);
+        low.jitter = 2;
+        let set = [
+            AnalysisTask::new(3, 2, 10),
+            AnalysisTask::new(2, 4, 25).with_section(0, 0),
+            low,
+            AnalysisTask::new(0, 6, 200).with_section(3, 5),
+        ];
+        for r in response_time_analysis(&set) {
+            let total = r.response.expect("schedulable set");
+            assert_eq!(total, r.wcet + r.blocking + r.interference + r.jitter);
+        }
+    }
+
+    #[test]
+    fn dominant_term_reports_the_right_cause() {
+        // Low-priority task under heavy preemption: interference wins.
+        let set = [AnalysisTask::new(2, 4, 10), AnalysisTask::new(1, 2, 50)];
+        let r = response_time_analysis(&set);
+        assert_eq!(r[0].dominant_term(), ResponseTerm::Execution);
+        assert_eq!(r[1].dominant_term(), ResponseTerm::Interference);
+        assert_eq!(r[1].interference, 4); // ceil(6/10)*4 at the fixed point r=6
+        // High task blocked by a long ceiling section: blocking wins.
+        let set = [
+            AnalysisTask::new(3, 1, 100),
+            AnalysisTask::new(1, 2, 400).with_section(3, 9),
+        ];
+        let r = response_time_analysis(&set);
+        assert_eq!(r[0].blocking, 9);
+        assert_eq!(r[0].dominant_term(), ResponseTerm::Blocking);
+    }
+
+    #[test]
+    fn interference_breakdown_sums_to_the_total() {
+        let mut mid = AnalysisTask::new(2, 3, 30);
+        mid.jitter = 4;
+        let set = [
+            AnalysisTask::new(3, 2, 10),
+            mid,
+            AnalysisTask::new(1, 5, 120),
+        ];
+        let rta = response_time_analysis(&set);
+        for (i, r) in rta.iter().enumerate() {
+            let conv = r.response.unwrap() - r.jitter;
+            let parts = interference_breakdown(&set, i, conv);
+            let sum: u64 = parts.iter().map(|(_, c)| c).sum();
+            assert_eq!(sum, r.interference, "task {i}");
+            // Every contributor really is higher/equal priority.
+            assert!(parts.iter().all(|&(j, _)| set[j].priority >= set[i].priority));
+        }
+        // The lowest task's interference splits across both others.
+        let conv = rta[2].response.unwrap();
+        let parts = interference_breakdown(&set, 2, conv);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|&(_, c)| c > 0));
+    }
+
+    #[test]
+    fn diverged_analysis_still_reports_terms() {
+        // The high task saturates its period, so the low recurrence can
+        // never reach a fixed point.
+        let set = [AnalysisTask::new(2, 8, 8), AnalysisTask::new(1, 5, 8)];
+        let r = response_time_analysis(&set);
+        assert_eq!(r[1].response, None);
+        assert_eq!(r[1].wcet, 5);
+        assert!(r[1].interference > 0, "diverged interference is reported");
     }
 
     #[test]

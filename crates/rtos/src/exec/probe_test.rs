@@ -1,0 +1,66 @@
+//! Encoder/executor probes for the instruction forms the guest kernel
+//! leans on: SP as a plain data-processing operand, shifted-register
+//! adds for TCB indexing, and wide STM/LDM over `r4`-`r11`.
+
+use alia_isa::{Assembler, IsaMode};
+use alia_sim::{Machine, StopReason, SRAM_BASE};
+
+fn run(src: &str) -> Machine {
+    let prog = Assembler::new(IsaMode::T2).assemble(src).expect("asm");
+    let mut m = Machine::m3_like();
+    m.load_flash(0x100, &prog.bytes);
+    m.set_pc(0x100);
+    m.cpu.set_sp(SRAM_BASE + 0x8000);
+    assert_eq!(m.run(100_000).reason, StopReason::Bkpt(0));
+    m
+}
+
+#[test]
+fn sp_moves_both_directions() {
+    let m = run("mov r3, sp
+         sub r3, r3, #64
+         mov sp, r3
+         mov r4, sp
+         bkpt #0");
+    assert_eq!(m.cpu.sp(), SRAM_BASE + 0x8000 - 64);
+    assert_eq!(m.cpu.regs[4], SRAM_BASE + 0x8000 - 64);
+}
+
+#[test]
+fn shifted_register_add_indexes_tcbs() {
+    let m = run("mov r0, #0x80
+         mov r1, #3
+         add r2, r0, r1, lsl #7
+         bkpt #0");
+    assert_eq!(m.cpu.regs[2], 0x80 + (3 << 7));
+}
+
+#[test]
+fn wide_stm_ldm_round_trips_high_registers() {
+    let m = run("movw r0, #0x4000
+         movt r0, #0x2000
+         mov r4, #41
+         mov r5, #52
+         mov r8, #83
+         mov r11, #114
+         stm r0, {r4, r5, r6, r7, r8, r9, r10, r11}
+         mov r4, #0
+         mov r8, #0
+         mov r11, #0
+         ldm r0, {r4, r5, r6, r7, r8, r9, r10, r11}
+         bkpt #0");
+    assert_eq!(m.cpu.regs[4], 41);
+    assert_eq!(m.cpu.regs[5], 52);
+    assert_eq!(m.cpu.regs[8], 83);
+    assert_eq!(m.cpu.regs[11], 114);
+}
+
+#[test]
+fn orr_with_shifted_register_builds_trace_words() {
+    let m = run("mov r1, #7
+         movw r3, #0
+         movt r3, #0x3000
+         orr r3, r3, r1, lsl #24
+         bkpt #0");
+    assert_eq!(m.cpu.regs[3], 0x3000_0000 | 7 << 24);
+}

@@ -1,0 +1,147 @@
+//! End-to-end tests of the executed RTOS tier on a bare machine.
+
+use alia_sim::{Machine, StopReason};
+
+use super::{build_guest_rtos, ExecStats, GuestRtos, GuestRtosConfig, GuestTask, TraceKind};
+
+fn three_task_set() -> Vec<GuestTask> {
+    // Highest priority first; the low-priority matrix job is sized to
+    // straddle several ticks so real preemptions occur.
+    vec![
+        GuestTask::new("rspeed", 4, 8),
+        GuestTask::new("a2time", 6, 8).with_offset(1),
+        GuestTask::new("matrix", 12, 4).with_offset(2),
+    ]
+}
+
+fn mission(tasks: &[GuestTask], tick_cycles: u32, total_ticks: u32) -> (GuestRtos, ExecStats) {
+    let config = GuestRtosConfig { tick_cycles, total_ticks, can: None };
+    let mut guest = build_guest_rtos(tasks, &config).expect("build");
+    let horizon = u64::from(tick_cycles) * u64::from(total_ticks) * 4 + 1_000_000;
+    let result = guest.machine.run(horizon);
+    assert_eq!(
+        result.reason,
+        StopReason::MmioExit(guest.layout.expected_exit),
+        "mission must drain and exit with the summed checksum accumulators"
+    );
+    let stats = ExecStats::from_machine(&guest.machine, &guest.layout).expect("trace consistent");
+    (guest, stats)
+}
+
+#[test]
+fn mission_completes_every_activation() {
+    let tasks = three_task_set();
+    let (guest, stats) = mission(&tasks, 2_000, 40);
+    for (t, l) in stats.tasks.iter().zip(&guest.layout.tasks) {
+        assert_eq!(t.activations, l.expected_activations, "{}", t.name);
+        assert_eq!(t.completions, t.activations, "{}", t.name);
+        assert_eq!(t.overruns, 0, "{}", t.name);
+    }
+    assert_eq!(stats.tick_fires.len() as u32, guest.layout.total_ticks);
+}
+
+#[test]
+fn preemption_is_transparent_to_task_state() {
+    // The accumulator equals completions x reference checksum only if
+    // every preempted job resumed with intact registers and memory.
+    let (_, stats) = mission(&three_task_set(), 2_000, 40);
+    for t in &stats.tasks {
+        assert_eq!(t.acc, t.expected_acc, "{}: checksum accumulator corrupted", t.name);
+    }
+    assert!(
+        stats.tasks[2].preemptions > 0,
+        "the long low-priority job must actually get preempted (got {:?})",
+        stats.tasks.iter().map(|t| t.preemptions).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn timer_fires_are_exactly_periodic() {
+    let (guest, stats) = mission(&three_task_set(), 2_000, 40);
+    let period = u64::from(guest.layout.tick_cycles);
+    for w in stats.tick_fires.windows(2) {
+        assert_eq!(w[1] - w[0], period, "tick fires must be back-to-back periodic");
+    }
+}
+
+#[test]
+fn executed_responses_stay_within_analytic_bounds() {
+    let (guest, stats) = mission(&three_task_set(), 2_000, 40);
+    let reports = stats.validate_bounds(&guest.layout).expect("analysis converges");
+    assert_eq!(reports.len(), 3);
+    for r in &reports {
+        assert!(
+            r.margin >= 0,
+            "{}: executed {} exceeds analytic bound {}",
+            r.name,
+            r.executed,
+            r.bound
+        );
+        assert!(r.executed > 0, "{}: response must be measured", r.name);
+    }
+}
+
+#[test]
+fn repeat_runs_are_bit_identical() {
+    let (_, a) = mission(&three_task_set(), 2_000, 40);
+    let (_, b) = mission(&three_task_set(), 2_000, 40);
+    assert_eq!(a, b);
+    assert!(a.trace_len > 0);
+}
+
+#[test]
+fn single_task_runs_unpreempted() {
+    let tasks = vec![GuestTask::new("tblook", 5, 8)];
+    let (_, stats) = mission(&tasks, 3_000, 30);
+    assert_eq!(stats.tasks[0].preemptions, 0);
+    assert!(stats.tasks[0].completions > 0);
+    assert_eq!(stats.tasks[0].acc, stats.tasks[0].expected_acc);
+}
+
+#[test]
+fn trace_decodes_with_expected_structure() {
+    let (guest, _) = mission(&three_task_set(), 2_000, 40);
+    let records = super::decode_trace(&guest.machine.mmio().trace).unwrap();
+    let ticks = records.iter().filter(|r| r.kind == TraceKind::TickEnter).count();
+    assert_eq!(ticks as u32, guest.layout.total_ticks);
+    // Tick numbers in the payload count 1..=total.
+    let last = records.iter().rev().find(|r| r.kind == TraceKind::TickEnter).unwrap();
+    assert_eq!(last.payload, guest.layout.total_ticks);
+    let dispatches = records.iter().filter(|r| r.kind == TraceKind::Dispatch).count();
+    let completes = records.iter().filter(|r| r.kind == TraceKind::Complete).count();
+    assert!(dispatches >= completes);
+}
+
+#[test]
+fn activations_accounting_matches_closed_form() {
+    let t = GuestTask::new("rspeed", 4, 8).with_offset(1);
+    // Releases on ticks 2, 6, 10, ... strictly below the final tick.
+    assert_eq!(t.activations(40), 10);
+    assert_eq!(t.activations(3), 1);
+    assert_eq!(t.activations(2), 0);
+    assert_eq!(GuestTask::new("rspeed", 1, 8).activations(5), 4);
+}
+
+#[test]
+fn builder_rejects_bad_configs() {
+    let ok = GuestRtosConfig { tick_cycles: 2_000, total_ticks: 10, can: None };
+    assert!(build_guest_rtos(&[], &ok).is_err(), "empty set");
+    let unknown = vec![GuestTask::new("nosuch", 2, 4)];
+    assert!(build_guest_rtos(&unknown, &ok).is_err(), "unknown kernel");
+    let tx = vec![GuestTask::new("rspeed", 2, 4).with_tx(0x120)];
+    assert!(build_guest_rtos(&tx, &ok).is_err(), "tx without CAN port");
+    let tiny = GuestRtosConfig { tick_cycles: 10, total_ticks: 10, can: None };
+    assert!(build_guest_rtos(&three_task_set(), &tiny).is_err(), "tick too small");
+}
+
+#[test]
+fn stats_reject_foreign_machines() {
+    let config = GuestRtosConfig { tick_cycles: 2_000, total_ticks: 10, can: None };
+    let guest = build_guest_rtos(&three_task_set(), &config).unwrap();
+    // A fresh machine has no trace and zeroed TCBs: structurally empty
+    // stats (no activations) — not an error — but a machine with a
+    // garbage trace word must be rejected.
+    let mut foreign = Machine::m3_like();
+    foreign.mmio_mut().trace.push((0xF000_0000, 7));
+    assert!(ExecStats::from_machine(&foreign, &guest.layout).is_err());
+}

@@ -12,7 +12,11 @@
 //!   ([`response_time_analysis`]), cross-validated against the simulator;
 //! * **MPU isolation planning** ([`plan_isolation`]) quantifying the
 //!   Figure 2 argument: 4 KB-granule regions cannot segregate many small
-//!   body-control modules, the fine-grain MPU can.
+//!   body-control modules, the fine-grain MPU can;
+//! * an **executed RTOS tier** ([`exec`]): a preemptive guest kernel
+//!   lowered onto a simulated ECU — timer-driven preemption, hardware
+//!   exception-frame context switches, workload-kernel task bodies and
+//!   cycle-stamped preemption traces that ground-truth the analysis.
 //!
 //! # Examples
 //!
@@ -31,12 +35,14 @@
 #![warn(missing_debug_implementations)]
 
 mod analysis;
+pub mod exec;
 mod isolation;
 mod kernel;
 mod task;
 
 pub use analysis::{
-    breakdown_utilization, response_time_analysis, utilization, AnalysisTask, TaskResponse,
+    breakdown_utilization, interference_breakdown, response_time_analysis, utilization,
+    AnalysisTask, ResponseTerm, TaskResponse,
 };
 pub use isolation::{body_control_footprints, plan_isolation, IsolationPlan, TaskFootprint};
 pub use kernel::{Kernel, KernelStats, TaskStats, TraceEvent};

@@ -2104,6 +2104,106 @@ mod tests {
         assert_eq!(r.reason, StopReason::WfiIdle);
     }
 
+    /// A machine whose timer runs at `period` cycles, with a handler of
+    /// tunable span (`work` loop iterations) on IRQ 0. The main loop
+    /// programs COMPARE then CTRL and spins.
+    fn timer_stress_machine(period: u32, work: u32) -> Machine {
+        let mut config = MachineConfig::m3_like();
+        config.devices = vec![DeviceSpec::Timer(crate::TimerConfig {
+            base: crate::TIMER_BASE,
+            irq: 0,
+            compare: period,
+        })];
+        let main = Assembler::new(IsaMode::T2)
+            .assemble(&format!(
+                "movw r0, #0x1000
+                 movt r0, #0x4000
+                 movw r1, #{period}
+                 str r1, [r0, #4]
+                 mov r1, #3
+                 str r1, [r0, #0]
+                 spin: add r4, r4, #1
+                 b spin"
+            ))
+            .unwrap();
+        let handler = Assembler::new(IsaMode::T2)
+            .assemble(&format!(
+                "add r5, r5, #1
+                 mov r6, #{work}
+                 w: cmp r6, #0
+                 beq out
+                 sub r6, r6, #1
+                 b w
+                 out: bx lr"
+            ))
+            .unwrap();
+        let mut m = Machine::new(config);
+        m.load_flash(0x100, &main.bytes);
+        m.load_flash(0x200, &handler.bytes);
+        m.load_flash(0, &0x200u32.to_le_bytes());
+        m.set_pc(0x100);
+        m.cpu.set_sp(SRAM_BASE + 0x8000);
+        m
+    }
+
+    #[test]
+    fn small_period_timer_irqs_are_stamped_back_to_back() {
+        // A short handler and a 96-cycle period: every compare match
+        // must be serviced before the next, with the pend stamps
+        // advancing by exactly the period — a missed or late reload
+        // would skew the arithmetic progression.
+        let mut m = timer_stress_machine(96, 0);
+        m.run(20_000);
+        let lats: Vec<_> = m.latencies().iter().filter(|l| l.irq == 0).collect();
+        assert!(lats.len() > 100, "expected a long burst, got {}", lats.len());
+        let first = lats[0].pend_cycle;
+        for (k, l) in lats.iter().enumerate() {
+            assert_eq!(
+                l.pend_cycle,
+                first + 96 * k as u64,
+                "fire {k} pend stamp off the periodic grid"
+            );
+            assert!(
+                l.entry_cycle - l.pend_cycle < 96,
+                "fire {k} serviced after the next compare match"
+            );
+        }
+        // Every fire the device counted became exactly one handler
+        // entry (the final fire may still be in flight at the limit).
+        let fires = m.bus.device::<crate::Timer>().expect("timer attached").fires();
+        assert!(
+            fires - lats.len() as u64 <= 1,
+            "{} fires but {} entries: compare matches were lost",
+            fires,
+            lats.len()
+        );
+        assert_eq!(u64::from(m.cpu.regs[5]), lats.len() as u64, "handler count");
+    }
+
+    #[test]
+    fn saturating_timer_tail_chains_without_losing_stamps() {
+        // The handler span exceeds the 48-cycle period: each compare
+        // match pends while the previous handler still runs, so entries
+        // tail-chain back to back and the backlog collapses — the
+        // device keeps firing on its precise grid regardless.
+        let mut m = timer_stress_machine(48, 24);
+        m.run(20_000);
+        let lats: Vec<_> = m.latencies().iter().filter(|l| l.irq == 0).collect();
+        assert!(lats.len() > 50, "expected sustained service, got {}", lats.len());
+        assert!(
+            lats.iter().filter(|l| l.tail_chained).count() > lats.len() / 2,
+            "saturated line must tail-chain most entries"
+        );
+        assert_eq!(u64::from(m.cpu.regs[5]), lats.len() as u64, "handler count");
+        // Saturation semantics: the pending bit collapses coincident
+        // fires, so the device counts at least as many fires as the
+        // core took entries — never fewer.
+        let fires = m.bus.device::<crate::Timer>().expect("timer attached").fires();
+        assert!(fires >= lats.len() as u64);
+        // The main loop is starved but never corrupted.
+        assert!(m.cpu.regs[4] < 200, "main loop should be nearly starved");
+    }
+
     #[test]
     fn snapshot_mid_block_restores_bit_identically() {
         // Snapshot taken at a bound landing inside the hot loop's basic

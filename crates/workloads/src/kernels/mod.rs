@@ -41,3 +41,10 @@ pub fn all_kernels() -> Vec<Kernel> {
         matrix::kernel(),
     ]
 }
+
+/// Looks a suite kernel up by entry-function name (e.g. `"rspeed"`) —
+/// the handle task-set builders use to name task bodies.
+#[must_use]
+pub fn kernel_by_name(name: &str) -> Option<Kernel> {
+    all_kernels().into_iter().find(|k| k.name == name)
+}

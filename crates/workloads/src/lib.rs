@@ -30,7 +30,7 @@ mod kernel;
 mod kernels;
 
 pub use kernel::{masked, rng, Kernel, DATA_BASE};
-pub use kernels::{all_kernels, autoindy};
+pub use kernels::{all_kernels, autoindy, kernel_by_name};
 
 #[cfg(test)]
 mod tests {
