@@ -2,7 +2,7 @@
 //!
 //! Measures campaign throughput (forked soft-error runs per second) at
 //! 1/2/4/8 workers over one shared base snapshot, records the curve
-//! into `BENCH_7.json`, and cross-checks that the merged summary is
+//! into `BENCH_9.json`, and cross-checks that the merged summary is
 //! identical at every worker count. The 4-worker speedup is the farm's
 //! headline number; it is asserted (≥2.5×) only when the host actually
 //! has 4 cores to offer — on smaller hosts the curve is recorded as
@@ -29,12 +29,21 @@ fn bench_campaign(c: &mut Criterion) {
     let mut runs_per_sec = Vec::new();
     let mut summaries = Vec::new();
     for threads in [1usize, 2, 4, 8] {
-        let start = Instant::now();
-        let e = farm_experiment(SCALE_RUNS, 0, threads).expect("farm campaign");
-        let secs = start.elapsed().as_secs_f64();
-        assert_eq!(e.flip.total(), SCALE_RUNS);
-        runs_per_sec.push((threads, f64::from(SCALE_RUNS) / secs));
-        summaries.push(e);
+        // Best of three timed passes per worker count: the campaigns
+        // are tens of milliseconds, so a single sample is at the mercy
+        // of host scheduling noise.
+        let mut best = 0.0f64;
+        for pass in 0..3 {
+            let start = Instant::now();
+            let e = farm_experiment(SCALE_RUNS, 0, threads).expect("farm campaign");
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(e.flip.total(), SCALE_RUNS);
+            best = best.max(f64::from(SCALE_RUNS) / secs);
+            if pass == 0 {
+                summaries.push(e);
+            }
+        }
+        runs_per_sec.push((threads, best));
     }
     assert!(
         summaries.windows(2).all(|w| w[0] == w[1]),

@@ -3,7 +3,7 @@
 //! Measures task-set lowering (compile + assemble + load), standalone
 //! preemptive mission throughput (guest kernel + four workload tasks
 //! on the bare machine), and the full in-network experiment; records
-//! guest-MIPS-style figures into `BENCH_8.json`.
+//! guest-MIPS-style figures into `BENCH_9.json`.
 
 use std::time::Instant;
 
@@ -49,12 +49,35 @@ fn bench_rtos_exec(c: &mut Criterion) {
          (lowering included)"
     );
 
+    // Execution-only mission throughput: lower once, fork each run from
+    // a snapshot so the wall clock measures pure simulation — the
+    // number the interpreter tiers (predecode / blocks / threaded)
+    // actually move.
+    let snap = {
+        let g = build_guest_rtos(&standalone, &config).unwrap();
+        g.machine.snapshot()
+    };
+    let start = Instant::now();
+    for _ in 0..runs {
+        let mut m = snap.to_machine();
+        m.run(1_000_000);
+    }
+    let exec_secs = start.elapsed().as_secs_f64();
+    let exec_per_sec = f64::from(runs) / exec_secs;
+    let exec_mcycles = guest_cycles * f64::from(runs) / exec_secs / 1.0e6;
+    println!(
+        "E13 executed RTOS (exec only, snapshot-forked): {exec_per_sec:.1} missions/sec, \
+         {exec_mcycles:.1} guest Mcycles/sec"
+    );
+
     alia_bench::record_bench_json(
         "rtos_exec",
         &[
             ("mission_guest_cycles", guest_cycles),
             ("missions_per_sec", mission_per_sec),
             ("guest_mcycles_per_sec", guest_mips),
+            ("exec_missions_per_sec", exec_per_sec),
+            ("exec_guest_mcycles_per_sec", exec_mcycles),
         ],
     );
 }

@@ -111,41 +111,75 @@ fn bench_sim_throughput(c: &mut Criterion) {
             run_to_bkpt(m)
         })
     });
+    // Ablation: threaded tier off (tier-2 entry-at-a-time block
+    // dispatch — isolates the superinstruction/fetch-batching win).
+    g.bench_function("alu_t2_m3_threaded_off", |b| {
+        b.iter(|| {
+            let mut m = machine_with(MachineConfig::m3_like(), ALU_SRC);
+            m.set_threaded_enabled(false);
+            run_to_bkpt(m)
+        })
+    });
     g.finish();
 
-    // Host-MIPS summary: one long timed run per case, recorded to the
-    // machine-readable BENCH_6.json for CI display/diffing.
-    println!("\nhost throughput (guest MIPS = retired instructions / wall second):");
-    let timed = |name: &str, m: Machine| -> f64 {
-        let start = Instant::now();
-        let (instructions, cycles) = run_to_bkpt(m);
-        let dt = start.elapsed();
-        let mips = instructions as f64 / dt.as_secs_f64() / 1e6;
+    // Host-MIPS summary: best of five timed runs per case (the runs
+    // are short, so a single sample is at the mercy of host scheduling
+    // noise — the best run is the stable capability figure), recorded
+    // to the machine-readable BENCH_9.json for CI display/diffing.
+    println!("\nhost throughput (guest MIPS = retired instructions / wall second, best of 5):");
+    let timed = |name: &str, mk: &dyn Fn() -> Machine| -> f64 {
+        let mut best: Option<(f64, u64, u64, f64)> = None;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let (instructions, cycles) = run_to_bkpt(mk());
+            let dt = start.elapsed().as_secs_f64();
+            let mips = instructions as f64 / dt / 1e6;
+            if best.is_none_or(|(b, ..)| mips > b) {
+                best = Some((mips, instructions, cycles, dt));
+            }
+        }
+        let (mips, instructions, cycles, dt) = best.expect("five samples");
         println!(
             "  {name:<22} {mips:>8.1} MIPS  ({instructions} instrs, {cycles} cycles, {:.1} ms)",
-            dt.as_secs_f64() * 1e3,
+            dt * 1e3,
         );
         mips
     };
     let mut metrics: Vec<(String, f64)> = Vec::new();
     for (name, config, src) in &cases {
-        let mips = timed(name, machine_with(config.clone(), src));
+        let mips = timed(name, &|| machine_with(config.clone(), src));
         metrics.push((format!("{name}_mips"), mips));
     }
-    // The block-engine headline: the ALU probe with blocks on vs off,
-    // both measured explicitly here.
-    let on_mips = timed("alu_t2_m3_blocks_on", machine_with(MachineConfig::m3_like(), ALU_SRC));
-    let mut off = machine_with(MachineConfig::m3_like(), ALU_SRC);
-    off.set_block_cache_enabled(false);
-    let off_mips = timed("alu_t2_m3_blocks_off", off);
+    // The tier ladder headline: the ALU probe with all tiers on
+    // (threaded), tier-3 off (tier-2 blocks), and blocks off entirely.
+    let on_mips =
+        timed("alu_t2_m3_blocks_on", &|| machine_with(MachineConfig::m3_like(), ALU_SRC));
+    let t2_mips = timed("alu_t2_m3_threaded_off", &|| {
+        let mut m = machine_with(MachineConfig::m3_like(), ALU_SRC);
+        m.set_threaded_enabled(false);
+        m
+    });
+    let off_mips = timed("alu_t2_m3_blocks_off", &|| {
+        let mut m = machine_with(MachineConfig::m3_like(), ALU_SRC);
+        m.set_block_cache_enabled(false);
+        m
+    });
     metrics.push(("alu_t2_m3_blocks_on_mips".into(), on_mips));
+    metrics.push(("alu_t2_m3_threaded_off_mips".into(), t2_mips));
     metrics.push(("alu_t2_m3_blocks_off_mips".into(), off_mips));
     if off_mips > 0.0 {
         println!(
             "  block engine speedup on the ALU probe: {:.2}x",
-            on_mips / off_mips
+            t2_mips / off_mips
         );
-        metrics.push(("block_engine_speedup".into(), on_mips / off_mips));
+        metrics.push(("block_engine_speedup".into(), t2_mips / off_mips));
+    }
+    if t2_mips > 0.0 {
+        println!(
+            "  threaded tier speedup on the ALU probe: {:.2}x (over tier-2 blocks)",
+            on_mips / t2_mips
+        );
+        metrics.push(("threaded_tier_speedup".into(), on_mips / t2_mips));
     }
     let flat: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     alia_bench::record_bench_json("sim_throughput", &flat);

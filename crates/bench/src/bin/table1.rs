@@ -20,7 +20,8 @@ fn main() {
             let p = &k.predecode;
             println!(
                 "  {:<6} {:<8} {:>9} cycles {:>6} bytes  {:>7.1} host MIPS  \
-                 blocks {}/{} hits, {} chained, {} splits (l1 {}/{})",
+                 blocks {}/{} hits, {} chained, {} splits (l1 {}/{})  \
+                 t3 {} promoted ({} fused), {} threaded, {} demoted",
                 r.mode,
                 k.kernel,
                 k.cycles,
@@ -32,6 +33,10 @@ fn main() {
                 p.budget_splits,
                 p.hits,
                 p.misses,
+                p.blocks_promoted,
+                p.fused_pairs,
+                p.threaded_dispatches,
+                p.demotions,
             );
         }
     }
@@ -46,5 +51,9 @@ fn main() {
     println!(
         "block engine over the suite: {} blocks built, {} dispatched ({} via chain links), {} budget splits",
         agg.blocks_built, agg.block_hits, agg.chain_follows, agg.budget_splits
+    );
+    println!(
+        "threaded tier over the suite: {} blocks promoted ({} pairs fused), {} threaded dispatches, {} demotions",
+        agg.blocks_promoted, agg.fused_pairs, agg.threaded_dispatches, agg.demotions
     );
 }

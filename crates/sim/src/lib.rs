@@ -112,6 +112,7 @@ mod mpu;
 mod patch;
 pub mod predecode;
 pub mod system;
+mod threaded;
 mod timing;
 
 pub use bus::{

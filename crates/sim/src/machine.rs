@@ -21,6 +21,7 @@ use crate::mem::{
 use std::sync::Arc;
 
 use crate::predecode::{BlockCache, Entry, Predecode, PredecodeStats, MAX_BLOCK_LEN};
+use crate::threaded::{self, BlockExit};
 use crate::{Cache, CacheConfig, CoreTiming, FlashPatch, IrqController, IrqStyle, Lookup, Mpu,
     MpuKind};
 
@@ -145,6 +146,13 @@ pub struct MachineConfig {
     /// exits chained. Host-only; results are bit-identical either way
     /// (`false` selects the per-step path for the bench ablation).
     pub block_cache: bool,
+    /// Whether the tier-3 threaded-code engine is enabled: hot blocks
+    /// are lowered to pre-resolved handler/operand lists with
+    /// superinstruction fusion and batched fetch-timing replay (see
+    /// `crates/sim/src/threaded.rs`). Requires the block cache;
+    /// host-only, results bit-identical either way (`false` selects
+    /// the tier-2 path for the bench ablation).
+    pub threaded: bool,
     /// Bus devices to attach beyond the always-present instrumentation
     /// MMIO block (index 0).
     pub devices: Vec<DeviceSpec>,
@@ -171,6 +179,7 @@ impl MachineConfig {
             predecode: true,
             predecode_two_way: true,
             block_cache: true,
+            threaded: true,
             devices: Vec::new(),
         }
     }
@@ -194,6 +203,7 @@ impl MachineConfig {
             predecode: true,
             predecode_two_way: true,
             block_cache: true,
+            threaded: true,
             devices: Vec::new(),
         }
     }
@@ -217,6 +227,7 @@ impl MachineConfig {
             predecode: true,
             predecode_two_way: true,
             block_cache: true,
+            threaded: true,
             devices: Vec::new(),
         }
     }
@@ -317,9 +328,9 @@ pub struct Machine {
     pub irq: IrqController,
     /// Flash patch unit.
     pub patch: FlashPatch,
-    cycles: u64,
-    instret: u64,
-    fetch_window: Option<u32>,
+    pub(crate) cycles: u64,
+    pub(crate) instret: u64,
+    pub(crate) fetch_window: Option<u32>,
     /// Scheduled interrupts, sorted descending so the earliest is `last()`
     /// and draining is an O(1) `pop`.
     irq_schedule: Vec<(u64, u32)>,
@@ -553,9 +564,27 @@ impl Machine {
         self.blocks.enabled()
     }
 
+    /// Enables or disables the tier-3 threaded-code engine at runtime.
+    /// Disabling demotes every promoted block back to tier-2 dispatch;
+    /// results are bit-identical either way (the threaded tier is a
+    /// pure host optimization — the bench ablation's knob).
+    pub fn set_threaded_enabled(&mut self, enabled: bool) {
+        if self.config.threaded != enabled {
+            self.config.threaded = enabled;
+            self.blocks.drop_threaded();
+        }
+    }
+
+    /// Whether the tier-3 threaded-code engine is currently enabled.
+    #[must_use]
+    pub fn threaded_enabled(&self) -> bool {
+        self.config.threaded
+    }
+
     /// Predecode cache hit/miss/invalidation counters, including the
     /// block-level counters (blocks built/dispatched, chain follows,
-    /// budget splits).
+    /// budget splits) and the tier-3 counters (promotions, fused
+    /// pairs, threaded dispatches, demotions).
     #[must_use]
     pub fn predecode_stats(&self) -> PredecodeStats {
         let mut stats = self.predecode.stats();
@@ -563,6 +592,10 @@ impl Machine {
         stats.block_hits = self.blocks.stats.hits;
         stats.chain_follows = self.blocks.stats.chain_follows;
         stats.budget_splits = self.blocks.stats.budget_splits;
+        stats.blocks_promoted = self.blocks.stats.promoted;
+        stats.fused_pairs = self.blocks.stats.fused_pairs;
+        stats.threaded_dispatches = self.blocks.stats.threaded_dispatches;
+        stats.demotions = self.blocks.stats.demotions;
         stats
     }
 
@@ -693,7 +726,7 @@ impl Machine {
     /// access itself, so it is performed exactly once) and is zero for
     /// other regions.
     #[inline]
-    fn fetch_timing(&mut self, addr: u32, len: u32) -> Result<(u32, Region, u32), MemFault> {
+    pub(crate) fn fetch_timing(&mut self, addr: u32, len: u32) -> Result<(u32, Region, u32), MemFault> {
         if let Some(mpu) = &mut self.mpu {
             if !mpu.check_execute(addr) {
                 return Err(MemFault::MpuViolation { addr, write: false });
@@ -780,7 +813,7 @@ impl Machine {
     }
 
     /// Performs a data read. Returns `(value, cycles)`.
-    fn data_read(&mut self, addr: u32, len: u32) -> Result<(u32, u32), MemFault> {
+    pub(crate) fn data_read(&mut self, addr: u32, len: u32) -> Result<(u32, u32), MemFault> {
         if let Some(mpu) = &mut self.mpu {
             if !mpu.check(addr, false, true) {
                 return Err(MemFault::MpuViolation { addr, write: false });
@@ -846,7 +879,7 @@ impl Machine {
     }
 
     /// Performs a data write. Returns cycles.
-    fn data_write(&mut self, addr: u32, len: u32, value: u32) -> Result<u32, MemFault> {
+    pub(crate) fn data_write(&mut self, addr: u32, len: u32, value: u32) -> Result<u32, MemFault> {
         if let Some(mpu) = &mut self.mpu {
             if !mpu.check(addr, true, true) {
                 return Err(MemFault::MpuViolation { addr, write: true });
@@ -1007,41 +1040,32 @@ impl Machine {
         let cwg = self.code_write_gen;
         let revs = self.bus.device_revisions();
         loop {
-            let insts = self.blocks.insts(slot);
             self.blocks.stats.hits += 1;
-            let mut pc = self.cpu.pc;
-            for e in insts.iter() {
-                // The per-step predecode-hit path, verbatim: timing
-                // replay plus the shared issue sequence.
-                let fetch_cycles = match self.replay_fetch(pc, e) {
-                    Ok(c) => c,
-                    Err(stop) => return Some(stop),
-                };
-                let next_pc = pc.wrapping_add(e.size);
-                if let Some(stop) = self.issue(e, pc, fetch_cycles) {
-                    return Some(stop);
-                }
-                // Safety splits (see the method docs).
-                if self.irq.any_pending()
-                    || !self.bus.signals.irq_requests.is_empty()
-                    || !self.bus.signals.timed_irqs.is_empty()
-                    || self.code_write_gen != cwg
-                    || self.bus.device_revisions() != revs
-                {
-                    return None;
-                }
-                // Budget splits.
-                if self.cycles >= cycle_limit
-                    || self.cycles >= sched_due
-                    || self.cycles >= self.bus.next_event()
-                {
+            // Tier selection: the threaded lowering when the block is
+            // hot (promoting it on the dispatch that crosses the heat
+            // threshold), tier-2 entry-at-a-time otherwise.
+            let exit = if let Some(tb) = self.tier3_for(slot) {
+                let (exit, loops) =
+                    threaded::dispatch(self, &tb, cycle_limit, sched_due, cwg, revs);
+                // Self-loop iterations inside the dispatch stand for
+                // dispatch-follow-redispatch rounds of this chain loop:
+                // charge the stats those rounds would have charged.
+                let stats = &mut self.blocks.stats;
+                stats.threaded_dispatches += 1 + loops;
+                stats.hits += loops;
+                stats.chain_follows += loops;
+                exit
+            } else {
+                self.exec_block_entries(slot, cycle_limit, sched_due, cwg, revs)
+            };
+            match exit {
+                BlockExit::Stop(stop) => return Some(stop),
+                BlockExit::Split => return None,
+                BlockExit::SplitBudget => {
                     self.blocks.stats.budget_splits += 1;
                     return None;
                 }
-                if self.cpu.pc != next_pc {
-                    break; // control transfer: chain below
-                }
-                pc = next_pc;
+                BlockExit::Chain => {}
             }
             // Block exit (taken branch or fall-through): follow the
             // chain hint, or probe-and-link, or record the successor.
@@ -1057,6 +1081,88 @@ impl Machine {
                 return None;
             }
         }
+    }
+
+    /// The tier-2 block body: the per-step predecode-hit sequence for
+    /// every entry, with the full safety/budget boundary checks after
+    /// each instruction (see [`Machine::exec_blocks`]'s contract).
+    fn exec_block_entries(
+        &mut self,
+        slot: usize,
+        cycle_limit: u64,
+        sched_due: u64,
+        cwg: u64,
+        revs: u64,
+    ) -> BlockExit {
+        let insts = self.blocks.insts(slot);
+        let mut pc = self.cpu.pc;
+        for e in insts.iter() {
+            // The per-step predecode-hit path, verbatim: timing
+            // replay plus the shared issue sequence.
+            let fetch_cycles = match self.replay_fetch(pc, e) {
+                Ok(c) => c,
+                Err(stop) => return BlockExit::Stop(stop),
+            };
+            let next_pc = pc.wrapping_add(e.size);
+            if let Some(stop) = self.issue(e, pc, fetch_cycles) {
+                return BlockExit::Stop(stop);
+            }
+            // Safety splits (see the method docs).
+            if !self.threaded_safety_ok(cwg, revs) {
+                return BlockExit::Split;
+            }
+            // Budget splits.
+            if self.cycles >= cycle_limit
+                || self.cycles >= sched_due
+                || self.cycles >= self.bus.next_event()
+            {
+                return BlockExit::SplitBudget;
+            }
+            if self.cpu.pc != next_pc {
+                break; // control transfer: chain in the caller
+            }
+            pc = next_pc;
+        }
+        BlockExit::Chain
+    }
+
+    /// The block engine's per-instruction safety conditions, shared
+    /// verbatim by tier 2 (after every instruction) and tier 3 (after
+    /// impure ops — pure ops provably cannot change any input of this
+    /// check). `false` means split back to the per-step path.
+    pub(crate) fn threaded_safety_ok(&self, cwg: u64, revs: u64) -> bool {
+        !(self.irq.any_pending()
+            || !self.bus.signals.irq_requests.is_empty()
+            || !self.bus.signals.timed_irqs.is_empty()
+            || self.code_write_gen != cwg
+            || self.bus.device_revisions() != revs)
+    }
+
+    /// The threaded lowering for `slot` if the tier applies right now:
+    /// tier 3 enabled, no outstanding IT predication (handlers skip the
+    /// per-instruction IT-queue pop), and no latched exit code (impure
+    /// handlers re-check it; pure ones cannot set it). Promotes the
+    /// block when its heat crosses the threshold.
+    fn tier3_for(&mut self, slot: usize) -> Option<Arc<crate::threaded::ThreadedBlock>> {
+        if !self.config.threaded
+            || !self.cpu.it_queue.is_empty()
+            || self.bus.signals.exit_code.is_some()
+        {
+            return None;
+        }
+        if let Some(tb) = self.blocks.threaded(slot) {
+            return Some(tb);
+        }
+        if self.blocks.heat_up(slot) {
+            let insts = self.blocks.insts(slot);
+            let start = self.blocks.block_start(slot);
+            if let Some(tb) = threaded::build(start, &insts, self) {
+                let tb = Arc::new(tb);
+                self.blocks.install_threaded(slot, Arc::clone(&tb));
+                return Some(tb);
+            }
+        }
+        None
     }
 
     /// Starts recording a block at `pc` under generation `stamp` —
@@ -1239,7 +1345,7 @@ impl Machine {
     /// block engine — the bit-identity contract lives here, so a change
     /// to issue semantics cannot drift between the two paths.
     #[inline]
-    fn issue(&mut self, entry: &Entry, pc: u32, fetch_cycles: u32) -> Option<StopReason> {
+    pub(crate) fn issue(&mut self, entry: &Entry, pc: u32, fetch_cycles: u32) -> Option<StopReason> {
         // Fetch overlaps execution in the pipeline: only the stall beyond
         // one cycle is charged (an ARM7 data-processing op is 1S total).
         self.cycles += u64::from(fetch_cycles.saturating_sub(1));

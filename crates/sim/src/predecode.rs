@@ -147,6 +147,17 @@ pub struct PredecodeStats {
     /// cycle budget ran out (a due scheduled interrupt, a device event
     /// from `next_event`, or a `run_until` bound).
     pub budget_splits: u64,
+    /// Blocks promoted to the tier-3 threaded-code representation
+    /// (heat-directed; see `crates/sim/src/threaded.rs`).
+    pub blocks_promoted: u64,
+    /// Superinstruction pairs fused across all promoted blocks.
+    pub fused_pairs: u64,
+    /// Block executions dispatched through the threaded tier (a subset
+    /// of `block_hits`).
+    pub threaded_dispatches: u64,
+    /// Threaded blocks dropped back to tier-2 (invalidation, eviction,
+    /// or the tier being disabled).
+    pub demotions: u64,
 }
 
 impl PredecodeStats {
@@ -162,6 +173,10 @@ impl PredecodeStats {
             block_hits,
             chain_follows,
             budget_splits,
+            blocks_promoted,
+            fused_pairs,
+            threaded_dispatches,
+            demotions,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -170,6 +185,10 @@ impl PredecodeStats {
         self.block_hits += block_hits;
         self.chain_follows += chain_follows;
         self.budget_splits += budget_splits;
+        self.blocks_promoted += blocks_promoted;
+        self.fused_pairs += fused_pairs;
+        self.threaded_dispatches += threaded_dispatches;
+        self.demotions += demotions;
     }
 }
 
@@ -401,6 +420,10 @@ pub(crate) struct BlockStats {
     pub hits: u64,
     pub chain_follows: u64,
     pub budget_splits: u64,
+    pub promoted: u64,
+    pub fused_pairs: u64,
+    pub threaded_dispatches: u64,
+    pub demotions: u64,
 }
 
 /// One cached basic block: a straight-line run of predecoded entries.
@@ -415,6 +438,14 @@ struct Block {
     /// shortcut — the executor re-verifies the successor's start tag,
     /// so stale hints (evicted or cleared successors) fail safe.
     links: [(u32, u16); BLOCK_LINKS],
+    /// Tier-2 dispatch count, driving heat-directed promotion: when it
+    /// reaches [`crate::threaded::PROMOTE_HEAT`] the machine lowers the
+    /// block to threaded code. Saturating; reset with the slot.
+    heat: u32,
+    /// The tier-3 lowering, once promoted. Shares the slot's lifetime:
+    /// every path that clears or evicts the slot drops it (demotion),
+    /// so the tier-2 invalidation story covers tier 3 verbatim.
+    threaded: Option<Arc<crate::threaded::ThreadedBlock>>,
 }
 
 /// The basic-block cache. Invalidation mirrors [`Predecode`]: the same
@@ -467,11 +498,15 @@ impl BlockCache {
     }
 
     fn drop_blocks(&mut self) {
+        let mut demoted = 0;
         for b in &mut self.blocks {
             b.start = TAG_EMPTY;
             b.insts = Arc::clone(&self.empty);
             b.links = [LINK_EMPTY; BLOCK_LINKS];
+            b.heat = 0;
+            demoted += u64::from(b.threaded.take().is_some());
         }
+        self.stats.demotions += demoted;
         self.lo = u32::MAX;
         self.hi = 0;
     }
@@ -520,6 +555,8 @@ impl BlockCache {
                     start: TAG_EMPTY,
                     insts: Arc::clone(&self.empty),
                     links: [LINK_EMPTY; BLOCK_LINKS],
+                    heat: 0,
+                    threaded: None,
                 };
                 BLOCK_SLOTS
             ];
@@ -527,7 +564,14 @@ impl BlockCache {
         self.lo = self.lo.min(pc);
         self.hi = self.hi.max(end);
         let slot = BlockCache::slot(pc);
-        self.blocks[slot] = Block { start: pc, insts, links: [LINK_EMPTY; BLOCK_LINKS] };
+        self.stats.demotions += u64::from(self.blocks[slot].threaded.is_some());
+        self.blocks[slot] = Block {
+            start: pc,
+            insts,
+            links: [LINK_EMPTY; BLOCK_LINKS],
+            heat: 0,
+            threaded: None,
+        };
         self.stats.built += 1;
     }
 
@@ -567,6 +611,54 @@ impl BlockCache {
     #[must_use]
     pub(crate) fn covers(&self, addr: u32, len: u32) -> bool {
         addr <= self.hi && addr.saturating_add(len.max(1) - 1) >= self.lo
+    }
+
+    // -----------------------------------------------------------------
+    // Tier-3 promotion
+    // -----------------------------------------------------------------
+
+    /// The block's threaded lowering, if promoted (cheap `Arc` clone).
+    #[inline]
+    pub(crate) fn threaded(&self, slot: usize) -> Option<Arc<crate::threaded::ThreadedBlock>> {
+        self.blocks[slot].threaded.clone()
+    }
+
+    /// Bumps the slot's dispatch heat, returning `true` exactly once:
+    /// on the dispatch that reaches the promotion threshold.
+    #[inline]
+    pub(crate) fn heat_up(&mut self, slot: usize) -> bool {
+        let b = &mut self.blocks[slot];
+        b.heat = b.heat.saturating_add(1);
+        b.heat == crate::threaded::PROMOTE_HEAT
+    }
+
+    /// The block's start address (valid for occupied slots).
+    #[inline]
+    pub(crate) fn block_start(&self, slot: usize) -> u32 {
+        self.blocks[slot].start
+    }
+
+    /// Installs a threaded lowering on `slot`, counting the promotion
+    /// and its fused pairs.
+    pub(crate) fn install_threaded(
+        &mut self,
+        slot: usize,
+        tb: Arc<crate::threaded::ThreadedBlock>,
+    ) {
+        self.stats.promoted += 1;
+        self.stats.fused_pairs += u64::from(tb.fused);
+        self.blocks[slot].threaded = Some(tb);
+    }
+
+    /// Drops every threaded lowering (and its heat) while keeping the
+    /// tier-2 blocks — the tier-3 disable path.
+    pub(crate) fn drop_threaded(&mut self) {
+        let mut demoted = 0;
+        for b in &mut self.blocks {
+            b.heat = 0;
+            demoted += u64::from(b.threaded.take().is_some());
+        }
+        self.stats.demotions += demoted;
     }
 }
 

@@ -1,0 +1,1134 @@
+//! Tier-3 threaded-code engine: the block cache's hot-block lowering.
+//!
+//! The tier-2 block engine ([`crate::predecode::BlockCache`]) replays
+//! cached straight-line runs entry-at-a-time through the generic
+//! executor: per instruction it re-runs the fetch-timing walk, the
+//! predication lookup and the full `Instr` match. This module lowers
+//! *hot* blocks one step further, to classic threaded code: each
+//! [`Op`] is a pre-resolved handler function pointer plus decoded
+//! operands (registers, immediates, access lengths, a memory-class
+//! fetch plan), dispatched by a tight loop with no re-decode and no
+//! generic match.
+//!
+//! Three mechanisms carry the speedup:
+//!
+//! * **Handler specialization** — the dominant single instructions
+//!   (ALU reg/imm, `mov`, `cmp`, direct branches, `cbz`,
+//!   immediate-offset `ldr`/`str`) get dedicated handlers that touch
+//!   exactly the state the instruction touches. Everything else falls
+//!   back to a generic handler that reuses [`Machine::issue`], so the
+//!   lowering never has to be complete to be correct.
+//! * **Superinstruction fusion** — the dominant dynamic pairs
+//!   (`cmp`+branch, `alu`+`cmp`, `alu`+branch loop backedges,
+//!   `ldr`+`alu`) are fused into single handlers at promotion time,
+//!   halving dispatch count on loop-shaped code. A fused handler
+//!   re-checks the tier-2 split conditions *between* its two halves,
+//!   so interrupts and `run_until` bounds land on exactly the same
+//!   instruction boundary the unfused path puts them on.
+//! * **Batched fetch-timing replay** — for straight-line code in
+//!   uncached, MPU-less flash the streaming-buffer walk of
+//!   `Machine::fetch_timing` is precomputed per fetch into a
+//!   [`FetchPlan`]: statically window-resident fetches charge zero
+//!   cycles with no state change, single-refill fetches charge one
+//!   live [`crate::Flash::access_timing`] call (keeping seq/nonseq
+//!   cycles, flash stats and stream state exact), and anything the
+//!   builder cannot prove falls back to the full `fetch_timing` call.
+//!
+//! # Bit-identity contract
+//!
+//! The lowering is host-only: cycles, checksums, IRQ pend/entry
+//! stamps, flash/patch statistics and stop reasons are bit-identical
+//! with the tier on or off. The argument mirrors tier-2's (see
+//! `Machine::exec_blocks`), plus one hoisting step: after a *pure*
+//! op — one that cannot pend an interrupt, raise a device signal,
+//! move a revision counter, touch `next_event` or set the exit code —
+//! the tier-2 safety re-checks are vacuous, so only the cycle budget
+//! is compared (against a bound recomputed after every impure op).
+//! Purity is classified conservatively at build time; anything that
+//! touches memory, a device, or might exception-return is impure and
+//! gets the full tier-2 check sequence after it executes.
+//!
+//! Promotion is heat-directed: `Machine::exec_blocks` counts per-slot
+//! dispatches and promotes a block after [`PROMOTE_HEAT`] tier-2
+//! executions, so cold blocks never pay the build. Invalidation is
+//! tier-2's, unchanged: threaded blocks live inside `BlockCache`
+//! slots and die with them (generation stamps, watermark stores,
+//! device revisions, disable), counted as demotions.
+
+use alia_isa::{Cond, DpOp, Index, Instr, IsaMode, Offset, Operand2, Reg};
+
+use crate::cpu::{add_with_carry, EXC_RETURN_HW, EXC_RETURN_SW};
+use crate::machine::{Machine, StopReason};
+use crate::mem::{Access, FLASH_BASE};
+use crate::predecode::Entry;
+
+/// Tier-2 dispatches of a block before it is promoted to threaded
+/// code. Low enough that benchmark loops promote almost immediately,
+/// high enough that straight-line startup code never pays the build.
+pub(crate) const PROMOTE_HEAT: u32 = 8;
+
+/// A handler: executes one [`Op`] (one instruction or one fused pair)
+/// against the machine and reports how the dispatch loop should
+/// proceed.
+pub(crate) type Handler = fn(&mut Machine, &Op, &mut ExecCtx) -> Ctl;
+
+/// Handler outcome, consumed by [`dispatch`].
+#[derive(Debug)]
+pub(crate) enum Ctl {
+    /// Straight-line: fell through to the next op.
+    Next,
+    /// Control transfer (or conditional fall-through past a terminal
+    /// branch): leave the block and chain at the current PC.
+    Exit,
+    /// A tier-2 safety condition tripped mid-op (fused pairs check
+    /// between halves): split to the per-step path, no budget stat.
+    Split,
+    /// The cycle budget tripped mid-op: split, counting a budget split.
+    SplitBudget,
+    /// Execution stopped (fault, breakpoint, MMIO exit...).
+    Stop(StopReason),
+}
+
+/// How a threaded (or tier-2) block execution ended, as seen by the
+/// chain loop in `Machine::exec_blocks`.
+#[derive(Debug)]
+pub(crate) enum BlockExit {
+    /// Block completed; chain at the current PC.
+    Chain,
+    /// Safety split back to the per-step path.
+    Split,
+    /// Budget split back to the per-step path (counted by the caller).
+    SplitBudget,
+    /// Execution stopped.
+    Stop(StopReason),
+}
+
+/// Per-dispatch context shared between the loop and the handlers.
+#[derive(Debug)]
+pub(crate) struct ExecCtx {
+    /// `run`/`run_until` cycle bound for this dispatch.
+    pub(crate) cycle_limit: u64,
+    /// Earliest scheduled-interrupt cycle (stable across the chain).
+    pub(crate) sched_due: u64,
+    /// Code-write generation snapshot the chain entered with.
+    pub(crate) cwg: u64,
+    /// Device-revision snapshot the chain entered with.
+    pub(crate) revs: u64,
+    /// `min(cycle_limit, sched_due, bus.next_event())`, recomputed
+    /// after every impure op — the single compare pure ops make.
+    pub(crate) bound: u64,
+    /// Flash streaming-window size (bytes) for [`FetchPlan::Refill`].
+    pub(crate) window: u32,
+    /// First fetch length: `mode.min_instr_size()`.
+    pub(crate) flen: u32,
+}
+
+/// Precomputed replay of one `Machine::fetch_timing` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FetchPlan {
+    /// No call at all (unused second-fetch slot of a narrow op).
+    None,
+    /// Statically window-resident: zero cycles, no state change.
+    Free,
+    /// Exactly one streaming refill of the given window base: one live
+    /// `Flash::access_timing` fetch plus the buffered-window update.
+    Refill(u32),
+    /// Unplannable (block entry, post-impure state, non-flash code,
+    /// I-cache/MPU fitted, multi-window): run `fetch_timing` in full.
+    Slow,
+}
+
+/// ALU micro-operation kind shared by specialized and fused handlers.
+/// Only the two-operand forms without carry-in participate; `adc`,
+/// `sbc` and `rsb` stay on the generic handler.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AluKind {
+    /// `rd = rn + op2`
+    Add,
+    /// `rd = rn - op2`
+    Sub,
+    /// `rd = rn & op2`
+    And,
+    /// `rd = rn | op2`
+    Orr,
+    /// `rd = rn ^ op2`
+    Eor,
+    /// `rd = rn & !op2`
+    Bic,
+}
+
+/// Pre-resolved operands for one instruction (or one half of a fused
+/// pair). Fields are only meaningful for the handler that reads them.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Half {
+    /// ALU kind (ALU handlers).
+    pub(crate) kind: AluKind,
+    /// Flag-setting (`s` suffix).
+    pub(crate) s: bool,
+    /// Second operand is `rm` (`true`) or `imm` (`false`).
+    pub(crate) b_reg: bool,
+    /// Destination register / `ldr`/`str` transfer register.
+    pub(crate) rd: Reg,
+    /// First operand register / memory base register.
+    pub(crate) rn: Reg,
+    /// Register second operand.
+    pub(crate) rm: Reg,
+    /// Immediate second operand / memory offset (sign-extended).
+    pub(crate) imm: u32,
+    /// Memory access length in bytes (`ldr`/`str` handlers).
+    pub(crate) len: u32,
+}
+
+impl Half {
+    /// Placeholder for unused halves.
+    pub(crate) const NONE: Half = Half {
+        kind: AluKind::Add,
+        s: false,
+        b_reg: false,
+        rd: Reg::R0,
+        rn: Reg::R0,
+        rm: Reg::R0,
+        imm: 0,
+        len: 0,
+    };
+}
+
+/// One threaded-code entry: a handler pointer plus everything it needs
+/// pre-resolved. Covers one instruction, or two when fused.
+#[derive(Debug, Clone)]
+pub(crate) struct Op {
+    /// The handler.
+    pub(crate) run: Handler,
+    /// The first (or only) instruction's predecode entry — the generic
+    /// handler issues it; every handler charges its patch accounting.
+    pub(crate) entry: Entry,
+    /// Whether the whole op (both halves when fused) is pure: cannot
+    /// pend an interrupt, raise a device signal, move a revision,
+    /// change `next_event`, or set the exit code. Pure ops get a
+    /// single budget compare after execution instead of the full
+    /// tier-2 check sequence.
+    pub(crate) pure: bool,
+    /// Total byte size (both halves when fused).
+    pub(crate) size: u32,
+    /// First-half byte size (== `size` when not fused).
+    pub(crate) size1: u32,
+    /// Fetch plans: first instruction's first call and (wide Thumb)
+    /// second-halfword call.
+    pub(crate) f1: FetchPlan,
+    /// Second fetch call of the first instruction ([`FetchPlan::None`]
+    /// when narrow or A32).
+    pub(crate) f1b: FetchPlan,
+    /// Fetch plans of the fused second instruction.
+    pub(crate) f2: FetchPlan,
+    /// Second fetch call of the fused second instruction.
+    pub(crate) f2b: FetchPlan,
+    /// First-instruction operands.
+    pub(crate) a: Half,
+    /// Fused-second-instruction operands.
+    pub(crate) b: Half,
+    /// Branch condition (terminal branch handlers, fused or not).
+    pub(crate) cond2: Cond,
+    /// Precomputed absolute branch target (`& !1` applied at build).
+    pub(crate) target: u32,
+    /// `cbz`/`cbnz` polarity.
+    pub(crate) nonzero: bool,
+    /// Flash-patch hit count of the fused second instruction.
+    pub(crate) patch2: u8,
+}
+
+/// A promoted block: the threaded lowering of one `BlockCache` slot.
+#[derive(Debug)]
+pub(crate) struct ThreadedBlock {
+    /// The ops, in program order.
+    pub(crate) ops: Box<[Op]>,
+    /// The block's start PC — the self-loop fast path in [`dispatch`]
+    /// compares the exit PC against it.
+    pub(crate) start: u32,
+    /// Alternate first op for self-loop iterations: identical to
+    /// `ops[0]` except its fetch plans assume the streaming window the
+    /// block itself leaves buffered at its taken backedge (instead of
+    /// the unknown-entry `Slow` walk). Only reached after a *pure*
+    /// terminal exit, which provably cannot disturb the fetch stream.
+    pub(crate) loop_head: Op,
+    /// Flash streaming-window size the fetch plans were built for.
+    pub(crate) window: u32,
+    /// First-fetch length (`mode.min_instr_size()`).
+    pub(crate) flen: u32,
+    /// Fused pairs selected at build time (stat reporting).
+    pub(crate) fused: u32,
+}
+
+// ---------------------------------------------------------------------
+// Dispatch loop
+// ---------------------------------------------------------------------
+
+/// Executes one threaded block. The caller (`Machine::exec_blocks`)
+/// owns chaining, stats and the per-chain snapshots; the loop owns the
+/// per-op boundary checks (see the module docs for why pure ops only
+/// compare the budget).
+///
+/// Returns the exit plus the number of *self-loop* iterations taken:
+/// when the terminal op is pure and branches back to the block's own
+/// start, the loop restarts internally instead of returning `Chain` —
+/// skipping the per-dispatch chain machinery (slot probe, tier gates,
+/// context rebuild) the caller would redo only to land back here. The
+/// restart is gated on exactly the conditions the caller's re-entry
+/// path (`Machine::tier3_for`) would check: empty IT queue and no
+/// latched exit code — and the retained `ctx.bound` equals the rebuild
+/// (pure ops cannot move `Bus::next_event`, and the limits are
+/// chain-constant). The caller charges one hit / threaded dispatch /
+/// chain follow per iteration, matching the unrolled accounting.
+pub(crate) fn dispatch(
+    m: &mut Machine,
+    tb: &ThreadedBlock,
+    cycle_limit: u64,
+    sched_due: u64,
+    cwg: u64,
+    revs: u64,
+) -> (BlockExit, u64) {
+    let mut ctx = ExecCtx {
+        cycle_limit,
+        sched_due,
+        cwg,
+        revs,
+        bound: cycle_limit.min(sched_due).min(m.bus.next_event()),
+        window: tb.window,
+        flen: tb.flen,
+    };
+    let last = tb.ops.len() - 1;
+    let mut loops = 0u64;
+    let mut looped = false;
+    'restart: loop {
+        for (idx, block_op) in tb.ops.iter().enumerate() {
+            // Self-loop iterations enter with a statically known
+            // streaming window: swap in the steady-state first op.
+            let op = if looped && idx == 0 { &tb.loop_head } else { block_op };
+            match (op.run)(m, op, &mut ctx) {
+                Ctl::Next => {
+                    if op.pure {
+                        if m.cycles >= ctx.bound {
+                            return (BlockExit::SplitBudget, loops);
+                        }
+                    } else {
+                        if !m.threaded_safety_ok(cwg, revs) {
+                            return (BlockExit::Split, loops);
+                        }
+                        ctx.bound = cycle_limit.min(sched_due).min(m.bus.next_event());
+                        if m.cycles >= ctx.bound {
+                            return (BlockExit::SplitBudget, loops);
+                        }
+                    }
+                }
+                Ctl::Exit => {
+                    // Same boundary checks as Next — tier-2 runs them
+                    // before noticing the PC diverged — then chain.
+                    if op.pure {
+                        if m.cycles >= ctx.bound {
+                            return (BlockExit::SplitBudget, loops);
+                        }
+                        // Self-loop fast path (see the method docs).
+                        if idx == last
+                            && m.cpu.pc == tb.start
+                            && m.cpu.it_queue.is_empty()
+                            && m.bus.signals.exit_code.is_none()
+                        {
+                            loops += 1;
+                            looped = true;
+                            continue 'restart;
+                        }
+                    } else {
+                        if !m.threaded_safety_ok(cwg, revs) {
+                            return (BlockExit::Split, loops);
+                        }
+                        if m.cycles >= cycle_limit.min(sched_due).min(m.bus.next_event()) {
+                            return (BlockExit::SplitBudget, loops);
+                        }
+                    }
+                    return (BlockExit::Chain, loops);
+                }
+                Ctl::Split => return (BlockExit::Split, loops),
+                Ctl::SplitBudget => return (BlockExit::SplitBudget, loops),
+                Ctl::Stop(r) => return (BlockExit::Stop(r), loops),
+            }
+        }
+        return (BlockExit::Chain, loops);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch-plan replay
+// ---------------------------------------------------------------------
+
+/// Replays one planned `fetch_timing` call, returning its cycles.
+#[inline(always)]
+fn plan_cycles(
+    m: &mut Machine,
+    plan: FetchPlan,
+    addr: u32,
+    len: u32,
+    window: u32,
+) -> Result<u32, StopReason> {
+    match plan {
+        FetchPlan::None => Ok(0),
+        FetchPlan::Free => {
+            // Statically resident: fetch_timing would walk the windows,
+            // find every one buffered, and leave the final window — the
+            // current one — buffered. Zero cycles, no state change.
+            debug_assert_eq!(
+                m.fetch_window,
+                Some((addr + len - 1) & !(window - 1)),
+                "Free fetch plan with a stale window"
+            );
+            Ok(0)
+        }
+        FetchPlan::Refill(w) => {
+            // Exactly one non-resident window: one live access_timing
+            // call keeps seq/nonseq selection, flash stats and stream
+            // state identical to the full walk.
+            let c = m.flash.access_timing(w - FLASH_BASE, window, Access::Fetch);
+            m.fetch_window = Some(w);
+            Ok(c)
+        }
+        FetchPlan::Slow => match m.fetch_timing(addr, len) {
+            Ok((c, _, _)) => Ok(c),
+            Err(f) => Err(StopReason::Fault(f)),
+        },
+    }
+}
+
+/// Replays the fetch of one instruction (both calls for wide Thumb)
+/// and its flash-patch accounting — the threaded mirror of
+/// `Machine::replay_fetch` for breakpoint-free entries.
+#[inline(always)]
+fn fetch_instr(
+    m: &mut Machine,
+    f1: FetchPlan,
+    f1b: FetchPlan,
+    pc: u32,
+    patch_hits: u8,
+    ctx: &ExecCtx,
+) -> Result<u32, StopReason> {
+    let mut c = plan_cycles(m, f1, pc, ctx.flen, ctx.window)?;
+    m.patch.hits += u64::from(patch_hits);
+    if f1b != FetchPlan::None {
+        c += plan_cycles(m, f1b, pc.wrapping_add(2), 2, ctx.window)?;
+    }
+    Ok(c)
+}
+
+/// Fetches + retires one instruction half: charges the fetch-overlap
+/// cycles and the instruction count, exactly as `Machine::issue` does
+/// before predication.
+#[inline(always)]
+fn retire_fetch(
+    m: &mut Machine,
+    f1: FetchPlan,
+    f1b: FetchPlan,
+    pc: u32,
+    patch_hits: u8,
+    ctx: &ExecCtx,
+) -> Result<(), StopReason> {
+    let fc = fetch_instr(m, f1, f1b, pc, patch_hits, ctx)?;
+    m.cycles += u64::from(fc.saturating_sub(1));
+    m.instret += 1;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Semantic halves (shared by single and fused handlers)
+// ---------------------------------------------------------------------
+
+/// One ALU data-processing step: semantics and the 1-cycle issue cost.
+/// With an immediate or plain-register second operand the shifter
+/// carry-out equals the current carry flag, so flag updates reduce to
+/// N/Z plus the adder's C/V — identical to the generic executor.
+#[inline(always)]
+fn alu_half(m: &mut Machine, h: &Half) {
+    let a = m.cpu.read_reg(h.rn, 0);
+    let b = if h.b_reg { m.cpu.read_reg(h.rm, 0) } else { h.imm };
+    let (r, c, v) = match h.kind {
+        AluKind::Add => add_with_carry(a, b, false),
+        AluKind::Sub => add_with_carry(a, !b, true),
+        AluKind::And => (a & b, m.cpu.flags.c, m.cpu.flags.v),
+        AluKind::Orr => (a | b, m.cpu.flags.c, m.cpu.flags.v),
+        AluKind::Eor => (a ^ b, m.cpu.flags.c, m.cpu.flags.v),
+        AluKind::Bic => (a & !b, m.cpu.flags.c, m.cpu.flags.v),
+    };
+    if h.s {
+        m.cpu.set_nz(r);
+        m.cpu.flags.c = c;
+        m.cpu.flags.v = v;
+    }
+    m.cpu.write_reg(h.rd, r);
+    m.cycles += 1;
+}
+
+/// One `cmp` step: flags only, 1 cycle.
+#[inline(always)]
+fn cmp_half(m: &mut Machine, h: &Half) {
+    let a = m.cpu.read_reg(h.rn, 0);
+    let b = if h.b_reg { m.cpu.read_reg(h.rm, 0) } else { h.imm };
+    let (r, c, v) = add_with_carry(a, !b, true);
+    m.cpu.set_nz(r);
+    m.cpu.flags.c = c;
+    m.cpu.flags.v = v;
+    m.cycles += 1;
+}
+
+/// One immediate-offset `ldr[b|h]` (unsigned, no writeback) step.
+#[inline(always)]
+fn ldr_half(m: &mut Machine, h: &Half) -> Result<(), StopReason> {
+    let ea = m.cpu.read_reg(h.rn, 0).wrapping_add(h.imm);
+    let (v, c) = match m.data_read(ea, h.len) {
+        Ok(t) => t,
+        Err(f) => return Err(StopReason::Fault(f)),
+    };
+    m.cycles += 1 + u64::from(c) + u64::from(m.config.timing.load_internal);
+    m.cpu.write_reg(h.rd, v);
+    Ok(())
+}
+
+/// The terminal direct-branch step: evaluates the (possibly `AL`)
+/// condition live, charging the skip/taken cycles the generic path
+/// charges. The caller has already retired the fetch.
+#[inline(always)]
+fn branch_half(m: &mut Machine, op: &Op, pc: u32) {
+    m.cycles += 1;
+    if op.cond2.eval(m.cpu.flags) {
+        m.cycles += u64::from(m.config.timing.branch_taken_penalty);
+        m.cpu.pc = op.target;
+    } else {
+        m.cpu.pc = pc.wrapping_add(op.size);
+    }
+}
+
+/// The tier-2 boundary check after an impure first half, mid-pair:
+/// exit-code stop, safety split, budget recompute + split — in exactly
+/// the order the per-entry loop applies them between two instructions.
+#[inline(always)]
+fn impure_boundary(m: &mut Machine, ctx: &mut ExecCtx) -> Option<Ctl> {
+    if let Some(code) = m.bus.signals.exit_code {
+        return Some(Ctl::Stop(StopReason::MmioExit(code)));
+    }
+    if !m.threaded_safety_ok(ctx.cwg, ctx.revs) {
+        return Some(Ctl::Split);
+    }
+    ctx.bound = ctx.cycle_limit.min(ctx.sched_due).min(m.bus.next_event());
+    if m.cycles >= ctx.bound {
+        return Some(Ctl::SplitBudget);
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------
+
+macro_rules! try_ctl {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(stop) => return Ctl::Stop(stop),
+        }
+    };
+}
+
+/// Fallback: plan-replayed fetch plus the shared issue sequence
+/// (live predication, full executor). Anything the specializer skips
+/// lands here, so the lowering never needs to be complete.
+fn h_generic(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    let fc = try_ctl!(fetch_instr(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    let next_pc = pc.wrapping_add(op.entry.size);
+    if let Some(stop) = m.issue(&op.entry, pc, fc) {
+        return Ctl::Stop(stop);
+    }
+    if m.cpu.pc == next_pc { Ctl::Next } else { Ctl::Exit }
+}
+
+/// Specialized unconditional ALU reg/imm (`add`/`sub`/`and`/`orr`/
+/// `eor`/`bic`, optional `s`, no PC operands).
+fn h_alu(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    alu_half(m, &op.a);
+    m.cpu.pc = pc.wrapping_add(op.size);
+    Ctl::Next
+}
+
+/// Specialized unconditional `mov`/`movw` reg/imm (no PC operands).
+fn h_mov(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    let v = if op.a.b_reg { m.cpu.read_reg(op.a.rm, 0) } else { op.a.imm };
+    if op.a.s {
+        m.cpu.set_nz(v);
+    }
+    m.cpu.write_reg(op.a.rd, v);
+    m.cycles += 1;
+    m.cpu.pc = pc.wrapping_add(op.size);
+    Ctl::Next
+}
+
+/// Specialized unconditional `cmp` reg/imm.
+fn h_cmp(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    cmp_half(m, &op.a);
+    m.cpu.pc = pc.wrapping_add(op.size);
+    Ctl::Next
+}
+
+/// Specialized direct branch (`b`, any condition, static non-EXC
+/// target).
+fn h_b(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    branch_half(m, op, pc);
+    Ctl::Exit
+}
+
+/// Specialized `cbz`/`cbnz`.
+fn h_cbz(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    m.cycles += 1;
+    let v = m.cpu.read_reg(op.a.rn, 0);
+    if (v == 0) != op.nonzero {
+        m.cycles += u64::from(m.config.timing.branch_taken_penalty);
+        m.cpu.pc = op.target;
+    } else {
+        m.cpu.pc = pc.wrapping_add(op.size);
+    }
+    Ctl::Exit
+}
+
+/// Specialized unconditional immediate-offset `ldr` (unsigned, no
+/// writeback, no PC operands). Impure: the load may touch a device.
+fn h_ldr(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    try_ctl!(ldr_half(m, &op.a));
+    m.cpu.pc = pc.wrapping_add(op.size);
+    if let Some(code) = m.bus.signals.exit_code {
+        return Ctl::Stop(StopReason::MmioExit(code));
+    }
+    Ctl::Next
+}
+
+/// Specialized unconditional immediate-offset `str` (no writeback, no
+/// PC operands). Impure: the store may touch a device or code bytes.
+fn h_str(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    let ea = m.cpu.read_reg(op.a.rn, 0).wrapping_add(op.a.imm);
+    let v = m.cpu.read_reg(op.a.rd, 0);
+    let c = match m.data_write(ea, op.a.len, v) {
+        Ok(c) => c,
+        Err(f) => return Ctl::Stop(StopReason::Fault(f)),
+    };
+    m.cycles += 1 + u64::from(c) + u64::from(m.config.timing.store_internal);
+    m.cpu.pc = pc.wrapping_add(op.size);
+    if let Some(code) = m.bus.signals.exit_code {
+        return Ctl::Stop(StopReason::MmioExit(code));
+    }
+    Ctl::Next
+}
+
+/// Fused ALU + `cmp` (the `add`+`cmp` loop-counter idiom). Both halves
+/// pure; the mid-pair boundary needs only the budget compare.
+fn h_fused_alu_cmp(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    alu_half(m, &op.a);
+    let pc2 = pc.wrapping_add(op.size1);
+    m.cpu.pc = pc2;
+    if m.cycles >= ctx.bound {
+        return Ctl::SplitBudget;
+    }
+    try_ctl!(retire_fetch(m, op.f2, op.f2b, pc2, op.patch2, ctx));
+    cmp_half(m, &op.b);
+    m.cpu.pc = pc.wrapping_add(op.size);
+    Ctl::Next
+}
+
+/// Fused `cmp` + conditional branch (the compare-and-loop backedge).
+fn h_fused_cmp_b(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    cmp_half(m, &op.a);
+    let pc2 = pc.wrapping_add(op.size1);
+    m.cpu.pc = pc2;
+    if m.cycles >= ctx.bound {
+        return Ctl::SplitBudget;
+    }
+    try_ctl!(retire_fetch(m, op.f2, op.f2b, pc2, op.patch2, ctx));
+    branch_half(m, op, pc2.wrapping_sub(op.size1));
+    Ctl::Exit
+}
+
+/// Fused flag-setting ALU + conditional branch (the `subs`+`bne`
+/// countdown backedge).
+fn h_fused_alu_b(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    alu_half(m, &op.a);
+    let pc2 = pc.wrapping_add(op.size1);
+    m.cpu.pc = pc2;
+    if m.cycles >= ctx.bound {
+        return Ctl::SplitBudget;
+    }
+    try_ctl!(retire_fetch(m, op.f2, op.f2b, pc2, op.patch2, ctx));
+    branch_half(m, op, pc);
+    Ctl::Exit
+}
+
+/// Fused immediate-offset `ldr` + ALU (pointer-chase / accumulate).
+/// The first half is impure, so the mid-pair boundary runs the full
+/// tier-2 check sequence before the second half issues.
+fn h_fused_ldr_alu(m: &mut Machine, op: &Op, ctx: &mut ExecCtx) -> Ctl {
+    let pc = m.cpu.pc;
+    try_ctl!(retire_fetch(m, op.f1, op.f1b, pc, op.entry.patch_hits, ctx));
+    try_ctl!(ldr_half(m, &op.a));
+    let pc2 = pc.wrapping_add(op.size1);
+    m.cpu.pc = pc2;
+    if let Some(ctl) = impure_boundary(m, ctx) {
+        return ctl;
+    }
+    try_ctl!(retire_fetch(m, op.f2, op.f2b, pc2, op.patch2, ctx));
+    alu_half(m, &op.b);
+    m.cpu.pc = pc.wrapping_add(op.size);
+    Ctl::Next
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/// Static model of the flash streaming buffer, used to plan each
+/// `fetch_timing` call at build time. `cur` tracks the buffered window
+/// the machine will hold at that point in the block, when provable.
+struct FetchSim {
+    window: u32,
+    /// Statically known buffered window (`None` at block entry and
+    /// after any impure op — data accesses may clobber the stream).
+    cur: Option<u32>,
+    /// Whether planning applies at all: uncached, MPU-less flash code.
+    plannable: bool,
+}
+
+impl FetchSim {
+    /// Plans one `fetch_timing(addr, len)` call and advances the model.
+    fn call(&mut self, addr: u32, len: u32) -> FetchPlan {
+        if !self.plannable {
+            return FetchPlan::Slow;
+        }
+        let wm = self.window - 1;
+        let fin = (addr + len - 1) & !wm;
+        let Some(mut cur) = self.cur else {
+            // Unknown entry state: run the full walk, after which the
+            // buffered window is deterministic.
+            self.cur = Some(fin);
+            return FetchPlan::Slow;
+        };
+        // Replicate the fetch_timing window walk statically.
+        let mut w = addr & !wm;
+        let end = addr + len;
+        let mut refills = 0u32;
+        let mut refill_at = 0u32;
+        while w < end {
+            if cur != w {
+                refills += 1;
+                refill_at = w;
+                cur = w;
+            }
+            w += self.window;
+        }
+        self.cur = Some(fin);
+        match refills {
+            0 => FetchPlan::Free,
+            // A single refill whose window is also the final buffered
+            // window collapses to one live access_timing call.
+            1 if refill_at == fin => FetchPlan::Refill(refill_at),
+            _ => FetchPlan::Slow,
+        }
+    }
+
+    /// Forgets the buffered window (called after impure ops: a data
+    /// access may break the fetch stream).
+    fn invalidate(&mut self) {
+        self.cur = None;
+    }
+}
+
+/// Operand source for the micro-op classifier.
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    Imm(u32),
+    Reg(Reg),
+}
+
+/// The specializer's view of one instruction: a pattern the fusion
+/// and handler selection match on. `Generic` runs through
+/// [`h_generic`] (still threaded — just not specialized).
+#[derive(Debug, Clone, Copy)]
+enum Micro {
+    Alu { kind: AluKind, s: bool, rd: Reg, rn: Reg, src: Src },
+    Mov { s: bool, rd: Reg, src: Src },
+    Cmp { rn: Reg, src: Src },
+    B { cond: Cond, target: u32 },
+    Cbz { nonzero: bool, rn: Reg, target: u32 },
+    Ldr { rt: Reg, rn: Reg, off: u32, len: u32 },
+    Str { rt: Reg, rn: Reg, off: u32, len: u32 },
+    Generic,
+}
+
+fn src_of(op2: Operand2) -> Option<Src> {
+    match op2 {
+        Operand2::Imm(v) => Some(Src::Imm(v)),
+        Operand2::Reg(r) if r != Reg::PC => Some(Src::Reg(r)),
+        _ => None,
+    }
+}
+
+/// A static branch target that must stay on the generic path: the
+/// executor interprets these PC values as exception returns.
+fn exc_target(target: u32) -> bool {
+    target == EXC_RETURN_HW || target == EXC_RETURN_SW
+}
+
+/// Classifies one entry for specialization. Conservative: anything
+/// with PC operands, shifts, conditions (beyond the branch's own),
+/// carry-in arithmetic, sign extension or writeback stays `Generic`.
+fn classify(e: &Entry, pc: u32) -> Micro {
+    match e.instr {
+        Instr::B { cond, offset } => {
+            let raw = pc.wrapping_add(offset as u32);
+            if exc_target(raw) {
+                return Micro::Generic;
+            }
+            Micro::B { cond, target: raw & !1 }
+        }
+        Instr::Cbz { nonzero, rn, offset } => {
+            let raw = pc.wrapping_add(offset as u32);
+            if exc_target(raw) || rn == Reg::PC {
+                return Micro::Generic;
+            }
+            Micro::Cbz { nonzero, rn, target: raw & !1 }
+        }
+        _ if e.cond != Cond::Al => Micro::Generic,
+        Instr::Dp { op, s, rd, rn, op2, .. } if rd != Reg::PC && rn != Reg::PC => {
+            let kind = match op {
+                DpOp::Add => AluKind::Add,
+                DpOp::Sub => AluKind::Sub,
+                DpOp::And => AluKind::And,
+                DpOp::Orr => AluKind::Orr,
+                DpOp::Eor => AluKind::Eor,
+                DpOp::Bic => AluKind::Bic,
+                DpOp::Adc | DpOp::Sbc | DpOp::Rsb => return Micro::Generic,
+            };
+            match src_of(op2) {
+                Some(src) => Micro::Alu { kind, s, rd, rn, src },
+                None => Micro::Generic,
+            }
+        }
+        Instr::Mov { s, rd, op2, .. } if rd != Reg::PC => match src_of(op2) {
+            Some(src) => Micro::Mov { s, rd, src },
+            None => Micro::Generic,
+        },
+        Instr::MovW { rd, imm16, .. } if rd != Reg::PC => {
+            Micro::Mov { s: false, rd, src: Src::Imm(u32::from(imm16)) }
+        }
+        Instr::Cmp { op: alia_isa::CmpOp::Cmp, rn, op2, .. } if rn != Reg::PC => {
+            match src_of(op2) {
+                Some(src) => Micro::Cmp { rn, src },
+                None => Micro::Generic,
+            }
+        }
+        Instr::Ldr { size, signed: false, rt, addr, .. }
+            if rt != Reg::PC
+                && addr.base != Reg::PC
+                && addr.index == Index::Offset
+                && matches!(addr.offset, Offset::Imm(_)) =>
+        {
+            let Offset::Imm(i) = addr.offset else { unreachable!() };
+            Micro::Ldr { rt, rn: addr.base, off: i as u32, len: size.bytes() }
+        }
+        Instr::Str { size, rt, addr, .. }
+            if rt != Reg::PC
+                && addr.base != Reg::PC
+                && addr.index == Index::Offset
+                && matches!(addr.offset, Offset::Imm(_)) =>
+        {
+            let Offset::Imm(i) = addr.offset else { unreachable!() };
+            Micro::Str { rt, rn: addr.base, off: i as u32, len: size.bytes() }
+        }
+        _ => Micro::Generic,
+    }
+}
+
+/// Whether `instr` is *pure*: it cannot pend an interrupt, raise a
+/// device signal, bump a revision counter or the code-write
+/// generation, change `Bus::next_event`, or set the MMIO exit code.
+/// After a pure op the tier-2 safety re-checks are provably no-ops,
+/// so the dispatch loop compares only the cycle budget. Conservative:
+/// everything that touches memory or might exception-return is impure.
+fn is_pure(instr: &Instr, pc: u32) -> bool {
+    match *instr {
+        Instr::Dp { rd, .. } | Instr::Mov { rd, .. } => rd != Reg::PC,
+        Instr::Mvn { .. }
+        | Instr::Cmp { .. }
+        | Instr::MovW { .. }
+        | Instr::MovT { .. }
+        | Instr::Mul { .. }
+        | Instr::Mla { .. }
+        | Instr::Sdiv { .. }
+        | Instr::Udiv { .. }
+        | Instr::Bfi { .. }
+        | Instr::Bfc { .. }
+        | Instr::Ubfx { .. }
+        | Instr::Sbfx { .. }
+        | Instr::Rbit { .. }
+        | Instr::Rev { .. }
+        | Instr::It { .. }
+        | Instr::Svc { .. }
+        | Instr::Nop
+        | Instr::Cpsid
+        | Instr::Cpsie => true,
+        Instr::B { offset, .. } | Instr::Bl { offset } | Instr::Cbz { offset, .. } => {
+            !exc_target(pc.wrapping_add(offset as u32))
+        }
+        // Ldr/Str/LdrLit/Ldm/Stm/Push/Pop (memory), Bx (dynamic
+        // target), Tbb/Tbh (memory), Bkpt/Wfi (never in blocks), and
+        // anything future: impure.
+        _ => false,
+    }
+}
+
+fn alu_to_half(kind: AluKind, s: bool, rd: Reg, rn: Reg, src: Src) -> Half {
+    let mut h = Half { kind, s, rd, rn, ..Half::NONE };
+    match src {
+        Src::Imm(v) => h.imm = v,
+        Src::Reg(r) => {
+            h.b_reg = true;
+            h.rm = r;
+        }
+    }
+    h
+}
+
+fn mem_to_half(rt: Reg, rn: Reg, off: u32, len: u32) -> Half {
+    Half { rd: rt, rn, imm: off, len, ..Half::NONE }
+}
+
+/// A selected fusion: handler plus the pieces the [`Op`] needs.
+struct Fusion {
+    run: Handler,
+    a: Half,
+    b: Half,
+    cond2: Cond,
+    target: u32,
+}
+
+/// Tries to fuse the pair `(m1, m2)`, in pattern priority order:
+/// `cmp`+branch, ALU+branch (the `subs`+`bne` backedge), ALU+`cmp`,
+/// `ldr`+ALU.
+fn fuse(m1: Micro, m2: Micro) -> Option<Fusion> {
+    match (m1, m2) {
+        (Micro::Cmp { rn, src }, Micro::B { cond, target }) => Some(Fusion {
+            run: h_fused_cmp_b,
+            a: alu_to_half(AluKind::Sub, true, Reg::R0, rn, src),
+            b: Half::NONE,
+            cond2: cond,
+            target,
+        }),
+        (Micro::Alu { kind, s, rd, rn, src }, Micro::B { cond, target }) => Some(Fusion {
+            run: h_fused_alu_b,
+            a: alu_to_half(kind, s, rd, rn, src),
+            b: Half::NONE,
+            cond2: cond,
+            target,
+        }),
+        (Micro::Alu { kind, s, rd, rn, src }, Micro::Cmp { rn: rn2, src: src2 }) => {
+            Some(Fusion {
+                run: h_fused_alu_cmp,
+                a: alu_to_half(kind, s, rd, rn, src),
+                b: alu_to_half(AluKind::Sub, true, Reg::R0, rn2, src2),
+                cond2: Cond::Al,
+                target: 0,
+            })
+        }
+        (
+            Micro::Ldr { rt, rn, off, len },
+            Micro::Alu { kind, s, rd, rn: rn2, src },
+        ) => Some(Fusion {
+            run: h_fused_ldr_alu,
+            a: mem_to_half(rt, rn, off, len),
+            b: alu_to_half(kind, s, rd, rn2, src),
+            cond2: Cond::Al,
+            target: 0,
+        }),
+        _ => None,
+    }
+}
+
+/// Selects the specialized handler (and operand halves) for a single
+/// unfused instruction.
+fn single(micro: Micro) -> (Handler, Half, Cond, u32, bool) {
+    match micro {
+        Micro::Alu { kind, s, rd, rn, src } => {
+            (h_alu, alu_to_half(kind, s, rd, rn, src), Cond::Al, 0, false)
+        }
+        Micro::Mov { s, rd, src } => {
+            (h_mov, alu_to_half(AluKind::Add, s, rd, Reg::R0, src), Cond::Al, 0, false)
+        }
+        Micro::Cmp { rn, src } => {
+            (h_cmp, alu_to_half(AluKind::Sub, true, Reg::R0, rn, src), Cond::Al, 0, false)
+        }
+        Micro::B { cond, target } => (h_b, Half::NONE, cond, target, false),
+        Micro::Cbz { nonzero, rn, target } => {
+            (h_cbz, Half { rn, ..Half::NONE }, Cond::Al, target, nonzero)
+        }
+        Micro::Ldr { rt, rn, off, len } => {
+            (h_ldr, mem_to_half(rt, rn, off, len), Cond::Al, 0, false)
+        }
+        Micro::Str { rt, rn, off, len } => {
+            (h_str, mem_to_half(rt, rn, off, len), Cond::Al, 0, false)
+        }
+        Micro::Generic => (h_generic, Half::NONE, Cond::Al, 0, false),
+    }
+}
+
+/// Lowers a recorded block to threaded code. Returns `None` only for
+/// degenerate inputs (empty runs, breakpoint entries) — a promotable
+/// block always lowers, with unspecialized entries on the generic
+/// handler.
+pub(crate) fn build(start: u32, entries: &[Entry], m: &Machine) -> Option<ThreadedBlock> {
+    if entries.is_empty() || entries.iter().any(|e| e.bp_first || e.bp_second) {
+        return None;
+    }
+    let mode = m.config.mode;
+    let flen = mode.min_instr_size();
+    let flash_cfg = m.flash.config();
+    let window = flash_cfg.width.max(2);
+    let end = entries.iter().fold(start, |pc, e| pc.wrapping_add(e.size));
+    // Fetch plans only apply to streaming flash code with no I-cache
+    // and no MPU (both would run per-fetch logic the plan elides);
+    // everything else replays fetch_timing in full, which is always
+    // correct.
+    // (Flash occupies the bottom of the address space at FLASH_BASE =
+    // 0, so `start` is in-region iff `end` stays under the flash top.)
+    let plannable = m.icache.is_none()
+        && m.mpu.is_none()
+        && end <= FLASH_BASE.wrapping_add(flash_cfg.size)
+        && end >= start;
+    let mut sim = FetchSim { window, cur: None, plannable };
+
+    let mut pcs = Vec::with_capacity(entries.len());
+    let mut pc = start;
+    for e in entries {
+        pcs.push(pc);
+        pc = pc.wrapping_add(e.size);
+    }
+    let micros: Vec<Micro> =
+        entries.iter().zip(&pcs).map(|(e, &pc)| classify(e, pc)).collect();
+    let pures: Vec<bool> =
+        entries.iter().zip(&pcs).map(|(e, &pc)| is_pure(&e.instr, pc)).collect();
+    let wide = |i: usize| mode != IsaMode::A32 && entries[i].size == 4;
+
+    // Plans one instruction's fetch calls (both for wide Thumb).
+    let plan = |sim: &mut FetchSim, k: usize| {
+        let f = sim.call(pcs[k], flen);
+        let fb = if wide(k) {
+            sim.call(pcs[k].wrapping_add(2), 2)
+        } else {
+            FetchPlan::None
+        };
+        (f, fb)
+    };
+
+    let mut ops = Vec::with_capacity(entries.len());
+    let mut fused = 0u32;
+    let mut i = 0;
+    while i < entries.len() {
+        if i + 1 < entries.len() {
+            if let Some(fu) = fuse(micros[i], micros[i + 1]) {
+                let (f1, f1b) = plan(&mut sim, i);
+                if !pures[i] {
+                    sim.invalidate();
+                }
+                let (f2, f2b) = plan(&mut sim, i + 1);
+                if !pures[i + 1] {
+                    sim.invalidate();
+                }
+                ops.push(Op {
+                    run: fu.run,
+                    entry: entries[i],
+                    pure: pures[i] && pures[i + 1],
+                    size: entries[i].size + entries[i + 1].size,
+                    size1: entries[i].size,
+                    f1,
+                    f1b,
+                    f2,
+                    f2b,
+                    a: fu.a,
+                    b: fu.b,
+                    cond2: fu.cond2,
+                    target: fu.target,
+                    nonzero: false,
+                    patch2: entries[i + 1].patch_hits,
+                });
+                fused += 1;
+                i += 2;
+                continue;
+            }
+        }
+        let (f1, f1b) = plan(&mut sim, i);
+        if !pures[i] {
+            sim.invalidate();
+        }
+        let (run, a, cond2, target, nonzero) = single(micros[i]);
+        ops.push(Op {
+            run,
+            entry: entries[i],
+            pure: pures[i],
+            size: entries[i].size,
+            size1: entries[i].size,
+            f1,
+            f1b,
+            f2: FetchPlan::None,
+            f2b: FetchPlan::None,
+            a,
+            b: Half::NONE,
+            cond2,
+            target,
+            nonzero,
+            patch2: 0,
+        });
+        i += 1;
+    }
+
+    // Steady-state entry plans for the self-loop fast path: replan the
+    // first op's fetches assuming the window the block leaves buffered
+    // at its end (`sim.cur` — statically known whenever plannable and
+    // the final planned call ran under a valid model). The dispatch
+    // loop only uses these after a *pure* terminal exit, which cannot
+    // disturb the stream, so the assumed window is exact at runtime.
+    let mut loop_head = ops[0].clone();
+    {
+        let mut lsim = FetchSim { window, cur: sim.cur, plannable };
+        let (f1, f1b) = plan(&mut lsim, 0);
+        loop_head.f1 = f1;
+        loop_head.f1b = f1b;
+        // A fused first op carries the second instruction's plans too.
+        if loop_head.size != loop_head.size1 {
+            if !pures[0] {
+                lsim.invalidate();
+            }
+            let (f2, f2b) = plan(&mut lsim, 1);
+            loop_head.f2 = f2;
+            loop_head.f2b = f2b;
+        }
+    }
+    Some(ThreadedBlock { ops: ops.into_boxed_slice(), start, loop_head, window, flen, fused })
+}
