@@ -56,4 +56,15 @@ fn main() {
         "threaded tier over the suite: {} blocks promoted ({} pairs fused), {} threaded dispatches, {} demotions",
         agg.blocks_promoted, agg.fused_pairs, agg.threaded_dispatches, agg.demotions
     );
+    let plans = agg.plans_free + agg.plans_refill + agg.plans_slow;
+    let pct = |n: u64| if plans == 0 { 0.0 } else { 100.0 * n as f64 / plans as f64 };
+    println!(
+        "tier-3 fetch-plan mix over the suite: {} Free ({:.1}%), {} Refill ({:.1}%), {} Slow ({:.1}%)",
+        agg.plans_free,
+        pct(agg.plans_free),
+        agg.plans_refill,
+        pct(agg.plans_refill),
+        agg.plans_slow,
+        pct(agg.plans_slow),
+    );
 }

@@ -29,12 +29,12 @@ pub fn header(experiment: &str, paper_ref: &str) {
 /// The machine-readable bench summary at the repository root. Flat,
 /// line-oriented JSON — one `"section.metric": value` pair per line —
 /// so CI can display and diff it without a JSON parser.
-pub const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+pub const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
 
 /// The previous PR's committed summary — the baseline the `bench_diff`
 /// binary compares a fresh [`BENCH_JSON`] against.
 pub const BENCH_BASELINE_JSON: &str =
-    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
 
 /// Loads a flat bench summary from `path`, or an empty map when the
 /// file is missing or unreadable.
@@ -86,7 +86,7 @@ pub fn record_bench_json(section: &str, metrics: &[(&str, f64)]) {
     out.push_str("\n}\n");
     match fs::write(BENCH_JSON, &out) {
         Ok(()) => println!("\nrecorded {} metric(s) under '{section}' in {BENCH_JSON}", metrics.len()),
-        Err(e) => println!("\nBENCH_9.json not written ({e}) — continuing"),
+        Err(e) => println!("\nBENCH_10.json not written ({e}) — continuing"),
     }
 }
 

@@ -111,7 +111,8 @@ impl FlipCounts {
 }
 
 /// The E12 farm-campaign result.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// No `Eq`: the merged metrics snapshot carries `f64` gauges.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FarmExperiment {
     /// Soft-error Monte-Carlo runs.
     pub flip_runs: u32,
@@ -137,6 +138,12 @@ pub struct FarmExperiment {
     /// campaign's determinism signature (identical at any worker
     /// count).
     pub digest: u64,
+    /// Every sweep run's metrics registry merged in key order
+    /// (counters add, gauges keep the max) — worker-count-independent
+    /// like the digest, so campaign totals (deliveries, error frames,
+    /// forwards, IRQ counts) come out of one snapshot instead of
+    /// scattered per-run accessors.
+    pub metrics: alia_obs::metrics::Snapshot,
 }
 
 impl fmt::Display for FarmExperiment {
@@ -204,7 +211,7 @@ fn flip_run(base: &System, seed: u64) -> FlipOutcome {
 /// burst on the sensor wire's executed traffic, run the mission out,
 /// and report the burst intensity, the worst final sensor-station
 /// error state, and whether the sink checksum closed.
-fn sweep_run(base: &System, seed: u64) -> (u32, ErrorState, bool) {
+fn sweep_run(base: &System, seed: u64) -> (u32, ErrorState, bool, alia_obs::metrics::Snapshot) {
     let h = mix(0x5EED_0000_0000 ^ seed);
     let count = SWEEP_BURST_BASE + h % SWEEP_BURST_SPAN;
     let mut sys = base.fork();
@@ -226,7 +233,9 @@ fn sweep_run(base: &System, seed: u64) -> (u32, ErrorState, bool) {
         .into_iter()
         .max_by_key(|&s| severity(s))
         .unwrap_or_default();
-    (count as u32, worst, checksum_ok)
+    let mut reg = alia_obs::metrics::Registry::default();
+    sys.publish_metrics(&mut reg);
+    (count as u32, worst, checksum_ok, reg.snapshot())
 }
 
 /// Runs the E12 farm campaign: `flip_runs` soft-error Monte-Carlo runs
@@ -278,15 +287,20 @@ pub fn farm_experiment(
     let mut incidence = [0u32; 3];
     let mut sweep_missions_completed = 0;
     let mut losses_only_at_bus_off = true;
-    for &(count, state, checksum_ok) in &sweep_outcomes {
-        let band = severity(state) as usize;
+    for (count, state, checksum_ok, _) in &sweep_outcomes {
+        let band = severity(*state) as usize;
         incidence[band] += 1;
-        sweep_missions_completed += u32::from(checksum_ok);
+        sweep_missions_completed += u32::from(*checksum_ok);
         // Errors delay frames (retransmission) — only a bus-off purge
         // sheds them, so any failed mission must coincide with one.
-        losses_only_at_bus_off &= checksum_ok || state == ErrorState::BusOff;
-        digest = mix(digest ^ (u64::from(count) << 8) ^ band as u64);
+        losses_only_at_bus_off &= *checksum_ok || *state == ErrorState::BusOff;
+        digest = mix(digest ^ (u64::from(*count) << 8) ^ band as u64);
     }
+    // Key-ordered merge — run_campaign returns results in key order at
+    // any worker count, and the merge itself is associative and
+    // commutative, so the fold is worker-count-independent.
+    let metrics =
+        alia_obs::metrics::Snapshot::merge_all(sweep_outcomes.iter().map(|(_, _, _, m)| m));
     Ok(FarmExperiment {
         flip_runs,
         sweep_runs,
@@ -296,6 +310,7 @@ pub fn farm_experiment(
         losses_only_at_bus_off,
         e11_band: ErrorState::BusOff,
         digest,
+        metrics,
     })
 }
 

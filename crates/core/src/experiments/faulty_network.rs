@@ -327,8 +327,30 @@ pub fn error_burst_experiment_with(
     seed: u64,
     scheduler: SystemConfig,
 ) -> Result<ErrorBurstReport, CoreError> {
+    Ok(error_burst_experiment_traced(frames, seed, scheduler, 0)?.0)
+}
+
+/// [`error_burst_experiment_with`] plus structured tracing: records
+/// under the given [`alia_obs::category`] bitmask (error frames and
+/// state transitions land in the wire streams) and returns the
+/// collected [`alia_obs::TraceSet`] alongside the report.
+///
+/// # Errors
+///
+/// Same contract as [`error_burst_experiment_with`].
+///
+/// # Panics
+///
+/// Same contract as [`error_burst_experiment_with`].
+pub fn error_burst_experiment_traced(
+    frames: u32,
+    seed: u64,
+    scheduler: SystemConfig,
+    trace_mask: u32,
+) -> Result<(ErrorBurstReport, alia_obs::TraceSet), CoreError> {
     assert!((4..=100).contains(&frames), "need post-burst releases and an 8-bit compare");
     let mut topo = build_gateway_topology(frames, PERIOD_CYCLES, None, None, scheduler)?;
+    topo.system.set_trace_mask(trace_mask);
 
     // Sensor k's frame j is released at (j + 1) * period; the burst
     // covers the first half of the traffic window, starting inside the
@@ -363,21 +385,24 @@ pub fn error_burst_experiment_with(
         .iter()
         .filter(|d| d.is_data() && d.attempt > 1)
         .count() as u64;
-    Ok(ErrorBurstReport {
-        frames,
-        seed,
-        window: (lo, hi),
-        planned: BURST_ERRORS,
-        consumed: topo.sensor.injections_consumed(),
-        expired: topo.sensor.injections_expired(),
-        error_frames,
-        retransmissions,
-        checksum_ok: checksum == gateway_checksum(frames),
-        extended,
-        recovery,
-        degraded,
-        sensor_log: sensor_log(&topo),
-    })
+    Ok((
+        ErrorBurstReport {
+            frames,
+            seed,
+            window: (lo, hi),
+            planned: BURST_ERRORS,
+            consumed: topo.sensor.injections_consumed(),
+            expired: topo.sensor.injections_expired(),
+            error_frames,
+            retransmissions,
+            checksum_ok: checksum == gateway_checksum(frames),
+            extended,
+            recovery,
+            degraded,
+            sensor_log: sensor_log(&topo),
+        },
+        topo.system.trace_set(),
+    ))
 }
 
 /// Runs the transient-error-burst study with default scheduling.

@@ -522,8 +522,30 @@ pub fn gateway_experiment_with(
     frames: u32,
     scheduler: SystemConfig,
 ) -> Result<GatewayExperiment, CoreError> {
+    Ok(gateway_experiment_traced(frames, scheduler, 0)?.0)
+}
+
+/// [`gateway_experiment_with`] plus structured tracing: the run records
+/// under the given [`alia_obs::category`] bitmask and returns the
+/// collected [`alia_obs::TraceSet`] (one stream per node, per wire, and
+/// the scheduler's own) alongside the report. Mask `0` records nothing
+/// and costs one untaken branch per site.
+///
+/// # Errors
+///
+/// Same contract as [`gateway_experiment_with`].
+///
+/// # Panics
+///
+/// Same contract as [`gateway_experiment_with`].
+pub fn gateway_experiment_traced(
+    frames: u32,
+    scheduler: SystemConfig,
+    trace_mask: u32,
+) -> Result<(GatewayExperiment, alia_obs::TraceSet), CoreError> {
     let GatewayTopology { mut system, sensor, backbone, actuator, gw1, gw2, sink } =
         build_gateway_topology(frames, PERIOD_CYCLES, None, None, scheduler)?;
+    system.set_trace_mask(trace_mask);
 
     let run = drive_system(&mut system, 50_000_000);
     if run.result.reason != SystemStop::AllHalted {
@@ -598,22 +620,26 @@ pub fn gateway_experiment_with(
                 .collect()
         })
         .collect();
-    Ok(GatewayExperiment {
-        frames,
-        checksum,
-        frames_delivered: system
-            .node(sink)
-            .machine()
-            .bus
-            .device::<CanController>()
-            .map_or(0, CanController::rx_count),
-        forwards,
-        wires,
-        end_to_end,
-        node_cycles: system.nodes().iter().map(Node::cycles).collect(),
-        delivery_logs,
-        quanta: run.result.quanta,
-    })
+    let trace = system.trace_set();
+    Ok((
+        GatewayExperiment {
+            frames,
+            checksum,
+            frames_delivered: system
+                .node(sink)
+                .machine()
+                .bus
+                .device::<CanController>()
+                .map_or(0, CanController::rx_count),
+            forwards,
+            wires,
+            end_to_end,
+            node_cycles: system.nodes().iter().map(Node::cycles).collect(),
+            delivery_logs,
+            quanta: run.result.quanta,
+        },
+        trace,
+    ))
 }
 
 /// Runs the gateway topology with default scheduling.

@@ -36,13 +36,14 @@ pub use bitband::{bitband_experiment, BitbandExperiment};
 pub use farm::{farm_experiment, FarmExperiment, FlipCounts};
 pub use faulty_network::{
     babbling_idiot_experiment, babbling_idiot_experiment_with, error_burst_experiment,
-    error_burst_experiment_with, recovery_experiment, recovery_experiment_with, BabbleReport,
-    ErrorBurstReport, LatencyVsBound, RecoveryReport,
+    error_burst_experiment_traced, error_burst_experiment_with, recovery_experiment,
+    recovery_experiment_with, BabbleReport, ErrorBurstReport, LatencyVsBound, RecoveryReport,
 };
 pub use flash::{flash_experiment, FlashExperiment, FlashPoint};
 pub use flash_patch::{flash_patch_experiment, FlashPatchExperiment};
 pub use gateway::{
-    gateway_checksum, gateway_experiment, gateway_experiment_with, GatewayExperiment, WireReport,
+    gateway_checksum, gateway_experiment, gateway_experiment_traced, gateway_experiment_with,
+    GatewayExperiment, WireReport,
 };
 pub use interrupt::{interrupt_experiment, InterruptExperiment, SchemeLatency};
 pub use ldm::{ldm_experiment, LdmExperiment};
@@ -53,9 +54,9 @@ pub use network::{
     NetworkExperiment,
 };
 pub use rtos_exec::{
-    mission_tasks, rtos_exec_checksum, rtos_exec_experiment, rtos_exec_experiment_with,
-    rtos_jitter_point, rtos_jitter_study, JitterPoint, RtosExecExperiment, RtosJitterStudy,
-    TaskJitterRow,
+    mission_tasks, rtos_exec_checksum, rtos_exec_experiment, rtos_exec_experiment_traced,
+    rtos_exec_experiment_with, rtos_jitter_point, rtos_jitter_study, JitterPoint,
+    RtosExecExperiment, RtosJitterStudy, TaskJitterRow,
 };
 pub use soft_error::{soft_error_experiment, CampaignArm, InjectTarget, SoftErrorExperiment};
 pub use table1::{

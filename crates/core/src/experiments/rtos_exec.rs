@@ -30,7 +30,8 @@ use std::fmt;
 
 use alia_can::{response_bound, CanMessage};
 use alia_rtos::exec::{
-    build_guest_rtos, BoundReport, CanPort, ExecStats, GuestRtos, GuestRtosConfig, GuestTask,
+    build_guest_rtos, emit_obs_events, BoundReport, CanPort, ExecStats, GuestRtos,
+    GuestRtosConfig, GuestTask,
 };
 use alia_sim::{
     CanController, MachineConfig, Node, StopReason, System, SystemConfig, SystemStop,
@@ -196,6 +197,28 @@ pub fn rtos_exec_experiment_with(
     frames: u32,
     scheduler: SystemConfig,
 ) -> Result<RtosExecExperiment, CoreError> {
+    Ok(rtos_exec_experiment_traced(frames, scheduler, 0)?.0)
+}
+
+/// [`rtos_exec_experiment_with`] plus structured tracing: records under
+/// the given [`alia_obs::category`] bitmask and returns the collected
+/// [`alia_obs::TraceSet`] alongside the report. On top of the usual
+/// per-node / per-wire / scheduler streams, the RTOS ECU's guest kernel
+/// trace is re-emitted as a `"rtos.kernel"` stream of
+/// [`alia_obs::EventKind::Rtos`] events on the same cycle timebase.
+///
+/// # Errors
+///
+/// Same contract as [`rtos_exec_experiment_with`].
+///
+/// # Panics
+///
+/// Same contract as [`rtos_exec_experiment_with`].
+pub fn rtos_exec_experiment_traced(
+    frames: u32,
+    scheduler: SystemConfig,
+    trace_mask: u32,
+) -> Result<(RtosExecExperiment, alia_obs::TraceSet), CoreError> {
     let tasks = mission_tasks();
     let asm = asm_err(MachineConfig::m3_like().mode);
     let mut system = System::with_config(scheduler);
@@ -237,6 +260,7 @@ pub fn rtos_exec_experiment_with(
     system.add_node("gw1", gateway_machine(0x100, 0x17F, 0x300, 6, &sensor, &backbone, &asm)?);
     system.add_node("gw2", gateway_machine(0x300, 0x37F, 0x500, 7, &backbone, &actuator, &asm)?);
     let sink = system.add_node("sink", sink_machine(total, 0, None, &actuator, &asm)?);
+    system.set_trace_mask(trace_mask);
 
     let run = drive_system(&mut system, 50_000_000);
     if run.result.reason != SystemStop::AllHalted {
@@ -306,22 +330,33 @@ pub fn rtos_exec_experiment_with(
         wire_report(&backbone, &b_streams),
         wire_report(&actuator, &a_streams),
     ];
-    Ok(RtosExecExperiment {
-        frames,
-        tx_frames,
-        bounds,
-        stats,
-        checksum,
-        frames_delivered: system
-            .node(sink)
-            .machine()
-            .bus
-            .device::<CanController>()
-            .map_or(0, CanController::rx_count),
-        wires,
-        node_cycles: system.nodes().iter().map(Node::cycles).collect(),
-        quanta: run.result.quanta,
-    })
+    // The guest kernel's own cycle-stamped trace re-joins the unified
+    // stream as structured RTOS events (always emitted — the raw trace
+    // exists regardless of the mask; hashing filters by category).
+    let mut trace = system.trace_set();
+    let kernel_events = emit_obs_events(&system.node(rtos).machine().mmio().trace)
+        .map_err(|e| CoreError::Run { what: format!("rtos obs trace: {e}") })?;
+    trace.push_stream("rtos.kernel", kernel_events);
+
+    Ok((
+        RtosExecExperiment {
+            frames,
+            tx_frames,
+            bounds,
+            stats,
+            checksum,
+            frames_delivered: system
+                .node(sink)
+                .machine()
+                .bus
+                .device::<CanController>()
+                .map_or(0, CanController::rx_count),
+            wires,
+            node_cycles: system.nodes().iter().map(Node::cycles).collect(),
+            quanta: run.result.quanta,
+        },
+        trace,
+    ))
 }
 
 /// Runs the executed-RTOS gateway topology with default scheduling.

@@ -14,8 +14,8 @@ mod runner;
 use std::fmt;
 
 pub use runner::{
-    compile_kernel, drive_system, geometric_mean, machine_for, run_kernel, run_kernel_cached,
-    KernelRun, RunCache, SystemRun, STACK_TOP, TRAMPOLINE,
+    compile_kernel, drive_system, geometric_mean, machine_for, profile_kernel, run_kernel,
+    run_kernel_cached, BlockProfileRow, KernelRun, RunCache, SystemRun, STACK_TOP, TRAMPOLINE,
 };
 
 /// Re-exports of the component crates for one-stop usage.
@@ -23,6 +23,7 @@ pub mod prelude {
     pub use alia_can as can;
     pub use alia_codegen as codegen;
     pub use alia_isa as isa;
+    pub use alia_obs as obs;
     pub use alia_rtos as rtos;
     pub use alia_sim as sim;
     pub use alia_tir as tir;

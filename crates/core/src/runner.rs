@@ -206,6 +206,17 @@ pub fn run_kernel_cached(
     seed: u64,
     elems: u32,
 ) -> Result<KernelRun, CoreError> {
+    run_kernel_inner(cache, kernel, config, opts, seed, elems).map(|(run, _)| run)
+}
+
+fn run_kernel_inner(
+    cache: &mut RunCache,
+    kernel: &Kernel,
+    config: MachineConfig,
+    opts: &CodegenOptions,
+    seed: u64,
+    elems: u32,
+) -> Result<(KernelRun, Machine), CoreError> {
     let prog = cache.compiled(kernel, config.mode, opts)?;
     let mut m = machine_for(config, &prog, kernel, seed, elems);
     let host_start = std::time::Instant::now();
@@ -231,14 +242,84 @@ pub fn run_kernel_cached(
             ),
         });
     }
-    Ok(KernelRun {
+    let run = KernelRun {
         checksum: m.cpu.regs[0],
         cycles: result.cycles,
         instructions: result.instructions,
         code_size: prog.code_size(),
         host_nanos,
         predecode: m.predecode_stats(),
-    })
+    };
+    Ok((run, m))
+}
+
+/// One resident block's row in the profiler view (see
+/// [`profile_kernel`]), hottest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockProfileRow {
+    /// Block start PC.
+    pub start: u32,
+    /// Decoded instructions in the block.
+    pub insts: u32,
+    /// Times the block was dispatched (tier-2 entries plus tier-3
+    /// runs, threaded re-loops included).
+    pub dispatches: u64,
+    /// Whether the block is resident in the threaded tier (tier 3).
+    pub tier3: bool,
+    /// Superinstruction pairs fused into its threaded body.
+    pub fused: u32,
+    /// Estimated instructions retired inside the block
+    /// (`dispatches × insts` — an attribution weight, not an exact
+    /// count: early block exits retire fewer).
+    pub est_instructions: u64,
+    /// Host nanoseconds attributed to the block: the run's measured
+    /// wall time inside `Machine::run`, split across blocks in
+    /// proportion to `est_instructions`.
+    pub host_nanos: u64,
+}
+
+/// [`run_kernel_cached`] plus the per-block profiler view: every block
+/// resident in the block cache when the run halted, hottest (most
+/// dispatched) first, with the run's host time attributed per block in
+/// proportion to the instructions each is estimated to have retired.
+/// Blocks evicted mid-run are absent — their heat died with them.
+///
+/// # Errors
+///
+/// Same contract as [`run_kernel`].
+pub fn profile_kernel(
+    cache: &mut RunCache,
+    kernel: &Kernel,
+    config: MachineConfig,
+    opts: &CodegenOptions,
+    seed: u64,
+    elems: u32,
+) -> Result<(KernelRun, Vec<BlockProfileRow>), CoreError> {
+    let (run, m) = run_kernel_inner(cache, kernel, config, opts, seed, elems)?;
+    let raw = m.block_profile();
+    let total_est: u64 =
+        raw.iter().map(|&(_, insts, disp, _, _)| disp * u64::from(insts)).sum();
+    let rows = raw
+        .into_iter()
+        .map(|(start, insts, dispatches, tier3, fused)| {
+            let est = dispatches * u64::from(insts);
+            let host_nanos = if total_est == 0 {
+                0
+            } else {
+                (run.host_nanos as u128 * u128::from(est) / u128::from(total_est)) as u64
+            };
+            BlockProfileRow {
+                start,
+                insts,
+                dispatches,
+                tier3,
+                fused,
+                est_instructions: est,
+                host_nanos,
+            }
+        })
+        .collect();
+    Ok((run, rows))
 }
 
 /// The measured outcome of driving a multi-ECU [`System`].

@@ -54,7 +54,8 @@ use alia_sim::{
 use alia_workloads::kernel_by_name;
 
 pub use trace::{
-    decode_trace, BoundReport, ExecStats, HandlerStats, TaskExecStats, TraceKind, TraceRecord,
+    decode_trace, emit_obs_events, BoundReport, ExecStats, HandlerStats, TaskExecStats, TraceKind,
+    TraceRecord,
 };
 
 /// The timer IRQ line pacing the preemption tick.

@@ -93,6 +93,45 @@ pub fn decode_trace(raw: &[(u32, u64)]) -> Result<Vec<TraceRecord>, ExecError> {
         .collect()
 }
 
+/// Re-emits the raw guest trace as structured [`alia_obs`] events
+/// ([`alia_obs::category::RTOS`]), so a mission's kernel activity can
+/// merge into the same cycle-stamped stream as the simulator's own
+/// tier / IRQ / wire events. [`TraceKind::Dispatch`] maps to
+/// [`alia_obs::RtosEventKind::Start`] with the dispatch flavour
+/// (0 = fresh frame, 1 = resumed) kept in the payload.
+///
+/// # Errors
+///
+/// Fails on unknown kind bits, like [`decode_trace`].
+pub fn emit_obs_events(raw: &[(u32, u64)]) -> Result<Vec<alia_obs::TraceEvent>, ExecError> {
+    use alia_obs::RtosEventKind as K;
+    Ok(decode_trace(raw)?
+        .iter()
+        .map(|r| {
+            let kind = match r.kind {
+                TraceKind::Activate => K::Activate,
+                TraceKind::Dispatch => K::Start,
+                TraceKind::Preempt => K::Preempt,
+                TraceKind::Complete => K::Complete,
+                TraceKind::TickEnter => K::TickEnter,
+                TraceKind::TickExit => K::TickExit,
+                TraceKind::SchedEnter => K::SchedEnter,
+                TraceKind::SchedExit => K::SchedExit,
+                TraceKind::Idle => K::Idle,
+                TraceKind::Overrun => K::Overrun,
+            };
+            alia_obs::TraceEvent {
+                cycle: r.cycle,
+                kind: alia_obs::EventKind::Rtos {
+                    kind,
+                    task: r.task.map_or(0xFF, |t| t as u8),
+                    payload: r.payload,
+                },
+            }
+        })
+        .collect())
+}
+
 /// Aggregate statistics of one handler (tick or scheduler).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HandlerStats {
@@ -148,6 +187,33 @@ pub struct ExecStats {
     /// FNV-1a hash over the raw `(value, cycle)` trace — the
     /// determinism fingerprint.
     pub trace_hash: u64,
+}
+
+impl ExecStats {
+    /// Publishes the mission's distilled statistics into a metrics
+    /// registry under `prefix` (e.g. `"rtos."`): per-task activation /
+    /// completion / overrun / preemption counters and worst-case
+    /// gauges, handler aggregates, and the trace fingerprint inputs.
+    pub fn publish_metrics(&self, reg: &mut alia_obs::metrics::Registry, prefix: &str) {
+        reg.counter(&format!("{prefix}trace_len"), self.trace_len as u64);
+        reg.counter(&format!("{prefix}ticks"), self.tick_fires.len() as u64);
+        reg.gauge(&format!("{prefix}irq_overhead_max"), self.irq_overhead_max as f64);
+        for (label, h) in [("tick", &self.tick), ("sched", &self.sched)] {
+            reg.counter(&format!("{prefix}{label}.invocations"), u64::from(h.invocations));
+            reg.counter(&format!("{prefix}{label}.total_span"), h.total_span);
+            reg.gauge(&format!("{prefix}{label}.max_span"), h.max_span as f64);
+        }
+        for t in &self.tasks {
+            let p = format!("{prefix}task.{}.", t.name);
+            reg.counter(&format!("{p}activations"), u64::from(t.activations));
+            reg.counter(&format!("{p}completions"), u64::from(t.completions));
+            reg.counter(&format!("{p}overruns"), u64::from(t.overruns));
+            reg.counter(&format!("{p}preemptions"), u64::from(t.preemptions));
+            reg.counter(&format!("{p}total_response"), t.total_response);
+            reg.gauge(&format!("{p}wcet_measured"), t.wcet_measured as f64);
+            reg.gauge(&format!("{p}worst_response"), t.worst_response as f64);
+        }
+    }
 }
 
 /// One row of the executed-vs-analytic comparison.

@@ -665,6 +665,19 @@ impl CanController {
         self.rec_mirror
     }
 
+    /// Publishes the controller's counters into `reg` under `prefix`
+    /// (copies of the same values the legacy accessors report).
+    pub fn publish_metrics(&self, reg: &mut alia_obs::metrics::Registry, prefix: &str) {
+        reg.counter(&format!("{prefix}can.tx_count"), self.tx_count);
+        reg.counter(&format!("{prefix}can.rx_count"), self.rx_count);
+        reg.counter(&format!("{prefix}can.rx_overflows"), self.rx_overflows);
+        reg.counter(&format!("{prefix}can.rx_filtered"), self.rx_filtered);
+        // Error counters are point-in-time values, not monotonic
+        // totals: gauges, so campaign merges keep the worst case.
+        reg.gauge(&format!("{prefix}can.tec"), f64::from(self.tec_mirror));
+        reg.gauge(&format!("{prefix}can.rec"), f64::from(self.rec_mirror));
+    }
+
     /// Whether this controller transmits on a shared wire.
     #[must_use]
     pub fn is_shared(&self) -> bool {

@@ -133,6 +133,8 @@ struct QueuedForward {
     ready_at: u64,
     frame: CanFrame,
     irq_on_forward: bool,
+    /// Matched route index (trace reporting).
+    route: u32,
 }
 
 /// The DMA frame-forwarding engine (see the module docs for the
@@ -159,6 +161,11 @@ pub struct Dma {
     queue_overflows: u64,
     /// Next cycle the engine wants a tick (`u64::MAX` = idle).
     poll_at: u64,
+    /// Structured event tracer (forwards and drops, stamped on the
+    /// core-cycle clock). The engine processes deliveries at their
+    /// exact arrival cycles (`poll_at` re-arms per arrival), so the
+    /// recording order is schedule-independent.
+    tracer: alia_obs::Tracer,
 }
 
 impl Dma {
@@ -186,6 +193,31 @@ impl Dma {
             no_route: 0,
             queue_overflows: 0,
             poll_at: u64::MAX,
+            tracer: alia_obs::Tracer::default(),
+        }
+    }
+
+    /// The engine's structured event tracer.
+    #[must_use]
+    pub fn tracer(&self) -> &alia_obs::Tracer {
+        &self.tracer
+    }
+
+    /// Sets the tracing category mask (see [`alia_obs::category`]).
+    pub fn set_trace_mask(&mut self, mask: u32) {
+        self.tracer.set_mask(mask);
+    }
+
+    /// Publishes the engine's counters into `reg` under `prefix`
+    /// (copies of the same values the legacy accessors report).
+    pub fn publish_metrics(&self, reg: &mut alia_obs::metrics::Registry, prefix: &str) {
+        reg.counter(&format!("{prefix}dma.forwarded"), self.forwarded);
+        reg.counter(&format!("{prefix}dma.no_route"), self.no_route);
+        reg.counter(&format!("{prefix}dma.queue_overflows"), self.queue_overflows);
+        for (i, r) in self.routes.iter().enumerate() {
+            if r.count > 0 {
+                reg.counter(&format!("{prefix}dma.route{i}.count"), r.count);
+            }
         }
     }
 
@@ -333,6 +365,10 @@ impl Dma {
         };
         let Some(i) = self.routes.iter().position(matches) else {
             self.no_route += 1;
+            self.tracer.record(
+                arrival,
+                alia_obs::EventKind::DmaDrop { id: raw, reason: alia_obs::DropReason::NoRoute },
+            );
             return;
         };
         let route = &mut self.routes[i];
@@ -351,11 +387,23 @@ impl Dma {
             ready_at: arrival.saturating_add(self.latency),
             frame: out,
             irq_on_forward: route.irq_on_forward,
+            route: i as u32,
         };
         let target = 1 - side;
         let cap = self.fwd_capacity.max(1) as usize;
         if self.fwd_queue[target].len() >= cap {
             self.queue_overflows += 1;
+            // The overflow event carries the arriving frame's outgoing
+            // id even under drop-lowest-priority (where the evicted
+            // frame may be an older queued one): it names the overflow
+            // occurrence, not the eviction victim.
+            self.tracer.record(
+                arrival,
+                alia_obs::EventKind::DmaDrop {
+                    id: out_raw,
+                    reason: alia_obs::DropReason::QueueOverflow,
+                },
+            );
             if self.fwd_policy == 1 {
                 // Drop-lowest-priority: evict whichever frame — queued
                 // or arriving — loses CAN arbitration to all the others.
@@ -401,6 +449,8 @@ impl Dma {
         wire.enqueue(at / wire.cycles_per_bit().max(1), self.node_on(target), f.frame);
         self.in_flight[target] = true;
         self.forwarded += 1;
+        self.tracer
+            .record(at, alia_obs::EventKind::DmaForward { route: f.route, id: f.frame.id.raw() });
         if f.irq_on_forward {
             ctx.signals.raise_irq_at(self.config.irq, at);
         }

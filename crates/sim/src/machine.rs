@@ -373,6 +373,11 @@ pub struct Machine {
     /// quiescent [`crate::System`]) reports its clock here, so WfiIdle
     /// clocks never depend on where scheduler boundaries fell.
     wfi_entry: u64,
+    /// Structured event tracer (tier transitions, block fills, IRQ
+    /// pend/take, WFI park/resume). Off by default — every record site
+    /// is guarded by the category mask, so the disabled interpreter
+    /// paths stay at parity. See [`Machine::set_trace_mask`].
+    tracer: alia_obs::Tracer,
 }
 
 impl Machine {
@@ -436,7 +441,26 @@ impl Machine {
             run_limit: u64::MAX,
             wfi_parked: false,
             wfi_entry: 0,
+            tracer: alia_obs::Tracer::default(),
             config,
+        }
+    }
+
+    /// The machine's structured event tracer.
+    #[must_use]
+    pub fn tracer(&self) -> &alia_obs::Tracer {
+        &self.tracer
+    }
+
+    /// Sets the tracing category mask (see [`alia_obs::category`]) on
+    /// the machine *and* on every traced device it owns (the gateway
+    /// DMA engines keep their own tracers on their own clock).
+    pub fn set_trace_mask(&mut self, mask: u32) {
+        self.tracer.set_mask(mask);
+        for dev in self.bus.devices_mut() {
+            if let Some(dma) = dev.as_any_mut().downcast_mut::<Dma>() {
+                dma.set_trace_mask(mask);
+            }
         }
     }
 
@@ -596,7 +620,66 @@ impl Machine {
         stats.fused_pairs = self.blocks.stats.fused_pairs;
         stats.threaded_dispatches = self.blocks.stats.threaded_dispatches;
         stats.demotions = self.blocks.stats.demotions;
+        stats.threaded_instrs = self.blocks.stats.threaded_instrs;
+        stats.block_instrs = self.blocks.stats.block_instrs;
+        stats.plans_free = self.blocks.stats.plans_free;
+        stats.plans_refill = self.blocks.stats.plans_refill;
+        stats.plans_slow = self.blocks.stats.plans_slow;
         stats
+    }
+
+    /// Per-block execution profile: one entry per occupied block-cache
+    /// slot as `(start pc, instruction count, dispatches, promoted to
+    /// tier 3, fused pairs)`, sorted by dispatch count descending.
+    #[must_use]
+    pub fn block_profile(&self) -> Vec<(u32, u32, u64, bool, u32)> {
+        let mut v = self.blocks.profile();
+        v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Publishes the machine's execution counters into `reg` under
+    /// `prefix` (e.g. `node.gw1.`): cycle/instruction totals, the
+    /// full [`PredecodeStats`] family, IRQ takes, and cache-recovery
+    /// counts. Values are copies of the same counters the legacy
+    /// accessors report — the registry is a uniform view, not a second
+    /// source of truth.
+    pub fn publish_metrics(&self, reg: &mut alia_obs::metrics::Registry, prefix: &str) {
+        reg.counter(&format!("{prefix}cycles"), self.cycles);
+        reg.counter(&format!("{prefix}instructions"), self.instret);
+        let s = self.predecode_stats();
+        reg.counter(&format!("{prefix}predecode.hits"), s.hits);
+        reg.counter(&format!("{prefix}predecode.misses"), s.misses);
+        reg.counter(&format!("{prefix}predecode.invalidations"), s.invalidations);
+        reg.counter(&format!("{prefix}blocks.built"), s.blocks_built);
+        reg.counter(&format!("{prefix}blocks.hits"), s.block_hits);
+        reg.counter(&format!("{prefix}blocks.chain_follows"), s.chain_follows);
+        reg.counter(&format!("{prefix}blocks.budget_splits"), s.budget_splits);
+        reg.counter(&format!("{prefix}blocks.promoted"), s.blocks_promoted);
+        reg.counter(&format!("{prefix}blocks.fused_pairs"), s.fused_pairs);
+        reg.counter(&format!("{prefix}blocks.threaded_dispatches"), s.threaded_dispatches);
+        reg.counter(&format!("{prefix}blocks.demotions"), s.demotions);
+        reg.counter(&format!("{prefix}tier.threaded_instrs"), s.threaded_instrs);
+        reg.counter(&format!("{prefix}tier.block_instrs"), s.block_instrs);
+        reg.counter(&format!("{prefix}plans.free"), s.plans_free);
+        reg.counter(&format!("{prefix}plans.refill"), s.plans_refill);
+        reg.counter(&format!("{prefix}plans.slow"), s.plans_slow);
+        reg.counter(&format!("{prefix}irq.taken"), self.latencies.len() as u64);
+        for l in &self.latencies {
+            reg.observe(&format!("{prefix}irq.latency"), l.entry_cycle - l.pend_cycle);
+        }
+        reg.counter(&format!("{prefix}icache.recoveries"), self.icache_recoveries);
+        reg.counter(&format!("{prefix}dcache.recoveries"), self.dcache_recoveries);
+        // Device counters, keyed by bus index so multiple controllers
+        // on one machine stay distinguishable.
+        for (i, dev) in self.bus.devices().iter().enumerate() {
+            if let Some(dma) = dev.dev.as_any().downcast_ref::<Dma>() {
+                dma.publish_metrics(reg, &format!("{prefix}dev{i}."));
+            }
+            if let Some(can) = dev.dev.as_any().downcast_ref::<CanController>() {
+                can.publish_metrics(reg, &format!("{prefix}dev{i}."));
+            }
+        }
     }
 
     /// Loads bytes into flash at `addr` (must be inside flash).
@@ -636,6 +719,7 @@ impl Machine {
 
     fn pend_irq(&mut self, irq: u32, asserted_at: u64) {
         self.irq.pend(irq);
+        self.tracer.record(asserted_at, alia_obs::EventKind::IrqPend { irq });
         let slot = &mut self.pend_cycle[irq as usize];
         if slot.is_none() {
             // Latency is measured from the cycle the line was asserted,
@@ -985,7 +1069,21 @@ impl Machine {
             if !self.irq.any_pending() {
                 let pc = self.cpu.pc;
                 let stamp = self.code_stamp();
-                if let Some(slot) = self.blocks.lookup(pc, stamp) {
+                // Demotions happen inside the cache (stamp-change
+                // clears, slot overwrites); surface them as events by
+                // watching the counter across the lookup. One mask
+                // test when tracing is off.
+                let demote_base = self
+                    .tracer
+                    .wants(alia_obs::category::TIER)
+                    .then_some(self.blocks.stats.demotions);
+                let looked_up = self.blocks.lookup(pc, stamp);
+                if let Some(base) = demote_base {
+                    if self.blocks.stats.demotions > base {
+                        self.tracer.record(self.cycles, alia_obs::EventKind::Demote { pc });
+                    }
+                }
+                if let Some(slot) = looked_up {
                     return self.exec_blocks(slot, stamp, cycle_limit);
                 }
                 self.ensure_record(pc, stamp);
@@ -1045,6 +1143,7 @@ impl Machine {
             // hot (promoting it on the dispatch that crosses the heat
             // threshold), tier-2 entry-at-a-time otherwise.
             let exit = if let Some(tb) = self.tier3_for(slot) {
+                let instret0 = self.instret;
                 let (exit, loops) =
                     threaded::dispatch(self, &tb, cycle_limit, sched_due, cwg, revs);
                 // Self-loop iterations inside the dispatch stand for
@@ -1054,15 +1153,26 @@ impl Machine {
                 stats.threaded_dispatches += 1 + loops;
                 stats.hits += loops;
                 stats.chain_follows += loops;
+                stats.threaded_instrs += self.instret - instret0;
+                self.blocks.note_dispatch(slot, 1 + loops);
                 exit
             } else {
-                self.exec_block_entries(slot, cycle_limit, sched_due, cwg, revs)
+                let instret0 = self.instret;
+                let exit = self.exec_block_entries(slot, cycle_limit, sched_due, cwg, revs);
+                self.blocks.stats.block_instrs += self.instret - instret0;
+                self.blocks.note_dispatch(slot, 1);
+                exit
             };
             match exit {
                 BlockExit::Stop(stop) => return Some(stop),
                 BlockExit::Split => return None,
                 BlockExit::SplitBudget => {
                     self.blocks.stats.budget_splits += 1;
+                    if self.tracer.wants(alia_obs::category::TIER) {
+                        let pc = self.blocks.block_start(slot);
+                        self.tracer
+                            .record(self.cycles, alia_obs::EventKind::BudgetSplit { pc });
+                    }
                     return None;
                 }
                 BlockExit::Chain => {}
@@ -1159,6 +1269,7 @@ impl Machine {
             if let Some(tb) = threaded::build(start, &insts, self) {
                 let tb = Arc::new(tb);
                 self.blocks.install_threaded(slot, Arc::clone(&tb));
+                self.tracer.record(self.cycles, alia_obs::EventKind::Promote { pc: start });
                 return Some(tb);
             }
         }
@@ -1219,8 +1330,29 @@ impl Machine {
         let Some(mut rec) = self.block_rec.take() else { return };
         if !rec.entries.is_empty() {
             let end = rec.next_pc.wrapping_sub(1);
+            let demote_base = self
+                .tracer
+                .wants(alia_obs::category::TIER)
+                .then_some(self.blocks.stats.demotions);
+            let built_base = self.blocks.stats.built;
             self.blocks
                 .insert(rec.start, end, rec.stamp, Arc::from(rec.entries.as_slice()));
+            if self.blocks.stats.built > built_base {
+                self.tracer.record(
+                    self.cycles,
+                    alia_obs::EventKind::BlockFill {
+                        pc: rec.start,
+                        len: rec.entries.len() as u32,
+                    },
+                );
+            }
+            // Overwriting a promoted slot demotes its threaded code.
+            if let Some(base) = demote_base {
+                if self.blocks.stats.demotions > base {
+                    self.tracer
+                        .record(self.cycles, alia_obs::EventKind::Demote { pc: rec.start });
+                }
+            }
         }
         rec.entries.clear();
         self.rec_spare = rec.entries;
@@ -1763,8 +1895,13 @@ impl Machine {
                 self.cpu.pc = next_pc;
                 // The architectural moment the core goes to sleep; kept
                 // so a sleep that never ends can report its clock here
-                // instead of wherever a bounded run parked it.
+                // instead of wherever a bounded run parked it. The
+                // trace records this moment (and the actual wake in
+                // `sleep_until_irq`), never the bounded-run boundary
+                // parks — those are scheduler artifacts, and WFI events
+                // must stay bit-identical across quantum configs.
                 self.wfi_entry = self.cycles;
+                self.tracer.record(self.cycles, alia_obs::EventKind::WfiPark);
                 return self.sleep_until_irq();
             }
             // `Instr` is non_exhaustive; anything added later is a nop
@@ -1820,6 +1957,11 @@ impl Machine {
     fn sleep_until_irq(&mut self) -> Option<StopReason> {
         self.drain_due_irqs(self.cycles);
         if self.irq.highest_pending(self.cpu.primask).is_some() {
+            // Awake: the sleep ends here (immediately, or at the
+            // boundary a delivered wake event forced). The cycle is
+            // schedule-independent — it fixes every later stamp the
+            // determinism suites already pin.
+            self.tracer.record(self.cycles, alia_obs::EventKind::WfiResume);
             return None;
         }
         // Fast-forward to the next scheduled interrupt or device event.
@@ -1835,6 +1977,7 @@ impl Machine {
             Some(cycle) if cycle <= self.run_limit => {
                 self.cycles = self.cycles.max(cycle);
                 self.drain_due_irqs(self.cycles);
+                self.tracer.record(self.cycles, alia_obs::EventKind::WfiResume);
                 None
             }
             None if self.run_limit == u64::MAX => {
@@ -1919,6 +2062,7 @@ impl Machine {
             entry_cycle: self.cycles,
             tail_chained,
         });
+        self.tracer.record(self.cycles, alia_obs::EventKind::IrqTake { irq, tail_chained });
     }
 
     fn exception_return_hw(&mut self) -> Option<StopReason> {

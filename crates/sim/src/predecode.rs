@@ -158,6 +158,22 @@ pub struct PredecodeStats {
     /// Threaded blocks dropped back to tier-2 (invalidation, eviction,
     /// or the tier being disabled).
     pub demotions: u64,
+    /// Instructions retired inside tier-3 threaded dispatches (the
+    /// tier-occupancy numerator; `block_instrs` is the tier-2 share,
+    /// and everything else retired on the per-step path).
+    pub threaded_instrs: u64,
+    /// Instructions retired inside tier-2 entry-at-a-time block
+    /// dispatches.
+    pub block_instrs: u64,
+    /// Statically-free fetch plans across all promoted blocks (tier-3
+    /// fetch-plan mix: the op's fetch is window-resident, zero cycles).
+    pub plans_free: u64,
+    /// Single-refill fetch plans across all promoted blocks (one
+    /// planned streaming refill replaces the full timing walk).
+    pub plans_refill: u64,
+    /// Slow fetch plans across all promoted blocks (unplannable —
+    /// replay `fetch_timing` in full).
+    pub plans_slow: u64,
 }
 
 impl PredecodeStats {
@@ -177,6 +193,11 @@ impl PredecodeStats {
             fused_pairs,
             threaded_dispatches,
             demotions,
+            threaded_instrs,
+            block_instrs,
+            plans_free,
+            plans_refill,
+            plans_slow,
         } = other;
         self.hits += hits;
         self.misses += misses;
@@ -189,6 +210,11 @@ impl PredecodeStats {
         self.fused_pairs += fused_pairs;
         self.threaded_dispatches += threaded_dispatches;
         self.demotions += demotions;
+        self.threaded_instrs += threaded_instrs;
+        self.block_instrs += block_instrs;
+        self.plans_free += plans_free;
+        self.plans_refill += plans_refill;
+        self.plans_slow += plans_slow;
     }
 }
 
@@ -424,6 +450,11 @@ pub(crate) struct BlockStats {
     pub fused_pairs: u64,
     pub threaded_dispatches: u64,
     pub demotions: u64,
+    pub threaded_instrs: u64,
+    pub block_instrs: u64,
+    pub plans_free: u64,
+    pub plans_refill: u64,
+    pub plans_slow: u64,
 }
 
 /// One cached basic block: a straight-line run of predecoded entries.
@@ -446,6 +477,10 @@ struct Block {
     /// every path that clears or evicts the slot drops it (demotion),
     /// so the tier-2 invalidation story covers tier 3 verbatim.
     threaded: Option<Arc<crate::threaded::ThreadedBlock>>,
+    /// Total dispatches of this slot's current block (tier 2 and
+    /// tier 3; self-loop rounds included) — the profiler's per-block
+    /// heat. Reset with the slot.
+    dispatches: u64,
 }
 
 /// The basic-block cache. Invalidation mirrors [`Predecode`]: the same
@@ -504,6 +539,7 @@ impl BlockCache {
             b.insts = Arc::clone(&self.empty);
             b.links = [LINK_EMPTY; BLOCK_LINKS];
             b.heat = 0;
+            b.dispatches = 0;
             demoted += u64::from(b.threaded.take().is_some());
         }
         self.stats.demotions += demoted;
@@ -557,6 +593,7 @@ impl BlockCache {
                     links: [LINK_EMPTY; BLOCK_LINKS],
                     heat: 0,
                     threaded: None,
+                    dispatches: 0,
                 };
                 BLOCK_SLOTS
             ];
@@ -571,6 +608,7 @@ impl BlockCache {
             links: [LINK_EMPTY; BLOCK_LINKS],
             heat: 0,
             threaded: None,
+            dispatches: 0,
         };
         self.stats.built += 1;
     }
@@ -647,7 +685,35 @@ impl BlockCache {
     ) {
         self.stats.promoted += 1;
         self.stats.fused_pairs += u64::from(tb.fused);
+        self.stats.plans_free += u64::from(tb.plans_free);
+        self.stats.plans_refill += u64::from(tb.plans_refill);
+        self.stats.plans_slow += u64::from(tb.plans_slow);
         self.blocks[slot].threaded = Some(tb);
+    }
+
+    /// Charges `n` dispatches to the slot's per-block profile counter.
+    #[inline]
+    pub(crate) fn note_dispatch(&mut self, slot: usize, n: u64) {
+        self.blocks[slot].dispatches += n;
+    }
+
+    /// Per-block profile of every occupied slot:
+    /// `(start, instruction count, dispatches, promoted, fused pairs)`.
+    /// Unsorted — callers rank by whatever axis they report.
+    pub(crate) fn profile(&self) -> Vec<(u32, u32, u64, bool, u32)> {
+        self.blocks
+            .iter()
+            .filter(|b| b.start != TAG_EMPTY)
+            .map(|b| {
+                (
+                    b.start,
+                    b.insts.len() as u32,
+                    b.dispatches,
+                    b.threaded.is_some(),
+                    b.threaded.as_ref().map_or(0, |t| t.fused),
+                )
+            })
+            .collect()
     }
 
     /// Drops every threaded lowering (and its heat) while keeping the

@@ -247,6 +247,11 @@ pub struct System {
     config: SystemConfig,
     now: u64,
     quanta: u64,
+    /// The scheduler's own tracer ([`alia_obs::category::SCHED`]:
+    /// quantum boundaries, idle stretches). These events are an
+    /// artifact of the scheduler configuration — excluded from
+    /// [`alia_obs::category::SEMANTIC`] hashing by design.
+    tracer: alia_obs::Tracer,
 }
 
 impl System {
@@ -430,6 +435,97 @@ impl System {
         self.config = config;
     }
 
+    /// Sets the tracing category bitmask on the scheduler's own tracer
+    /// and on every node's machine (which propagates to its DMA
+    /// gateways). Pass [`alia_obs::category::ALL`] to record
+    /// everything, `0` to disable tracing entirely (the default).
+    pub fn set_trace_mask(&mut self, mask: u32) {
+        self.tracer.set_mask(mask);
+        for node in &mut self.nodes {
+            node.machine.set_trace_mask(mask);
+        }
+    }
+
+    /// Collects every recorded trace stream into one [`alia_obs::TraceSet`]:
+    /// one stream per node (CPU-side events plus its DMA gateways'
+    /// events, merged by cycle), one synthesized stream per wire
+    /// (arbitration wins from the delivery log, error-state transitions
+    /// from the state log — both deterministic, so the synthesized
+    /// stream is too), and a final `"scheduler"` stream of quantum
+    /// boundaries and idle stretches (config-dependent by design).
+    ///
+    /// Wire-log bit times are scaled to core cycles by each wire's
+    /// `cycles_per_bit`, so all streams share one timebase.
+    #[must_use]
+    pub fn trace_set(&self) -> alia_obs::TraceSet {
+        let mut set = alia_obs::TraceSet::default();
+        for node in &self.nodes {
+            let mut events: Vec<alia_obs::TraceEvent> =
+                node.machine.tracer().events().to_vec();
+            for dev in node.machine.bus.devices() {
+                if let Some(g) = dev.dev.as_any().downcast_ref::<Dma>() {
+                    events.extend_from_slice(&g.tracer().events());
+                }
+            }
+            // Machine and gateway events are each cycle-ordered; a
+            // stable merge keeps the combined stream cycle-ordered with
+            // CPU events first within a cycle.
+            events.sort_by_key(|e| e.cycle);
+            set.push_stream(node.name(), events);
+        }
+        for wire in &self.wires {
+            let cpb = wire.cycles_per_bit();
+            let mut events: Vec<alia_obs::TraceEvent> = Vec::new();
+            for d in wire.delivery_log() {
+                events.push(alia_obs::TraceEvent {
+                    cycle: d.completed_at.saturating_mul(cpb),
+                    kind: alia_obs::EventKind::FrameTx {
+                        id: d.frame.id.raw(),
+                        node: d.node as u32,
+                        enqueued: d.enqueued_at.saturating_mul(cpb),
+                        // `Delivery::attempt` counts *failed* attempts
+                        // before this event; the trace reports the
+                        // 1-based attempt ordinal.
+                        attempt: d.attempt + 1,
+                        data: d.kind == alia_can::DeliveryKind::Data,
+                    },
+                });
+            }
+            for s in wire.state_log() {
+                events.push(alia_obs::TraceEvent {
+                    cycle: s.at.saturating_mul(cpb),
+                    kind: alia_obs::EventKind::ErrorState {
+                        node: s.node as u32,
+                        state: s.to as u8,
+                    },
+                });
+            }
+            events.sort_by_key(|e| e.cycle);
+            set.push_stream(wire.name(), events);
+        }
+        set.push_stream("scheduler", self.tracer.events().to_vec());
+        set
+    }
+
+    /// Publishes every node's and wire's metrics into `reg`:
+    /// `node.<name>.*` for each machine (see
+    /// [`Machine::publish_metrics`]) and `wire.<name>.*` counters and
+    /// gauges for each CAN wire (deliveries, error frames, rejected /
+    /// purged transmissions, utilization).
+    pub fn publish_metrics(&self, reg: &mut alia_obs::metrics::Registry) {
+        for node in &self.nodes {
+            node.machine.publish_metrics(reg, &format!("node.{}.", node.name()));
+        }
+        for wire in &self.wires {
+            let p = format!("wire.{}.", wire.name());
+            reg.counter(&format!("{p}deliveries"), wire.deliveries_len() as u64);
+            reg.counter(&format!("{p}error_frames"), wire.error_frames());
+            reg.counter(&format!("{p}rejected_tx"), wire.rejected_tx());
+            reg.counter(&format!("{p}purged_tx"), wire.purged_tx());
+            reg.gauge(&format!("{p}utilization"), wire.utilization());
+        }
+    }
+
     /// A fully independent deep copy of the whole topology: every node
     /// is forked (dirty-page machine copies — see [`Machine::snapshot`]),
     /// every wire is deep-copied onto a new identity
@@ -463,6 +559,7 @@ impl System {
             config: self.config,
             now: self.now,
             quanta: self.quanta,
+            tracer: self.tracer.clone(),
         }
     }
 
@@ -557,6 +654,10 @@ impl System {
                 .unwrap_or(base);
             if self.config.idle_stretch {
                 if let Some(wake) = self.idle_stretch_boundary() {
+                    if wake > boundary {
+                        self.tracer
+                            .record(self.now, alia_obs::EventKind::IdleStretch { to: wake });
+                    }
                     boundary = boundary.max(wake);
                 }
             }
@@ -669,6 +770,7 @@ impl System {
                     }
                 }
             }
+            self.tracer.record(boundary, alia_obs::EventKind::Quantum { index: self.quanta });
             self.now = boundary;
             self.quanta += 1;
         }
@@ -821,6 +923,48 @@ mod tests {
         let lats = sys.node(1).machine().latencies();
         assert_eq!(lats.len(), 4);
         assert!(lats.iter().all(|l| l.entry_cycle - l.pend_cycle < 100));
+
+        // The metrics registry is a uniform view over the same
+        // counters the legacy accessors report — pin them equal so the
+        // two can never drift.
+        let mut reg = alia_obs::metrics::Registry::new();
+        sys.publish_metrics(&mut reg);
+        let snap = reg.snapshot();
+        let find_can = |node: usize| {
+            sys.node(node)
+                .machine()
+                .bus
+                .devices()
+                .iter()
+                .enumerate()
+                .find_map(|(i, d)| d.dev.as_any().downcast_ref::<CanController>().map(|c| (i, c)))
+                .expect("node has a CAN controller")
+        };
+        let (pi, producer_can) = find_can(0);
+        assert_eq!(
+            snap.counter(&format!("node.producer.dev{pi}.can.tx_count")),
+            Some(producer_can.tx_count())
+        );
+        let (ci, consumer_can) = find_can(1);
+        assert_eq!(
+            snap.counter(&format!("node.consumer.dev{ci}.can.rx_count")),
+            Some(consumer_can.rx_count())
+        );
+        assert_eq!(consumer_can.rx_count(), 4);
+        assert_eq!(snap.counter("wire.can0.deliveries"), Some(wire.deliveries_len() as u64));
+        assert_eq!(snap.counter("wire.can0.error_frames"), Some(wire.error_frames()));
+        for (i, node) in ["producer", "consumer"].iter().enumerate() {
+            let m = sys.node(i).machine();
+            assert_eq!(snap.counter(&format!("node.{node}.cycles")), Some(m.cycles()));
+            assert_eq!(snap.counter(&format!("node.{node}.instructions")), Some(m.instructions()));
+            let s = m.predecode_stats();
+            assert_eq!(snap.counter(&format!("node.{node}.predecode.hits")), Some(s.hits));
+            assert_eq!(snap.counter(&format!("node.{node}.blocks.built")), Some(s.blocks_built));
+            assert_eq!(
+                snap.counter(&format!("node.{node}.irq.taken")),
+                Some(m.latencies().len() as u64)
+            );
+        }
     }
 
     #[test]

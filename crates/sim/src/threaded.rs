@@ -256,6 +256,13 @@ pub(crate) struct ThreadedBlock {
     pub(crate) flen: u32,
     /// Fused pairs selected at build time (stat reporting).
     pub(crate) fused: u32,
+    /// [`FetchPlan::Free`] plans across the block's ops (fetch-plan
+    /// mix reporting; the `loop_head` alternate entry is not counted).
+    pub(crate) plans_free: u32,
+    /// [`FetchPlan::Refill`] plans across the block's ops.
+    pub(crate) plans_refill: u32,
+    /// [`FetchPlan::Slow`] plans across the block's ops.
+    pub(crate) plans_slow: u32,
 }
 
 // ---------------------------------------------------------------------
@@ -1130,5 +1137,28 @@ pub(crate) fn build(start: u32, entries: &[Entry], m: &Machine) -> Option<Thread
             loop_head.f2b = f2b;
         }
     }
-    Some(ThreadedBlock { ops: ops.into_boxed_slice(), start, loop_head, window, flen, fused })
+    // Fetch-plan mix over the block's ops (every planned call: first
+    // and second-halfword fetches of both halves of a fused pair).
+    let (mut plans_free, mut plans_refill, mut plans_slow) = (0u32, 0u32, 0u32);
+    for op in &ops {
+        for plan in [op.f1, op.f1b, op.f2, op.f2b] {
+            match plan {
+                FetchPlan::None => {}
+                FetchPlan::Free => plans_free += 1,
+                FetchPlan::Refill(_) => plans_refill += 1,
+                FetchPlan::Slow => plans_slow += 1,
+            }
+        }
+    }
+    Some(ThreadedBlock {
+        ops: ops.into_boxed_slice(),
+        start,
+        loop_head,
+        window,
+        flen,
+        fused,
+        plans_free,
+        plans_refill,
+        plans_slow,
+    })
 }
